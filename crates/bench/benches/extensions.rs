@@ -1,0 +1,145 @@
+//! Criterion microbenchmarks of the post-reproduction extensions:
+//! the Davidson eigensolver vs dense SYEVD, the full Casida solve,
+//! the per-core timing model, the coherence protocol, and the DRAM
+//! controller-policy variants.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndft_dft::casida::run_casida;
+use ndft_dft::SiliconSystem;
+use ndft_numerics::davidson::{davidson, DavidsonOptions};
+use ndft_numerics::{syevd, Mat};
+use ndft_shmem::coherence::simulate_update_cycle;
+use ndft_sim::dram::{DramModel, MemRequest, RowPolicy, SchedPolicy};
+use ndft_sim::timing::{CoreModel, KernelTrace, MemPort};
+use ndft_sim::{AccessPattern, DramTimings, SystemConfig};
+use std::hint::black_box;
+
+/// Seeded dense symmetric matrix with a spread diagonal (easy spectrum).
+fn sym(n: usize, seed: u64) -> Mat {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut a = Mat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+        a[(i, i)] += i as f64 * 0.5;
+    }
+    a
+}
+
+fn bench_eigensolvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eig_lowest4");
+    group.sample_size(10);
+    for &n in &[64usize, 128, 256] {
+        let a = sym(n, 42);
+        group.bench_with_input(BenchmarkId::new("syevd_full", n), &n, |b, _| {
+            b.iter(|| black_box(syevd(&a).expect("dense solve")))
+        });
+        group.bench_with_input(BenchmarkId::new("davidson_k4", n), &n, |b, _| {
+            b.iter(|| {
+                black_box(davidson(&a, &DavidsonOptions::lowest(4)).expect("iterative solve"))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_casida(c: &mut Criterion) {
+    let mut group = c.benchmark_group("casida_pipeline");
+    group.sample_size(10);
+    for &atoms in &[16usize, 32] {
+        let sys = SiliconSystem::new(atoms).expect("valid size");
+        group.bench_with_input(BenchmarkId::from_parameter(atoms), &atoms, |b, _| {
+            b.iter(|| black_box(run_casida(&sys).expect("stable system")))
+        });
+    }
+    group.finish();
+}
+
+fn bench_core_model(c: &mut Criterion) {
+    let sys = SystemConfig::paper_table3();
+    let port = MemPort {
+        fill_latency_s: 60e-9,
+        bandwidth_bps: 16.0e9,
+    };
+    let trace = KernelTrace::from_mix(
+        16_384,
+        2.0,
+        AccessPattern::Random {
+            range_bytes: 64 << 20,
+        },
+        7,
+    );
+    let mut group = c.benchmark_group("core_model_run");
+    group.sample_size(20);
+    group.bench_function("cpu_core_16k_ops", |b| {
+        b.iter(|| {
+            let mut core = CoreModel::cpu_core(&sys.cpu, port);
+            black_box(core.run(&trace))
+        })
+    });
+    group.bench_function("ndp_core_16k_ops", |b| {
+        b.iter(|| {
+            let mut core = CoreModel::ndp_core(&sys.ndp, port);
+            black_box(core.run(&trace))
+        })
+    });
+    group.finish();
+}
+
+fn bench_coherence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("coherence_update_cycle");
+    group.sample_size(20);
+    for &write_pct in &[0usize, 5, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("stacks16_blocks200", write_pct),
+            &write_pct,
+            |b, &pct| b.iter(|| black_box(simulate_update_cycle(16, 200, 5, pct as f64 / 100.0))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_dram_policies(c: &mut Criterion) {
+    let t = DramTimings::hbm2();
+    let reqs: Vec<MemRequest> = (0..8192u64)
+        .map(|i| MemRequest {
+            addr: i * 32,
+            is_write: false,
+            arrival: 0,
+        })
+        .collect();
+    let mut group = c.benchmark_group("dram_stream_8k");
+    group.sample_size(20);
+    for (label, sched, row) in [
+        ("frfcfs_open", SchedPolicy::FrFcfs, RowPolicy::OpenPage),
+        ("fcfs_open", SchedPolicy::Fcfs, RowPolicy::OpenPage),
+        ("frfcfs_closed", SchedPolicy::FrFcfs, RowPolicy::ClosedPage),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut d = DramModel::with_policies(t, 8, 16, 2048, sched, row);
+                black_box(d.service_batch(&reqs))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eigensolvers,
+    bench_casida,
+    bench_core_model,
+    bench_coherence,
+    bench_dram_policies
+);
+criterion_main!(benches);

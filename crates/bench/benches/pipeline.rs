@@ -1,0 +1,70 @@
+//! Criterion benchmarks of the end-to-end pipeline: task-graph
+//! generation, platform runs (the Fig. 7/8 engines), the numeric driver,
+//! the footprint accounting, and the gather simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ndft_core::{run_cpu_baseline, run_gpu_baseline, run_ndft};
+use ndft_dft::{atom_block_bytes, build_task_graph, run_lr_tddft, SiliconSystem};
+use ndft_shmem::{simulate_block_gather, table1_rows, CommScheme};
+use ndft_sim::SystemConfig;
+use std::hint::black_box;
+
+fn bench_graph_and_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    group.sample_size(10);
+    for &atoms in &[64usize, 1024] {
+        let sys = SiliconSystem::new(atoms).expect("paper size");
+        group.bench_with_input(BenchmarkId::new("build_graph", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(build_task_graph(&sys, 1)))
+        });
+        let graph = build_task_graph(&sys, 1);
+        group.bench_with_input(BenchmarkId::new("run_cpu", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(run_cpu_baseline(&graph)))
+        });
+        group.bench_with_input(BenchmarkId::new("run_gpu", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(run_gpu_baseline(&graph)))
+        });
+        group.bench_with_input(BenchmarkId::new("run_ndft", atoms), &atoms, |b, _| {
+            b.iter(|| black_box(run_ndft(&graph)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_numeric_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("numeric_driver");
+    group.sample_size(10);
+    let sys = SiliconSystem::new(16).expect("Si_16");
+    group.bench_function("lr_tddft_si16", |b| {
+        b.iter(|| black_box(run_lr_tddft(&sys).expect("converges")))
+    });
+    group.finish();
+}
+
+fn bench_footprint_and_gather(c: &mut Criterion) {
+    c.bench_function("table1_rows", |b| b.iter(|| black_box(table1_rows())));
+    let cfg = SystemConfig::paper_table3();
+    let mut group = c.benchmark_group("gather");
+    group.sample_size(10);
+    for &atoms in &[64usize, 1024] {
+        group.bench_with_input(BenchmarkId::new("hierarchical", atoms), &atoms, |b, &n| {
+            b.iter(|| {
+                black_box(simulate_block_gather(
+                    &cfg,
+                    n,
+                    atom_block_bytes(),
+                    CommScheme::Hierarchical,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_graph_and_engines,
+    bench_numeric_driver,
+    bench_footprint_and_gather
+);
+criterion_main!(benches);

@@ -1,0 +1,158 @@
+//! Memory-controller and device-generation ablation.
+//!
+//! Two questions the paper's Table III fixes by fiat:
+//!
+//! 1. How much of the NDP stack's bandwidth comes from the controller
+//!    (FR-FCFS + open page) rather than the device? We sweep both
+//!    scheduling policies × both row policies over the three canonical
+//!    patterns.
+//! 2. What would the headline numbers look like on next-generation
+//!    devices (DDR5 host, HBM3 stacks)? We re-measure the calibration
+//!    bandwidths with the newer presets.
+//!
+//! Run with: `cargo run --release -p ndft-bench --bin ablation_dram`
+
+use ndft_sim::dram::{DramModel, MemRequest, RowPolicy, SchedPolicy};
+use ndft_sim::pattern::{coalesce_to_lines, generate, AccessPattern};
+use ndft_sim::DramTimings;
+
+fn requests(pattern: AccessPattern, burst: usize, n: usize) -> Vec<MemRequest> {
+    let raw = generate(pattern, n, 0, burst, 7);
+    coalesce_to_lines(&raw, burst)
+        .into_iter()
+        .map(|addr| MemRequest {
+            addr,
+            is_write: false,
+            arrival: 0,
+        })
+        .collect()
+}
+
+/// Two interleaved row streams per bank — the all-to-all bucket-scatter
+/// shape where a reordering controller can batch row hits that arrival
+/// order alternates. This is where FR-FCFS earns its area.
+fn row_ping_pong(burst: usize, row_bytes: usize, n: usize) -> Vec<MemRequest> {
+    (0..n as u64)
+        .map(|i| {
+            let row = i % 2;
+            let col = i / 2;
+            MemRequest {
+                addr: row * 2 * row_bytes as u64 + col * burst as u64,
+                is_write: false,
+                arrival: 0,
+            }
+        })
+        .collect()
+}
+
+fn gbs(x: f64) -> f64 {
+    x / 1e9
+}
+
+fn main() {
+    ndft_bench::print_header("DRAM controller-policy and device-generation ablation");
+
+    // --- Part 1: policy sweep on one HBM2 stack (8 ch × 16 banks). ---
+    let t = DramTimings::hbm2();
+    let patterns = [
+        ("stream", AccessPattern::Stream),
+        (
+            "strided",
+            AccessPattern::Strided {
+                stride_bytes: 65 * t.burst_bytes,
+            },
+        ),
+        (
+            "random",
+            AccessPattern::Random {
+                range_bytes: 1 << 30,
+            },
+        ),
+    ];
+    println!("One HBM2 stack, GB/s sustained (raw line traffic):\n");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10} {:>10}",
+        "controller", "stream", "strided", "random", "row-mix"
+    );
+    for (sched, row, label) in [
+        (
+            SchedPolicy::FrFcfs,
+            RowPolicy::OpenPage,
+            "FR-FCFS + open page",
+        ),
+        (
+            SchedPolicy::FrFcfs,
+            RowPolicy::ClosedPage,
+            "FR-FCFS + closed page",
+        ),
+        (SchedPolicy::Fcfs, RowPolicy::OpenPage, "FCFS + open page"),
+        (
+            SchedPolicy::Fcfs,
+            RowPolicy::ClosedPage,
+            "FCFS + closed page",
+        ),
+    ] {
+        let mut row_out = format!("{label:<22}");
+        for (_, pattern) in patterns {
+            let mut dram = DramModel::with_policies(t, 8, 16, 2048, sched, row);
+            let reqs = requests(pattern, t.burst_bytes, 16384);
+            let stats = dram.service_batch(&reqs);
+            row_out.push_str(&format!(" {:>9.1}", gbs(stats.bandwidth(t.clock_hz))));
+        }
+        let mut dram = DramModel::with_policies(t, 8, 16, 2048, sched, row);
+        let stats = dram.service_batch(&row_ping_pong(t.burst_bytes, 2048, 16384));
+        row_out.push_str(&format!(" {:>9.1}", gbs(stats.bandwidth(t.clock_hz))));
+        println!("{row_out}");
+    }
+    println!(
+        "\nReading: open-page + FR-FCFS (the Table III controller) wins the\n\
+         streaming and row-mix columns the LR-TDDFT kernels live in; closed\n\
+         page trades them for conflict-free random access; plain FCFS gives up\n\
+         the row-mix batching that the all-to-all scatter relies on. Single-\n\
+         stream patterns show no FR/FCFS split — there is nothing to reorder.\n"
+    );
+
+    // --- Part 2: device generations. ---
+    println!("Device generations, same controller (FR-FCFS + open page):\n");
+    println!(
+        "{:<10} {:>14} {:>12} {:>12} {:>12}",
+        "device", "pin GB/s/ch", "stream", "strided", "random"
+    );
+    for (name, timings, channels, row_bytes) in [
+        ("DDR4", DramTimings::ddr4(), 8usize, 8192usize),
+        ("DDR5", DramTimings::ddr5(), 8, 8192),
+        ("HBM2", DramTimings::hbm2(), 8, 2048),
+        ("HBM3", DramTimings::hbm3(), 8, 2048),
+    ] {
+        let mut line = format!("{name:<10} {:>14.1}", gbs(timings.channel_peak_bw()));
+        for (_, pattern) in [
+            ("stream", AccessPattern::Stream),
+            (
+                "strided",
+                AccessPattern::Strided {
+                    stride_bytes: 65 * timings.burst_bytes,
+                },
+            ),
+            (
+                "random",
+                AccessPattern::Random {
+                    range_bytes: 1 << 30,
+                },
+            ),
+        ] {
+            let mut dram = DramModel::new(timings, channels, 16, row_bytes);
+            let reqs = requests(pattern, timings.burst_bytes, 16384);
+            let stats = dram.service_batch(&reqs);
+            line.push_str(&format!(
+                " {:>11.1}",
+                gbs(stats.bandwidth(timings.clock_hz))
+            ));
+        }
+        println!("{line}");
+    }
+    println!(
+        "\nHBM3 stacks raise the NDP side's streaming ceiling ~1.6×, while DDR5\n\
+         lifts the CPU baseline ~2×: the NDFT-over-CPU gap of Fig. 7 narrows on\n\
+         paper-future hardware but the memory-bound kernels stay NDP-won."
+    );
+}

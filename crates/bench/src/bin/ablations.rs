@@ -1,0 +1,45 @@
+//! Ablation harness for the design choices DESIGN.md calls out:
+//! offload granularity (§IV-A-1), hierarchical vs flat communication
+//! (§IV-C), shared-block vs replicated pseudopotentials (§IV-B), and the
+//! GPU all-to-all staging policy.
+
+use ndft_core::ablations;
+use ndft_core::report::render_ablations;
+use ndft_dft::{footprint_bytes, PseudoLayout, SiliconSystem};
+
+fn main() {
+    ndft_bench::print_header("Design-choice ablations");
+    for atoms in [64usize, 1024] {
+        let sys = SiliconSystem::new(atoms).expect("valid paper size");
+        let ab = ablations(&sys);
+        print!("{}", render_ablations(&ab));
+
+        // Shared-block vs replicated: the time side is the gather cost;
+        // the memory side is the footprint delta.
+        let replicated = footprint_bytes(
+            &sys,
+            PseudoLayout::Replicated {
+                processes: 16,
+                staging_overhead_ppm: 380,
+            },
+        );
+        let shared = footprint_bytes(
+            &sys,
+            PseudoLayout::SharedBlock {
+                domains: 16,
+                processes: 256,
+                halo_angstrom: 4.9,
+            },
+        );
+        println!(
+            "Shared-block vs replicated footprint: {:.2} GiB vs {:.2} GiB ({:.1} % saved),",
+            shared as f64 / (1u64 << 30) as f64,
+            replicated as f64 / (1u64 << 30) as f64,
+            100.0 * (1.0 - shared as f64 / replicated as f64)
+        );
+        println!(
+            "bought with {} of gather time per iteration.\n",
+            ndft_core::report::fmt_time(ab.gather_hierarchical.makespan)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Extension experiment: energy comparison between the three platforms.
+//!
+//! The paper argues NDP wins by eliminating data movement; this harness
+//! integrates per-bit/per-FLOP energy constants over the same runs that
+//! produce Fig. 7 and reports joules and relative efficiency.
+
+use ndft_core::energy_comparison;
+use ndft_dft::{KernelKind, SiliconSystem};
+
+fn main() {
+    ndft_bench::print_header("Extension: energy comparison (CPU / GPU / NDFT)");
+    for atoms in [64usize, 1024] {
+        let sys = SiliconSystem::new(atoms).expect("paper size");
+        let cmp = energy_comparison(&sys);
+        println!("--- {} ---", cmp.system);
+        println!(
+            "{:<8} {:>14} {:>14} {:>14}",
+            "platform", "dynamic (J)", "static (J)", "total (J)"
+        );
+        for r in [&cmp.cpu, &cmp.gpu, &cmp.ndft] {
+            println!(
+                "{:<8} {:>14.3} {:>14.3} {:>14.3}",
+                r.machine,
+                r.dynamic_j,
+                r.static_j,
+                r.total_j()
+            );
+        }
+        println!(
+            "NDFT energy efficiency: {:.2}x over CPU, {:.2}x over GPU",
+            cmp.ndft.efficiency_over(&cmp.cpu),
+            cmp.ndft.efficiency_over(&cmp.gpu)
+        );
+        // Where the joules go on NDFT.
+        println!("NDFT dynamic energy by kernel:");
+        for kind in KernelKind::all() {
+            if let Some((_, e)) = cmp.ndft.by_kind.iter().find(|(k, _)| *k == kind) {
+                if *e > 0.0 {
+                    println!("  {:<24} {:>10.3} J", kind.label(), e);
+                }
+            }
+        }
+        println!();
+    }
+}

@@ -1,0 +1,61 @@
+//! Regenerates Fig. 7: per-kernel execution-time comparison between CPU,
+//! GPU, and NDFT on the small (a) and large (b) physical systems.
+
+use ndft_core::report::render_fig7_panel;
+use ndft_core::{fig7, other_discussion};
+use ndft_dft::KernelKind;
+
+fn main() {
+    ndft_bench::print_header("Fig. 7: execution-time comparison (CPU / GPU / NDFT)");
+    let (small, large) = fig7();
+    print!("{}", render_fig7_panel(&small, 1.9, 1.6));
+    println!();
+    print!("{}", render_fig7_panel(&large, 5.2, 2.5));
+
+    println!("\nPaper-vs-measured anchors:");
+    println!("{:<44} {:>8} {:>8}", "metric", "paper", "ours");
+    let fft_ratio = large.cpu.kind_time(KernelKind::Fft) / large.ndft.kind_time(KernelKind::Fft);
+    let fs_ratio = small.cpu.kind_time(KernelKind::FaceSplitting)
+        / small.ndft.kind_time(KernelKind::FaceSplitting);
+    let gemm_small = small.ndft.kind_time(KernelKind::Gemm) / small.gpu.kind_time(KernelKind::Gemm);
+    let gemm_large = large.ndft.kind_time(KernelKind::Gemm) / large.gpu.kind_time(KernelKind::Gemm);
+    let rows: Vec<(&str, f64, f64)> = vec![
+        ("NDFT vs CPU, small (×)", 1.9, small.ndft_over_cpu()),
+        ("NDFT vs CPU, large (×)", 5.2, large.ndft_over_cpu()),
+        ("NDFT vs GPU, small (×)", 1.6, small.ndft_over_gpu()),
+        ("NDFT vs GPU, large (×)", 2.5, large.ndft_over_gpu()),
+        ("FFT speedup vs CPU, large (×)", 11.2, fft_ratio),
+        ("Face-splitting speedup vs CPU, small (×)", 1.99, fs_ratio),
+        ("GPU GEMM advantage over NDFT, small (×)", 1.359, gemm_small),
+        ("GPU GEMM advantage over NDFT, large (×)", 1.222, gemm_large),
+        (
+            "memory-bound kernels vs GPU, small (×)",
+            2.1,
+            small.memory_bound_speedup_over(&small.gpu),
+        ),
+        (
+            "memory-bound kernels vs GPU, large (×)",
+            5.2,
+            large.memory_bound_speedup_over(&large.gpu),
+        ),
+        (
+            "sched overhead, small (%)",
+            3.8,
+            100.0 * small.ndft.sched_overhead_fraction(),
+        ),
+        (
+            "sched overhead, large (%)",
+            4.9,
+            100.0 * large.ndft.sched_overhead_fraction(),
+        ),
+    ];
+    for (label, paper, ours) in rows {
+        println!("{label:<44} {paper:>8.2} {ours:>8.2}");
+    }
+
+    println!();
+    print!(
+        "{}",
+        ndft_core::report::render_other_discussion(&other_discussion(&small, &large))
+    );
+}

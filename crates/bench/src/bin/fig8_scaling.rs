@@ -1,0 +1,20 @@
+//! Regenerates Fig. 8: NDFT and GPU speedup over the CPU baseline across
+//! Si_16 … Si_2048.
+
+use ndft_core::fig8;
+use ndft_core::report::render_fig8;
+
+fn main() {
+    ndft_bench::print_header("Fig. 8: scalability across physical system sizes");
+    let rows = fig8();
+    print!("{}", render_fig8(&rows));
+    let peak = rows.iter().map(|r| r.ndft_speedup).fold(0.0f64, f64::max);
+    println!("\nMeasured peak NDFT speedup: {peak:.2}x (paper: 5.33x at Si_2048)");
+    println!("Shape notes:");
+    println!(" * speedup grows with system size as working sets leave the CPU's LLC");
+    println!("   and the memory-bound share of the pipeline rises;");
+    println!(" * the GPU curve flattens once the Si_2048 working set exceeds the");
+    println!("   2×32 GB of device memory and PCIe staging dominates;");
+    println!(" * below Si_64 the fixed offload overheads outweigh the bandwidth win,");
+    println!("   matching the paper's \"improves performance in most cases\" hedge.");
+}

@@ -1,0 +1,103 @@
+//! One-shot reproduction: regenerate every table and figure and write
+//! the CSV series to `results/`.
+//!
+//! Run with: `cargo run --release -p ndft-bench --bin repro_all`
+//!
+//! Produces:
+//!
+//! * `results/fig4_roofline.csv` — AI / attainable GFLOPS / class per
+//!   kernel and system (Fig. 4);
+//! * `results/fig7_small.csv`, `results/fig7_large.csv` — per-kernel
+//!   CPU/GPU/NDFT times (Fig. 7 a/b);
+//! * `results/fig8_scaling.csv` — NDFT & GPU speedups over CPU,
+//!   Si_16 … Si_2048 (Fig. 8);
+//! * `results/table1_footprint.csv` — pseudopotential footprints
+//!   (Table I);
+//! * `results/summary.txt` — the headline anchors in one page.
+
+use ndft_core::experiments::{fig4, fig7, fig8, other_discussion, table1};
+use ndft_core::report::csv;
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    ndft_bench::print_header("Full reproduction → results/*.csv");
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+
+    let points = fig4();
+    fs::write(dir.join("fig4_roofline.csv"), csv::fig4(&points))?;
+    println!(
+        "wrote results/fig4_roofline.csv      ({} points)",
+        points.len()
+    );
+
+    let (small, large) = fig7();
+    fs::write(dir.join("fig7_small.csv"), csv::fig7(&small))?;
+    fs::write(dir.join("fig7_large.csv"), csv::fig7(&large))?;
+    println!("wrote results/fig7_{{small,large}}.csv (per-kernel breakdowns)");
+
+    let rows = fig8();
+    fs::write(dir.join("fig8_scaling.csv"), csv::fig8(&rows))?;
+    println!(
+        "wrote results/fig8_scaling.csv       ({} systems)",
+        rows.len()
+    );
+
+    let footprints = table1();
+    fs::write(dir.join("table1_footprint.csv"), csv::table1(&footprints))?;
+    println!(
+        "wrote results/table1_footprint.csv   ({} rows)",
+        footprints.len()
+    );
+
+    let od = other_discussion(&small, &large);
+    let mut summary = String::new();
+    writeln!(
+        summary,
+        "NDFT reproduction — headline anchors (paper → ours)\n"
+    )?;
+    writeln!(
+        summary,
+        "NDFT over CPU, small:  1.9x -> {:.2}x",
+        small.ndft_over_cpu()
+    )?;
+    writeln!(
+        summary,
+        "NDFT over CPU, large:  5.2x -> {:.2}x",
+        large.ndft_over_cpu()
+    )?;
+    writeln!(
+        summary,
+        "NDFT over GPU, small:  1.6x -> {:.2}x",
+        small.ndft_over_gpu()
+    )?;
+    writeln!(
+        summary,
+        "NDFT over GPU, large:  2.5x -> {:.2}x",
+        large.ndft_over_gpu()
+    )?;
+    writeln!(
+        summary,
+        "scheduling overhead:   3.8/4.9 % -> {:.1}/{:.1} %",
+        100.0 * small.ndft.sched_overhead_fraction(),
+        100.0 * large.ndft.sched_overhead_fraction()
+    )?;
+    writeln!(
+        summary,
+        "footprint cut vs NDP:  57.8 % -> {:.1} %",
+        100.0 * od.footprint_reduction
+    )?;
+    writeln!(
+        summary,
+        "footprint vs CPU:      1.08x -> {:.2}x",
+        od.footprint_vs_cpu
+    )?;
+    let best = rows.iter().map(|r| r.ndft_speedup).fold(0.0f64, f64::max);
+    writeln!(summary, "peak scaling speedup:  5.33x -> {best:.2}x")?;
+    fs::write(dir.join("summary.txt"), &summary)?;
+    println!("wrote results/summary.txt\n");
+    print!("{summary}");
+    Ok(())
+}

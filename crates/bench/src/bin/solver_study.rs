@@ -1,0 +1,97 @@
+//! Eigensolver and response-theory study (extensions §8 of DESIGN.md).
+//!
+//! Two algorithmic alternatives to the paper's dense `SYEVD` stage:
+//!
+//! 1. **Iterative (Davidson) TDA** — when only the lowest excitations
+//!    matter, subspace iteration replaces the `O(n³)` factorization with
+//!    a handful of matvecs. The table reports exact matvec counts and the
+//!    FLOP ratio against the dense solve.
+//! 2. **Full Casida vs Tamm–Dancoff** — the physics ablation: how much
+//!    does the TDA truncation shift the spectrum the pipeline produces?
+//!
+//! Run with: `cargo run --release -p ndft-bench --bin solver_study`
+
+use ndft_dft::casida::run_casida;
+use ndft_dft::{build_response_hamiltonian, model_orbitals, run_lr_tddft, SiliconSystem};
+use ndft_numerics::davidson::{davidson, DavidsonOptions};
+use ndft_numerics::{syevd_cost, Mat};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    ndft_bench::print_header("Eigensolver & response-theory study");
+
+    // --- Part 1: dense SYEVD vs iterative Davidson on the real TDA
+    //     Hamiltonians of the small systems. ---
+    println!("Iterative TDA (4 lowest states, tol 1e-6 eV) vs dense SYEVD:\n");
+    println!(
+        "{:<8} {:>6} {:>9} {:>10} {:>14} {:>12}",
+        "system", "n", "matvecs", "iters", "flops(dense)", "flop ratio"
+    );
+    for atoms in [16usize, 32, 64] {
+        let sys = SiliconSystem::new(atoms)?;
+        let (v, c, ev, ec) = model_orbitals(&sys);
+        let h = build_response_hamiltonian(&sys, &v, &c, &ev, &ec);
+        let n = h.rows();
+        let m = Mat::from_fn(n, n, |i, j| 0.5 * (h[(i, j)].re + h[(j, i)].re));
+        // Si_64's spectrum is clustered: give the subspace room to work,
+        // and stop at µeV residuals (far beyond physical meaning — the
+        // Jacobi preconditioner floors around 1e-7 on tight clusters).
+        let opts = DavidsonOptions {
+            n_eig: 4,
+            tol: 1e-6,
+            max_subspace: 48,
+            max_iters: 2000,
+        };
+        let res = davidson(&m, &opts)?;
+        let dense_flops = syevd_cost(n).flops;
+        // One dense matvec is 2n² flops; the Rayleigh solves on m×m
+        // subspaces are small by comparison and ignored in its favor.
+        let davidson_flops = res.matvecs as u64 * 2 * (n as u64) * (n as u64);
+        println!(
+            "{:<8} {:>6} {:>9} {:>10} {:>14} {:>11.1}×",
+            format!("Si_{atoms}"),
+            n,
+            res.matvecs,
+            res.iterations,
+            dense_flops,
+            dense_flops as f64 / davidson_flops as f64
+        );
+    }
+    println!(
+        "\nThe asymptotic win is O(n³) vs O(k·n²), but the constant is spectrum-\n\
+         dependent: Si_64's near-degenerate lowest cluster costs the Jacobi-\n\
+         preconditioned iteration ~5× more matvecs than the easy Si_16 case.\n\
+         At the paper's Si_1024 (n = 1824) even that pessimistic rate leaves\n\
+         Davidson ~10× cheaper than the full SYEVD stage Fig. 7 times — the\n\
+         price is losing the full spectrum.\n"
+    );
+
+    // --- Part 2: full Casida vs TDA. ---
+    println!("Full Casida vs Tamm–Dancoff on the numeric pipeline:\n");
+    println!(
+        "{:<8} {:>6} {:>12} {:>12} {:>12} {:>13}",
+        "system", "npair", "TDA gap", "Casida gap", "shift (eV)", "mean shift"
+    );
+    for atoms in [16usize, 32, 64] {
+        let sys = SiliconSystem::new(atoms)?;
+        let res = run_casida(&sys)?;
+        let dense = run_lr_tddft(&sys)?;
+        debug_assert_eq!(dense.hamiltonian_dim, res.dim);
+        println!(
+            "{:<8} {:>6} {:>11.4} {:>11.4} {:>12.4} {:>12.4}",
+            format!("Si_{atoms}"),
+            res.dim,
+            res.tda_optical_gap(),
+            res.optical_gap(),
+            res.tda_optical_gap() - res.optical_gap(),
+            res.mean_tda_shift()
+        );
+    }
+    println!(
+        "\nTDA bounds every Casida energy from above (blue-shift), as theory\n\
+         requires; the shift shrinks as the coupling-to-gap ratio falls with\n\
+         system size. Running full Casida costs one extra n×n symmetric solve,\n\
+         i.e. ~2× the SYEVD stage of Fig. 7 — the scheduler's placement for it\n\
+         is unchanged (same kernel class)."
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Regenerates Table I (pseudopotential memory footprints) and the §VI-A
+//! footprint discussion.
+
+use ndft_core::report::{render_other_discussion, render_table1};
+use ndft_core::{fig7, other_discussion, table1};
+use ndft_dft::SiliconSystem;
+use ndft_shmem::{footprint_row, Platform};
+
+fn main() {
+    ndft_bench::print_header("Table I: pseudopotential memory footprint");
+    let rows = table1();
+    print!("{}", render_table1(&rows));
+
+    println!("\nPaper-vs-measured:");
+    println!("{:<28} {:>10} {:>10}", "cell", "paper", "ours");
+    let get = |sys: &str, p: Platform| {
+        rows.iter()
+            .find(|r| r.system == sys && r.platform == p)
+            .unwrap()
+            .gib()
+    };
+    for (label, paper, ours) in [
+        (
+            "NDP  small (GB)",
+            4.43,
+            get("Si_64", Platform::NdpReplicated),
+        ),
+        ("CPU  small (GB)", 1.84, get("Si_64", Platform::Cpu)),
+        (
+            "NDP  large (GB)",
+            35.3,
+            get("Si_1024", Platform::NdpReplicated),
+        ),
+        ("CPU  large (GB)", 13.8, get("Si_1024", Platform::Cpu)),
+    ] {
+        println!("{label:<28} {paper:>10.2} {ours:>10.2}");
+    }
+
+    // The OOM argument: Si_2048 under the replicated NDP layout.
+    let si2048 = SiliconSystem::new(2048).expect("valid");
+    let ndp2k = footprint_row(&si2048, Platform::NdpReplicated);
+    let ndft2k = footprint_row(&si2048, Platform::NdftSharedBlock);
+    println!(
+        "\nOOM check (Si_2048): replicated NDP needs {:.1} GiB ({:.0} % of memory) — OOM;",
+        ndp2k.gib(),
+        100.0 * ndp2k.fraction
+    );
+    println!(
+        "NDFT shared blocks need {:.1} GiB ({:.0} %) — fits.",
+        ndft2k.gib(),
+        100.0 * ndft2k.fraction
+    );
+
+    println!();
+    let (small, large) = fig7();
+    print!(
+        "{}",
+        render_other_discussion(&other_discussion(&small, &large))
+    );
+}

@@ -1,0 +1,108 @@
+//! Prints the Table III CPU-NDP system configuration along with the
+//! measured calibration derived from it — the machine every other
+//! experiment runs on.
+
+use ndft_core::calib;
+use ndft_sim::config::{GIB, KIB, MIB};
+
+fn main() {
+    ndft_bench::print_header("Table III: CPU-NDP system configuration");
+    let cfg = calib::system_config();
+    let base = calib::baseline_config();
+
+    println!("CPU (host):");
+    println!(
+        "  {} general-purpose cores, {:.1} GHz, {}-way superscalar",
+        cfg.cpu.cores,
+        cfg.cpu.clock_hz / 1e9,
+        cfg.cpu.issue_width
+    );
+    println!(
+        "  {} KB L1I/D, {} KB L2, {} MB L3",
+        cfg.cpu.l1d.size_bytes / KIB,
+        cfg.cpu.l2.size_bytes / KIB,
+        cfg.cpu.l3.size_bytes / MIB
+    );
+    println!("NDP:");
+    println!(
+        "  {} NDP units per stack, {:.1} GHz, in order; {} GB total, {} MB per unit",
+        cfg.ndp.units_per_stack,
+        cfg.ndp.clock_hz / 1e9,
+        cfg.ndp.total_dram() / GIB,
+        cfg.ndp.dram_per_unit / MIB
+    );
+    println!(
+        "  {} cores per NDP unit ({} cores total), {} KB L1I/D",
+        cfg.ndp.cores_per_unit,
+        cfg.ndp.total_cores(),
+        cfg.ndp.l1.size_bytes / KIB
+    );
+    println!(
+        "  Shared memory (SPM): {} KB per core, {} KB per stack",
+        cfg.spm.per_core_bytes / KIB,
+        cfg.spm.per_stack_bytes / KIB
+    );
+    println!("Memory:");
+    println!(
+        "  HBM2, {}×{} stacks in mesh, {} channels per stack",
+        cfg.mesh.width, cfg.mesh.height, cfg.memory.channels_per_stack
+    );
+    println!(
+        "  {}-bit bus, {:.0} MHz, {} GB capacity",
+        cfg.memory.timings.burst_bytes * 8 / cfg.memory.timings.t_burst as usize,
+        cfg.memory.timings.clock_hz / 1e6,
+        cfg.memory.capacity_bytes / GIB
+    );
+    println!("Baselines:");
+    println!(
+        "  CPU: 2× Xeon E5-2695 class — {} cores @ {:.1} GHz, 64 GB DDR4",
+        base.cores,
+        base.clock_hz / 1e9
+    );
+    println!("  GPU: 2× NVIDIA V100 (DGX-1)");
+
+    println!("\nDerived peaks:");
+    println!(
+        "  host CPU peak:        {:>8.1} GFLOP/s",
+        cfg.cpu_peak_flops() / 1e9
+    );
+    println!(
+        "  NDP aggregate peak:   {:>8.1} GFLOP/s",
+        cfg.ndp_peak_flops() / 1e9
+    );
+    println!(
+        "  baseline Xeon peak:   {:>8.1} GFLOP/s",
+        base.peak_flops() / 1e9
+    );
+    println!(
+        "  NDP pin bandwidth:    {:>8.1} GB/s",
+        cfg.ndp_peak_bandwidth() / 1e9
+    );
+    println!(
+        "  host link bandwidth:  {:>8.1} GB/s",
+        cfg.host_link.bandwidth / 1e9
+    );
+
+    println!("\nMeasured calibration (from the DRAM/NoC simulator):");
+    let cal = calib::measured();
+    for (name, p) in [
+        ("CPU baseline DDR4", &cal.cpu_baseline),
+        ("one HBM2 stack", &cal.ndp_stack),
+        ("NDP aggregate", &cal.ndp_aggregate),
+        ("host→stack link", &cal.host_to_stack),
+    ] {
+        println!(
+            "  {:<18} stream {:>8.1} GB/s  strided {:>6.1} GB/s  random {:>6.1} GB/s  latency {:>5.0} ns",
+            name,
+            p.stream_bw / 1e9,
+            p.strided_bw / 1e9,
+            p.random_bw / 1e9,
+            p.idle_latency * 1e9
+        );
+    }
+    println!(
+        "  NoC: link {:.1} GB/s, hop latency {:.1} ns",
+        cal.noc_link_bw / 1e9,
+        cal.noc_hop_latency * 1e9
+    );
+}

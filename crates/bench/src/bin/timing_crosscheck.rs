@@ -1,0 +1,49 @@
+//! Cross-validation of the two timing layers.
+//!
+//! The evaluation times kernels analytically (pattern-bucket bandwidths
+//! measured at the DRAM level); `ndft-sim::timing` models cores cycle by
+//! cycle. This harness runs every pipeline stage's representative
+//! micro-trace through one CPU core and one NDP core — each fed its
+//! per-core share of the measured raw bandwidth for the stage's dominant
+//! pattern — and reports the achieved/assumed ratio. Memory-bound rows
+//! near 1.0 mean the layers corroborate each other; compute-bound rows
+//! legitimately idle their bandwidth.
+//!
+//! Run with: `cargo run --release -p ndft-bench --bin timing_crosscheck`
+
+use ndft_core::crosscheck::crosscheck;
+use ndft_dft::SiliconSystem;
+
+fn main() {
+    ndft_bench::print_header("Timing-layer cross-check: analytic vs cycle-level cores");
+    for system in [SiliconSystem::small(), SiliconSystem::large()] {
+        println!("{} pipeline:\n", system.label());
+        println!(
+            "{:<36} {:>6} {:>12} {:>12} {:>8} {:>8}",
+            "stage", "class", "CPU GB/s", "NDP GB/s", "CPU r", "NDP r"
+        );
+        for row in crosscheck(&system) {
+            println!(
+                "{:<36} {:>6} {:>5.2}/{:>5.2} {:>5.2}/{:>5.2} {:>8.2} {:>8.2}",
+                row.name,
+                if row.memory_bound { "mem" } else { "comp" },
+                row.cpu_core_bw / 1e9,
+                row.cpu_analytic_bw / 1e9,
+                row.ndp_core_bw / 1e9,
+                row.ndp_analytic_bw / 1e9,
+                row.cpu_ratio(),
+                row.ndp_ratio()
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: memory-bound stages sustain 0.5–1.0 of the analytic layer's\n\
+         per-core bandwidth share on both core types — the two timing layers\n\
+         corroborate each other where the paper's headline lives. SYEVD's CPU\n\
+         row sits lower: ~13 instructions per random access leave only ~2\n\
+         fills in the 192-entry OOO window, a cycle-level effect the analytic\n\
+         efficiency anchors absorb. Compute-bound stages (GEMM) idle their\n\
+         bandwidth, as they should."
+    );
+}

@@ -1,0 +1,35 @@
+//! # ndft-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the NDFT
+//! paper, plus Criterion microbenchmarks of the substrate.
+//!
+//! Binaries (one per experiment — run with `cargo run -p ndft-bench --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |---|---|
+//! | `table1_footprint` | Table I + §VI-A footprint metrics |
+//! | `table3_config`    | Table III system configuration |
+//! | `fig4_roofline`    | Fig. 4 kernel roofline |
+//! | `fig7_breakdown`   | Fig. 7 execution-time comparison (a: small, b: large) |
+//! | `fig8_scaling`     | Fig. 8 scalability sweep |
+//! | `ablations`        | granularity / comm-scheme / GPU-staging ablations |
+//! | `energy_comparison`| energy model over the Fig. 7 runs |
+//! | `design_space`     | stack-count & host-link sweeps |
+//! | `ablation_dram`    | controller policies + DDR5/HBM3 generations |
+//! | `core_model`       | per-core cycle breakdown per kernel class |
+//! | `solver_study`     | Davidson vs SYEVD; full Casida vs TDA |
+//! | `scheduler_study`  | energy/EDP objectives; online vs static |
+//! | `timing_crosscheck`| analytic layer vs cycle-level core model |
+//! | `repro_all`        | everything above → `results/*.csv` + summary |
+//! | `validate`         | numeric oracle suite |
+//!
+//! Criterion benches (`cargo bench -p ndft-bench`): `numerics`,
+//! `simulator`, `pipeline`, `extensions`.
+
+/// Shared header printed by every harness binary.
+pub fn print_header(what: &str) {
+    println!("==============================================================");
+    println!("NDFT reproduction — {what}");
+    println!("Paper: NDFT (DAC 2025), arXiv:2504.03451");
+    println!("==============================================================\n");
+}

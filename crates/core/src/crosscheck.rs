@@ -1,0 +1,238 @@
+//! Cross-validation of the analytic timing layer against the
+//! cycle-level core model.
+//!
+//! The evaluation's timing layer is analytic: each kernel's time is
+//! `max(flops/peak·eff, bytes/bw_eff(pattern))` with bandwidths measured
+//! at the DRAM level ([`crate::calib::measured`]). `ndft-sim::timing`
+//! models the *cores* — issue, caches, MSHRs, prefetchers. If the two
+//! layers disagree wildly on the memory-bound kernels (the paper's
+//! headline), one of them is lying. This module runs a representative
+//! micro-trace of every pipeline kernel through one CPU core and one NDP
+//! core, each fed by its per-core share of the *measured raw* bandwidth
+//! for the stage's dominant access pattern, and compares the bandwidth
+//! the core actually sustains against that share.
+//!
+//! For memory-bound stages the two layers must agree within a small
+//! factor (cache effects, MSHR limits and prefetch behaviour that the
+//! analytic buckets smear out) — the integration tests pin exactly that.
+//! Compute-bound stages (GEMM, SYEVD) are reported but not asserted:
+//! their analytic FLOP-efficiency anchors deliberately include effects
+//! beyond one core's pipeline (tile-refill traffic, panel
+//! synchronization; DESIGN.md §4.2).
+
+use crate::calib::{measured, system_config};
+use ndft_dft::{build_task_graph, KernelDescriptor, SiliconSystem};
+use ndft_sim::timing::{CoreModel, KernelTrace, MemPort};
+use ndft_sim::{AccessPattern, BandwidthProfile};
+use serde::{Deserialize, Serialize};
+
+/// Memory accesses in each representative micro-trace.
+const TRACE_OPS: usize = 16_384;
+
+/// Useful payload bytes the calibration assumes per strided/random
+/// access (one `Complex64`), matching `ndft-sim::engine`.
+const USEFUL_BYTES: f64 = 16.0;
+
+/// The dominant access pattern of a descriptor's traffic mix.
+fn dominant_pattern(d: &KernelDescriptor) -> AccessPattern {
+    let strided = (1.0 - d.stream_fraction - d.random_fraction).max(0.0);
+    if d.stream_fraction >= strided && d.stream_fraction >= d.random_fraction {
+        AccessPattern::Stream
+    } else if strided >= d.random_fraction {
+        AccessPattern::Strided { stride_bytes: 4096 }
+    } else {
+        AccessPattern::Random {
+            range_bytes: d.working_set.max(1 << 20),
+        }
+    }
+}
+
+/// Raw line-traffic bandwidth of a profile's bucket (the calibration
+/// stores strided/random buckets in useful-payload units).
+fn raw_bucket(profile: &BandwidthProfile, pattern: AccessPattern, burst_bytes: f64) -> f64 {
+    match pattern {
+        AccessPattern::Stream => profile.stream_bw,
+        AccessPattern::Strided { .. } => profile.strided_bw * burst_bytes / USEFUL_BYTES,
+        AccessPattern::Random { .. } => profile.random_bw * burst_bytes / USEFUL_BYTES,
+    }
+}
+
+/// Builds a representative micro-trace for a kernel descriptor: the
+/// dominant access pattern at the descriptor's working set, with
+/// arithmetic instructions matching its intensity (`AI × 8` flops per
+/// 8-byte access).
+///
+/// # Examples
+///
+/// ```
+/// use ndft_core::crosscheck::trace_for;
+/// use ndft_dft::{build_task_graph, SiliconSystem};
+///
+/// let graph = build_task_graph(&SiliconSystem::small(), 1);
+/// let trace = trace_for(&graph.stages[0], 1024, 7);
+/// assert_eq!(trace.memory_ops(), 1024);
+/// ```
+pub fn trace_for(d: &KernelDescriptor, ops: usize, seed: u64) -> KernelTrace {
+    let flops_per_access = d.arithmetic_intensity() * 8.0;
+    KernelTrace::from_mix(ops, flops_per_access, dominant_pattern(d), seed)
+}
+
+/// One kernel's cross-check: what the core model achieved vs the raw
+/// per-core bandwidth share the analytic layer assumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrosscheckRow {
+    /// Stage name.
+    pub name: String,
+    /// True when the stage is memory-bound on the CPU roofline (AI < 4),
+    /// i.e. the regime where the bandwidth comparison is meaningful.
+    pub memory_bound: bool,
+    /// Effective raw bandwidth one CPU core sustained, bytes/s.
+    pub cpu_core_bw: f64,
+    /// The raw per-core share the analytic layer assumes, CPU side.
+    pub cpu_analytic_bw: f64,
+    /// Effective raw bandwidth one NDP core sustained, bytes/s.
+    pub ndp_core_bw: f64,
+    /// The raw per-core share the analytic layer assumes, NDP side.
+    pub ndp_analytic_bw: f64,
+}
+
+impl CrosscheckRow {
+    /// Ratio of achieved to assumed CPU bandwidth.
+    pub fn cpu_ratio(&self) -> f64 {
+        self.cpu_core_bw / self.cpu_analytic_bw.max(f64::MIN_POSITIVE)
+    }
+
+    /// Ratio of achieved to assumed NDP bandwidth.
+    pub fn ndp_ratio(&self) -> f64 {
+        self.ndp_core_bw / self.ndp_analytic_bw.max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Runs the cross-check over every stage of a system's task graph.
+pub fn crosscheck(system: &SiliconSystem) -> Vec<CrosscheckRow> {
+    let sys = system_config();
+    let cal = measured();
+    let burst = sys.memory.timings.burst_bytes as f64;
+    let cpu_cores = sys.cpu.cores as f64;
+    let ndp_cores_per_stack = (sys.ndp.units_per_stack * sys.ndp.cores_per_unit) as f64;
+
+    let graph = build_task_graph(system, 1);
+    graph
+        .stages
+        .iter()
+        .map(|d| {
+            let pattern = dominant_pattern(d);
+            let trace = trace_for(d, TRACE_OPS, 11);
+            let cpu_share = raw_bucket(&cal.host_to_stack, pattern, burst) / cpu_cores;
+            let ndp_share = raw_bucket(&cal.ndp_stack, pattern, burst) / ndp_cores_per_stack;
+            let cpu_port = MemPort {
+                fill_latency_s: cal.host_to_stack.idle_latency,
+                bandwidth_bps: cpu_share,
+            };
+            let ndp_port = MemPort {
+                fill_latency_s: cal.ndp_stack.idle_latency,
+                bandwidth_bps: ndp_share,
+            };
+            let mut cpu_core = CoreModel::cpu_core(&sys.cpu, cpu_port);
+            let r = cpu_core.run(&trace);
+            let cpu_core_bw =
+                r.dram_fills as f64 * 64.0 / r.seconds(sys.cpu.clock_hz).max(f64::MIN_POSITIVE);
+            let mut ndp_core = CoreModel::ndp_core(&sys.ndp, ndp_port);
+            let r = ndp_core.run(&trace);
+            let ndp_core_bw = (r.dram_fills + r.prefetch_issued) as f64 * 64.0
+                / r.seconds(sys.ndp.clock_hz).max(f64::MIN_POSITIVE);
+            CrosscheckRow {
+                name: d.name.clone(),
+                memory_bound: d.arithmetic_intensity() < 4.0,
+                cpu_core_bw,
+                cpu_analytic_bw: cpu_share,
+                ndp_core_bw,
+                ndp_analytic_bw: ndp_share,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traces_match_descriptor_shape() {
+        let graph = build_task_graph(&SiliconSystem::small(), 1);
+        for d in &graph.stages {
+            let trace = trace_for(d, 256, 3);
+            assert_eq!(trace.memory_ops(), 256, "{}", d.name);
+            let expected_flops = (d.arithmetic_intensity() * 8.0).round() as u64 * 256;
+            let total = trace.instructions();
+            assert_eq!(total, 256 + expected_flops, "{}", d.name);
+        }
+    }
+
+    #[test]
+    fn layers_agree_on_memory_bound_stages() {
+        // The analytic buckets and the cycle-level core cannot match
+        // exactly: caches and prefetchers help, while the OOO window
+        // limits MLP on mid-AI random mixes (SYEVD's ~13 instructions per
+        // access leave only ~2 fills in a 192-entry window, a real effect
+        // the analytic layer smears into its efficiency anchors). A >10×
+        // disagreement on a memory-bound kernel would mean one timing
+        // layer is broken; the pure-streaming stages agree much tighter.
+        let rows = crosscheck(&SiliconSystem::small());
+        assert!(
+            rows.iter().any(|r| r.memory_bound),
+            "pipeline has memory-bound stages"
+        );
+        for row in rows.iter().filter(|r| r.memory_bound) {
+            for (label, ratio) in [("cpu", row.cpu_ratio()), ("ndp", row.ndp_ratio())] {
+                assert!(
+                    ratio > 0.1 && ratio < 4.0,
+                    "{} {}: achieved/assumed = {ratio}",
+                    row.name,
+                    label
+                );
+            }
+        }
+        // The headline streaming kernels must agree within ~2×.
+        for row in rows.iter().filter(|r| r.name.contains("face-splitting")) {
+            assert!(row.ndp_ratio() > 0.5, "{}: {}", row.name, row.ndp_ratio());
+            assert!(row.cpu_ratio() > 0.5, "{}: {}", row.name, row.cpu_ratio());
+        }
+    }
+
+    #[test]
+    fn no_core_beats_its_configured_share_by_much() {
+        // The fill port meters bandwidth; small overshoot can come only
+        // from cache hits being free, never from the DRAM side.
+        for row in crosscheck(&SiliconSystem::small()) {
+            assert!(
+                row.cpu_ratio() < 5.0,
+                "{}: cpu {}",
+                row.name,
+                row.cpu_ratio()
+            );
+            assert!(
+                row.ndp_ratio() < 5.0,
+                "{}: ndp {}",
+                row.name,
+                row.ndp_ratio()
+            );
+        }
+    }
+
+    #[test]
+    fn compute_bound_stages_leave_bandwidth_idle() {
+        let graph = build_task_graph(&SiliconSystem::large(), 1);
+        let rows = crosscheck(&SiliconSystem::large());
+        for (d, row) in graph.stages.iter().zip(&rows) {
+            if d.arithmetic_intensity() > 16.0 {
+                assert!(
+                    row.cpu_ratio() < 0.5,
+                    "{}: compute-bound stage saturating bandwidth? {}",
+                    row.name,
+                    row.cpu_ratio()
+                );
+            }
+        }
+    }
+}

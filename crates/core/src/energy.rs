@@ -1,0 +1,243 @@
+//! Energy accounting for the three evaluation platforms.
+//!
+//! An extension experiment in the spirit of the paper's premise: NDP's
+//! win is not only time but *energy*, because an in-stack byte costs a
+//! fraction of an off-package byte. Integrates
+//! [`ndft_sim::EnergyModel`] constants over each platform run.
+
+use crate::engine::RunReport;
+use crate::machine::GpuAlltoallPolicy;
+use ndft_dft::{alltoall_volume, KernelKind, ProcessTopology, TaskGraph};
+use ndft_sched::Target;
+use ndft_sim::EnergyModel;
+use serde::{Deserialize, Serialize};
+
+/// Energy totals of one platform run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Platform name.
+    pub machine: String,
+    /// System label.
+    pub system: String,
+    /// Dynamic energy in joules (FLOPs + memory + interconnect).
+    pub dynamic_j: f64,
+    /// Static/leakage energy over the runtime, joules.
+    pub static_j: f64,
+    /// Per-kernel dynamic energy, pipeline order.
+    pub by_kind: Vec<(KernelKind, f64)>,
+}
+
+impl EnergyReport {
+    /// Total energy in joules.
+    pub fn total_j(&self) -> f64 {
+        self.dynamic_j + self.static_j
+    }
+
+    /// Energy efficiency relative to another platform (>1 means `self`
+    /// uses less energy).
+    pub fn efficiency_over(&self, other: &EnergyReport) -> f64 {
+        other.total_j() / self.total_j()
+    }
+}
+
+/// Energy of the CPU-baseline run.
+pub fn energy_cpu_baseline(graph: &TaskGraph, run: &RunReport) -> EnergyReport {
+    let m = EnergyModel::server_cpu();
+    let mut dynamic = 0.0;
+    let mut by_kind = Vec::new();
+    for (stage, report) in graph.stages.iter().zip(&run.stages) {
+        let e = m.dynamic_energy(
+            stage.cost.flops,
+            stage.cost.bytes_total(),
+            stage.comm_volume,
+        );
+        dynamic += e;
+        accumulate(&mut by_kind, report.kind, e);
+    }
+    let iters = run.iterations as f64;
+    EnergyReport {
+        machine: run.machine.clone(),
+        system: run.system.clone(),
+        dynamic_j: dynamic * iters,
+        static_j: m.static_watts * run.total(),
+        by_kind: scale(by_kind, iters),
+    }
+}
+
+/// Energy of the GPU-baseline run with a given all-to-all policy.
+pub fn energy_gpu_baseline(
+    graph: &TaskGraph,
+    run: &RunReport,
+    policy: GpuAlltoallPolicy,
+) -> EnergyReport {
+    let m = EnergyModel::gpu_v100();
+    let device_memory = crate::calib::ModelConstants::paper_default().gpu_device_memory;
+    let mut dynamic = 0.0;
+    let mut by_kind = Vec::new();
+    for (stage, report) in graph.stages.iter().zip(&run.stages) {
+        // Link traffic: staged all-to-alls, per-iteration input staging,
+        // and out-of-core excess — mirroring the timing model.
+        let mut link = 0u64;
+        match (stage.kind, policy) {
+            (KernelKind::Alltoall, GpuAlltoallPolicy::HostStaged) => {
+                link += 2 * stage.comm_volume;
+            }
+            (KernelKind::Alltoall, GpuAlltoallPolicy::DeviceDirect) => {
+                link += stage.comm_volume;
+            }
+            (KernelKind::PseudoUpdate, _) => link += stage.working_set,
+            _ => {}
+        }
+        link += stage.working_set.saturating_sub(device_memory);
+        let e = m.dynamic_energy(stage.cost.flops, stage.cost.bytes_total(), link);
+        dynamic += e;
+        accumulate(&mut by_kind, report.kind, e);
+    }
+    let iters = run.iterations as f64;
+    EnergyReport {
+        machine: run.machine.clone(),
+        system: run.system.clone(),
+        dynamic_j: dynamic * iters,
+        static_j: m.static_watts * run.total(),
+        by_kind: scale(by_kind, iters),
+    }
+}
+
+/// Energy of the NDFT run: NDP-placed stages use in-stack constants with
+/// mesh traffic for the all-to-all's inter-stack share; host-placed
+/// stages pay the off-chip link for every byte.
+pub fn energy_ndft(graph: &TaskGraph, run: &RunReport, gather_bytes: u64) -> EnergyReport {
+    let ndp = EnergyModel::ndp_stack();
+    let host = EnergyModel::cpu_ndp_host();
+    let topo = ProcessTopology::paper_ndp();
+    let mut dynamic = 0.0;
+    let mut by_kind = Vec::new();
+    for (stage, report) in graph.stages.iter().zip(&run.stages) {
+        let e = match report.target {
+            Some(Target::Ndp) | None => {
+                let mut link = alltoall_volume(stage.comm_volume, topo).inter_domain;
+                if stage.kind == KernelKind::PseudoUpdate {
+                    link += gather_bytes;
+                }
+                ndp.dynamic_energy(stage.cost.flops, stage.cost.bytes_total(), link)
+            }
+            Some(Target::Cpu) => {
+                // Every host byte traverses the serial link.
+                host.dynamic_energy(
+                    stage.cost.flops,
+                    stage.cost.bytes_total(),
+                    stage.cost.bytes_total(),
+                )
+            }
+        };
+        dynamic += e;
+        accumulate(&mut by_kind, report.kind, e);
+    }
+    let iters = run.iterations as f64;
+    // Static power: host + all stacks' logic layers.
+    let static_watts = host.static_watts + ndp.static_watts;
+    EnergyReport {
+        machine: run.machine.clone(),
+        system: run.system.clone(),
+        dynamic_j: dynamic * iters,
+        static_j: static_watts * run.total(),
+        by_kind: scale(by_kind, iters),
+    }
+}
+
+fn accumulate(acc: &mut Vec<(KernelKind, f64)>, kind: KernelKind, e: f64) {
+    if let Some(slot) = acc.iter_mut().find(|(k, _)| *k == kind) {
+        slot.1 += e;
+    } else {
+        acc.push((kind, e));
+    }
+}
+
+fn scale(acc: Vec<(KernelKind, f64)>, s: f64) -> Vec<(KernelKind, f64)> {
+    acc.into_iter().map(|(k, e)| (k, e * s)).collect()
+}
+
+/// The full energy comparison for one system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyComparison {
+    /// System label.
+    pub system: String,
+    /// CPU-baseline energy.
+    pub cpu: EnergyReport,
+    /// GPU-baseline energy.
+    pub gpu: EnergyReport,
+    /// NDFT energy.
+    pub ndft: EnergyReport,
+}
+
+/// Runs the three platforms on a system and integrates energy.
+pub fn energy_comparison(system: &ndft_dft::SiliconSystem) -> EnergyComparison {
+    use crate::engine::{run_cpu_baseline, run_gpu_baseline, run_ndft};
+    let graph = ndft_dft::build_task_graph(system, crate::experiments::ITERATIONS);
+    let cpu_run = run_cpu_baseline(&graph);
+    let gpu_run = run_gpu_baseline(&graph);
+    let ndft_run = run_ndft(&graph);
+    let gather = ndft_shmem::simulate_block_gather(
+        crate::calib::system_config(),
+        system.atoms(),
+        ndft_dft::atom_block_bytes(),
+        ndft_shmem::CommScheme::Hierarchical,
+    );
+    EnergyComparison {
+        system: system.label(),
+        cpu: energy_cpu_baseline(&graph, &cpu_run),
+        gpu: energy_gpu_baseline(&graph, &gpu_run, GpuAlltoallPolicy::HostStaged),
+        ndft: energy_ndft(&graph, &ndft_run, gather.inter_stack_bytes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndft_dft::SiliconSystem;
+
+    #[test]
+    fn ndft_is_most_energy_efficient_on_large_system() {
+        let cmp = energy_comparison(&SiliconSystem::large());
+        assert!(
+            cmp.ndft.efficiency_over(&cmp.cpu) > 2.0,
+            "NDFT vs CPU energy: {}",
+            cmp.ndft.efficiency_over(&cmp.cpu)
+        );
+        assert!(
+            cmp.ndft.efficiency_over(&cmp.gpu) > 1.0,
+            "NDFT vs GPU energy: {}",
+            cmp.ndft.efficiency_over(&cmp.gpu)
+        );
+    }
+
+    #[test]
+    fn dynamic_energy_scales_with_system_size() {
+        let small = energy_comparison(&SiliconSystem::small());
+        let large = energy_comparison(&SiliconSystem::large());
+        assert!(large.cpu.dynamic_j > 10.0 * small.cpu.dynamic_j);
+        assert!(large.ndft.dynamic_j > 10.0 * small.ndft.dynamic_j);
+    }
+
+    #[test]
+    fn by_kind_sums_to_dynamic_total() {
+        let cmp = energy_comparison(&SiliconSystem::small());
+        for r in [&cmp.cpu, &cmp.gpu, &cmp.ndft] {
+            let sum: f64 = r.by_kind.iter().map(|(_, e)| e).sum();
+            assert!(
+                (sum - r.dynamic_j).abs() < 1e-9 * r.dynamic_j.max(1e-12),
+                "{}",
+                r.machine
+            );
+        }
+    }
+
+    #[test]
+    fn energy_totals_are_positive_and_finite() {
+        let cmp = energy_comparison(&SiliconSystem::small());
+        for r in [&cmp.cpu, &cmp.gpu, &cmp.ndft] {
+            assert!(r.total_j() > 0.0 && r.total_j().is_finite());
+            assert!(r.static_j > 0.0);
+        }
+    }
+}

@@ -1,0 +1,323 @@
+//! Experiment drivers: one function per table/figure of the paper.
+//!
+//! Each driver returns plain data; `crate::report` renders it. The bench
+//! harness binaries in `ndft-bench` are thin wrappers over these.
+
+use crate::calib;
+use crate::engine::{
+    run_cpu_baseline, run_gpu_baseline, run_gpu_with_policy, run_ndft, run_ndft_with, NdftOptions,
+    RunReport,
+};
+use crate::machine::GpuAlltoallPolicy;
+use ndft_dft::{build_task_graph, KernelKind, SiliconSystem};
+use ndft_sched::{
+    analyze_overlap, fig4_points, granularity_study, plan_chain, GranularityReport,
+    OverlapAnalysis, Roofline, RooflinePoint, StaticCodeAnalyzer,
+};
+use ndft_shmem::{
+    simulate_block_gather, simulate_block_gather_on, table1_rows, CommScheme, FootprintRow,
+    GatherReport,
+};
+use ndft_sim::Topology;
+use serde::{Deserialize, Serialize};
+
+/// Iterations per run (the evaluation times one response build; relative
+/// numbers are iteration-invariant).
+pub const ITERATIONS: usize = 1;
+
+/// All three platforms on one physical system (one panel of Fig. 7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig7Panel {
+    /// System label.
+    pub system: String,
+    /// CPU baseline run.
+    pub cpu: RunReport,
+    /// GPU baseline run.
+    pub gpu: RunReport,
+    /// NDFT run.
+    pub ndft: RunReport,
+}
+
+impl Fig7Panel {
+    /// Runs all three platforms on one system.
+    pub fn run(system: &SiliconSystem) -> Self {
+        let graph = build_task_graph(system, ITERATIONS);
+        Fig7Panel {
+            system: system.label(),
+            cpu: run_cpu_baseline(&graph),
+            gpu: run_gpu_baseline(&graph),
+            ndft: run_ndft(&graph),
+        }
+    }
+
+    /// NDFT speedup over the CPU baseline.
+    pub fn ndft_over_cpu(&self) -> f64 {
+        self.ndft.speedup_over(&self.cpu)
+    }
+
+    /// NDFT speedup over the GPU baseline.
+    pub fn ndft_over_gpu(&self) -> f64 {
+        self.ndft.speedup_over(&self.gpu)
+    }
+
+    /// Speedup of NDFT over a baseline restricted to the memory-bound
+    /// kernel classes (FFT, face-splitting, all-to-all, pseudopotential).
+    pub fn memory_bound_speedup_over(&self, baseline: &RunReport) -> f64 {
+        let kinds = [
+            KernelKind::Fft,
+            KernelKind::FaceSplitting,
+            KernelKind::Alltoall,
+            KernelKind::PseudoUpdate,
+        ];
+        let base: f64 = kinds.iter().map(|&k| baseline.kind_time(k)).sum();
+        let ours: f64 = kinds.iter().map(|&k| self.ndft.kind_time(k)).sum();
+        base / ours
+    }
+}
+
+/// The full Fig. 7: small (a) and large (b) panels.
+pub fn fig7() -> (Fig7Panel, Fig7Panel) {
+    (
+        Fig7Panel::run(&SiliconSystem::small()),
+        Fig7Panel::run(&SiliconSystem::large()),
+    )
+}
+
+/// One point of the Fig. 8 scalability study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig8Row {
+    /// System label.
+    pub system: String,
+    /// Atom count.
+    pub atoms: usize,
+    /// NDFT speedup over CPU.
+    pub ndft_speedup: f64,
+    /// GPU speedup over CPU.
+    pub gpu_speedup: f64,
+}
+
+/// The Fig. 8 sweep over all seven system sizes.
+pub fn fig8() -> Vec<Fig8Row> {
+    SiliconSystem::paper_suite()
+        .iter()
+        .map(|sys| {
+            let graph = build_task_graph(sys, ITERATIONS);
+            let cpu = run_cpu_baseline(&graph);
+            let gpu = run_gpu_baseline(&graph);
+            let ndft = run_ndft(&graph);
+            Fig8Row {
+                system: sys.label(),
+                atoms: sys.atoms(),
+                ndft_speedup: ndft.speedup_over(&cpu),
+                gpu_speedup: gpu.speedup_over(&cpu),
+            }
+        })
+        .collect()
+}
+
+/// Fig. 4 roofline points on the *measured* CPU-baseline roofline.
+pub fn fig4() -> Vec<RooflinePoint> {
+    let base = calib::baseline_config();
+    let cal = calib::measured();
+    let roofline = Roofline::new(base.peak_flops() * 0.9, cal.cpu_baseline.stream_bw);
+    fig4_points(&roofline)
+}
+
+/// Table I rows (plus the NDFT rows of §VI-A).
+pub fn table1() -> Vec<FootprintRow> {
+    table1_rows()
+}
+
+/// The §VI-A "other discussion" metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtherDiscussion {
+    /// NDFT footprint reduction vs the replicated NDP layout (large
+    /// system). Paper: 57.8 %.
+    pub footprint_reduction: f64,
+    /// NDFT footprint over CPU footprint (large system). Paper: 1.08×.
+    pub footprint_vs_cpu: f64,
+    /// NDFT Global-Comm time over the GPU baseline's (large system).
+    /// Paper: +3.2 %.
+    pub global_comm_vs_gpu: f64,
+    /// Scheduling overhead fraction, small system. Paper: 3.8 %.
+    pub sched_overhead_small: f64,
+    /// Scheduling overhead fraction, large system. Paper: 4.9 %.
+    pub sched_overhead_large: f64,
+}
+
+/// Computes the §VI-A metrics from the Table I rows and Fig. 7 panels.
+pub fn other_discussion(small: &Fig7Panel, large: &Fig7Panel) -> OtherDiscussion {
+    let rows = table1();
+    let get = |sys: &str, platform: ndft_shmem::Platform| {
+        rows.iter()
+            .find(|r| r.system == sys && r.platform == platform)
+            .map(|r| r.gib())
+            .expect("row present")
+    };
+    let ndp = get("Si_1024", ndft_shmem::Platform::NdpReplicated);
+    let cpu = get("Si_1024", ndft_shmem::Platform::Cpu);
+    let ndft = get("Si_1024", ndft_shmem::Platform::NdftSharedBlock);
+    OtherDiscussion {
+        footprint_reduction: 1.0 - ndft / ndp,
+        footprint_vs_cpu: ndft / cpu,
+        global_comm_vs_gpu: large.ndft.kind_time(KernelKind::Alltoall)
+            / large.gpu.kind_time(KernelKind::Alltoall),
+        sched_overhead_small: small.ndft.sched_overhead_fraction(),
+        sched_overhead_large: large.ndft.sched_overhead_fraction(),
+    }
+}
+
+/// All design-choice ablations in one bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ablations {
+    /// System the ablations ran on.
+    pub system: String,
+    /// Offload granularity study (§IV-A-1).
+    pub granularity: Vec<GranularityReport>,
+    /// Hierarchical vs flat block gather (§IV-C).
+    pub gather_hierarchical: GatherReport,
+    /// Flat-gather baseline.
+    pub gather_flat: GatherReport,
+    /// NDFT end-to-end with hierarchical vs flat comm.
+    pub ndft_hierarchical_total: f64,
+    /// Flat-comm end-to-end.
+    pub ndft_flat_total: f64,
+    /// GPU baseline with host-staged vs device-direct all-to-all.
+    pub gpu_host_staged_total: f64,
+    /// Device-direct GPU total.
+    pub gpu_device_direct_total: f64,
+    /// Gather makespans per interconnect topology (mesh / torus / ring).
+    pub gather_by_topology: Vec<(String, f64)>,
+    /// Cross-iteration overlap analysis of the cost-aware plan.
+    pub overlap: OverlapAnalysis,
+}
+
+/// Runs every ablation on one system size.
+pub fn ablations(system: &SiliconSystem) -> Ablations {
+    let graph = build_task_graph(system, ITERATIONS);
+    let sca = StaticCodeAnalyzer::paper_default();
+    let cfg = calib::system_config();
+    let block = ndft_dft::atom_block_bytes();
+    Ablations {
+        system: system.label(),
+        granularity: granularity_study(&graph.stages, &sca),
+        gather_hierarchical: simulate_block_gather(
+            cfg,
+            system.atoms(),
+            block,
+            CommScheme::Hierarchical,
+        ),
+        gather_flat: simulate_block_gather(cfg, system.atoms(), block, CommScheme::Flat),
+        ndft_hierarchical_total: run_ndft(&graph).total(),
+        ndft_flat_total: run_ndft_with(
+            &graph,
+            NdftOptions {
+                shared_blocks: true,
+                comm_scheme: CommScheme::Flat,
+            },
+        )
+        .total(),
+        gpu_host_staged_total: run_gpu_baseline(&graph).total(),
+        gpu_device_direct_total: run_gpu_with_policy(&graph, GpuAlltoallPolicy::DeviceDirect)
+            .total(),
+        gather_by_topology: [Topology::Mesh, Topology::Torus, Topology::Ring]
+            .into_iter()
+            .map(|t| {
+                let r = simulate_block_gather_on(
+                    cfg,
+                    system.atoms(),
+                    block,
+                    CommScheme::Hierarchical,
+                    t,
+                );
+                (format!("{t:?}"), r.makespan)
+            })
+            .collect(),
+        overlap: {
+            let plan = plan_chain(&graph.stages, &sca);
+            analyze_overlap(&graph.stages, &plan, &sca)
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig7_headline_speedups_match_paper_shape() {
+        let (small, large) = fig7();
+        // Paper: 1.9× / 5.2× over CPU, 1.6× / 2.5× over GPU.
+        assert!(small.ndft_over_cpu() > 1.2 && small.ndft_over_cpu() < 4.0);
+        assert!(large.ndft_over_cpu() > 3.5 && large.ndft_over_cpu() < 7.5);
+        assert!(small.ndft_over_gpu() > 0.9 && small.ndft_over_gpu() < 3.0);
+        assert!(large.ndft_over_gpu() > 1.3 && large.ndft_over_gpu() < 4.0);
+        // Large-system advantage exceeds small-system advantage.
+        assert!(large.ndft_over_cpu() > small.ndft_over_cpu());
+    }
+
+    #[test]
+    fn fig7_memory_bound_kernels_beat_gpu() {
+        // Paper: memory-bound kernels improve 2.1× (small) / 5.2× (large)
+        // over the GPU.
+        let (small, large) = fig7();
+        let s = small.memory_bound_speedup_over(&small.gpu);
+        let l = large.memory_bound_speedup_over(&large.gpu);
+        assert!(l > 2.0, "large memory-bound vs GPU: {l}");
+        assert!(l > s, "advantage grows with system size: {s} → {l}");
+    }
+
+    #[test]
+    fn fig8_grows_then_plateaus() {
+        let rows = fig8();
+        assert_eq!(rows.len(), 7);
+        // Monotonic growth through Si_1024.
+        for w in rows.windows(2).take(5) {
+            assert!(
+                w[1].ndft_speedup > w[0].ndft_speedup,
+                "{} → {}",
+                w[0].system,
+                w[1].system
+            );
+        }
+        // Peak in the 5–6× band at the large sizes (paper: 5.2–5.33×).
+        let peak = rows.iter().map(|r| r.ndft_speedup).fold(0.0, f64::max);
+        assert!(peak > 4.5 && peak < 7.0, "peak {peak}");
+        // NDFT beats the GPU everywhere from Si_64 up.
+        for r in rows.iter().skip(2) {
+            assert!(r.ndft_speedup > r.gpu_speedup, "{}", r.system);
+        }
+    }
+
+    #[test]
+    fn other_discussion_matches_paper_shape() {
+        let (small, large) = fig7();
+        let od = other_discussion(&small, &large);
+        // Paper: −57.8 % footprint, 1.08× CPU, sched 3.8 %/4.9 %.
+        assert!(od.footprint_reduction > 0.5 && od.footprint_reduction < 0.7);
+        assert!(od.footprint_vs_cpu > 0.9 && od.footprint_vs_cpu < 1.25);
+        assert!(od.sched_overhead_small < 0.1);
+        assert!(od.sched_overhead_large < 0.1);
+        // Global Comm within the same magnitude as the GPU's (paper +3.2%;
+        // ours is *below* the GPU because the GPU stages through PCIe).
+        assert!(od.global_comm_vs_gpu < 1.2);
+    }
+
+    #[test]
+    fn ablations_prefer_the_papers_choices() {
+        let ab = ablations(&SiliconSystem::small());
+        // Function granularity wins.
+        assert!(ab.granularity[0].total_time <= ab.granularity[1].total_time);
+        // Hierarchical gather filters traffic and time.
+        assert!(ab.gather_hierarchical.inter_stack_bytes < ab.gather_flat.inter_stack_bytes);
+        assert!(ab.ndft_hierarchical_total <= ab.ndft_flat_total);
+    }
+
+    #[test]
+    fn fig4_has_eight_classified_points() {
+        let pts = fig4();
+        assert_eq!(pts.len(), 8);
+        assert!(pts.iter().any(|p| p.system == "Si_64"));
+        assert!(pts.iter().any(|p| p.system == "Si_1024"));
+    }
+}

@@ -1,0 +1,418 @@
+//! Plain-text rendering of experiment results.
+//!
+//! Every formatter returns a `String` so harness binaries can print to
+//! stdout and tests can assert on content.
+
+use crate::engine::RunReport;
+use crate::experiments::{Ablations, Fig7Panel, Fig8Row, OtherDiscussion};
+use ndft_dft::KernelKind;
+use ndft_sched::RooflinePoint;
+use ndft_shmem::FootprintRow;
+use std::fmt::Write as _;
+
+/// Formats seconds with an adaptive unit.
+pub fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else {
+        format!("{:.3} µs", seconds * 1e6)
+    }
+}
+
+/// Per-kernel breakdown of one run.
+pub fn render_run(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} on {} ({} iteration(s)) — total {}",
+        report.machine,
+        report.system,
+        report.iterations,
+        fmt_time(report.total())
+    );
+    for (kind, t) in report.by_kind() {
+        if t == 0.0 {
+            continue;
+        }
+        let pct = 100.0 * t / report.total();
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12}  {:>5.1} %",
+            kind.label(),
+            fmt_time(t),
+            pct
+        );
+    }
+    if report.sched_overhead > 0.0 {
+        let t = report.sched_overhead * report.iterations as f64;
+        let _ = writeln!(
+            out,
+            "  {:<24} {:>12}  {:>5.1} %",
+            "Sched overhead",
+            fmt_time(t),
+            100.0 * t / report.total()
+        );
+    }
+    out
+}
+
+/// One Fig. 7 panel: three side-by-side breakdowns plus speedups.
+pub fn render_fig7_panel(panel: &Fig7Panel, paper_cpu: f64, paper_gpu: f64) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- Fig. 7 panel: {} ---", panel.system);
+    let _ = writeln!(
+        out,
+        "{:<24} {:>14} {:>14} {:>14}",
+        "kernel", "CPU", "GPU", "NDFT"
+    );
+    for kind in KernelKind::all() {
+        let c = panel.cpu.kind_time(kind);
+        let g = panel.gpu.kind_time(kind);
+        let n = panel.ndft.kind_time(kind);
+        if c + g + n == 0.0 {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "{:<24} {:>14} {:>14} {:>14}",
+            kind.label(),
+            fmt_time(c),
+            fmt_time(g),
+            fmt_time(n)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<24} {:>14} {:>14} {:>14}",
+        "TOTAL",
+        fmt_time(panel.cpu.total()),
+        fmt_time(panel.gpu.total()),
+        fmt_time(panel.ndft.total())
+    );
+    let _ = writeln!(
+        out,
+        "NDFT speedup: {:.2}x over CPU (paper {paper_cpu}x), {:.2}x over GPU (paper {paper_gpu}x); sched overhead {:.1} %",
+        panel.ndft_over_cpu(),
+        panel.ndft_over_gpu(),
+        100.0 * panel.ndft.sched_overhead_fraction()
+    );
+    out
+}
+
+/// The Fig. 8 scalability table.
+pub fn render_fig8(rows: &[Fig8Row]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- Fig. 8: speedup over CPU baseline ---");
+    let _ = writeln!(out, "{:<10} {:>12} {:>12}", "system", "NDFT", "GPU");
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<10} {:>11.2}x {:>11.2}x",
+            r.system, r.ndft_speedup, r.gpu_speedup
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(paper: NDFT up to 5.33x at Si_2048, 5.2x at Si_1024, 1.9x at Si_64)"
+    );
+    out
+}
+
+/// The Fig. 4 roofline dataset.
+pub fn render_fig4(points: &[RooflinePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "--- Fig. 4: roofline of LR-TDDFT kernels (CPU baseline) ---"
+    );
+    let _ = writeln!(
+        out,
+        "{:<24} {:<10} {:>14} {:>16} {:>14}",
+        "kernel", "system", "AI (F/B)", "attainable GF/s", "class"
+    );
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<24} {:<10} {:>14.3} {:>16.1} {:>14}",
+            p.kind.label(),
+            p.system,
+            p.intensity,
+            p.attainable_gflops,
+            match p.boundedness {
+                ndft_sched::Boundedness::MemoryBound => "memory-bound",
+                ndft_sched::Boundedness::ComputeBound => "compute-bound",
+            }
+        );
+    }
+    out
+}
+
+/// The Table I footprint table.
+pub fn render_table1(rows: &[FootprintRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- Table I: pseudopotential memory footprint ---");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<10} {:>12} {:>12}",
+        "platform", "system", "size (GiB)", "% of 64 GB"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:<8} {:<10} {:>12.2} {:>11.2}%",
+            r.platform.label(),
+            r.system,
+            r.gib(),
+            100.0 * r.fraction
+        );
+    }
+    let _ = writeln!(
+        out,
+        "(paper: NDP 4.43/35.3 GB = 6.92/55.15 %, CPU 1.84/13.8 GB = 2.88/21.56 %)"
+    );
+    out
+}
+
+/// The §VI-A metrics.
+pub fn render_other_discussion(od: &OtherDiscussion) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- §VI-A other discussion ---");
+    let _ = writeln!(
+        out,
+        "NDFT footprint reduction vs NDP (Si_1024): {:.1} % (paper 57.8 %)",
+        100.0 * od.footprint_reduction
+    );
+    let _ = writeln!(
+        out,
+        "NDFT footprint vs CPU (Si_1024):           {:.2}x (paper 1.08x)",
+        od.footprint_vs_cpu
+    );
+    let _ = writeln!(
+        out,
+        "NDFT Global Comm vs GPU (Si_1024):         {:.2}x (paper 1.032x)",
+        od.global_comm_vs_gpu
+    );
+    let _ = writeln!(
+        out,
+        "Scheduling overhead: {:.1} % small, {:.1} % large (paper 3.8 % / 4.9 %)",
+        100.0 * od.sched_overhead_small,
+        100.0 * od.sched_overhead_large
+    );
+    out
+}
+
+/// The design-choice ablation bundle.
+pub fn render_ablations(ab: &Ablations) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- Ablations on {} ---", ab.system);
+    let _ = writeln!(out, "Offload granularity (predicted total / overhead):");
+    for g in &ab.granularity {
+        let _ = writeln!(
+            out,
+            "  {:<12} segments {:>6}  total {:>12}  overhead {:>12}",
+            g.granularity.label(),
+            g.segments,
+            fmt_time(g.total_time),
+            fmt_time(g.sched_overhead)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "Block gather: hierarchical {} ({:.2} GB inter-stack) vs flat {} ({:.2} GB)",
+        fmt_time(ab.gather_hierarchical.makespan),
+        ab.gather_hierarchical.inter_stack_bytes as f64 / 1e9,
+        fmt_time(ab.gather_flat.makespan),
+        ab.gather_flat.inter_stack_bytes as f64 / 1e9
+    );
+    let _ = writeln!(
+        out,
+        "NDFT end-to-end: hierarchical {} vs flat {}",
+        fmt_time(ab.ndft_hierarchical_total),
+        fmt_time(ab.ndft_flat_total)
+    );
+    let _ = writeln!(
+        out,
+        "GPU all-to-all: host-staged {} vs device-direct {}",
+        fmt_time(ab.gpu_host_staged_total),
+        fmt_time(ab.gpu_device_direct_total)
+    );
+    let _ = writeln!(out, "Interconnect topology (block-gather makespan):");
+    for (name, makespan) in &ab.gather_by_topology {
+        let _ = writeln!(out, "  {:<8} {}", name, fmt_time(*makespan));
+    }
+    let _ = writeln!(
+        out,
+        "Cross-iteration overlap: serial {}/iter → overlapped {}/iter (asymptotic {:.2}x)",
+        fmt_time(ab.overlap.serial_per_iteration),
+        fmt_time(ab.overlap.overlapped_per_iteration),
+        ab.overlap.asymptotic_speedup()
+    );
+    out
+}
+
+/// CSV emitters for external plotting. Columns are stable; one header
+/// row, comma separation, no quoting (all fields are numeric or simple
+/// identifiers).
+pub mod csv {
+    use super::*;
+    use crate::experiments::{Fig7Panel, Fig8Row};
+    use ndft_sched::RooflinePoint;
+    use ndft_shmem::FootprintRow;
+
+    /// Fig. 7 panel as `kernel,cpu_s,gpu_s,ndft_s` rows.
+    pub fn fig7(panel: &Fig7Panel) -> String {
+        let mut out = String::from("kernel,cpu_s,gpu_s,ndft_s\n");
+        for kind in KernelKind::all() {
+            let _ = writeln!(
+                out,
+                "{},{:.6e},{:.6e},{:.6e}",
+                kind.label().replace(' ', "_"),
+                panel.cpu.kind_time(kind),
+                panel.gpu.kind_time(kind),
+                panel.ndft.kind_time(kind)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "TOTAL,{:.6e},{:.6e},{:.6e}",
+            panel.cpu.total(),
+            panel.gpu.total(),
+            panel.ndft.total()
+        );
+        out
+    }
+
+    /// Fig. 8 as `system,atoms,ndft_speedup,gpu_speedup` rows.
+    pub fn fig8(rows: &[Fig8Row]) -> String {
+        let mut out = String::from("system,atoms,ndft_speedup,gpu_speedup\n");
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{:.4}",
+                r.system, r.atoms, r.ndft_speedup, r.gpu_speedup
+            );
+        }
+        out
+    }
+
+    /// Fig. 4 as `kernel,system,ai,attainable_gflops,class` rows.
+    pub fn fig4(points: &[RooflinePoint]) -> String {
+        let mut out = String::from("kernel,system,ai,attainable_gflops,class\n");
+        for p in points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.3},{}",
+                p.kind.label().replace(' ', "_"),
+                p.system,
+                p.intensity,
+                p.attainable_gflops,
+                match p.boundedness {
+                    ndft_sched::Boundedness::MemoryBound => "memory",
+                    ndft_sched::Boundedness::ComputeBound => "compute",
+                }
+            );
+        }
+        out
+    }
+
+    /// Table I as `platform,system,gib,fraction` rows.
+    pub fn table1(rows: &[FootprintRow]) -> String {
+        let mut out = String::from("platform,system,gib,fraction\n");
+        for r in rows {
+            let _ = writeln!(
+                out,
+                "{},{},{:.4},{:.6}",
+                r.platform.label(),
+                r.system,
+                r.gib(),
+                r.fraction
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::{ablations, fig4, fig7, fig8, other_discussion, table1};
+    use ndft_dft::SiliconSystem;
+
+    #[test]
+    fn time_formatting_units() {
+        assert_eq!(fmt_time(2.5), "2.500 s");
+        assert_eq!(fmt_time(0.0025), "2.500 ms");
+        assert_eq!(fmt_time(2.5e-6), "2.500 µs");
+    }
+
+    #[test]
+    fn run_rendering_contains_kernels_and_total() {
+        let graph = ndft_dft::build_task_graph(&SiliconSystem::small(), 1);
+        let r = crate::engine::run_cpu_baseline(&graph);
+        let text = render_run(&r);
+        assert!(text.contains("FFT"));
+        assert!(text.contains("total"));
+    }
+
+    #[test]
+    fn fig7_rendering_mentions_speedups() {
+        let (small, _) = fig7();
+        let text = render_fig7_panel(&small, 1.9, 1.6);
+        assert!(text.contains("NDFT speedup"));
+        assert!(text.contains("Si_64"));
+    }
+
+    #[test]
+    fn fig8_rendering_has_all_rows() {
+        let text = render_fig8(&fig8());
+        for sys in ["Si_16", "Si_64", "Si_2048"] {
+            assert!(text.contains(sys), "{sys}");
+        }
+    }
+
+    #[test]
+    fn table1_rendering_has_six_rows() {
+        let text = render_table1(&table1());
+        assert!(text.matches("Si_").count() >= 6);
+    }
+
+    #[test]
+    fn fig4_rendering_classifies() {
+        let text = render_fig4(&fig4());
+        assert!(text.contains("memory-bound"));
+        assert!(text.contains("compute-bound"));
+    }
+
+    #[test]
+    fn other_discussion_and_ablations_render() {
+        let (small, large) = fig7();
+        let od = other_discussion(&small, &large);
+        assert!(render_other_discussion(&od).contains("footprint"));
+        let ab = ablations(&SiliconSystem::small());
+        let text = render_ablations(&ab);
+        assert!(text.contains("granularity"));
+        assert!(text.contains("hierarchical"));
+        assert!(text.contains("Torus"));
+        assert!(text.contains("overlap"));
+    }
+
+    #[test]
+    fn csv_emitters_have_headers_and_rows() {
+        let (small, _) = fig7();
+        let f7 = csv::fig7(&small);
+        assert!(f7.starts_with("kernel,cpu_s,gpu_s,ndft_s"));
+        assert!(f7.lines().count() >= 8);
+        let f8 = csv::fig8(&fig8());
+        assert_eq!(f8.lines().count(), 8); // header + 7 systems
+        let f4 = csv::fig4(&fig4());
+        assert!(f4.contains("memory") && f4.contains("compute"));
+        let t1 = csv::table1(&table1());
+        assert!(t1.lines().count() >= 7);
+        // No stray spaces in CSV fields.
+        for line in f8.lines() {
+            assert!(!line.contains(' '), "{line}");
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! Plane-wave basis helpers shared by the ground-state solver and the
+//! LR-TDDFT driver: G-vector tables, normalized plane waves, and the
+//! local potential of the silicon lattice.
+
+use crate::system::SiliconSystem;
+use ndft_numerics::{Complex64, GridDims};
+
+/// `ħ²/2mₑ` in eV·Å².
+pub const HBAR2_OVER_2M: f64 = 3.81;
+
+/// `|G|²` for every FFT bin of a grid with box lengths `(lx, ly, lz)`,
+/// in Å⁻², FFT frequency order.
+pub fn g2_table(grid: GridDims, lx: f64, ly: f64, lz: f64) -> Vec<f64> {
+    let freq = |i: usize, n: usize, l: f64| {
+        let k = if i <= n / 2 {
+            i as f64
+        } else {
+            i as f64 - n as f64
+        };
+        2.0 * std::f64::consts::PI * k / l
+    };
+    let mut out = Vec::with_capacity(grid.len());
+    for z in 0..grid.nz {
+        for y in 0..grid.ny {
+            for x in 0..grid.nx {
+                let gx = freq(x, grid.nx, lx);
+                let gy = freq(y, grid.ny, ly);
+                let gz = freq(z, grid.nz, lz);
+                out.push(gx * gx + gy * gy + gz * gz);
+            }
+        }
+    }
+    out
+}
+
+/// `|G|²` table of a system's grid.
+pub fn system_g2(system: &SiliconSystem) -> Vec<f64> {
+    let (lx, ly, lz) = system.lengths();
+    g2_table(system.grid(), lx, ly, lz)
+}
+
+/// Grid-bin indices sorted by ascending `|G|²`.
+pub fn sorted_g_indices(g2: &[f64]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..g2.len()).collect();
+    order.sort_by(|&a, &b| g2[a].partial_cmp(&g2[b]).expect("finite |G|²"));
+    order
+}
+
+/// Normalized plane wave addressed by a linear FFT-grid frequency index
+/// (unit 2-norm on the grid).
+pub fn plane_wave(grid: GridDims, g_idx: usize) -> Vec<Complex64> {
+    let nr = grid.len();
+    let gx = g_idx % grid.nx;
+    let gy = (g_idx / grid.nx) % grid.ny;
+    let gz = g_idx / (grid.nx * grid.ny);
+    let norm = 1.0 / (nr as f64).sqrt();
+    let mut out = Vec::with_capacity(nr);
+    for z in 0..grid.nz {
+        for y in 0..grid.ny {
+            for x in 0..grid.nx {
+                let phase = 2.0
+                    * std::f64::consts::PI
+                    * (gx as f64 * x as f64 / grid.nx as f64
+                        + gy as f64 * y as f64 / grid.ny as f64
+                        + gz as f64 * z as f64 / grid.nz as f64);
+                out.push(Complex64::cis(phase).scale(norm));
+            }
+        }
+    }
+    out
+}
+
+/// Local (pseudo)potential of the silicon lattice on the grid, in eV:
+/// a Gaussian attractive well at each atom site with periodic wrapping.
+/// Depth/width chosen to be silicon-like (a few eV deep, ~bond-length
+/// range).
+pub fn local_potential(system: &SiliconSystem, depth_ev: f64, sigma_angstrom: f64) -> Vec<f64> {
+    let grid = system.grid();
+    let (lx, ly, lz) = system.lengths();
+    let h = (
+        lx / grid.nx as f64,
+        ly / grid.ny as f64,
+        lz / grid.nz as f64,
+    );
+    let mut v = vec![0.0f64; grid.len()];
+    let cutoff = 4.0 * sigma_angstrom;
+    let inv2s2 = 1.0 / (2.0 * sigma_angstrom * sigma_angstrom);
+    let span = |step: f64| (cutoff / step).ceil() as isize;
+    for pos in system.atom_positions() {
+        let (cx, cy, cz) = (
+            (pos[0] / h.0).round() as isize,
+            (pos[1] / h.1).round() as isize,
+            (pos[2] / h.2).round() as isize,
+        );
+        for dz in -span(h.2)..=span(h.2) {
+            for dy in -span(h.1)..=span(h.1) {
+                for dx in -span(h.0)..=span(h.0) {
+                    let fx = dx as f64 * h.0;
+                    let fy = dy as f64 * h.1;
+                    let fz = dz as f64 * h.2;
+                    let r2 = fx * fx + fy * fy + fz * fz;
+                    if r2 > cutoff * cutoff {
+                        continue;
+                    }
+                    let gx = (cx + dx).rem_euclid(grid.nx as isize) as usize;
+                    let gy = (cy + dy).rem_euclid(grid.ny as isize) as usize;
+                    let gz = (cz + dz).rem_euclid(grid.nz as isize) as usize;
+                    v[grid.index(gx, gy, gz)] -= depth_ev * (-r2 * inv2s2).exp();
+                }
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndft_numerics::vecops;
+
+    #[test]
+    fn g2_is_zero_at_gamma_and_symmetric() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let g2 = system_g2(&sys);
+        assert_eq!(g2[0], 0.0);
+        // Bin 1 and bin nx-1 alias to ±1 along x: same |G|².
+        let grid = sys.grid();
+        assert!((g2[1] - g2[grid.nx - 1]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sorted_indices_start_at_gamma() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let g2 = system_g2(&sys);
+        let order = sorted_g_indices(&g2);
+        assert_eq!(order[0], 0);
+        for w in order.windows(2) {
+            assert!(g2[w[0]] <= g2[w[1]] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn plane_waves_are_orthonormal() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let grid = sys.grid();
+        let a = plane_wave(grid, 1);
+        let b = plane_wave(grid, 5);
+        assert!((vecops::norm(&a) - 1.0).abs() < 1e-12);
+        assert!(vecops::dot(&a, &b).abs() < 1e-10);
+    }
+
+    #[test]
+    fn local_potential_is_attractive_and_bounded() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let v = local_potential(&sys, 5.0, 0.8);
+        let min = v.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = v.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(min < -4.0, "wells should be a few eV deep: {min}");
+        assert!(max <= 0.0, "purely attractive: {max}");
+        // Deepest near an atom: check the first atom's grid point.
+        let grid = sys.grid();
+        let pos = sys.atom_positions()[0];
+        let (lx, ly, lz) = sys.lengths();
+        let idx = grid.index(
+            (pos[0] / lx * grid.nx as f64).round() as usize % grid.nx,
+            (pos[1] / ly * grid.ny as f64).round() as usize % grid.ny,
+            (pos[2] / lz * grid.nz as f64).round() as usize % grid.nz,
+        );
+        assert!(v[idx] < 0.5 * min, "atom site should sit in a well");
+    }
+}

@@ -1,0 +1,359 @@
+//! Brillouin-zone sampling and model band structures.
+//!
+//! The paper's supercells sample only Γ (standard for large-cell
+//! LR-TDDFT: the folded zone is dense enough). Production plane-wave
+//! codes also run *small* cells with explicit k-point grids, so this
+//! module supplies the two standard tools:
+//!
+//! * [`monkhorst_pack`] — the uniform Monkhorst–Pack sampling grid;
+//! * [`band_structure`] — dispersion along a high-symmetry path in the
+//!   folded-free-electron ("empty lattice") model with a scissor gap,
+//!   the same kinetic + gap-offset band model
+//!   [`crate::driver::model_orbitals`] uses at Γ.
+//!
+//! The empty-lattice bands are exact for the model Hamiltonian (they are
+//! its analytic k-resolved spectrum), which is what the tests pin; they
+//! are *not* an attempt at the true silicon band structure (no
+//! hybridization, so no indirect-gap physics — DESIGN.md §2 lists the
+//! substitution).
+//!
+//! ## Example
+//!
+//! ```
+//! use ndft_dft::kpoints::{band_structure, si_path, BandPathPoint};
+//!
+//! let bands = band_structure(&si_path(8), 6, 1.1);
+//! assert!(bands.direct_gap() >= 1.1 - 1e-12); // the scissor bounds every gap
+//! ```
+
+use crate::basis::HBAR2_OVER_2M;
+use crate::system::SI_LATTICE_A;
+use serde::{Deserialize, Serialize};
+
+/// A fractional k-point with an integration weight.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KPoint {
+    /// Fractional coordinates in the reciprocal cell, each in [−½, ½).
+    pub frac: [f64; 3],
+    /// Normalized quadrature weight (grid weights sum to 1).
+    pub weight: f64,
+}
+
+/// The uniform Monkhorst–Pack grid `n1 × n2 × n3`.
+///
+/// Follows the original 1976 prescription
+/// `k_i = (2r − q − 1) / 2q` for `r = 1..q`, which straddles Γ for even
+/// `q` and contains it for odd `q`.
+///
+/// # Panics
+///
+/// Panics if any subdivision is zero.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_dft::kpoints::monkhorst_pack;
+///
+/// let grid = monkhorst_pack(2, 2, 2);
+/// assert_eq!(grid.len(), 8);
+/// let total: f64 = grid.iter().map(|k| k.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-12);
+/// ```
+pub fn monkhorst_pack(n1: usize, n2: usize, n3: usize) -> Vec<KPoint> {
+    assert!(n1 > 0 && n2 > 0 && n3 > 0, "subdivisions must be positive");
+    let count = (n1 * n2 * n3) as f64;
+    let coord = |r: usize, q: usize| (2.0 * r as f64 - q as f64 + 1.0) / (2.0 * q as f64);
+    let mut out = Vec::with_capacity(n1 * n2 * n3);
+    for r3 in 0..n3 {
+        for r2 in 0..n2 {
+            for r1 in 0..n1 {
+                out.push(KPoint {
+                    frac: [coord(r1, n1), coord(r2, n2), coord(r3, n3)],
+                    weight: 1.0 / count,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One sample along a band path: a k-point plus its cumulative distance
+/// from the path start (the x-axis of a band diagram), in Å⁻¹.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandPathPoint {
+    /// Fractional coordinates (units of 2π/a on each axis for the cubic
+    /// supercell cell).
+    pub frac: [f64; 3],
+    /// Cumulative path length, Å⁻¹.
+    pub distance: f64,
+    /// Label at high-symmetry points (empty between them).
+    pub label: String,
+}
+
+/// The conventional L–Γ–X–W–Γ path of the cubic cell, `segments` samples
+/// per leg (endpoints included once).
+pub fn si_path(segments: usize) -> Vec<BandPathPoint> {
+    let vertices: [([f64; 3], &'static str); 5] = [
+        ([0.5, 0.5, 0.5], "L"),
+        ([0.0, 0.0, 0.0], "Γ"),
+        ([1.0, 0.0, 0.0], "X"),
+        ([1.0, 0.5, 0.0], "W"),
+        ([0.0, 0.0, 0.0], "Γ"),
+    ];
+    let two_pi_over_a = 2.0 * std::f64::consts::PI / SI_LATTICE_A;
+    let mut out = Vec::new();
+    let mut distance = 0.0;
+    for leg in vertices.windows(2) {
+        let (a, la) = leg[0];
+        let (b, _) = leg[1];
+        let steps = segments.max(1);
+        for s in 0..steps {
+            let t = s as f64 / steps as f64;
+            let frac = [
+                a[0] + t * (b[0] - a[0]),
+                a[1] + t * (b[1] - a[1]),
+                a[2] + t * (b[2] - a[2]),
+            ];
+            if s > 0 {
+                let prev = out.last().map(|p: &BandPathPoint| p.frac).unwrap_or(a);
+                distance += dist(prev, frac) * two_pi_over_a;
+            } else if !out.is_empty() {
+                let prev = out.last().map(|p: &BandPathPoint| p.frac).unwrap();
+                distance += dist(prev, frac) * two_pi_over_a;
+            }
+            out.push(BandPathPoint {
+                frac,
+                distance,
+                label: if s == 0 { la.to_owned() } else { String::new() },
+            });
+        }
+    }
+    let (end, label) = vertices[vertices.len() - 1];
+    let prev = out.last().map(|p| p.frac).unwrap_or(end);
+    distance += dist(prev, end) * two_pi_over_a;
+    out.push(BandPathPoint {
+        frac: end,
+        distance,
+        label: label.to_owned(),
+    });
+    out
+}
+
+fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+/// A band diagram: `energies[band][point]` in eV.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BandStructure {
+    /// The sampled path.
+    pub path: Vec<BandPathPoint>,
+    /// Band energies in eV, `energies[band][point]`, bands ascending.
+    pub energies: Vec<Vec<f64>>,
+    /// Bands counted as occupied (below the scissor shift).
+    pub occupied: usize,
+}
+
+impl BandStructure {
+    /// Minimum direct (same-k) gap along the path, eV.
+    pub fn direct_gap(&self) -> f64 {
+        let v = &self.energies[self.occupied - 1];
+        let c = &self.energies[self.occupied];
+        v.iter()
+            .zip(c)
+            .map(|(a, b)| b - a)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Indirect gap: conduction minimum minus valence maximum anywhere
+    /// on the path, eV.
+    pub fn indirect_gap(&self) -> f64 {
+        let vmax = self.energies[self.occupied - 1]
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cmin = self.energies[self.occupied]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        cmin - vmax
+    }
+
+    /// Total band width (highest − lowest sampled energy), eV.
+    pub fn bandwidth(&self) -> f64 {
+        let lo = self.energies[0]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        let hi = self
+            .energies
+            .last()
+            .map(|b| b.iter().cloned().fold(f64::NEG_INFINITY, f64::max))
+            .unwrap_or(lo);
+        hi - lo
+    }
+}
+
+/// G-vector shells (integer triples) large enough for low bands.
+const G_RANGE: i64 = 3;
+
+/// Folded-free-electron band energies with a scissor gap: at each path
+/// point the lowest `n_bands` values of `ħ²/2m·|k+G|²·(2π/a)²`, with
+/// every band above `n_bands/2` shifted up by `scissor_ev` (the model's
+/// gap, [`crate::driver::MODEL_GAP_EV`] by convention).
+///
+/// # Panics
+///
+/// Panics if `n_bands` is 0 or exceeds the internal G-shell count, or if
+/// `path` is empty.
+pub fn band_structure(path: &[BandPathPoint], n_bands: usize, scissor_ev: f64) -> BandStructure {
+    assert!(!path.is_empty(), "band path must have at least one point");
+    let shells: Vec<[i64; 3]> = (-G_RANGE..=G_RANGE)
+        .flat_map(|x| {
+            (-G_RANGE..=G_RANGE).flat_map(move |y| (-G_RANGE..=G_RANGE).map(move |z| [x, y, z]))
+        })
+        .collect();
+    assert!(
+        n_bands > 0 && n_bands <= shells.len(),
+        "need 1..={} bands, asked for {n_bands}",
+        shells.len()
+    );
+    let occupied = n_bands.div_ceil(2);
+    let two_pi_over_a = 2.0 * std::f64::consts::PI / SI_LATTICE_A;
+    let scale = HBAR2_OVER_2M * two_pi_over_a * two_pi_over_a;
+    let mut energies = vec![vec![0.0; path.len()]; n_bands];
+    for (pi, p) in path.iter().enumerate() {
+        let mut levels: Vec<f64> = shells
+            .iter()
+            .map(|g| {
+                let kx = p.frac[0] + g[0] as f64;
+                let ky = p.frac[1] + g[1] as f64;
+                let kz = p.frac[2] + g[2] as f64;
+                scale * (kx * kx + ky * ky + kz * kz)
+            })
+            .collect();
+        levels.sort_by(f64::total_cmp);
+        for (b, row) in energies.iter_mut().enumerate() {
+            let scissor = if b >= occupied { scissor_ev } else { 0.0 };
+            row[pi] = levels[b] + scissor;
+        }
+    }
+    BandStructure {
+        path: path.to_vec(),
+        energies,
+        occupied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monkhorst_pack_counts_and_weights() {
+        for (n1, n2, n3) in [(1, 1, 1), (2, 2, 2), (3, 2, 1), (4, 4, 4)] {
+            let grid = monkhorst_pack(n1, n2, n3);
+            assert_eq!(grid.len(), n1 * n2 * n3);
+            let total: f64 = grid.iter().map(|k| k.weight).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+            for k in &grid {
+                for c in k.frac {
+                    assert!((-0.5..0.5).contains(&c), "{c} outside first zone");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn odd_grids_contain_gamma_even_grids_straddle_it() {
+        let odd = monkhorst_pack(3, 3, 3);
+        assert!(odd.iter().any(|k| k.frac == [0.0, 0.0, 0.0]));
+        let even = monkhorst_pack(2, 2, 2);
+        assert!(even.iter().all(|k| k.frac != [0.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn grids_are_inversion_symmetric() {
+        let grid = monkhorst_pack(4, 3, 2);
+        for k in &grid {
+            let neg = [-k.frac[0], -k.frac[1], -k.frac[2]];
+            assert!(
+                grid.iter()
+                    .any(|q| q.frac.iter().zip(&neg).all(|(a, b)| (a - b).abs() < 1e-12)),
+                "missing −k for {:?}",
+                k.frac
+            );
+        }
+    }
+
+    #[test]
+    fn path_distances_are_monotone_and_labeled() {
+        let path = si_path(10);
+        for w in path.windows(2) {
+            assert!(w[1].distance >= w[0].distance);
+        }
+        let labels: Vec<&str> = path
+            .iter()
+            .filter(|p| !p.label.is_empty())
+            .map(|p| p.label.as_str())
+            .collect();
+        assert_eq!(labels, vec!["L", "Γ", "X", "W", "Γ"]);
+    }
+
+    #[test]
+    fn gamma_lowest_band_is_zero_and_bands_ascend() {
+        let bands = band_structure(&si_path(6), 8, 1.1);
+        let gamma_idx = bands
+            .path
+            .iter()
+            .position(|p| p.label == "Γ")
+            .expect("path contains Γ");
+        assert!(bands.energies[0][gamma_idx].abs() < 1e-12);
+        for pi in 0..bands.path.len() {
+            for b in 1..bands.energies.len() {
+                assert!(
+                    bands.energies[b][pi] + 1e-12 >= bands.energies[b - 1][pi],
+                    "bands must ascend at point {pi}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scissor_bounds_every_gap() {
+        let bands = band_structure(&si_path(8), 6, 1.1);
+        assert!(bands.direct_gap() >= 1.1 - 1e-12);
+        assert!(bands.indirect_gap() <= bands.direct_gap() + 1e-12);
+    }
+
+    #[test]
+    fn free_electron_bands_disperse_quadratically_near_gamma() {
+        // Along Γ→X the lowest band is ħ²/2m (k·2π/a)².
+        let path = si_path(20);
+        let bands = band_structure(&path, 4, 0.0);
+        let two_pi_over_a = 2.0 * std::f64::consts::PI / SI_LATTICE_A;
+        for (pi, p) in path.iter().enumerate() {
+            // Points on the Γ→X leg close to Γ.
+            if p.frac[1] == 0.0 && p.frac[2] == 0.0 && p.frac[0] > 0.0 && p.frac[0] < 0.4 {
+                let analytic = HBAR2_OVER_2M * (p.frac[0] * two_pi_over_a).powi(2);
+                assert!(
+                    (bands.energies[0][pi] - analytic).abs() < 1e-9,
+                    "point {pi}: {} vs {analytic}",
+                    bands.energies[0][pi]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bandwidth_is_positive_and_finite() {
+        let bands = band_structure(&si_path(4), 10, 1.1);
+        assert!(bands.bandwidth() > 0.0 && bands.bandwidth().is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "band path")]
+    fn empty_path_is_rejected() {
+        let _ = band_structure(&[], 4, 1.1);
+    }
+}

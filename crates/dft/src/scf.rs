@@ -1,0 +1,554 @@
+//! Ground-state Kohn–Sham solver (the DFT substrate under LR-TDDFT).
+//!
+//! A plane-wave band-by-band eigensolver for the model Kohn–Sham
+//! Hamiltonian
+//!
+//! ```text
+//! H = -ħ²∇²/2m  +  V_loc(r)  +  V_nl   (nonlocal pseudopotential)
+//! ```
+//!
+//! Kinetic energy is applied in reciprocal space through the 3-D FFT,
+//! the local potential pointwise in real space, and the nonlocal part
+//! through the projector machinery of [`crate::pseudo`] — the same
+//! kernels the paper characterizes. The eigensolver is a blocked
+//! Davidson-style subspace iteration: expand the trial space with
+//! preconditioned residuals, orthonormalize, Rayleigh–Ritz, repeat.
+
+use crate::basis::{local_potential, plane_wave, sorted_g_indices, system_g2, HBAR2_OVER_2M};
+use crate::pseudo::{apply_nonlocal, build_pseudos, AtomPseudo};
+use crate::system::SiliconSystem;
+use ndft_numerics::{heevd, vecops, CMat, Complex64, EigError, Fft3Plan};
+use serde::{Deserialize, Serialize};
+
+/// Converged (or best-effort) ground state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundState {
+    /// Band energies in eV, ascending.
+    pub energies_ev: Vec<f64>,
+    /// Orbitals, one per row, unit grid 2-norm.
+    pub orbitals: CMat,
+    /// Residual 2-norms `‖Hψ − εψ‖` per band at the last iteration.
+    pub residuals: Vec<f64>,
+    /// Subspace iterations performed.
+    pub iterations: usize,
+}
+
+impl GroundState {
+    /// Largest band residual (convergence diagnostic).
+    pub fn max_residual(&self) -> f64 {
+        self.residuals.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// SCF solver options.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScfOptions {
+    /// Bands to solve for.
+    pub bands: usize,
+    /// Maximum subspace iterations.
+    pub max_iterations: usize,
+    /// Stop when every band residual is below this (eV-normalized).
+    pub residual_tolerance: f64,
+    /// Local-potential well depth in eV.
+    pub potential_depth_ev: f64,
+    /// Local-potential width in Å.
+    pub potential_sigma: f64,
+}
+
+impl Default for ScfOptions {
+    fn default() -> Self {
+        ScfOptions {
+            bands: 8,
+            max_iterations: 12,
+            residual_tolerance: 1e-3,
+            potential_depth_ev: 5.0,
+            potential_sigma: 0.8,
+        }
+    }
+}
+
+/// The model Kohn–Sham Hamiltonian on a system's grid.
+pub struct KsHamiltonian {
+    plan: Fft3Plan,
+    g2: Vec<f64>,
+    vloc: Vec<f64>,
+    pseudos: Vec<AtomPseudo>,
+    dv: f64,
+    nr: usize,
+}
+
+impl KsHamiltonian {
+    /// Builds the Hamiltonian for a system.
+    pub fn new(system: &SiliconSystem, opts: &ScfOptions) -> Self {
+        let grid = system.grid();
+        let nr = grid.len();
+        KsHamiltonian {
+            plan: Fft3Plan::new(grid),
+            g2: system_g2(system),
+            vloc: local_potential(system, opts.potential_depth_ev, opts.potential_sigma),
+            pseudos: build_pseudos(system, 1.8),
+            dv: system.volume() / nr as f64,
+            nr,
+        }
+    }
+
+    /// Number of real-space grid points.
+    pub fn len(&self) -> usize {
+        self.nr
+    }
+
+    /// True when the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nr == 0
+    }
+
+    /// Applies `H` to an orbital: `out = Hψ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `psi.len()` does not match the grid.
+    pub fn apply(&self, psi: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(psi.len(), self.nr, "orbital length mismatch");
+        // Kinetic: FFT → ×(ħ²/2m)G² → inverse FFT.
+        let mut kin = psi.to_vec();
+        self.plan.forward(&mut kin);
+        for (z, &g2) in kin.iter_mut().zip(&self.g2) {
+            *z = z.scale(HBAR2_OVER_2M * g2);
+        }
+        self.plan.inverse(&mut kin);
+        // Local potential, pointwise.
+        for ((k, p), &v) in kin.iter_mut().zip(psi).zip(&self.vloc) {
+            *k += p.scale(v);
+        }
+        // Nonlocal: apply_nonlocal computes ψ + V_nl ψ in place.
+        let mut nl = psi.to_vec();
+        apply_nonlocal(&mut nl, &self.pseudos, self.dv);
+        for ((k, n), p) in kin.iter_mut().zip(&nl).zip(psi) {
+            *k += *n - *p;
+        }
+        kin
+    }
+
+    /// Rayleigh quotient `⟨ψ|H|ψ⟩` for a unit-norm orbital.
+    pub fn expectation(&self, psi: &[Complex64]) -> f64 {
+        let h = self.apply(psi);
+        vecops::dot(psi, &h).re
+    }
+
+    /// Preconditions a residual: damp high-kinetic components,
+    /// `r̂(G) = r(G) / (1 + (ħ²/2m)G²)`.
+    pub fn precondition(&self, r: &mut [Complex64]) {
+        self.plan.forward(r);
+        for (z, &g2) in r.iter_mut().zip(&self.g2) {
+            *z = z.scale(1.0 / (1.0 + HBAR2_OVER_2M * g2));
+        }
+        self.plan.inverse(r);
+    }
+}
+
+/// Electron charge density `ρ(r) = Σ_b f_b |ψ_b(r)|²`, normalized so that
+/// `Σ_r ρ(r)·dv` equals the electron count (`Σ f_b` for grid-unit-norm
+/// orbitals scaled by `1/dv`).
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn charge_density(orbitals: &CMat, occupations: &[f64], dv: f64) -> Vec<f64> {
+    assert_eq!(
+        orbitals.rows(),
+        occupations.len(),
+        "one occupation per band"
+    );
+    let nr = orbitals.cols();
+    let mut rho = vec![0.0f64; nr];
+    for (b, &f) in occupations.iter().enumerate() {
+        for (r, z) in orbitals.row(b).iter().enumerate() {
+            // Grid-unit-norm orbitals: |ψ|² sums to 1 over the grid, so
+            // dividing by dv makes ρ integrate (Σ ρ dv) to f per band.
+            rho[r] += f * z.norm_sqr() / dv;
+        }
+    }
+    rho
+}
+
+/// Hartree potential from a charge density via the FFT Poisson solve:
+/// `V_H(G) = 4π e² ρ(G) / G²` (the G = 0 component is dropped — the
+/// jellium convention for charged-neutral periodic cells). Units: eV
+/// with ρ in e/Å³.
+///
+/// # Panics
+///
+/// Panics if `rho.len()` does not match the system grid.
+pub fn hartree_potential(system: &SiliconSystem, rho: &[f64]) -> Vec<f64> {
+    let grid = system.grid();
+    let nr = grid.len();
+    assert_eq!(rho.len(), nr, "density must live on the system grid");
+    let plan = Fft3Plan::new(grid);
+    let g2 = system_g2(system);
+    let mut buf: Vec<Complex64> = rho.iter().map(|&x| Complex64::from_real(x)).collect();
+    plan.forward(&mut buf);
+    const COULOMB_EV_A: f64 = 14.399_6;
+    for (z, &g2v) in buf.iter_mut().zip(&g2) {
+        if g2v == 0.0 {
+            *z = Complex64::ZERO;
+        } else {
+            *z = z.scale(4.0 * std::f64::consts::PI * COULOMB_EV_A / g2v);
+        }
+    }
+    plan.inverse(&mut buf);
+    buf.into_iter().map(|z| z.re).collect()
+}
+
+/// Result of the self-consistent loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelfConsistentResult {
+    /// Converged (or best-effort) ground state of the final cycle.
+    pub ground_state: GroundState,
+    /// Relative density change per cycle, `‖ρ_new − ρ_old‖₁/‖ρ_old‖₁`.
+    pub density_residuals: Vec<f64>,
+    /// Final electron density.
+    pub density: Vec<f64>,
+}
+
+/// Runs density-mixing self-consistency: solve bands in the current
+/// potential, rebuild `ρ` and `V_H[ρ]`, linearly mix, repeat.
+///
+/// `cycles` outer iterations with mixing factor `alpha` (0 < α ≤ 1);
+/// the lowest `occupied` bands carry occupation 2 (spin-paired).
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the inner solver.
+///
+/// # Panics
+///
+/// Panics if `occupied > opts.bands` or `alpha` is not in (0, 1].
+pub fn run_scf_selfconsistent(
+    system: &SiliconSystem,
+    opts: &ScfOptions,
+    occupied: usize,
+    cycles: usize,
+    alpha: f64,
+) -> Result<SelfConsistentResult, EigError> {
+    assert!(
+        occupied <= opts.bands,
+        "cannot occupy more bands than solved"
+    );
+    assert!(
+        alpha > 0.0 && alpha <= 1.0,
+        "mixing factor must be in (0, 1]"
+    );
+    let nr = system.grid().len();
+    let dv = system.volume() / nr as f64;
+    let occupations: Vec<f64> = (0..opts.bands)
+        .map(|b| if b < occupied { 2.0 } else { 0.0 })
+        .collect();
+
+    let mut h = KsHamiltonian::new(system, opts);
+    let bare_vloc = h.vloc.clone();
+    let mut rho = vec![0.0f64; nr];
+    let mut residuals = Vec::with_capacity(cycles);
+    let mut gs = run_scf_in(system, opts, &h)?;
+    for _cycle in 0..cycles {
+        let rho_new = charge_density(&gs.orbitals, &occupations, dv);
+        let norm_old: f64 = rho.iter().map(|x| x.abs()).sum::<f64>().max(1e-30);
+        let diff: f64 = rho.iter().zip(&rho_new).map(|(a, b)| (a - b).abs()).sum();
+        residuals.push(diff / norm_old);
+        for (r, n) in rho.iter_mut().zip(&rho_new) {
+            *r = (1.0 - alpha) * *r + alpha * *n;
+        }
+        let vh = hartree_potential(system, &rho);
+        for ((v, b), htr) in h.vloc.iter_mut().zip(&bare_vloc).zip(&vh) {
+            *v = *b + *htr;
+        }
+        gs = run_scf_in(system, opts, &h)?;
+    }
+    Ok(SelfConsistentResult {
+        ground_state: gs,
+        density_residuals: residuals,
+        density: rho,
+    })
+}
+
+/// Solves for the lowest `opts.bands` Kohn–Sham states.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the Rayleigh–Ritz diagonalization.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ndft_dft::{run_scf, ScfOptions, SiliconSystem};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sys = SiliconSystem::new(16)?;
+/// let gs = run_scf(&sys, &ScfOptions { bands: 6, ..Default::default() })?;
+/// assert_eq!(gs.energies_ev.len(), 6);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_scf(system: &SiliconSystem, opts: &ScfOptions) -> Result<GroundState, EigError> {
+    let h = KsHamiltonian::new(system, opts);
+    run_scf_in(system, opts, &h)
+}
+
+/// [`run_scf`] against an explicit (possibly self-consistently updated)
+/// Hamiltonian.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the Rayleigh–Ritz diagonalization.
+pub fn run_scf_in(
+    system: &SiliconSystem,
+    opts: &ScfOptions,
+    h: &KsHamiltonian,
+) -> Result<GroundState, EigError> {
+    let grid = system.grid();
+    let nr = grid.len();
+    let nb = opts.bands;
+
+    // Initial guess: the lowest plane waves.
+    let g2 = system_g2(system);
+    let order = sorted_g_indices(&g2);
+    let mut psi: Vec<Vec<Complex64>> = (0..nb).map(|b| plane_wave(grid, order[b])).collect();
+
+    let mut energies = vec![0.0f64; nb];
+    let mut residuals = vec![f64::INFINITY; nb];
+    let mut iterations = 0;
+
+    for _iter in 0..opts.max_iterations {
+        iterations += 1;
+        // Apply H to the current bands.
+        let hpsi: Vec<Vec<Complex64>> = psi.iter().map(|p| h.apply(p)).collect();
+        // Rayleigh quotients + residuals.
+        for b in 0..nb {
+            energies[b] = vecops::dot(&psi[b], &hpsi[b]).re;
+            let mut r: Vec<Complex64> = hpsi[b]
+                .iter()
+                .zip(&psi[b])
+                .map(|(hp, p)| *hp - p.scale(energies[b]))
+                .collect();
+            residuals[b] = vecops::norm(&r);
+            // Preconditioned residual extends the subspace.
+            h.precondition(&mut r);
+            psi.push(r);
+        }
+        // Orthonormalize the 2·nb trial vectors (dependent rows zeroed).
+        let mut flat: Vec<Complex64> = psi.iter().flatten().copied().collect();
+        let rank = vecops::mgs_orthonormalize(&mut flat, psi.len(), nr);
+        let kept = rank.min(psi.len());
+        let trial: Vec<&[Complex64]> = (0..kept).map(|i| &flat[i * nr..(i + 1) * nr]).collect();
+        // Rayleigh–Ritz in the trial space.
+        let htrial: Vec<Vec<Complex64>> = trial.iter().map(|t| h.apply(t)).collect();
+        let mut hsub = CMat::zeros(kept, kept);
+        for i in 0..kept {
+            for j in 0..kept {
+                hsub[(i, j)] = vecops::dot(trial[i], &htrial[j]);
+            }
+        }
+        let eig = heevd(&hsub)?;
+        // Rotate the lowest nb Ritz vectors back to the grid.
+        let mut next: Vec<Vec<Complex64>> = Vec::with_capacity(nb);
+        for b in 0..nb.min(kept) {
+            let mut v = vec![Complex64::ZERO; nr];
+            for (j, t) in trial.iter().enumerate() {
+                let c = eig.vectors[(j, b)];
+                for (vi, ti) in v.iter_mut().zip(*t) {
+                    *vi = c.mul_add(*ti, *vi);
+                }
+            }
+            vecops::normalize(&mut v);
+            next.push(v);
+        }
+        psi = next;
+        if residuals.iter().all(|r| *r < opts.residual_tolerance) {
+            break;
+        }
+    }
+
+    // Final energies from the converged orbitals.
+    for b in 0..nb {
+        energies[b] = h.expectation(&psi[b]);
+    }
+    // Sort ascending (Rayleigh-Ritz should already order them).
+    let mut idx: Vec<usize> = (0..nb).collect();
+    idx.sort_by(|&a, &b| {
+        energies[a]
+            .partial_cmp(&energies[b])
+            .expect("finite energies")
+    });
+    let energies_sorted: Vec<f64> = idx.iter().map(|&i| energies[i]).collect();
+    let residuals_sorted: Vec<f64> = idx.iter().map(|&i| residuals[i]).collect();
+    let mut flat = Vec::with_capacity(nb * nr);
+    for &i in &idx {
+        flat.extend_from_slice(&psi[i]);
+    }
+    Ok(GroundState {
+        energies_ev: energies_sorted,
+        orbitals: CMat::from_vec(nb, nr, flat),
+        residuals: residuals_sorted,
+        iterations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_opts(bands: usize, iters: usize) -> ScfOptions {
+        ScfOptions {
+            bands,
+            max_iterations: iters,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn kinetic_only_reproduces_plane_wave_energies() {
+        // With no potential, H is diagonal in G: E = (ħ²/2m)G².
+        let sys = SiliconSystem::new(16).unwrap();
+        let opts = ScfOptions {
+            potential_depth_ev: 0.0,
+            ..Default::default()
+        };
+        let mut h = KsHamiltonian::new(&sys, &opts);
+        h.pseudos.clear(); // kinetic only
+        let g2 = system_g2(&sys);
+        let order = sorted_g_indices(&g2);
+        let idx = order[3];
+        let pw = plane_wave(sys.grid(), idx);
+        let e = h.expectation(&pw);
+        let expect = HBAR2_OVER_2M * g2[idx];
+        assert!(
+            (e - expect).abs() < 1e-8 * expect.max(1.0),
+            "{e} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn scf_energies_ascend_and_orbitals_orthonormal() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let gs = run_scf(&sys, &small_opts(5, 4)).unwrap();
+        assert_eq!(gs.energies_ev.len(), 5);
+        for w in gs.energies_ev.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9, "ascending energies");
+        }
+        let nb = gs.orbitals.rows();
+        for i in 0..nb {
+            for j in 0..nb {
+                let d = vecops::dot(gs.orbitals.row(i), gs.orbitals.row(j));
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!(
+                    (d - Complex64::from_real(expect)).abs() < 1e-8,
+                    "orthonormality ({i},{j}): {d:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scf_lowers_energy_below_free_electrons() {
+        // The attractive wells must pull the lowest band below the
+        // kinetic-only value (0 for the Γ plane wave).
+        let sys = SiliconSystem::new(16).unwrap();
+        let gs = run_scf(&sys, &small_opts(3, 5)).unwrap();
+        assert!(
+            gs.energies_ev[0] < -0.1,
+            "bound ground state expected, got {}",
+            gs.energies_ev[0]
+        );
+    }
+
+    #[test]
+    fn residuals_shrink_with_more_iterations() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let short = run_scf(&sys, &small_opts(4, 1)).unwrap();
+        let long = run_scf(&sys, &small_opts(4, 6)).unwrap();
+        assert!(
+            long.max_residual() < short.max_residual(),
+            "{} → {}",
+            short.max_residual(),
+            long.max_residual()
+        );
+    }
+
+    #[test]
+    fn density_integrates_to_electron_count() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let gs = run_scf(&sys, &small_opts(4, 2)).unwrap();
+        let nr = sys.grid().len();
+        let dv = sys.volume() / nr as f64;
+        let occ = vec![2.0, 2.0, 2.0, 2.0];
+        let rho = charge_density(&gs.orbitals, &occ, dv);
+        assert!(
+            rho.iter().all(|&x| x >= 0.0),
+            "density must be non-negative"
+        );
+        let electrons: f64 = rho.iter().sum::<f64>() * dv;
+        assert!(
+            (electrons - 8.0).abs() < 1e-6,
+            "∫ρ = {electrons} (expected 8)"
+        );
+    }
+
+    #[test]
+    fn hartree_potential_of_uniform_density_vanishes() {
+        // A constant ρ has only a G = 0 component, which the jellium
+        // convention drops: V_H ≡ 0.
+        let sys = SiliconSystem::new(16).unwrap();
+        let rho = vec![0.05f64; sys.grid().len()];
+        let vh = hartree_potential(&sys, &rho);
+        let worst = vh.iter().map(|x| x.abs()).fold(0.0f64, f64::max);
+        assert!(
+            worst < 1e-10,
+            "uniform density must give zero V_H, got {worst}"
+        );
+    }
+
+    #[test]
+    fn hartree_potential_is_positive_near_charge_lump() {
+        // A localized electron lump produces a repulsive (positive)
+        // potential at its center.
+        let sys = SiliconSystem::new(16).unwrap();
+        let grid = sys.grid();
+        let mut rho = vec![0.0f64; grid.len()];
+        let center = grid.index(10, 10, 20);
+        rho[center] = 1.0;
+        let vh = hartree_potential(&sys, &rho);
+        assert!(vh[center] > 0.0, "V_H at the lump should be repulsive");
+    }
+
+    #[test]
+    fn self_consistency_converges_density() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let r = run_scf_selfconsistent(&sys, &small_opts(4, 2), 4, 3, 0.5).unwrap();
+        assert_eq!(r.density_residuals.len(), 3);
+        // After the bootstrap cycle (vs ρ = 0), the residual must shrink.
+        assert!(
+            r.density_residuals[2] < r.density_residuals[1],
+            "residuals {:?}",
+            r.density_residuals
+        );
+        // Final state is still physical.
+        for w in r.ground_state.energies_ev.windows(2) {
+            assert!(w[0] <= w[1] + 1e-9);
+        }
+        assert!(r.density.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn hamiltonian_is_hermitian_in_expectation() {
+        // ⟨φ|Hψ⟩ == conj(⟨ψ|Hφ⟩) for random-ish trial vectors.
+        let sys = SiliconSystem::new(16).unwrap();
+        let h = KsHamiltonian::new(&sys, &ScfOptions::default());
+        let grid = sys.grid();
+        let a = plane_wave(grid, 1);
+        let b = plane_wave(grid, 7);
+        let ha = h.apply(&a);
+        let hb = h.apply(&b);
+        let lhs = vecops::dot(&b, &ha);
+        let rhs = vecops::dot(&a, &hb).conj();
+        assert!((lhs - rhs).abs() < 1e-8, "{lhs:?} vs {rhs:?}");
+    }
+}

@@ -1,0 +1,391 @@
+//! LR-TDDFT workload characterization: the kernel descriptors that drive
+//! the roofline analysis and the CPU–NDP timing models.
+//!
+//! Each pipeline stage of Fig. 1 of the paper is summarized as a
+//! [`KernelDescriptor`]: exact FLOP and byte counts (from
+//! `ndft-numerics`' analytic cost formulas), the dominant access-pattern
+//! mix, the working-set size (which decides whether the CPU baseline's
+//! LLC can hold it), the degree of parallelism (which decides whether 256
+//! wimpy NDP cores can be fed), and the communication volume (for the
+//! all-to-all phases).
+
+use crate::system::SiliconSystem;
+use ndft_numerics::{syevd_cost, KernelCost, C64_BYTES};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The kernel families of the LR-TDDFT pipeline (paper Fig. 1 / Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Point-to-point multiplication `P_vc(r) = ψ_v*(r)·ψ_c(r)`.
+    FaceSplitting,
+    /// Batched 3-D FFTs of the transition densities.
+    Fft,
+    /// Reciprocal-space response kernels (Hartree `4π/G²` + XC).
+    ApplyKernel,
+    /// `MPI_Alltoall` data transposition.
+    Alltoall,
+    /// Dense contraction building the response Hamiltonian.
+    Gemm,
+    /// Dense symmetric eigensolve of the Hamiltonian.
+    Syevd,
+    /// Nonlocal pseudopotential application / wavefunction update.
+    PseudoUpdate,
+}
+
+impl KernelKind {
+    /// Display label matching the paper's figure legends.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelKind::FaceSplitting => "Face-splitting Product",
+            KernelKind::Fft => "FFT",
+            KernelKind::ApplyKernel => "Apply f_Hxc",
+            KernelKind::Alltoall => "Global Comm",
+            KernelKind::Gemm => "GEMM",
+            KernelKind::Syevd => "SYEVD",
+            KernelKind::PseudoUpdate => "Pseudopotential",
+        }
+    }
+
+    /// All kinds, in pipeline order.
+    pub fn all() -> [KernelKind; 7] {
+        [
+            KernelKind::PseudoUpdate,
+            KernelKind::FaceSplitting,
+            KernelKind::Alltoall,
+            KernelKind::Fft,
+            KernelKind::ApplyKernel,
+            KernelKind::Gemm,
+            KernelKind::Syevd,
+        ]
+    }
+}
+
+impl fmt::Display for KernelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Workload summary of one pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KernelDescriptor {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Human-readable stage name (e.g. `"FFT forward"`).
+    pub name: String,
+    /// FLOPs and streamed bytes.
+    pub cost: KernelCost,
+    /// Fraction of memory traffic that is unit-stride streaming (the rest
+    /// is strided, e.g. FFT transpose passes).
+    pub stream_fraction: f64,
+    /// Fraction of traffic that is random-access gathers (pseudopotential
+    /// projector lookups); carved out of the non-stream part.
+    pub random_fraction: f64,
+    /// Resident working set in bytes (decides LLC behaviour).
+    pub working_set: u64,
+    /// Independent work items (orbital pairs, matrix panels…): bounds how
+    /// many cores can be fed.
+    pub parallelism: u64,
+    /// Bytes exchanged between processes (all-to-all volume); zero for
+    /// compute stages.
+    pub comm_volume: u64,
+}
+
+impl KernelDescriptor {
+    /// Arithmetic intensity in FLOP/byte (roofline x-coordinate).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        self.cost.arithmetic_intensity()
+    }
+}
+
+/// The whole LR-TDDFT calculation as an ordered stage list.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskGraph {
+    /// The physical system this graph was generated for.
+    pub system: SiliconSystem,
+    /// Stages in execution order (one response iteration, which the
+    /// engine multiplies by `iterations`).
+    pub stages: Vec<KernelDescriptor>,
+    /// Response/Davidson iterations to run.
+    pub iterations: usize,
+}
+
+impl TaskGraph {
+    /// Total cost across all stages and iterations.
+    pub fn total_cost(&self) -> KernelCost {
+        let one: KernelCost = self.stages.iter().map(|s| s.cost).sum();
+        one * self.iterations as u64
+    }
+
+    /// Stage descriptors of a given kind.
+    pub fn stages_of(&self, kind: KernelKind) -> Vec<&KernelDescriptor> {
+        self.stages.iter().filter(|s| s.kind == kind).collect()
+    }
+}
+
+/// Builds the LR-TDDFT task graph for a silicon system.
+///
+/// The per-stage formulas follow Fig. 1 of the paper; see DESIGN.md §4 for
+/// the workload-parameter derivation.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_dft::{build_task_graph, SiliconSystem};
+///
+/// let graph = build_task_graph(&SiliconSystem::small(), 1);
+/// assert!(graph.stages.len() >= 8);
+/// // LR-TDDFT is fundamentally memory-bound: the face-splitting product
+/// // sits far below 1 FLOP/byte.
+/// let fs = &graph.stages_of(ndft_dft::KernelKind::FaceSplitting)[0];
+/// assert!(fs.arithmetic_intensity() < 0.5);
+/// ```
+pub fn build_task_graph(system: &SiliconSystem, iterations: usize) -> TaskGraph {
+    let nr = system.grid().len() as u64;
+    let ng = system.gsphere_len() as u64;
+    let nv = system.valence_window() as u64;
+    let nc = system.conduction_window() as u64;
+    let npair = system.pair_count() as u64;
+    let natoms = system.atoms() as u64;
+    let nbands = (nv + nc).max(1);
+
+    let mut stages = Vec::new();
+
+    // --- Pseudopotential application: update the windowed orbitals with
+    // the nonlocal projectors (Algorithm 1). For each band and atom,
+    // gather ~`SPHERE_PTS` grid values, contract with `N_PROJ` projectors,
+    // scatter back.
+    let sphere_pts = crate::pseudo::SPHERE_PTS as u64;
+    let nproj = crate::pseudo::N_PROJ as u64;
+    let pseudo_flops = nbands * natoms * nproj * sphere_pts * 4; // dot + axpy
+    let pseudo_bytes = nbands * natoms * sphere_pts * (C64_BYTES + 4) // ψ gather + index
+        + natoms * nproj * sphere_pts * 8; // projector tables (read once per band loop blocking)
+    stages.push(KernelDescriptor {
+        kind: KernelKind::PseudoUpdate,
+        name: "nonlocal pseudopotential update".into(),
+        cost: KernelCost {
+            flops: pseudo_flops,
+            bytes_read: pseudo_bytes,
+            bytes_written: nbands * natoms * sphere_pts * C64_BYTES / 4,
+        },
+        stream_fraction: 0.2,
+        random_fraction: 0.6, // sphere gathers dominate
+        working_set: natoms * nproj * sphere_pts * 8,
+        // Independent (band, atom) contractions.
+        parallelism: nbands * natoms,
+        comm_volume: 0,
+    });
+
+    // --- Face-splitting product: stream ψ_v, ψ_c, write P. ---
+    let p_bytes = npair * nr * C64_BYTES;
+    stages.push(KernelDescriptor {
+        kind: KernelKind::FaceSplitting,
+        name: "face-splitting product".into(),
+        cost: KernelCost {
+            flops: 6 * npair * nr,
+            bytes_read: 2 * npair * nr * C64_BYTES,
+            bytes_written: p_bytes,
+        },
+        stream_fraction: 1.0,
+        random_fraction: 0.0,
+        working_set: (nv + nc) * nr * C64_BYTES + p_bytes,
+        parallelism: npair,
+        comm_volume: 0,
+    });
+
+    // --- Alltoall #1: orbital-major → pair-major layout. ---
+    stages.push(alltoall("alltoall P (orbital→pair)", p_bytes));
+
+    // --- Forward FFTs: one 3-D transform per pair. ---
+    let grid = system.grid();
+    let fft_one = ndft_numerics::Fft3Plan::new(grid).cost();
+    stages.push(KernelDescriptor {
+        kind: KernelKind::Fft,
+        name: "forward FFT of P".into(),
+        cost: KernelCost {
+            flops: fft_one.flops * npair,
+            bytes_read: fft_one.bytes_read.min(6 * nr * C64_BYTES) * npair,
+            bytes_written: fft_one.bytes_written.min(6 * nr * C64_BYTES) * npair,
+        },
+        stream_fraction: 0.5, // x-lines stream; y/z passes stride
+        random_fraction: 0.0,
+        working_set: p_bytes,
+        parallelism: npair,
+        comm_volume: 0,
+    });
+
+    // --- Apply f_H (4π/G²) and f_xc on the sphere + assemble V_Hxc. ---
+    stages.push(KernelDescriptor {
+        kind: KernelKind::ApplyKernel,
+        name: "apply f_H + f_xc".into(),
+        cost: KernelCost {
+            flops: 8 * npair * ng,
+            bytes_read: 2 * npair * ng * C64_BYTES,
+            bytes_written: npair * ng * C64_BYTES,
+        },
+        stream_fraction: 1.0,
+        random_fraction: 0.0,
+        working_set: 2 * npair * ng * C64_BYTES,
+        parallelism: npair,
+        comm_volume: 0,
+    });
+
+    // --- Alltoall #2: redistribute for the Hamiltonian contraction. ---
+    stages.push(alltoall("alltoall fP (pair→G)", npair * ng * C64_BYTES));
+
+    // --- GEMM: H = P† · f(P) over the G-sphere. ---
+    stages.push(KernelDescriptor {
+        kind: KernelKind::Gemm,
+        name: "Hamiltonian GEMM P†·fP".into(),
+        cost: ndft_numerics::gemm_cost_c64(npair as usize, npair as usize, ng as usize),
+        stream_fraction: 1.0,
+        random_fraction: 0.0,
+        working_set: (2 * npair * ng + npair * npair) * C64_BYTES,
+        parallelism: npair * npair / 64, // tile-level parallelism
+        comm_volume: 0,
+    });
+
+    // --- SYEVD: diagonalize the npair × npair Hamiltonian. ---
+    stages.push(KernelDescriptor {
+        kind: KernelKind::Syevd,
+        name: "SYEVD of response Hamiltonian".into(),
+        cost: syevd_cost(npair as usize),
+        stream_fraction: 0.8,
+        random_fraction: 0.0,
+        working_set: 2 * npair * npair * 8,
+        // Panel-width-limited concurrency: the tridiagonal reduction's
+        // critical path exposes only ~nb-way parallelism per step.
+        parallelism: 32.min(npair.max(1)),
+        comm_volume: 0,
+    });
+
+    TaskGraph {
+        system: system.clone(),
+        stages,
+        iterations: iterations.max(1),
+    }
+}
+
+fn alltoall(name: &str, volume: u64) -> KernelDescriptor {
+    KernelDescriptor {
+        kind: KernelKind::Alltoall,
+        name: name.into(),
+        // Pack + unpack passes on both sides.
+        cost: KernelCost {
+            flops: 0,
+            bytes_read: volume,
+            bytes_written: volume,
+        },
+        stream_fraction: 0.3, // bucket scatter is mostly non-contiguous
+        random_fraction: 0.3,
+        working_set: volume,
+        parallelism: 1 << 16,
+        comm_volume: volume,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(atoms: usize) -> TaskGraph {
+        build_task_graph(&SiliconSystem::new(atoms).unwrap(), 1)
+    }
+
+    #[test]
+    fn has_all_kernel_kinds() {
+        let g = graph(64);
+        for kind in KernelKind::all() {
+            assert!(
+                g.stages.iter().any(|s| s.kind == kind),
+                "missing stage kind {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fft_is_memory_bound_gemm_is_compute_bound() {
+        let g = graph(1024);
+        let fft = &g.stages_of(KernelKind::Fft)[0];
+        let gemm = &g.stages_of(KernelKind::Gemm)[0];
+        assert!(
+            fft.arithmetic_intensity() < 2.0,
+            "FFT AI = {}",
+            fft.arithmetic_intensity()
+        );
+        assert!(
+            gemm.arithmetic_intensity() > 50.0,
+            "GEMM AI = {}",
+            gemm.arithmetic_intensity()
+        );
+    }
+
+    #[test]
+    fn syevd_intensity_grows_with_system_size() {
+        let small = graph(64);
+        let large = graph(1024);
+        let ai_small = small.stages_of(KernelKind::Syevd)[0].arithmetic_intensity();
+        let ai_large = large.stages_of(KernelKind::Syevd)[0].arithmetic_intensity();
+        assert!(
+            ai_large > 3.0 * ai_small,
+            "SYEVD AI should grow: {ai_small} → {ai_large}"
+        );
+    }
+
+    #[test]
+    fn face_splitting_ai_is_constant_in_size() {
+        let a = graph(64).stages_of(KernelKind::FaceSplitting)[0].arithmetic_intensity();
+        let b = graph(1024).stages_of(KernelKind::FaceSplitting)[0].arithmetic_intensity();
+        assert!((a - b).abs() < 1e-9);
+        assert!(a < 0.2);
+    }
+
+    #[test]
+    fn total_cost_scales_with_iterations() {
+        let one = build_task_graph(&SiliconSystem::small(), 1).total_cost();
+        let three = build_task_graph(&SiliconSystem::small(), 3).total_cost();
+        assert_eq!(three.flops, 3 * one.flops);
+    }
+
+    #[test]
+    fn comm_volume_only_on_alltoall() {
+        let g = graph(64);
+        for s in &g.stages {
+            if s.kind == KernelKind::Alltoall {
+                assert!(s.comm_volume > 0);
+            } else {
+                assert_eq!(s.comm_volume, 0, "{}", s.name);
+            }
+        }
+    }
+
+    #[test]
+    fn working_sets_grow_with_system() {
+        let s = graph(64);
+        let l = graph(1024);
+        for (a, b) in s.stages.iter().zip(&l.stages) {
+            assert!(b.working_set > a.working_set, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn parallelism_positive_everywhere() {
+        for s in &graph(16).stages {
+            assert!(s.parallelism > 0, "{}", s.name);
+        }
+    }
+
+    #[test]
+    fn fractions_are_valid() {
+        for s in &graph(256).stages {
+            assert!(s.stream_fraction >= 0.0 && s.stream_fraction <= 1.0);
+            assert!(s.random_fraction >= 0.0 && s.random_fraction <= 1.0);
+            assert!(
+                s.stream_fraction + s.random_fraction <= 1.0 + 1e-12,
+                "{}",
+                s.name
+            );
+        }
+    }
+}

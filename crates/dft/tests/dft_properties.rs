@@ -1,0 +1,131 @@
+//! Property-based tests of the physics-layer invariants: Casida
+//! ordering, MD conservation laws, and Brillouin-zone sampling.
+
+use ndft_dft::casida::casida_from_parts;
+use ndft_dft::kpoints::{band_structure, monkhorst_pack, si_path};
+use ndft_dft::md::{run_md, MdOptions};
+use ndft_dft::SiliconSystem;
+use ndft_numerics::{CMat, Complex64, Mat};
+use proptest::prelude::*;
+
+/// A positive-semidefinite real coupling matrix `K = BᵀB`, scaled small
+/// against the gaps so the Casida problem stays stable.
+fn psd_coupling(n: usize, entries: &[f64]) -> CMat {
+    let b = Mat::from_fn(n, n, |i, j| entries[(i * n + j) % entries.len()] * 0.1);
+    let mut k = CMat::zeros(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            let v: f64 = (0..n).map(|l| b[(l, i)] * b[(l, j)]).sum();
+            k[(i, j)] = Complex64::from_real(v);
+        }
+    }
+    k
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn casida_never_exceeds_tda(
+        n in 2usize..8,
+        entries in prop::collection::vec(-1.0f64..1.0, 4..64),
+        gap in 0.5f64..3.0,
+    ) {
+        let delta: Vec<f64> = (0..n).map(|i| gap + 0.3 * i as f64).collect();
+        let coupling = psd_coupling(n, &entries);
+        let casida = casida_from_parts(&delta, &coupling).expect("PSD coupling is stable");
+        // TDA in the same gauge: diag(Δε) + Re K.
+        let tda = Mat::from_fn(n, n, |i, j| {
+            let base = if i == j { delta[i] } else { 0.0 };
+            base + coupling[(i, j)].re
+        });
+        let tda_eig = ndft_numerics::syevd(&tda).expect("symmetric solve");
+        for (i, (c, t)) in casida.iter().zip(&tda_eig.values).enumerate() {
+            prop_assert!(c <= &(t + 1e-9), "state {}: casida {} > tda {}", i, c, t);
+        }
+    }
+
+    #[test]
+    fn casida_with_zero_coupling_returns_bare_gaps(
+        deltas in prop::collection::vec(0.1f64..5.0, 1..10)
+    ) {
+        let n = deltas.len();
+        let mut sorted = deltas.clone();
+        sorted.sort_by(f64::total_cmp);
+        let casida = casida_from_parts(&deltas, &CMat::zeros(n, n)).expect("stable");
+        for (c, d) in casida.iter().zip(&sorted) {
+            prop_assert!((c - d).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn md_conserves_energy_across_seeds(
+        seed in 0u64..1000,
+        temperature in 50.0f64..600.0,
+    ) {
+        let sys = SiliconSystem::new(16).expect("valid size");
+        let opts = MdOptions {
+            timestep_fs: 0.25,
+            temperature_k: temperature,
+            steps: 120,
+            seed,
+            ..MdOptions::default()
+        };
+        let traj = run_md(&sys, &opts);
+        prop_assert!(traj.energy_drift() < 0.05, "drift {}", traj.energy_drift());
+        for s in &traj.samples {
+            prop_assert!(s.kinetic_ev >= 0.0);
+            prop_assert!(s.potential_ev >= 0.0);
+            prop_assert!((0.0..=1.0).contains(&s.rebuild_fraction));
+        }
+    }
+
+    #[test]
+    fn monkhorst_pack_weights_and_zone(
+        n1 in 1usize..6,
+        n2 in 1usize..6,
+        n3 in 1usize..6,
+    ) {
+        let grid = monkhorst_pack(n1, n2, n3);
+        prop_assert_eq!(grid.len(), n1 * n2 * n3);
+        let total: f64 = grid.iter().map(|k| k.weight).sum();
+        prop_assert!((total - 1.0).abs() < 1e-12);
+        for k in &grid {
+            for c in k.frac {
+                prop_assert!((-0.5..0.5).contains(&c));
+            }
+            // Inversion partner present.
+            prop_assert!(
+                grid.iter().any(|q| q
+                    .frac
+                    .iter()
+                    .zip(&k.frac)
+                    .all(|(a, b)| (a + b).abs() < 1e-12)),
+                "missing -k for {:?}", k.frac
+            );
+        }
+    }
+
+    #[test]
+    fn band_structure_scissor_and_order(
+        segments in 2usize..12,
+        n_bands in 2usize..10,
+        scissor in 0.0f64..4.0,
+    ) {
+        let path = si_path(segments);
+        let bands = band_structure(&path, n_bands, scissor);
+        prop_assert!(bands.direct_gap() + 1e-12 >= scissor);
+        for pi in 0..path.len() {
+            for b in 1..n_bands {
+                prop_assert!(
+                    bands.energies[b][pi] + 1e-12 >= bands.energies[b - 1][pi],
+                    "bands must ascend at point {}", pi
+                );
+            }
+        }
+        // Path distances monotone.
+        for w in bands.path.windows(2) {
+            prop_assert!(w[1].distance >= w[0].distance);
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Three-dimensional complex FFT over row-major grids.
+//!
+//! Plane-wave DFT codes transform wavefunctions between real space and
+//! reciprocal space with 3-D FFTs on the simulation grid. The transform is
+//! separable: one 1-D FFT along each axis. Data is stored row-major with
+//! `x` fastest: `index = (z * ny + y) * nx + x`.
+
+use crate::counters::KernelCost;
+use crate::fft::FftPlan;
+use crate::Complex64;
+
+/// Dimensions of a 3-D grid.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_numerics::GridDims;
+/// let dims = GridDims::new(4, 6, 8);
+/// assert_eq!(dims.len(), 192);
+/// assert_eq!(dims.index(1, 2, 3), (3 * 6 + 2) * 4 + 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridDims {
+    /// Points along x (fastest-varying).
+    pub nx: usize,
+    /// Points along y.
+    pub ny: usize,
+    /// Points along z (slowest-varying).
+    pub nz: usize,
+}
+
+impl GridDims {
+    /// Creates grid dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(nx: usize, ny: usize, nz: usize) -> Self {
+        assert!(
+            nx > 0 && ny > 0 && nz > 0,
+            "grid dimensions must be positive"
+        );
+        GridDims { nx, ny, nz }
+    }
+
+    /// Creates a cubic grid `n × n × n`.
+    pub fn cubic(n: usize) -> Self {
+        GridDims::new(n, n, n)
+    }
+
+    /// Total number of grid points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nx * self.ny * self.nz
+    }
+
+    /// True when the grid holds no points (never, by construction).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of grid point `(x, y, z)`.
+    #[inline]
+    pub fn index(&self, x: usize, y: usize, z: usize) -> usize {
+        debug_assert!(x < self.nx && y < self.ny && z < self.nz);
+        (z * self.ny + y) * self.nx + x
+    }
+}
+
+/// A reusable 3-D FFT plan.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_numerics::{Complex64, Fft3Plan, GridDims};
+///
+/// let plan = Fft3Plan::new(GridDims::cubic(4));
+/// let mut field = vec![Complex64::ONE; 64];
+/// plan.forward(&mut field);
+/// assert!((field[0].re - 64.0).abs() < 1e-9); // DC bin carries everything
+/// plan.inverse(&mut field);
+/// assert!((field[5].re - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fft3Plan {
+    dims: GridDims,
+    plan_x: FftPlan,
+    plan_y: FftPlan,
+    plan_z: FftPlan,
+}
+
+impl Fft3Plan {
+    /// Creates a plan for the given grid dimensions.
+    pub fn new(dims: GridDims) -> Self {
+        Fft3Plan {
+            dims,
+            plan_x: FftPlan::new(dims.nx),
+            plan_y: FftPlan::new(dims.ny),
+            plan_z: FftPlan::new(dims.nz),
+        }
+    }
+
+    /// Grid dimensions this plan was built for.
+    #[inline]
+    pub fn dims(&self) -> GridDims {
+        self.dims
+    }
+
+    /// In-place forward (unnormalized) 3-D DFT.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.dims().len()`.
+    pub fn forward(&self, data: &mut [Complex64]) {
+        self.transform(data, false);
+    }
+
+    /// In-place inverse 3-D DFT, normalized by `1/(nx·ny·nz)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != self.dims().len()`.
+    pub fn inverse(&self, data: &mut [Complex64]) {
+        self.transform(data, true);
+    }
+
+    fn transform(&self, data: &mut [Complex64], inverse: bool) {
+        let GridDims { nx, ny, nz } = self.dims;
+        assert_eq!(
+            data.len(),
+            self.dims.len(),
+            "3-D FFT buffer length mismatch"
+        );
+        let run = |plan: &FftPlan, buf: &mut [Complex64]| {
+            if inverse {
+                plan.inverse(buf);
+            } else {
+                plan.forward(buf);
+            }
+        };
+        // Along x: contiguous lines.
+        for line in data.chunks_exact_mut(nx) {
+            run(&self.plan_x, line);
+        }
+        // Along y: stride nx within each z-slab.
+        let mut buf = vec![Complex64::ZERO; ny.max(nz)];
+        for z in 0..nz {
+            for x in 0..nx {
+                for y in 0..ny {
+                    buf[y] = data[self.dims.index(x, y, z)];
+                }
+                run(&self.plan_y, &mut buf[..ny]);
+                for y in 0..ny {
+                    data[self.dims.index(x, y, z)] = buf[y];
+                }
+            }
+        }
+        // Along z: stride nx·ny.
+        for y in 0..ny {
+            for x in 0..nx {
+                for z in 0..nz {
+                    buf[z] = data[self.dims.index(x, y, z)];
+                }
+                run(&self.plan_z, &mut buf[..nz]);
+                for z in 0..nz {
+                    data[self.dims.index(x, y, z)] = buf[z];
+                }
+            }
+        }
+    }
+
+    /// Analytic cost of one 3-D transform: `ny·nz` x-lines plus `nx·nz`
+    /// y-lines plus `nx·ny` z-lines.
+    pub fn cost(&self) -> KernelCost {
+        let GridDims { nx, ny, nz } = self.dims;
+        self.plan_x.cost() * (ny * nz) as u64
+            + self.plan_y.cost() * (nx * nz) as u64
+            + self.plan_z.cost() * (nx * ny) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fft::dft_naive;
+
+    fn random_field(n: usize, seed: u64) -> Vec<Complex64> {
+        let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(99);
+        (0..n)
+            .map(|_| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let re = (s as f64 / u64::MAX as f64) * 2.0 - 1.0;
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let im = (s as f64 / u64::MAX as f64) * 2.0 - 1.0;
+                Complex64::new(re, im)
+            })
+            .collect()
+    }
+
+    /// Brute-force 3-D DFT through repeated 1-D naive DFTs.
+    fn dft3_naive(dims: GridDims, data: &[Complex64]) -> Vec<Complex64> {
+        let mut out = data.to_vec();
+        // x lines
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                let line: Vec<Complex64> = (0..dims.nx).map(|x| out[dims.index(x, y, z)]).collect();
+                let t = dft_naive(&line);
+                for x in 0..dims.nx {
+                    out[dims.index(x, y, z)] = t[x];
+                }
+            }
+        }
+        // y lines
+        for z in 0..dims.nz {
+            for x in 0..dims.nx {
+                let line: Vec<Complex64> = (0..dims.ny).map(|y| out[dims.index(x, y, z)]).collect();
+                let t = dft_naive(&line);
+                for y in 0..dims.ny {
+                    out[dims.index(x, y, z)] = t[y];
+                }
+            }
+        }
+        // z lines
+        for y in 0..dims.ny {
+            for x in 0..dims.nx {
+                let line: Vec<Complex64> = (0..dims.nz).map(|z| out[dims.index(x, y, z)]).collect();
+                let t = dft_naive(&line);
+                for z in 0..dims.nz {
+                    out[dims.index(x, y, z)] = t[z];
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matches_naive_3d() {
+        let dims = GridDims::new(4, 3, 5);
+        let x = random_field(dims.len(), 17);
+        let expect = dft3_naive(dims, &x);
+        let mut got = x;
+        Fft3Plan::new(dims).forward(&mut got);
+        let err = got
+            .iter()
+            .zip(&expect)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-9, "err = {err}");
+    }
+
+    #[test]
+    fn round_trip() {
+        let dims = GridDims::new(8, 6, 10);
+        let x = random_field(dims.len(), 3);
+        let plan = Fft3Plan::new(dims);
+        let mut y = x.clone();
+        plan.forward(&mut y);
+        plan.inverse(&mut y);
+        let err = y
+            .iter()
+            .zip(&x)
+            .map(|(a, b)| (*a - *b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn parseval_3d() {
+        let dims = GridDims::cubic(6);
+        let x = random_field(dims.len(), 8);
+        let te: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let mut y = x;
+        Fft3Plan::new(dims).forward(&mut y);
+        let fe: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / dims.len() as f64;
+        assert!((te - fe).abs() < 1e-8 * te.max(1.0));
+    }
+
+    #[test]
+    fn plane_wave_maps_to_single_bin() {
+        // x_j = e^{-2πi (kx·jx/nx)} should land all energy in bin (kx, 0, 0).
+        let dims = GridDims::new(8, 4, 4);
+        let kx = 3;
+        let mut data = vec![Complex64::ZERO; dims.len()];
+        for z in 0..dims.nz {
+            for y in 0..dims.ny {
+                for x in 0..dims.nx {
+                    let phase = 2.0 * std::f64::consts::PI * (kx * x) as f64 / dims.nx as f64;
+                    data[dims.index(x, y, z)] = Complex64::cis(phase);
+                }
+            }
+        }
+        Fft3Plan::new(dims).forward(&mut data);
+        let peak = data[dims.index(kx, 0, 0)];
+        assert!((peak.re - dims.len() as f64).abs() < 1e-6);
+        let other: f64 = data
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != dims.index(kx, 0, 0))
+            .map(|(_, z)| z.abs())
+            .fold(0.0, f64::max);
+        assert!(other < 1e-6);
+    }
+
+    #[test]
+    fn cost_counts_all_three_axes() {
+        let plan = Fft3Plan::new(GridDims::new(8, 8, 8));
+        let c = plan.cost();
+        // 3 axes × 64 lines × cost(8-point FFT)
+        let one = FftPlan::new(8).cost();
+        assert_eq!(c.flops, one.flops * 64 * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn wrong_buffer_length_panics() {
+        let plan = Fft3Plan::new(GridDims::cubic(4));
+        let mut buf = vec![Complex64::ZERO; 63];
+        plan.forward(&mut buf);
+    }
+}

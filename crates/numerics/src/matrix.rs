@@ -1,0 +1,423 @@
+//! Dense row-major matrices over `f64` and [`Complex64`].
+//!
+//! These are deliberately simple owning containers: the workloads in this
+//! workspace are dominated by FFTs and level-3 BLAS-style kernels, and the
+//! timing work happens in the simulator, so the matrix type only needs to
+//! be correct, bounds-checked and ergonomic.
+
+use crate::Complex64;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense row-major `f64` matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_numerics::Mat;
+///
+/// let mut a = Mat::zeros(2, 2);
+/// a[(0, 0)] = 1.0;
+/// a[(1, 1)] = 2.0;
+/// assert_eq!(a.trace(), 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Mat {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Mat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        Mat { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Mat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Mat {
+        Mat::from_fn(self.cols, self.rows, |i, j| self[(j, i)])
+    }
+
+    /// Sum of diagonal entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "trace of a non-square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Maximum absolute deviation from symmetry, `max |a_ij - a_ji|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn asymmetry(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "asymmetry of a non-square matrix");
+        let mut worst: f64 = 0.0;
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)]).abs());
+            }
+        }
+        worst
+    }
+}
+
+impl Index<(usize, usize)> for Mat {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Mat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut f64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for Mat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Mat {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:>12.5} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A dense row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_numerics::{CMat, Complex64};
+///
+/// let mut h = CMat::zeros(2, 2);
+/// h[(0, 1)] = Complex64::new(0.0, 1.0);
+/// h[(1, 0)] = Complex64::new(0.0, -1.0);
+/// assert!(h.hermitian_deviation() < 1e-15);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMat {
+    /// Creates an all-zero complex matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMat {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMat::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "matrix data length mismatch");
+        CMat { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        CMat { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row-major backing slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable row-major backing slice.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// Borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[Complex64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.rows()`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [Complex64] {
+        assert!(i < self.rows, "row index out of bounds");
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> CMat {
+        CMat::from_fn(self.cols, self.rows, |i, j| self[(j, i)].conj())
+    }
+
+    /// Maximum absolute deviation from Hermitian symmetry,
+    /// `max |a_ij - conj(a_ji)|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn hermitian_deviation(&self) -> f64 {
+        assert_eq!(self.rows, self.cols, "hermitian check on non-square matrix");
+        let mut worst: f64 = 0.0;
+        for i in 0..self.rows {
+            worst = worst.max(self[(i, i)].im.abs());
+            for j in (i + 1)..self.cols {
+                worst = worst.max((self[(i, j)] - self[(j, i)].conj()).abs());
+            }
+        }
+        worst
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Splits into real and imaginary parts `(Re(A), Im(A))`.
+    pub fn split_re_im(&self) -> (Mat, Mat) {
+        let re = Mat::from_fn(self.rows, self.cols, |i, j| self[(i, j)].re);
+        let im = Mat::from_fn(self.rows, self.cols, |i, j| self[(i, j)].im);
+        (re, im)
+    }
+}
+
+impl Index<(usize, usize)> for CMat {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMat {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        assert!(i < self.rows && j < self.cols, "matrix index out of bounds");
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Display for CMat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CMat {}x{}", self.rows, self.cols)?;
+        for i in 0..self.rows.min(6) {
+            for j in 0..self.cols.min(6) {
+                write!(f, "{:>9.3}{:+.3}i ", self[(i, j)].re, self[(i, j)].im)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_trace_equals_order() {
+        assert_eq!(Mat::identity(5).trace(), 5.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Mat::from_fn(3, 4, |i, j| (i * 10 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn row_access() {
+        let a = Mat::from_fn(3, 3, |i, j| (i * 3 + j) as f64);
+        assert_eq!(a.row(1), &[3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn index_out_of_bounds_panics() {
+        let a = Mat::zeros(2, 2);
+        let _ = a[(2, 0)];
+    }
+
+    #[test]
+    fn asymmetry_detects_nonsymmetric() {
+        let mut a = Mat::identity(3);
+        assert_eq!(a.asymmetry(), 0.0);
+        a[(0, 1)] = 1.0;
+        assert_eq!(a.asymmetry(), 1.0);
+    }
+
+    #[test]
+    fn adjoint_of_hermitian_is_self() {
+        let h = CMat::from_fn(3, 3, |i, j| {
+            if i == j {
+                Complex64::from_real((i + 1) as f64)
+            } else {
+                Complex64::new(1.0, (i as f64) - (j as f64))
+            }
+        });
+        // Make it Hermitian explicitly.
+        let h = CMat::from_fn(3, 3, |i, j| (h[(i, j)] + h[(j, i)].conj()).scale(0.5));
+        assert!(h.hermitian_deviation() < 1e-15);
+        assert_eq!(h.adjoint(), h);
+    }
+
+    #[test]
+    fn split_re_im_round_trip() {
+        let a = CMat::from_fn(2, 2, |i, j| Complex64::new(i as f64, j as f64));
+        let (re, im) = a.split_re_im();
+        for i in 0..2 {
+            for j in 0..2 {
+                assert_eq!(re[(i, j)], a[(i, j)].re);
+                assert_eq!(im[(i, j)], a[(i, j)].im);
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_matches_manual() {
+        let a = Mat::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,117 @@
+//! The scheduling-overhead cost model (paper Eq. 1).
+//!
+//! `Scheduling Overhead = Σ_{i∈NDP} Σ_{j∈CPU} (DT(i,j) + CXT)` — every
+//! placement boundary between adjacent code segments on different units
+//! pays a data-transfer term proportional to the tensor crossing the
+//! boundary plus a constant context-switch term.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost model constants.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Bandwidth of the CPU↔NDP path (the off-chip host link), bytes/s.
+    pub transfer_bandwidth: f64,
+    /// One-way transfer latency in seconds.
+    pub transfer_latency: f64,
+    /// Context-switch cost per boundary in seconds (register/thread state
+    /// synchronization — the paper's constant `CXT`).
+    pub context_switch: f64,
+}
+
+impl CostModel {
+    /// Constants for the paper's Table III machine: a 64 GB/s host link
+    /// with 40 ns latency, and a 20 µs offload context switch (kernel
+    /// launch + state hand-off, typical for NDP offload runtimes).
+    pub fn paper_default() -> Self {
+        CostModel {
+            transfer_bandwidth: 64e9,
+            transfer_latency: 40e-9,
+            context_switch: 20e-6,
+        }
+    }
+
+    /// The data-transfer term `DT` for `bytes` crossing the boundary.
+    pub fn dt(&self, bytes: u64) -> f64 {
+        self.transfer_latency + bytes as f64 / self.transfer_bandwidth
+    }
+
+    /// Full cost of one boundary: `DT + CXT`.
+    pub fn boundary(&self, bytes: u64) -> f64 {
+        self.dt(bytes) + self.context_switch
+    }
+
+    /// Eq. 1 evaluated over a whole placement: the sum of boundary costs
+    /// for every adjacent pair placed on different units.
+    ///
+    /// `boundary_bytes[k]` is the tensor flowing from stage `k` to stage
+    /// `k+1`; `crossings[k]` is true when those stages sit on different
+    /// units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices have different lengths.
+    pub fn scheduling_overhead(&self, boundary_bytes: &[u64], crossings: &[bool]) -> f64 {
+        assert_eq!(
+            boundary_bytes.len(),
+            crossings.len(),
+            "boundary slice mismatch"
+        );
+        // fold from +0.0: `Iterator::sum::<f64>()` of an empty iterator
+        // yields -0.0, which leaks into reports as "-0.000".
+        boundary_bytes
+            .iter()
+            .zip(crossings)
+            .filter(|(_, &c)| c)
+            .map(|(&b, _)| self.boundary(b))
+            .fold(0.0, |acc, x| acc + x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dt_scales_with_bytes() {
+        let m = CostModel::paper_default();
+        let small = m.dt(1 << 10);
+        let large = m.dt(1 << 30);
+        assert!(large > 1000.0 * small);
+    }
+
+    #[test]
+    fn boundary_includes_context_switch() {
+        let m = CostModel::paper_default();
+        assert!((m.boundary(0) - (m.transfer_latency + m.context_switch)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn overhead_counts_only_crossings() {
+        let m = CostModel::paper_default();
+        let bytes = [1000, 2000, 3000];
+        let none = m.scheduling_overhead(&bytes, &[false, false, false]);
+        assert_eq!(none, 0.0);
+        let one = m.scheduling_overhead(&bytes, &[false, true, false]);
+        assert!((one - m.boundary(2000)).abs() < 1e-15);
+        let all = m.scheduling_overhead(&bytes, &[true, true, true]);
+        assert!(all > one);
+    }
+
+    #[test]
+    fn gigabyte_transfer_takes_tens_of_ms() {
+        let m = CostModel::paper_default();
+        let t = m.dt(1 << 30);
+        assert!(
+            t > 0.01 && t < 0.05,
+            "1 GiB over 64 GB/s ≈ 16.8 ms, got {t}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_slices_panic() {
+        let m = CostModel::paper_default();
+        let _ = m.scheduling_overhead(&[1, 2], &[true]);
+    }
+}

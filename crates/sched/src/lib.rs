@@ -1,0 +1,43 @@
+//! # ndft-sched
+//!
+//! NDFT's workload partitioning and scheduling mechanism (paper §IV-A):
+//!
+//! * [`roofline`] — the Fig. 4 roofline analysis of the LR-TDDFT kernels.
+//! * [`sca`] — the static code analyzer: per-kernel boundedness and
+//!   per-target time estimates.
+//! * [`cost`] — the Eq. 1 scheduling-overhead model (`DT + CXT`).
+//! * [`planner`] — cost-aware placement: optimal chain DP (NDFT's
+//!   mechanism), exhaustive validation, greedy and pinned baselines.
+//! * [`granularity`] — the function-vs-basic-block-vs-instruction
+//!   offload-granularity study behind the paper's design choice.
+//!
+//! ## Example
+//!
+//! ```
+//! use ndft_sched::{plan_chain, plan_pinned, StaticCodeAnalyzer, Target};
+//! use ndft_dft::{build_task_graph, SiliconSystem};
+//!
+//! let sca = StaticCodeAnalyzer::paper_default();
+//! let graph = build_task_graph(&SiliconSystem::large(), 1);
+//! let hybrid = plan_chain(&graph.stages, &sca);
+//! let cpu_only = plan_pinned(&graph.stages, Target::Cpu, &sca);
+//! assert!(hybrid.total_time() < cpu_only.total_time());
+//! ```
+
+pub mod anneal;
+pub mod cost;
+pub mod dynamic;
+pub mod granularity;
+pub mod overlap;
+pub mod planner;
+pub mod roofline;
+pub mod sca;
+
+pub use anneal::{plan_anneal, AnnealOptions, AnnealOutcome, Objective, PowerModel};
+pub use cost::CostModel;
+pub use dynamic::{simulate_online, DynamicOptions, DynamicReport};
+pub use granularity::{granularity_study, split_stages, Granularity, GranularityReport};
+pub use overlap::{analyze_overlap, OverlapAnalysis};
+pub use planner::{plan_chain, plan_exhaustive, plan_greedy, plan_pinned, Plan, StageTimer};
+pub use roofline::{fig4_points, Boundedness, Roofline, RooflinePoint};
+pub use sca::{Analysis, StaticCodeAnalyzer, Target, TargetModel};

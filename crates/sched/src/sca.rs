@@ -1,0 +1,266 @@
+//! Static code analyzer (SCA), §IV-A-2.
+//!
+//! The paper drives offloading decisions with an IACA/LLVM-style static
+//! analyzer that estimates, per function, its compute/memory intensity and
+//! execution-time on each unit. Our kernels are characterized by
+//! [`KernelDescriptor`]s, so the SCA here consumes those descriptors and
+//! produces the same artifacts: boundedness classification, per-target
+//! time estimates, and a recommendation.
+
+use crate::cost::CostModel;
+use crate::roofline::{Boundedness, Roofline};
+use ndft_dft::KernelDescriptor;
+use serde::{Deserialize, Serialize};
+
+/// Execution target in the CPU-NDP system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Target {
+    /// The host CPU cores.
+    Cpu,
+    /// The NDP units in the memory stacks.
+    Ndp,
+}
+
+impl Target {
+    /// The opposite target.
+    pub fn other(&self) -> Target {
+        match self {
+            Target::Cpu => Target::Ndp,
+            Target::Ndp => Target::Cpu,
+        }
+    }
+}
+
+/// Per-target machine summary used by the static estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetModel {
+    /// Peak FLOP/s.
+    pub peak_flops: f64,
+    /// Effective streaming bandwidth (bytes/s).
+    pub stream_bw: f64,
+    /// Effective strided bandwidth (bytes/s).
+    pub strided_bw: f64,
+    /// Effective random/gather bandwidth (bytes/s).
+    pub random_bw: f64,
+    /// Usable cores (bounds thin-parallelism kernels).
+    pub cores: usize,
+    /// FLOP efficiency on low-intensity streaming kernels.
+    pub flop_efficiency_low_ai: f64,
+    /// FLOP efficiency on high-intensity cache-blocked kernels (GEMM-
+    /// class). Out-of-order CPUs approach peak here; wimpy in-order NDP
+    /// cores without an L2/L3 collapse to ~10–20 % (consistent with
+    /// published PIM-core DGEMM efficiencies).
+    pub flop_efficiency_high_ai: f64,
+}
+
+/// Below this intensity the low-AI efficiency applies.
+const AI_LOW: f64 = 4.0;
+/// Above this intensity the high-AI efficiency applies.
+const AI_HIGH: f64 = 64.0;
+
+impl TargetModel {
+    /// Effective bandwidth for a descriptor's pattern mix.
+    pub fn effective_bandwidth(&self, d: &KernelDescriptor) -> f64 {
+        let strided_fraction = (1.0 - d.stream_fraction - d.random_fraction).max(0.0);
+        d.stream_fraction * self.stream_bw
+            + strided_fraction * self.strided_bw
+            + d.random_fraction * self.random_bw
+    }
+
+    /// FLOP efficiency at a given arithmetic intensity (log-linear
+    /// interpolation between the low- and high-AI anchors).
+    pub fn flop_efficiency(&self, ai: f64) -> f64 {
+        if !ai.is_finite() || ai >= AI_HIGH {
+            return self.flop_efficiency_high_ai;
+        }
+        if ai <= AI_LOW {
+            return self.flop_efficiency_low_ai;
+        }
+        let t = (ai / AI_LOW).ln() / (AI_HIGH / AI_LOW).ln();
+        self.flop_efficiency_low_ai
+            + t * (self.flop_efficiency_high_ai - self.flop_efficiency_low_ai)
+    }
+
+    /// Roofline view of this target (streaming ceiling).
+    pub fn roofline(&self) -> Roofline {
+        Roofline::new(self.peak_flops, self.stream_bw)
+    }
+}
+
+/// SCA verdict for one kernel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Analysis {
+    /// Arithmetic intensity.
+    pub intensity: f64,
+    /// Boundedness on the CPU roofline.
+    pub boundedness: Boundedness,
+    /// Estimated execution time on the CPU (seconds).
+    pub cpu_time: f64,
+    /// Estimated execution time on the NDP side (seconds).
+    pub ndp_time: f64,
+    /// Where the kernel runs faster, ignoring movement costs.
+    pub preferred: Target,
+}
+
+/// The static code analyzer: CPU and NDP target models plus the movement
+/// cost model of Eq. 1.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_sched::{StaticCodeAnalyzer, Target};
+/// use ndft_dft::{build_task_graph, KernelKind, SiliconSystem};
+///
+/// let sca = StaticCodeAnalyzer::paper_default();
+/// let graph = build_task_graph(&SiliconSystem::large(), 1);
+/// let fft = &graph.stages_of(KernelKind::Fft)[0];
+/// assert_eq!(sca.analyze(fft).preferred, Target::Ndp);
+/// let gemm = &graph.stages_of(KernelKind::Gemm)[0];
+/// assert_eq!(sca.analyze(gemm).preferred, Target::Cpu);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticCodeAnalyzer {
+    /// Host CPU model.
+    pub cpu: TargetModel,
+    /// NDP aggregate model.
+    pub ndp: TargetModel,
+    /// Movement/context-switch cost model.
+    pub cost: CostModel,
+}
+
+impl StaticCodeAnalyzer {
+    /// An analyzer preloaded with the paper's Table III machine, using
+    /// round datasheet-level numbers (the measured calibration lives in
+    /// `ndft-core`; this static version is what an SCA would assume).
+    pub fn paper_default() -> Self {
+        StaticCodeAnalyzer {
+            cpu: TargetModel {
+                peak_flops: 384e9, // 8 cores × 3 GHz × 16 FLOP (AVX-512)
+                stream_bw: 60e9,   // host link limited
+                strided_bw: 20e9,
+                random_bw: 8e9,
+                cores: 8,
+                flop_efficiency_low_ai: 0.6,
+                flop_efficiency_high_ai: 0.9, // OOO + AVX: near-peak GEMM
+            },
+            ndp: TargetModel {
+                peak_flops: 2048e9, // 256 cores × 2 GHz × 4 FLOP
+                stream_bw: 1700e9,  // in-stack aggregate
+                strided_bw: 70e9,
+                random_bw: 60e9,
+                cores: 256,
+                flop_efficiency_low_ai: 0.7,   // streaming FMA is easy
+                flop_efficiency_high_ai: 0.08, // no L2/L3, in-order stalls
+            },
+            cost: CostModel::paper_default(),
+        }
+    }
+
+    /// Static time estimate of a kernel on a target: the roofline max of
+    /// compute and memory time, derated by achievable parallelism.
+    pub fn estimate_time(&self, d: &KernelDescriptor, target: Target) -> f64 {
+        let m = match target {
+            Target::Cpu => &self.cpu,
+            Target::Ndp => &self.ndp,
+        };
+        let util = (d.parallelism as f64 / m.cores as f64).min(1.0);
+        let eff = m.flop_efficiency(d.arithmetic_intensity());
+        let compute = d.cost.flops as f64 / (m.peak_flops * eff * util.max(1e-9));
+        let memory = d.cost.bytes_total() as f64 / (m.effective_bandwidth(d) * util.max(1e-9));
+        compute.max(memory)
+    }
+
+    /// Full analysis of one kernel.
+    pub fn analyze(&self, d: &KernelDescriptor) -> Analysis {
+        let cpu_time = self.estimate_time(d, Target::Cpu);
+        let ndp_time = self.estimate_time(d, Target::Ndp);
+        Analysis {
+            intensity: d.arithmetic_intensity(),
+            boundedness: self.cpu.roofline().classify(d.arithmetic_intensity()),
+            cpu_time,
+            ndp_time,
+            preferred: if ndp_time < cpu_time {
+                Target::Ndp
+            } else {
+                Target::Cpu
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndft_dft::{build_task_graph, KernelKind, SiliconSystem};
+
+    fn sca() -> StaticCodeAnalyzer {
+        StaticCodeAnalyzer::paper_default()
+    }
+
+    fn stage(kind: KernelKind) -> KernelDescriptor {
+        build_task_graph(&SiliconSystem::large(), 1).stages_of(kind)[0].clone()
+    }
+
+    #[test]
+    fn memory_bound_kernels_prefer_ndp() {
+        for kind in [
+            KernelKind::Fft,
+            KernelKind::FaceSplitting,
+            KernelKind::ApplyKernel,
+        ] {
+            let a = sca().analyze(&stage(kind));
+            assert_eq!(a.preferred, Target::Ndp, "{kind:?}");
+            assert_eq!(a.boundedness, Boundedness::MemoryBound, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn compute_bound_kernels_prefer_cpu() {
+        // GEMM: CPU peak is lower than NDP aggregate peak, but the NDP's
+        // wimpy cores cannot cache-block a GEMM, so the SCA's effective
+        // estimate must still route it by compute ratio — with the paper
+        // models NDP peak > CPU peak, so GEMM preference comes from the
+        // parallelism derating of npair²-tile counts… both are plentiful.
+        // What decides is intensity: verify the classification is
+        // compute-bound; placement is checked at plan level.
+        let a = sca().analyze(&stage(KernelKind::Gemm));
+        assert_eq!(a.boundedness, Boundedness::ComputeBound);
+    }
+
+    #[test]
+    fn estimates_are_positive_and_finite() {
+        for kind in KernelKind::all() {
+            let a = sca().analyze(&stage(kind));
+            assert!(a.cpu_time > 0.0 && a.cpu_time.is_finite(), "{kind:?}");
+            assert!(a.ndp_time > 0.0 && a.ndp_time.is_finite(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn thin_parallelism_penalizes_ndp() {
+        // SYEVD on the small system: only npair-wide panel parallelism.
+        let small = build_task_graph(&SiliconSystem::new(16).unwrap(), 1);
+        let syevd = small.stages_of(KernelKind::Syevd)[0];
+        let a = sca().analyze(syevd);
+        // 24 pairs cannot feed 256 NDP cores.
+        assert!(syevd.parallelism < 256);
+        assert!(a.cpu_time < a.ndp_time * 10.0, "CPU should be competitive");
+    }
+
+    #[test]
+    fn target_other_flips() {
+        assert_eq!(Target::Cpu.other(), Target::Ndp);
+        assert_eq!(Target::Ndp.other(), Target::Cpu);
+    }
+
+    #[test]
+    fn effective_bandwidth_interpolates() {
+        let m = sca().ndp;
+        let mut d = stage(KernelKind::FaceSplitting);
+        d.stream_fraction = 1.0;
+        d.random_fraction = 0.0;
+        assert!((m.effective_bandwidth(&d) - m.stream_bw).abs() < 1.0);
+        d.stream_fraction = 0.0;
+        assert!((m.effective_bandwidth(&d) - m.strided_bw).abs() < 1.0);
+    }
+}

@@ -1,0 +1,554 @@
+//! Version-based coherence for cached shared blocks.
+//!
+//! The hierarchical scheme of §IV-C caches remote blocks in the local
+//! stack's shared memory after the first fetch. That is safe while
+//! pseudopotential data is immutable — but each LR-TDDFT iteration
+//! *rewrites* pseudopotential-adjacent state (wavefunction-dependent
+//! workspaces), and atom movement in ab-initio MD rewrites the blocks
+//! themselves between steps. This module supplies the protocol the paper
+//! leaves implicit: a single-writer / multiple-reader discipline with
+//! per-block versions and write-triggered invalidation of stale copies.
+//!
+//! The controller is purely logical (who holds what version); traffic
+//! and latency are judged by the counters in [`CoherenceStats`], which
+//! the ablation harness turns into bytes over the mesh.
+//!
+//! ## Example
+//!
+//! ```
+//! use ndft_shmem::coherence::CoherenceController;
+//! use ndft_shmem::SharedBl;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut cc = CoherenceController::new(16);
+//! let bl = SharedBl(0);
+//! cc.register(bl, 0)?;
+//! assert!(cc.read(bl, 5)?.fetched); // cold copy
+//! assert!(!cc.read(bl, 5)?.fetched); // now cached…
+//! cc.acquire_write(bl, 0)?;
+//! cc.release_write(bl, 0)?;
+//! assert!(cc.read(bl, 5)?.fetched); // …until a write invalidates it
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::shared_block::SharedBl;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Errors from the coherence controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoherenceError {
+    /// The block was never [`register`](CoherenceController::register)ed.
+    UnknownBlock,
+    /// A second writer tried to acquire a locked block.
+    WriteLocked {
+        /// Stack currently holding the write lock.
+        holder: usize,
+    },
+    /// A release or write came from a stack that does not hold the lock.
+    NotLockHolder,
+    /// Stack id out of range.
+    BadStack {
+        /// Offending stack id.
+        stack: usize,
+    },
+    /// The block is already registered.
+    AlreadyRegistered,
+}
+
+impl fmt::Display for CoherenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoherenceError::UnknownBlock => write!(f, "block is not registered for coherence"),
+            CoherenceError::WriteLocked { holder } => {
+                write!(f, "block is write-locked by stack {holder}")
+            }
+            CoherenceError::NotLockHolder => write!(f, "caller does not hold the write lock"),
+            CoherenceError::BadStack { stack } => write!(f, "stack id {stack} out of range"),
+            CoherenceError::AlreadyRegistered => write!(f, "block is already registered"),
+        }
+    }
+}
+
+impl Error for CoherenceError {}
+
+/// Outcome of a coherent read.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadOutcome {
+    /// True when the local copy was cold or stale and a fetch from the
+    /// home stack was required.
+    pub fetched: bool,
+    /// The block version the reader observed.
+    pub version: u64,
+}
+
+/// Traffic and conflict counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CoherenceStats {
+    /// Reads served from a valid local copy.
+    pub read_hits: u64,
+    /// Reads that had to fetch (cold or invalidated copy).
+    pub read_fetches: u64,
+    /// Copies invalidated by write releases.
+    pub invalidations: u64,
+    /// Writes committed (lock release with version bump).
+    pub writes: u64,
+    /// Write-lock acquisitions denied.
+    pub write_conflicts: u64,
+}
+
+impl CoherenceStats {
+    /// Fraction of reads served locally; 0 when no reads happened.
+    pub fn read_hit_rate(&self) -> f64 {
+        let total = self.read_hits + self.read_fetches;
+        if total == 0 {
+            0.0
+        } else {
+            self.read_hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    version: u64,
+    writer: Option<usize>,
+    /// Per-stack cached version; `None` = no copy.
+    copies: Vec<Option<u64>>,
+}
+
+/// Single-writer / multiple-reader controller over shared blocks.
+///
+/// One controller serves the whole mesh; it tracks, per block, the
+/// current version, the write-lock holder, and which stacks cache which
+/// version.
+#[derive(Debug, Clone)]
+pub struct CoherenceController {
+    n_stacks: usize,
+    entries: HashMap<SharedBl, Entry>,
+    stats: CoherenceStats,
+}
+
+impl CoherenceController {
+    /// A controller for a mesh of `n_stacks` stacks.
+    pub fn new(n_stacks: usize) -> Self {
+        CoherenceController {
+            n_stacks,
+            entries: HashMap::new(),
+            stats: CoherenceStats::default(),
+        }
+    }
+
+    /// Number of stacks served.
+    pub fn stack_count(&self) -> usize {
+        self.n_stacks
+    }
+
+    /// Accumulated counters.
+    pub fn stats(&self) -> CoherenceStats {
+        self.stats
+    }
+
+    /// Starts tracking a block homed on `home_stack` (which holds the
+    /// only valid copy, at version 0).
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::BadStack`] / [`CoherenceError::AlreadyRegistered`].
+    pub fn register(&mut self, block: SharedBl, home_stack: usize) -> Result<(), CoherenceError> {
+        if home_stack >= self.n_stacks {
+            return Err(CoherenceError::BadStack { stack: home_stack });
+        }
+        if self.entries.contains_key(&block) {
+            return Err(CoherenceError::AlreadyRegistered);
+        }
+        let mut copies = vec![None; self.n_stacks];
+        copies[home_stack] = Some(0);
+        self.entries.insert(
+            block,
+            Entry {
+                version: 0,
+                writer: None,
+                copies,
+            },
+        );
+        Ok(())
+    }
+
+    /// Current version of a block.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::UnknownBlock`].
+    pub fn version(&self, block: SharedBl) -> Result<u64, CoherenceError> {
+        Ok(self
+            .entries
+            .get(&block)
+            .ok_or(CoherenceError::UnknownBlock)?
+            .version)
+    }
+
+    /// Performs a coherent read from `stack`: serves the local copy when
+    /// it matches the current version, otherwise fetches and caches it.
+    ///
+    /// Reads are permitted while a writer holds the lock — they see the
+    /// last *committed* version (the writer's updates become visible at
+    /// [`release_write`](Self::release_write)).
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::UnknownBlock`] / [`CoherenceError::BadStack`].
+    pub fn read(&mut self, block: SharedBl, stack: usize) -> Result<ReadOutcome, CoherenceError> {
+        if stack >= self.n_stacks {
+            return Err(CoherenceError::BadStack { stack });
+        }
+        let entry = self
+            .entries
+            .get_mut(&block)
+            .ok_or(CoherenceError::UnknownBlock)?;
+        let current = entry.version;
+        let fetched = entry.copies[stack] != Some(current);
+        if fetched {
+            entry.copies[stack] = Some(current);
+            self.stats.read_fetches += 1;
+        } else {
+            self.stats.read_hits += 1;
+        }
+        Ok(ReadOutcome {
+            fetched,
+            version: current,
+        })
+    }
+
+    /// Acquires the (single) write lock for `stack`.
+    ///
+    /// Re-acquisition by the current holder is idempotent.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::WriteLocked`] when another stack holds the lock,
+    /// plus the usual handle/stack errors.
+    pub fn acquire_write(&mut self, block: SharedBl, stack: usize) -> Result<(), CoherenceError> {
+        if stack >= self.n_stacks {
+            return Err(CoherenceError::BadStack { stack });
+        }
+        let entry = self
+            .entries
+            .get_mut(&block)
+            .ok_or(CoherenceError::UnknownBlock)?;
+        match entry.writer {
+            Some(holder) if holder != stack => {
+                self.stats.write_conflicts += 1;
+                Err(CoherenceError::WriteLocked { holder })
+            }
+            _ => {
+                entry.writer = Some(stack);
+                Ok(())
+            }
+        }
+    }
+
+    /// Commits the write: bumps the version, invalidates every other
+    /// stack's copy, installs the writer's copy, releases the lock.
+    /// Returns the number of copies invalidated.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::NotLockHolder`] when `stack` does not hold the
+    /// lock, plus the usual handle/stack errors.
+    pub fn release_write(&mut self, block: SharedBl, stack: usize) -> Result<u64, CoherenceError> {
+        if stack >= self.n_stacks {
+            return Err(CoherenceError::BadStack { stack });
+        }
+        let entry = self
+            .entries
+            .get_mut(&block)
+            .ok_or(CoherenceError::UnknownBlock)?;
+        if entry.writer != Some(stack) {
+            return Err(CoherenceError::NotLockHolder);
+        }
+        entry.version += 1;
+        let mut invalidated = 0;
+        for (s, copy) in entry.copies.iter_mut().enumerate() {
+            if s == stack {
+                *copy = Some(entry.version);
+            } else if copy.is_some() {
+                *copy = None;
+                invalidated += 1;
+            }
+        }
+        entry.writer = None;
+        self.stats.invalidations += invalidated;
+        self.stats.writes += 1;
+        Ok(invalidated)
+    }
+
+    /// Number of stacks currently holding a valid copy.
+    ///
+    /// # Errors
+    ///
+    /// [`CoherenceError::UnknownBlock`].
+    pub fn valid_copies(&self, block: SharedBl) -> Result<usize, CoherenceError> {
+        let entry = self
+            .entries
+            .get(&block)
+            .ok_or(CoherenceError::UnknownBlock)?;
+        Ok(entry
+            .copies
+            .iter()
+            .filter(|c| **c == Some(entry.version))
+            .count())
+    }
+}
+
+/// Per-phase traffic summary from [`simulate_update_cycle`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UpdateCycleReport {
+    /// Iterations simulated.
+    pub iterations: usize,
+    /// Blocks per iteration that were rewritten.
+    pub blocks_written: usize,
+    /// Total fetches across all readers and iterations.
+    pub fetches: u64,
+    /// Total local hits.
+    pub hits: u64,
+    /// Fetches an invalidation-free (always-refetch) design would pay.
+    pub naive_fetches: u64,
+}
+
+impl UpdateCycleReport {
+    /// Traffic saved versus refetching every block every iteration.
+    pub fn traffic_saving(&self) -> f64 {
+        if self.naive_fetches == 0 {
+            0.0
+        } else {
+            1.0 - self.fetches as f64 / self.naive_fetches as f64
+        }
+    }
+}
+
+/// Simulates the pseudopotential update pattern: each iteration, the home
+/// stacks rewrite `write_fraction` of the blocks (atoms that moved), then
+/// every stack reads every block (the wavefunction-update sweep of
+/// Algorithm 1). Version-based invalidation refetches only what changed;
+/// the returned report compares that against the refetch-everything
+/// baseline.
+///
+/// # Panics
+///
+/// Panics if `write_fraction` is outside `[0, 1]`.
+pub fn simulate_update_cycle(
+    n_stacks: usize,
+    n_blocks: usize,
+    iterations: usize,
+    write_fraction: f64,
+) -> UpdateCycleReport {
+    assert!(
+        (0.0..=1.0).contains(&write_fraction),
+        "write fraction must be in [0, 1], got {write_fraction}"
+    );
+    let mut cc = CoherenceController::new(n_stacks);
+    let blocks: Vec<SharedBl> = (0..n_blocks as u64).map(SharedBl).collect();
+    for (i, &bl) in blocks.iter().enumerate() {
+        cc.register(bl, i % n_stacks)
+            .expect("registration is valid");
+    }
+    let writes_per_iter = (n_blocks as f64 * write_fraction).round() as usize;
+    for iter in 0..iterations {
+        // Write phase: a deterministic rotating subset of blocks changes.
+        for w in 0..writes_per_iter {
+            let idx = (iter * writes_per_iter + w) % n_blocks;
+            let home = idx % n_stacks;
+            cc.acquire_write(blocks[idx], home)
+                .expect("home can always lock");
+            cc.release_write(blocks[idx], home)
+                .expect("home holds the lock");
+        }
+        // Read phase: every stack sweeps every block.
+        for stack in 0..n_stacks {
+            for &bl in &blocks {
+                cc.read(bl, stack).expect("read is valid");
+            }
+        }
+    }
+    let stats = cc.stats();
+    UpdateCycleReport {
+        iterations,
+        blocks_written: writes_per_iter,
+        fetches: stats.read_fetches,
+        hits: stats.read_hits,
+        naive_fetches: (n_stacks * n_blocks * iterations) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> CoherenceController {
+        let mut cc = CoherenceController::new(4);
+        cc.register(SharedBl(1), 0).unwrap();
+        cc
+    }
+
+    #[test]
+    fn cold_read_fetches_then_hits() {
+        let mut cc = controller();
+        let first = cc.read(SharedBl(1), 2).unwrap();
+        assert!(first.fetched);
+        let second = cc.read(SharedBl(1), 2).unwrap();
+        assert!(!second.fetched);
+        assert_eq!(cc.stats().read_fetches, 1);
+        assert_eq!(cc.stats().read_hits, 1);
+    }
+
+    #[test]
+    fn home_stack_reads_hit_immediately() {
+        let mut cc = controller();
+        assert!(!cc.read(SharedBl(1), 0).unwrap().fetched);
+    }
+
+    #[test]
+    fn write_invalidates_all_other_copies() {
+        let mut cc = controller();
+        for stack in 1..4 {
+            let _ = cc.read(SharedBl(1), stack).unwrap();
+        }
+        assert_eq!(cc.valid_copies(SharedBl(1)).unwrap(), 4);
+        cc.acquire_write(SharedBl(1), 0).unwrap();
+        let invalidated = cc.release_write(SharedBl(1), 0).unwrap();
+        assert_eq!(invalidated, 3);
+        assert_eq!(cc.valid_copies(SharedBl(1)).unwrap(), 1);
+        // Readers refetch the new version exactly once.
+        let r = cc.read(SharedBl(1), 2).unwrap();
+        assert!(r.fetched);
+        assert_eq!(r.version, 1);
+    }
+
+    #[test]
+    fn single_writer_is_enforced() {
+        let mut cc = controller();
+        cc.acquire_write(SharedBl(1), 0).unwrap();
+        // Idempotent for the holder…
+        cc.acquire_write(SharedBl(1), 0).unwrap();
+        // …denied for everyone else.
+        assert_eq!(
+            cc.acquire_write(SharedBl(1), 3),
+            Err(CoherenceError::WriteLocked { holder: 0 })
+        );
+        assert_eq!(cc.stats().write_conflicts, 1);
+        // Release by a non-holder is rejected.
+        assert_eq!(
+            cc.release_write(SharedBl(1), 3),
+            Err(CoherenceError::NotLockHolder)
+        );
+        cc.release_write(SharedBl(1), 0).unwrap();
+        // Lock is free again.
+        cc.acquire_write(SharedBl(1), 3).unwrap();
+    }
+
+    #[test]
+    fn reads_see_last_committed_version_during_write() {
+        let mut cc = controller();
+        let _ = cc.read(SharedBl(1), 2).unwrap();
+        cc.acquire_write(SharedBl(1), 0).unwrap();
+        // The write is not committed yet: readers still hit version 0.
+        let r = cc.read(SharedBl(1), 2).unwrap();
+        assert!(!r.fetched);
+        assert_eq!(r.version, 0);
+        cc.release_write(SharedBl(1), 0).unwrap();
+        assert_eq!(cc.read(SharedBl(1), 2).unwrap().version, 1);
+    }
+
+    #[test]
+    fn versions_are_monotonic() {
+        let mut cc = controller();
+        for expected in 1..=5u64 {
+            cc.acquire_write(SharedBl(1), 1).unwrap();
+            cc.release_write(SharedBl(1), 1).unwrap();
+            assert_eq!(cc.version(SharedBl(1)).unwrap(), expected);
+        }
+        assert_eq!(cc.stats().writes, 5);
+    }
+
+    #[test]
+    fn unknown_and_bad_ids_are_rejected() {
+        let mut cc = controller();
+        assert_eq!(cc.read(SharedBl(99), 0), Err(CoherenceError::UnknownBlock));
+        assert_eq!(
+            cc.read(SharedBl(1), 9),
+            Err(CoherenceError::BadStack { stack: 9 })
+        );
+        assert_eq!(
+            cc.register(SharedBl(1), 0),
+            Err(CoherenceError::AlreadyRegistered)
+        );
+        assert_eq!(
+            cc.register(SharedBl(2), 17),
+            Err(CoherenceError::BadStack { stack: 17 })
+        );
+    }
+
+    #[test]
+    fn stats_account_every_read() {
+        let mut cc = controller();
+        let mut reads = 0;
+        for stack in 0..4 {
+            for _ in 0..3 {
+                let _ = cc.read(SharedBl(1), stack).unwrap();
+                reads += 1;
+            }
+        }
+        let s = cc.stats();
+        assert_eq!(s.read_hits + s.read_fetches, reads);
+        assert!(s.read_hit_rate() > 0.5);
+    }
+
+    #[test]
+    fn update_cycle_read_mostly_saves_most_traffic() {
+        // 5 % of blocks rewritten per iteration (MD-like): the protocol
+        // should avoid ~90 % of the refetch-everything traffic.
+        let report = simulate_update_cycle(16, 200, 10, 0.05);
+        assert!(
+            report.traffic_saving() > 0.75,
+            "saving {}",
+            report.traffic_saving()
+        );
+        assert_eq!(report.fetches + report.hits, 16 * 200 * 10);
+    }
+
+    #[test]
+    fn update_cycle_write_heavy_saves_nothing() {
+        // Everything rewritten every iteration ⇒ every read refetches.
+        let report = simulate_update_cycle(4, 50, 5, 1.0);
+        assert!(
+            report.traffic_saving() < 0.30,
+            "saving {}",
+            report.traffic_saving()
+        );
+    }
+
+    #[test]
+    fn update_cycle_readonly_fetches_once_per_stack() {
+        let report = simulate_update_cycle(8, 100, 5, 0.0);
+        // Cold fetches only: one per (stack, block), minus the home hits.
+        assert!(report.fetches <= 8 * 100);
+        assert!(report.traffic_saving() > 0.75);
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            CoherenceError::UnknownBlock,
+            CoherenceError::WriteLocked { holder: 2 },
+            CoherenceError::NotLockHolder,
+            CoherenceError::BadStack { stack: 7 },
+            CoherenceError::AlreadyRegistered,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

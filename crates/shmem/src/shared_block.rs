@@ -1,0 +1,358 @@
+//! The shared-block store (`sharedBL` of the paper's §IV-B).
+//!
+//! Pseudopotential data is reorganized into *shared blocks*: one copy per
+//! stack, preferentially resident in the logic-layer scratchpad (SPM) and
+//! spilling to the stack's HBM partition when the SPM is full. Every
+//! process holds only an index (a [`SharedBl`] handle) instead of a
+//! private copy — the core of the paper's memory-footprint fix.
+
+use ndft_sim::config::SystemConfig;
+use ndft_sim::spm::{Scratchpad, SpmHandle};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Identifier of a shared block (the paper's `sharedBL`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct SharedBl(pub u64);
+
+/// Where a block's bytes physically live within its home stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockResidence {
+    /// In the logic-layer scratchpad (fast fixed-latency access).
+    Spm(SpmHandle),
+    /// Spilled to the stack's HBM partition.
+    Hbm {
+        /// Byte offset inside the stack's shared-heap region.
+        offset: u64,
+    },
+}
+
+/// Metadata of one shared block.
+#[derive(Debug, Clone)]
+pub struct BlockMeta {
+    /// Home stack id.
+    pub home_stack: usize,
+    /// Payload size in bytes.
+    pub len: u64,
+    /// Physical residence in the home stack.
+    pub residence: BlockResidence,
+    /// Which stacks hold a fetched copy (the hierarchical scheme caches
+    /// remote blocks in the local shared memory after the first fetch).
+    pub cached_in: Vec<bool>,
+}
+
+/// Errors from the shared-block store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShmemError {
+    /// Stack id out of range.
+    BadStack {
+        /// Offending stack id.
+        stack: usize,
+    },
+    /// Unknown block handle.
+    UnknownBlock,
+    /// The stack's shared heap (SPM + HBM spill budget) is exhausted.
+    OutOfSharedMemory {
+        /// Home stack.
+        stack: usize,
+        /// Requested bytes.
+        requested: u64,
+    },
+}
+
+impl fmt::Display for ShmemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShmemError::BadStack { stack } => write!(f, "stack id {stack} out of range"),
+            ShmemError::UnknownBlock => write!(f, "unknown shared block handle"),
+            ShmemError::OutOfSharedMemory { stack, requested } => {
+                write!(
+                    f,
+                    "stack {stack} shared heap exhausted ({requested} B requested)"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ShmemError {}
+
+/// Per-stack shared-memory state: the SPM plus an HBM spill heap.
+#[derive(Debug)]
+pub struct StackHeap {
+    /// Logic-layer scratchpad.
+    pub spm: Scratchpad,
+    /// Bytes spilled into the stack's HBM partition.
+    pub hbm_used: u64,
+    /// HBM spill budget (the stack's DRAM partition share reserved for
+    /// shared pseudopotential data).
+    pub hbm_budget: u64,
+}
+
+/// The distributed shared-block store across all stacks.
+///
+/// # Examples
+///
+/// ```
+/// use ndft_shmem::SharedBlockStore;
+/// use ndft_sim::SystemConfig;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = SharedBlockStore::new(&SystemConfig::paper_table3());
+/// let bl = store.alloc(4096, 3)?;
+/// assert_eq!(store.meta(bl)?.home_stack, 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct SharedBlockStore {
+    stacks: Vec<StackHeap>,
+    blocks: HashMap<SharedBl, BlockMeta>,
+    next_id: u64,
+}
+
+impl SharedBlockStore {
+    /// Creates an empty store sized from the system configuration. Each
+    /// stack reserves 1/8 of its DRAM partition as HBM spill budget.
+    pub fn new(cfg: &SystemConfig) -> Self {
+        let stack_dram = (cfg.ndp.units_per_stack * cfg.ndp.dram_per_unit) as u64;
+        let stacks = (0..cfg.ndp.stacks)
+            .map(|_| StackHeap {
+                spm: Scratchpad::from_config(&cfg.spm),
+                hbm_used: 0,
+                hbm_budget: stack_dram / 8,
+            })
+            .collect();
+        SharedBlockStore {
+            stacks,
+            blocks: HashMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of stacks.
+    pub fn stack_count(&self) -> usize {
+        self.stacks.len()
+    }
+
+    /// Immutable view of one stack's heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack` is out of range.
+    pub fn stack(&self, stack: usize) -> &StackHeap {
+        &self.stacks[stack]
+    }
+
+    /// Allocates a shared block of `len` bytes homed on `stack`
+    /// (`NDFT_Alloc_Shared`). Tries the SPM first, then the HBM spill
+    /// heap.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmemError::BadStack`] for an invalid stack,
+    /// [`ShmemError::OutOfSharedMemory`] when both SPM and spill budget
+    /// are exhausted.
+    pub fn alloc(&mut self, len: u64, stack: usize) -> Result<SharedBl, ShmemError> {
+        if stack >= self.stacks.len() {
+            return Err(ShmemError::BadStack { stack });
+        }
+        let n_stacks = self.stacks.len();
+        let heap = &mut self.stacks[stack];
+        let residence = match heap.spm.alloc(len as usize) {
+            Ok(h) => BlockResidence::Spm(h),
+            Err(_) => {
+                if heap.hbm_used + len > heap.hbm_budget {
+                    return Err(ShmemError::OutOfSharedMemory {
+                        stack,
+                        requested: len,
+                    });
+                }
+                let offset = heap.hbm_used;
+                heap.hbm_used += len;
+                BlockResidence::Hbm { offset }
+            }
+        };
+        let id = SharedBl(self.next_id);
+        self.next_id += 1;
+        let mut cached_in = vec![false; n_stacks];
+        cached_in[stack] = true;
+        self.blocks.insert(
+            id,
+            BlockMeta {
+                home_stack: stack,
+                len,
+                residence,
+                cached_in,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Frees a shared block.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmemError::UnknownBlock`] if the handle is not live.
+    pub fn free(&mut self, id: SharedBl) -> Result<(), ShmemError> {
+        let meta = self.blocks.remove(&id).ok_or(ShmemError::UnknownBlock)?;
+        let heap = &mut self.stacks[meta.home_stack];
+        match meta.residence {
+            BlockResidence::Spm(h) => {
+                heap.spm.free(h).map_err(|_| ShmemError::UnknownBlock)?;
+            }
+            BlockResidence::Hbm { .. } => {
+                // Bump-style spill heap: bytes are reclaimed lazily.
+                heap.hbm_used = heap.hbm_used.saturating_sub(meta.len);
+            }
+        }
+        Ok(())
+    }
+
+    /// Looks up a block's metadata.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmemError::UnknownBlock`] if the handle is not live.
+    pub fn meta(&self, id: SharedBl) -> Result<&BlockMeta, ShmemError> {
+        self.blocks.get(&id).ok_or(ShmemError::UnknownBlock)
+    }
+
+    /// Marks a block as cached in `stack` (hierarchical scheme: the local
+    /// arbiter fetched it once and keeps it in local shared memory).
+    ///
+    /// # Errors
+    ///
+    /// [`ShmemError::UnknownBlock`] / [`ShmemError::BadStack`].
+    pub fn mark_cached(&mut self, id: SharedBl, stack: usize) -> Result<(), ShmemError> {
+        let n = self.stacks.len();
+        let meta = self.blocks.get_mut(&id).ok_or(ShmemError::UnknownBlock)?;
+        if stack >= n {
+            return Err(ShmemError::BadStack { stack });
+        }
+        meta.cached_in[stack] = true;
+        Ok(())
+    }
+
+    /// True when `stack` holds a local copy of the block.
+    ///
+    /// # Errors
+    ///
+    /// [`ShmemError::UnknownBlock`] if the handle is not live.
+    pub fn is_cached(&self, id: SharedBl, stack: usize) -> Result<bool, ShmemError> {
+        Ok(*self
+            .meta(id)?
+            .cached_in
+            .get(stack)
+            .ok_or(ShmemError::BadStack { stack })?)
+    }
+
+    /// Total shared bytes resident on one stack (SPM + HBM spill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stack` is out of range.
+    pub fn stack_bytes(&self, stack: usize) -> u64 {
+        let heap = &self.stacks[stack];
+        heap.spm.used() as u64 + heap.hbm_used
+    }
+
+    /// Number of live blocks.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SharedBlockStore {
+        SharedBlockStore::new(&SystemConfig::paper_table3())
+    }
+
+    #[test]
+    fn small_blocks_go_to_spm() {
+        let mut s = store();
+        let bl = s.alloc(1024, 0).unwrap();
+        assert!(matches!(
+            s.meta(bl).unwrap().residence,
+            BlockResidence::Spm(_)
+        ));
+        assert_eq!(s.stack_bytes(0), 1024);
+    }
+
+    #[test]
+    fn large_blocks_spill_to_hbm() {
+        let mut s = store();
+        // 1 MiB exceeds the 256 KiB per-stack SPM.
+        let bl = s.alloc(1 << 20, 0).unwrap();
+        assert!(matches!(
+            s.meta(bl).unwrap().residence,
+            BlockResidence::Hbm { .. }
+        ));
+    }
+
+    #[test]
+    fn spill_budget_is_finite() {
+        let mut s = store();
+        // Budget = (8 units × 512 MiB)/8 = 512 MiB per stack.
+        let budget = s.stack(0).hbm_budget;
+        let bl = s.alloc(budget, 0).unwrap();
+        assert!(matches!(
+            s.meta(bl).unwrap().residence,
+            BlockResidence::Hbm { .. }
+        ));
+        match s.alloc(1 << 20, 0) {
+            Err(ShmemError::OutOfSharedMemory { stack: 0, .. }) => {}
+            other => panic!("expected OOM, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_releases_space() {
+        let mut s = store();
+        let bl = s.alloc(2048, 1).unwrap();
+        assert_eq!(s.stack_bytes(1), 2048);
+        s.free(bl).unwrap();
+        assert_eq!(s.stack_bytes(1), 0);
+        assert_eq!(s.free(bl), Err(ShmemError::UnknownBlock));
+    }
+
+    #[test]
+    fn home_stack_is_cached_initially() {
+        let mut s = store();
+        let bl = s.alloc(64, 5).unwrap();
+        assert!(s.is_cached(bl, 5).unwrap());
+        assert!(!s.is_cached(bl, 4).unwrap());
+        s.mark_cached(bl, 4).unwrap();
+        assert!(s.is_cached(bl, 4).unwrap());
+    }
+
+    #[test]
+    fn bad_stack_rejected() {
+        let mut s = store();
+        assert_eq!(s.alloc(64, 99), Err(ShmemError::BadStack { stack: 99 }));
+    }
+
+    #[test]
+    fn blocks_on_different_stacks_are_independent() {
+        let mut s = store();
+        let a = s.alloc(1000, 0).unwrap();
+        let b = s.alloc(2000, 1).unwrap();
+        assert_eq!(s.stack_bytes(0), 1000);
+        assert_eq!(s.stack_bytes(1), 2000);
+        assert_eq!(s.live_blocks(), 2);
+        s.free(a).unwrap();
+        s.free(b).unwrap();
+        assert_eq!(s.live_blocks(), 0);
+    }
+
+    #[test]
+    fn error_messages_are_nonempty() {
+        assert!(!format!("{}", ShmemError::UnknownBlock).is_empty());
+        assert!(format!("{}", ShmemError::BadStack { stack: 3 }).contains('3'));
+    }
+}

@@ -1,0 +1,169 @@
+//! Property-based tests of the shared-memory runtime invariants.
+
+use ndft_shmem::{CommScheme, NdftRuntime, SharedBlockStore, UnitId};
+use ndft_sim::SystemConfig;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn store_accounting_balances(
+        sizes in prop::collection::vec(1u64..(1 << 20), 1..64),
+        stacks in prop::collection::vec(0usize..16, 1..64),
+    ) {
+        let mut store = SharedBlockStore::new(&SystemConfig::paper_table3());
+        let mut live = Vec::new();
+        let mut per_stack = [0u64; 16];
+        for (len, stack) in sizes.iter().zip(stacks.iter().cycle()) {
+            if let Ok(bl) = store.alloc(*len, *stack) {
+                live.push((bl, *len, *stack));
+                per_stack[*stack] += *len;
+            }
+        }
+        for s in 0..16 {
+            prop_assert_eq!(store.stack_bytes(s), per_stack[s], "stack {}", s);
+        }
+        // Free everything; all stacks drain to zero.
+        for (bl, _, _) in live {
+            store.free(bl).unwrap();
+        }
+        for s in 0..16 {
+            prop_assert_eq!(store.stack_bytes(s), 0u64);
+        }
+        prop_assert_eq!(store.live_blocks(), 0);
+    }
+
+    #[test]
+    fn hierarchical_remote_ops_bounded_by_blocks_times_stacks(
+        n_blocks in 1usize..24,
+        readers in prop::collection::vec((0usize..16, 0usize..8), 1..128),
+    ) {
+        let cfg = SystemConfig::paper_table3();
+        let mut rt = NdftRuntime::new(&cfg, CommScheme::Hierarchical);
+        let blocks: Vec<_> = (0..n_blocks)
+            .map(|i| rt.alloc_shared(4096, i % 16).unwrap())
+            .collect();
+        for &(stack, unit) in &readers {
+            for &bl in &blocks {
+                rt.read(UnitId { stack, unit }, bl, 4096).unwrap();
+            }
+        }
+        // The arbiter caches: at most one mesh fetch per (block, stack).
+        let stats = rt.stats();
+        prop_assert!(stats.remote_ops <= (n_blocks * 15) as u64);
+        prop_assert_eq!(
+            stats.local_ops + stats.remote_ops + stats.filtered_ops,
+            (readers.len() * n_blocks) as u64
+        );
+    }
+
+    #[test]
+    fn flat_scheme_always_pays_per_reader(
+        readers in prop::collection::vec(1usize..16, 1..32),
+    ) {
+        let cfg = SystemConfig::paper_table3();
+        let mut rt = NdftRuntime::new(&cfg, CommScheme::Flat);
+        let bl = rt.alloc_shared(1024, 0).unwrap();
+        let mut remote = 0u64;
+        for &stack in &readers {
+            let r = rt.read(UnitId { stack, unit: 0 }, bl, 1024).unwrap();
+            prop_assert!(r.remote);
+            remote += 1;
+        }
+        prop_assert_eq!(rt.stats().remote_ops, remote);
+        prop_assert_eq!(rt.stats().filtered_ops, 0);
+    }
+
+    #[test]
+    fn latencies_are_positive_and_monotone_in_size(
+        len_small in 64u64..4096,
+        factor in 2u64..16,
+    ) {
+        let cfg = SystemConfig::paper_table3();
+        let mut rt = NdftRuntime::new(&cfg, CommScheme::Hierarchical);
+        let a = rt.alloc_shared(len_small * factor, 0).unwrap();
+        let small = rt.read(UnitId { stack: 0, unit: 0 }, a, len_small).unwrap();
+        let large = rt.read(UnitId { stack: 0, unit: 0 }, a, len_small * factor).unwrap();
+        prop_assert!(small.latency > 0.0);
+        prop_assert!(large.latency >= small.latency);
+    }
+}
+
+// --- Coherence-protocol invariants. ---
+
+mod coherence_props {
+    use ndft_shmem::coherence::CoherenceController;
+    use ndft_shmem::SharedBl;
+    use proptest::prelude::*;
+
+    /// A random schedule of reads and (acquire, release) write pairs.
+    #[derive(Debug, Clone)]
+    enum Op {
+        Read { stack: usize },
+        Write { stack: usize },
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            prop_oneof![
+                (0usize..8).prop_map(|stack| Op::Read { stack }),
+                (0usize..8).prop_map(|stack| Op::Write { stack }),
+            ],
+            1..200,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn protocol_invariants_hold_under_random_schedules(ops in arb_ops()) {
+            let mut cc = CoherenceController::new(8);
+            let bl = SharedBl(7);
+            cc.register(bl, 0).unwrap();
+            let mut reads = 0u64;
+            let mut version = 0u64;
+            for op in &ops {
+                match *op {
+                    Op::Read { stack } => {
+                        let out = cc.read(bl, stack).unwrap();
+                        reads += 1;
+                        // A read always observes the current version.
+                        prop_assert_eq!(out.version, version);
+                        // Immediately after a read, the reader's copy is valid.
+                        prop_assert!(!cc.read(bl, stack).unwrap().fetched);
+                        reads += 1;
+                    }
+                    Op::Write { stack } => {
+                        cc.acquire_write(bl, stack).unwrap();
+                        cc.release_write(bl, stack).unwrap();
+                        version += 1;
+                        // After a commit only the writer holds a valid copy.
+                        prop_assert_eq!(cc.valid_copies(bl).unwrap(), 1);
+                    }
+                }
+                // Version is monotone and matches our shadow counter.
+                prop_assert_eq!(cc.version(bl).unwrap(), version);
+            }
+            let stats = cc.stats();
+            prop_assert_eq!(stats.read_hits + stats.read_fetches, reads);
+            prop_assert_eq!(stats.writes, version);
+        }
+
+        #[test]
+        fn valid_copies_grow_only_by_reads(
+            readers in prop::collection::vec(0usize..8, 0..32)
+        ) {
+            let mut cc = CoherenceController::new(8);
+            let bl = SharedBl(1);
+            cc.register(bl, 3).unwrap();
+            let mut seen = std::collections::HashSet::from([3usize]);
+            for &stack in &readers {
+                let _ = cc.read(bl, stack).unwrap();
+                seen.insert(stack);
+                prop_assert_eq!(cc.valid_copies(bl).unwrap(), seen.len());
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Energy model for the evaluation platforms.
+//!
+//! Near-data processing trades compute efficiency for data-movement
+//! efficiency; the canonical way to show it is energy per operation.
+//! This model uses published per-bit/per-FLOP energy constants
+//! (Horowitz ISSCC'14 lineage, HBM/DDR datasheet-class numbers) and
+//! integrates them over a kernel's FLOPs, memory traffic, and
+//! interconnect traffic.
+//!
+//! All constants are picojoules; results are joules.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants of one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy per double-precision FLOP (pJ).
+    pub pj_per_flop: f64,
+    /// Energy per byte moved through the main memory system (pJ/B).
+    pub pj_per_dram_byte: f64,
+    /// Energy per byte moved across the external interconnect —
+    /// host link, PCIe, or mesh (pJ/B).
+    pub pj_per_link_byte: f64,
+    /// Static/leakage power of the platform while the kernel runs (W).
+    pub static_watts: f64,
+}
+
+impl EnergyModel {
+    /// Server-class out-of-order CPU with off-package DDR4:
+    /// ~20 pJ/FLOP core energy, ~55 pJ/B DDR access (≈7 pJ/bit),
+    /// inter-socket traffic ~10 pJ/B.
+    pub fn server_cpu() -> Self {
+        EnergyModel {
+            pj_per_flop: 20.0,
+            pj_per_dram_byte: 55.0,
+            pj_per_link_byte: 10.0,
+            static_watts: 120.0,
+        }
+    }
+
+    /// Discrete GPU with on-package HBM2: efficient compute
+    /// (~8 pJ/FLOP), cheap HBM (~30 pJ/B), expensive PCIe (~175 pJ/B ≈
+    /// 22 pJ/bit including PHY + host DDR on the far side).
+    pub fn gpu_v100() -> Self {
+        EnergyModel {
+            pj_per_flop: 8.0,
+            pj_per_dram_byte: 30.0,
+            pj_per_link_byte: 175.0,
+            static_watts: 200.0,
+        }
+    }
+
+    /// NDP units in the logic layer: wimpy-core compute (~10 pJ/FLOP),
+    /// very cheap in-stack DRAM access through TSVs (~12 pJ/B ≈
+    /// 1.5 pJ/bit), mesh hops ~25 pJ/B.
+    pub fn ndp_stack() -> Self {
+        EnergyModel {
+            pj_per_flop: 10.0,
+            pj_per_dram_byte: 12.0,
+            pj_per_link_byte: 25.0,
+            static_watts: 60.0,
+        }
+    }
+
+    /// Host CPU of the CPU-NDP system: same core class as the server
+    /// CPU but every byte traverses the off-chip serial link (~60 pJ/B).
+    pub fn cpu_ndp_host() -> Self {
+        EnergyModel {
+            pj_per_flop: 20.0,
+            pj_per_dram_byte: 60.0,
+            pj_per_link_byte: 60.0,
+            static_watts: 60.0,
+        }
+    }
+
+    /// Dynamic energy of a kernel: FLOPs + DRAM traffic + link traffic.
+    pub fn dynamic_energy(&self, flops: u64, dram_bytes: u64, link_bytes: u64) -> f64 {
+        (flops as f64 * self.pj_per_flop
+            + dram_bytes as f64 * self.pj_per_dram_byte
+            + link_bytes as f64 * self.pj_per_link_byte)
+            * 1e-12
+    }
+
+    /// Total energy including static power over the kernel's runtime.
+    pub fn total_energy(
+        &self,
+        flops: u64,
+        dram_bytes: u64,
+        link_bytes: u64,
+        runtime_s: f64,
+    ) -> f64 {
+        self.dynamic_energy(flops, dram_bytes, link_bytes) + self.static_watts * runtime_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_byte_costs_dominate_streaming_kernels() {
+        // A face-splitting-style kernel: 6 FLOP per 48 B moved.
+        let m = EnergyModel::server_cpu();
+        let flops = 6_000_000u64;
+        let bytes = 48_000_000u64;
+        let compute = flops as f64 * m.pj_per_flop;
+        let memory = bytes as f64 * m.pj_per_dram_byte;
+        assert!(
+            memory > 10.0 * compute,
+            "memory energy dominates streaming kernels"
+        );
+    }
+
+    #[test]
+    fn ndp_moves_bytes_cheaper_than_everyone() {
+        let ndp = EnergyModel::ndp_stack();
+        let cpu = EnergyModel::server_cpu();
+        let gpu = EnergyModel::gpu_v100();
+        assert!(ndp.pj_per_dram_byte < cpu.pj_per_dram_byte);
+        assert!(ndp.pj_per_dram_byte < gpu.pj_per_dram_byte);
+    }
+
+    #[test]
+    fn gpu_computes_cheaper_than_cpu() {
+        assert!(EnergyModel::gpu_v100().pj_per_flop < EnergyModel::server_cpu().pj_per_flop);
+    }
+
+    #[test]
+    fn dynamic_energy_formula() {
+        let m = EnergyModel {
+            pj_per_flop: 1.0,
+            pj_per_dram_byte: 2.0,
+            pj_per_link_byte: 3.0,
+            static_watts: 0.0,
+        };
+        let e = m.dynamic_energy(1_000_000, 1_000_000, 1_000_000);
+        assert!((e - 6e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn static_power_adds_linearly_with_time() {
+        let m = EnergyModel::server_cpu();
+        let base = m.total_energy(0, 0, 0, 1.0);
+        let double = m.total_energy(0, 0, 0, 2.0);
+        assert!((double - 2.0 * base).abs() < 1e-12);
+        assert!((base - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pcie_byte_is_the_most_expensive_byte() {
+        let gpu = EnergyModel::gpu_v100();
+        assert!(gpu.pj_per_link_byte > gpu.pj_per_dram_byte);
+        assert!(gpu.pj_per_link_byte > EnergyModel::ndp_stack().pj_per_link_byte);
+    }
+}

@@ -1,0 +1,54 @@
+//! # ndft-sim
+//!
+//! Event-driven CPU–NDP system simulator: the substrate standing in for
+//! the paper's zsim + Ramulator stack.
+//!
+//! The pieces:
+//!
+//! * [`config`] — structural parameters; [`SystemConfig::paper_table3`]
+//!   reproduces the paper's Table III machine.
+//! * [`dram`] — bank/row/bus DRAM timing model with FR-FCFS scheduling and
+//!   HBM2/DDR4 presets.
+//! * [`cache`] — set-associative LRU caches and a three-level hierarchy.
+//! * [`noc`] — the 4×4 stack mesh with XY routing and link contention.
+//! * [`spm`] — logic-layer scratchpads with explicit allocation.
+//! * [`pattern`] — synthetic address streams (stream / strided / random).
+//! * [`engine`] — replay harness producing the measured [`Calibration`]
+//!   (effective bandwidth per memory system per pattern) consumed by the
+//!   machine models in `ndft-core`.
+//!
+//! ## Example
+//!
+//! ```
+//! use ndft_sim::{Calibration, CpuBaselineConfig, SystemConfig};
+//!
+//! let sys = SystemConfig::paper_table3();
+//! let cal = Calibration::measure(&sys, &CpuBaselineConfig::paper_baseline(), 7);
+//! // Near-data premise: in-stack streaming dwarfs what the host link offers.
+//! assert!(cal.ndp_aggregate.stream_bw > 10.0 * cal.host_to_stack.stream_bw);
+//! ```
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod energy;
+pub mod engine;
+pub mod noc;
+pub mod pattern;
+pub mod spm;
+pub mod timing;
+pub mod trace;
+
+pub use cache::{Cache, CacheOutcome, CacheStats, Hierarchy, HierarchyAccess};
+pub use config::{
+    CacheConfig, CpuBaselineConfig, CpuConfig, DramTimings, HostLinkConfig, MemoryConfig,
+    MeshConfig, NdpConfig, SpmConfig, SystemConfig,
+};
+pub use dram::{DramModel, DramStats, MemRequest, RowOutcome, RowPolicy, SchedPolicy};
+pub use energy::EnergyModel;
+pub use engine::{BandwidthProfile, Calibration};
+pub use noc::{MeshNoc, NocStats, Topology, Transfer};
+pub use pattern::AccessPattern;
+pub use spm::{Scratchpad, SpmError, SpmHandle};
+pub use timing::{CoreModel, CoreReport, CoreTimingConfig, KernelTrace, MemPort, MicroOp};
+pub use trace::Trace;

@@ -1,0 +1,217 @@
+//! Property-based tests of the architecture-simulator invariants.
+
+use ndft_sim::{
+    Cache, CacheConfig, DramModel, DramTimings, MemRequest, MeshNoc, SystemConfig, Topology,
+};
+use proptest::prelude::*;
+
+fn requests(addrs: Vec<u64>) -> Vec<MemRequest> {
+    addrs
+        .into_iter()
+        .map(|a| MemRequest {
+            addr: a,
+            is_write: false,
+            arrival: 0,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn dram_services_every_request_exactly_once(
+        addrs in prop::collection::vec(0u64..(1 << 28), 1..512)
+    ) {
+        let mut d = DramModel::new(DramTimings::hbm2(), 8, 16, 2048);
+        let stats = d.service_batch(&requests(addrs.clone()));
+        prop_assert_eq!(stats.requests, addrs.len() as u64);
+        prop_assert_eq!(
+            stats.row_hits + stats.row_closed + stats.row_conflicts,
+            addrs.len() as u64
+        );
+        prop_assert_eq!(stats.bytes, addrs.len() as u64 * 32);
+    }
+
+    #[test]
+    fn dram_bandwidth_never_exceeds_pin_rate(
+        addrs in prop::collection::vec(0u64..(1 << 28), 64..2048)
+    ) {
+        let t = DramTimings::hbm2();
+        let mut d = DramModel::new(t, 8, 16, 2048);
+        let stats = d.service_batch(&requests(addrs));
+        let bw = stats.bandwidth(t.clock_hz);
+        prop_assert!(bw <= 8.0 * t.channel_peak_bw() * 1.001, "bw {bw}");
+    }
+
+    #[test]
+    fn dram_latency_at_least_idle_minimum(
+        addrs in prop::collection::vec(0u64..(1 << 28), 1..256)
+    ) {
+        let t = DramTimings::hbm2();
+        let mut d = DramModel::new(t, 8, 16, 2048);
+        let n = addrs.len() as u64;
+        let stats = d.service_batch(&requests(addrs));
+        // Every request takes at least tCAS + tBURST.
+        prop_assert!(stats.total_latency_cycles >= n * (t.t_cas + t.t_burst));
+    }
+
+    #[test]
+    fn cache_hits_plus_cold_misses_account_for_everything(
+        lines in prop::collection::vec(0u64..256, 1..2000)
+    ) {
+        let cfg = CacheConfig { size_bytes: 1 << 20, ways: 16, line_bytes: 64, hit_latency: 4 };
+        // 256 distinct lines always fit a 16 Ki-line cache: after the cold
+        // miss, every access hits.
+        let mut c = Cache::new(cfg);
+        let mut cold = std::collections::HashSet::new();
+        let mut expected_hits = 0u64;
+        for &l in &lines {
+            if !cold.insert(l) {
+                expected_hits += 1;
+            }
+            let _ = c.access(l * 64, false);
+        }
+        prop_assert_eq!(c.stats().hits, expected_hits);
+    }
+
+    #[test]
+    fn noc_done_after_start_and_stats_consistent(
+        pairs in prop::collection::vec((0usize..16, 0usize..16, 1u64..65536), 1..64)
+    ) {
+        for topo in [Topology::Mesh, Topology::Torus, Topology::Ring] {
+            let mut noc = MeshNoc::with_topology(SystemConfig::paper_table3().mesh, topo);
+            let mut bytes = 0u64;
+            for &(f, t, b) in &pairs {
+                let tr = noc.transfer(f, t, b, 0);
+                prop_assert!(tr.done >= tr.start);
+                bytes += b;
+            }
+            prop_assert_eq!(noc.stats().messages, pairs.len() as u64);
+            prop_assert_eq!(noc.stats().bytes, bytes);
+        }
+    }
+
+    #[test]
+    fn noc_hops_match_route_length(from in 0usize..16, to in 0usize..16) {
+        for topo in [Topology::Mesh, Topology::Torus, Topology::Ring] {
+            let mut noc = MeshNoc::with_topology(SystemConfig::paper_table3().mesh, topo);
+            let path = noc.route(from, to);
+            let tr = noc.transfer(from, to, 64, 0);
+            prop_assert_eq!(tr.hops as usize, path.len() - 1, "{:?}", topo);
+        }
+    }
+
+    #[test]
+    fn contention_is_monotone_in_load(
+        n in 1usize..32,
+        bytes in 64u64..16384
+    ) {
+        // Sending the same transfer repeatedly on one path: each completion
+        // is no earlier than the previous.
+        let mut noc = MeshNoc::new(SystemConfig::paper_table3().mesh);
+        let mut last = 0;
+        for _ in 0..n {
+            let t = noc.transfer(0, 3, bytes, 0);
+            prop_assert!(t.done >= last);
+            last = t.done;
+        }
+    }
+}
+
+// --- Core timing model invariants. ---
+
+mod timing_props {
+    use ndft_sim::timing::{CoreModel, KernelTrace, MemPort, MicroOp};
+    use ndft_sim::{AccessPattern, SystemConfig};
+    use proptest::prelude::*;
+
+    fn port() -> MemPort {
+        MemPort {
+            fill_latency_s: 60e-9,
+            bandwidth_bps: 16.0e9,
+        }
+    }
+
+    fn arb_pattern() -> impl Strategy<Value = AccessPattern> {
+        prop_oneof![
+            Just(AccessPattern::Stream),
+            (64usize..8192).prop_map(|s| AccessPattern::Strided { stride_bytes: s }),
+            (1u64 << 16..1 << 26).prop_map(|r| AccessPattern::Random { range_bytes: r }),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn ipc_never_exceeds_issue_width(
+            n in 16usize..2048,
+            flops in 0.0f64..8.0,
+            pattern in arb_pattern(),
+            seed in 0u64..1000,
+        ) {
+            let sys = SystemConfig::paper_table3();
+            let trace = KernelTrace::from_mix(n, flops, pattern, seed);
+            let mut cpu = CoreModel::cpu_core(&sys.cpu, port());
+            let r = cpu.run(&trace);
+            prop_assert!(r.ipc() <= sys.cpu.issue_width as f64 + 1e-9, "ipc {}", r.ipc());
+            prop_assert!(r.cycles + 1e-9 >= r.issue_cycles);
+            prop_assert_eq!(r.instructions, trace.instructions());
+        }
+
+        #[test]
+        fn fills_bounded_by_memory_ops(
+            n in 16usize..2048,
+            pattern in arb_pattern(),
+            seed in 0u64..1000,
+        ) {
+            let sys = SystemConfig::paper_table3();
+            let trace = KernelTrace::from_mix(n, 1.0, pattern, seed);
+            let mut ndp = CoreModel::ndp_core(&sys.ndp, port());
+            let r = ndp.run(&trace);
+            // Demand fills cannot exceed the number of memory ops.
+            prop_assert!(r.dram_fills <= trace.memory_ops() as u64);
+            prop_assert!(r.prefetch_hits <= r.prefetch_issued);
+        }
+
+        #[test]
+        fn runs_are_deterministic(
+            n in 16usize..512,
+            pattern in arb_pattern(),
+            seed in 0u64..1000,
+        ) {
+            let sys = SystemConfig::paper_table3();
+            let trace = KernelTrace::from_mix(n, 2.0, pattern, seed);
+            let mut a = CoreModel::cpu_core(&sys.cpu, port());
+            let mut b = CoreModel::cpu_core(&sys.cpu, port());
+            prop_assert_eq!(a.run(&trace), b.run(&trace));
+        }
+
+        #[test]
+        fn more_compute_never_reduces_cycles(
+            n in 16usize..512,
+            seed in 0u64..1000,
+        ) {
+            let sys = SystemConfig::paper_table3();
+            let lean = KernelTrace::from_mix(n, 1.0, AccessPattern::Stream, seed);
+            let fat = KernelTrace::from_mix(n, 8.0, AccessPattern::Stream, seed);
+            let mut a = CoreModel::cpu_core(&sys.cpu, port());
+            let mut b = CoreModel::cpu_core(&sys.cpu, port());
+            let ra = a.run(&lean);
+            let rb = b.run(&fat);
+            prop_assert!(rb.cycles + 1e-9 >= ra.cycles);
+        }
+
+        #[test]
+        fn store_only_traces_work(addrs in prop::collection::vec(0u64..(1 << 24), 1..256)) {
+            let sys = SystemConfig::paper_table3();
+            let ops: Vec<MicroOp> = addrs.iter().map(|&a| MicroOp::Store { addr: a }).collect();
+            let trace = KernelTrace::new(ops);
+            let mut core = CoreModel::cpu_core(&sys.cpu, port());
+            let r = core.run(&trace);
+            prop_assert_eq!(r.instructions, addrs.len() as u64);
+            prop_assert!(r.cycles > 0.0);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Absorption spectrum of a small silicon system: oscillator strengths
+//! from the LR-TDDFT eigenvectors, Lorentzian-broadened into the curve a
+//! spectroscopist would plot. Prints an ASCII rendition.
+//!
+//! Run with: `cargo run --release --example absorption_spectrum [atoms]`
+
+use ndft::dft::{model_oscillator_spectrum, SiliconSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let atoms: usize = std::env::args()
+        .nth(1)
+        .map(|s| s.parse())
+        .transpose()?
+        .unwrap_or(16);
+    let sys = SiliconSystem::new(atoms)?;
+    println!("Computing the LR-TDDFT absorption spectrum of {sys} …\n");
+    let spec = model_oscillator_spectrum(&sys)?;
+
+    println!("Brightest excitations:");
+    let mut ranked: Vec<(usize, f64)> = spec.strengths.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    for (idx, f) in ranked.iter().take(5) {
+        println!("  ω = {:>7.4} eV   f = {:.4e}", spec.energies_ev[*idx], f);
+    }
+
+    let lo = spec.energies_ev.first().copied().unwrap_or(0.0) - 0.5;
+    let hi = spec.energies_ev.last().copied().unwrap_or(10.0) + 0.5;
+    let curve = spec.broadened(lo.max(0.0), hi, 48, 0.1);
+    let peak = curve.iter().map(|(_, a)| *a).fold(0.0f64, f64::max);
+    println!("\nBroadened spectrum (γ = 0.1 eV):");
+    for (e, a) in &curve {
+        let bars = if peak > 0.0 {
+            (a / peak * 56.0).round() as usize
+        } else {
+            0
+        };
+        println!("{e:>7.3} eV │{}", "█".repeat(bars));
+    }
+    Ok(())
+}

@@ -1,0 +1,78 @@
+//! Model silicon band structure along L–Γ–X–W–Γ.
+//!
+//! Renders the folded-free-electron bands (with the model's 1.1 eV
+//! scissor gap — the same band model the LR-TDDFT driver uses at Γ) as
+//! an ASCII band diagram, plus the Monkhorst–Pack grids a small-cell
+//! calculation would sample.
+//!
+//! Run with: `cargo run --release --example band_structure`
+
+use ndft::dft::{band_structure, monkhorst_pack, si_path};
+
+const ROWS: usize = 24;
+const MAX_EV: f64 = 14.0;
+
+fn main() {
+    let path = si_path(16);
+    let bands = band_structure(&path, 8, 1.1);
+
+    println!(
+        "Model Si bands (empty lattice + 1.1 eV scissor), {} k-points\n",
+        path.len()
+    );
+    // ASCII raster: rows = energy bins (top = MAX_EV), cols = k-points.
+    let cols = path.len();
+    let mut raster = vec![vec![' '; cols]; ROWS];
+    for band in &bands.energies {
+        for (pi, &e) in band.iter().enumerate() {
+            if e <= MAX_EV {
+                let row = ((1.0 - e / MAX_EV) * (ROWS - 1) as f64).round() as usize;
+                raster[row][pi] = '●';
+            }
+        }
+    }
+    for (r, row) in raster.iter().enumerate() {
+        let ev = MAX_EV * (1.0 - r as f64 / (ROWS - 1) as f64);
+        let line: String = row.iter().collect();
+        println!("{ev:5.1} │{line}");
+    }
+    let mut axis = vec![' '; cols];
+    for (pi, p) in path.iter().enumerate() {
+        if !p.label.is_empty() {
+            axis[pi] = p.label.chars().next().unwrap_or('?');
+        }
+    }
+    println!("      └{}", "─".repeat(cols));
+    println!("       {}", axis.iter().collect::<String>());
+
+    println!(
+        "\nDirect gap along path: {:.3} eV   indirect: {:.3} eV   bandwidth: {:.1} eV",
+        bands.direct_gap(),
+        bands.indirect_gap(),
+        bands.bandwidth()
+    );
+    println!(
+        "(The negative indirect gap is the empty-lattice artifact the module\n\
+         docs disclaim: free-electron bands overlap by more than the scissor,\n\
+         and it is hybridization — absent from this model — that opens real\n\
+         silicon's indirect gap. The direct gap, which LR-TDDFT excites, is\n\
+         pinned at the scissor by construction.)"
+    );
+
+    println!("\nMonkhorst–Pack grids a small-cell run would use:");
+    for n in [2usize, 3, 4] {
+        let grid = monkhorst_pack(n, n, n);
+        let has_gamma = grid.iter().any(|k| k.frac == [0.0, 0.0, 0.0]);
+        println!(
+            "  {n}×{n}×{n}: {:>3} points, Γ {}  (weights sum to {:.3})",
+            grid.len(),
+            if has_gamma { "included" } else { "straddled" },
+            grid.iter().map(|k| k.weight).sum::<f64>()
+        );
+    }
+    println!(
+        "\nThe paper's Si_16…Si_2048 supercells fold this entire zone onto Γ,\n\
+         which is why their pipeline samples a single k-point; explicit grids\n\
+         matter for the small unit cells a downstream user might start from."
+    );
+}

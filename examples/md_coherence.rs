@@ -1,0 +1,58 @@
+//! Ab-initio-MD write traffic meets the shared-block coherence protocol.
+//!
+//! The paper evaluates one static geometry; in production, LR-TDDFT sits
+//! inside a molecular-dynamics loop where atoms move every step and the
+//! pseudopotential blocks of displaced atoms must be rebuilt and
+//! re-propagated to every stack that cached them. This example measures
+//! that write intensity from an actual MD trajectory (velocity-Verlet on
+//! the harmonic diamond lattice) at several temperatures, then feeds it
+//! into the coherence protocol to see how much of the hierarchical
+//! scheme's caching benefit survives.
+//!
+//! Run with: `cargo run --release --example md_coherence`
+
+use ndft::dft::{run_md, MdOptions, SiliconSystem};
+use ndft::shmem::coherence::simulate_update_cycle;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sys = SiliconSystem::new(64)?;
+    println!(
+        "MD on {} (harmonic diamond lattice, dt = 0.5 fs, 400 steps):\n",
+        sys.label()
+    );
+    println!(
+        "{:>7} {:>14} {:>14} {:>16} {:>16}",
+        "T (K)", "drift (Å)", "rebuild/step", "coherence save", "naive refetch"
+    );
+    for temperature in [100.0, 300.0, 600.0, 1200.0] {
+        let traj = run_md(
+            &sys,
+            &MdOptions {
+                temperature_k: temperature,
+                steps: 400,
+                ..MdOptions::default()
+            },
+        );
+        let write_fraction = traj.mean_rebuild_fraction().clamp(0.0, 1.0);
+        // One shared block per atom, 16 stacks, 10 response iterations.
+        let report = simulate_update_cycle(16, sys.atoms(), 10, write_fraction);
+        println!(
+            "{:>7} {:>14.4} {:>13.1}% {:>15.1}% {:>16}",
+            temperature,
+            traj.final_mean_displacement,
+            100.0 * write_fraction,
+            100.0 * report.traffic_saving(),
+            report.naive_fetches
+        );
+    }
+    println!(
+        "\nReading: at 100–300 K almost no atom crosses the 0.05 Å projector\n\
+         threshold per LR-TDDFT iteration, so version-based invalidation\n\
+         preserves nearly all of the hierarchical scheme's traffic filtering.\n\
+         Hot trajectories rewrite more blocks and push the protocol toward\n\
+         the refetch-everything floor — the regime where the paper's static\n\
+         shared-block layout would need the coherence layer this repository\n\
+         adds (DESIGN.md §8)."
+    );
+    Ok(())
+}

@@ -1,0 +1,96 @@
+//! Trace-driven what-if: replay identical memory traffic against
+//! different memory systems — the experiment style zsim/Ramulator users
+//! run daily, on our substrate.
+//!
+//! Records one trace per access pattern, then replays it against the
+//! CPU baseline's DDR4 channels, one HBM2 stack, and an HBM2 stack with
+//! refresh disabled, printing achieved bandwidth and row-buffer behaviour.
+//!
+//! Run with: `cargo run --release --example memory_whatif`
+
+use ndft::sim::{AccessPattern, CpuBaselineConfig, DramModel, SystemConfig, Trace};
+
+fn main() {
+    let sys = SystemConfig::paper_table3();
+    let base = CpuBaselineConfig::paper_baseline();
+
+    let patterns = [
+        ("stream", AccessPattern::Stream),
+        (
+            "strided 65×",
+            AccessPattern::Strided {
+                stride_bytes: 65 * 64,
+            },
+        ),
+        (
+            "random 1 GiB",
+            AccessPattern::Random {
+                range_bytes: 1 << 30,
+            },
+        ),
+    ];
+
+    println!("Replaying byte-identical traffic against three memory systems");
+    println!("(each trace is regenerated at the device's burst granularity)\n");
+    println!(
+        "{:<14} {:<22} {:>12} {:>10} {:>10}",
+        "pattern", "memory system", "bandwidth", "row hits", "conflicts"
+    );
+    const TOTAL_BYTES: usize = 16_384 * 64;
+    for (name, pattern) in patterns {
+        let mut systems: Vec<(&str, DramModel, f64)> = vec![
+            (
+                "DDR4 ×8 (Xeon)",
+                DramModel::new(
+                    base.timings,
+                    base.channels,
+                    base.banks_per_channel,
+                    base.row_bytes,
+                ),
+                base.timings.clock_hz,
+            ),
+            (
+                "HBM2 stack ×8ch",
+                DramModel::new(
+                    sys.memory.timings,
+                    sys.memory.channels_per_stack,
+                    sys.memory.banks_per_channel,
+                    sys.memory.row_bytes,
+                ),
+                sys.memory.timings.clock_hz,
+            ),
+            {
+                let mut t = sys.memory.timings;
+                t.t_refi = 0; // what-if: no refresh
+                (
+                    "HBM2, no refresh",
+                    DramModel::new(
+                        t,
+                        sys.memory.channels_per_stack,
+                        sys.memory.banks_per_channel,
+                        sys.memory.row_bytes,
+                    ),
+                    t.clock_hz,
+                )
+            },
+        ];
+        for (label, dram, clock) in systems.iter_mut() {
+            let burst = dram.burst_bytes();
+            let trace = Trace::from_pattern(pattern, TOTAL_BYTES / burst, burst, 42);
+            let stats = trace.replay(dram);
+            println!(
+                "{:<14} {:<22} {:>9.1} GB/s {:>9.1}% {:>10}",
+                name,
+                label,
+                stats.bandwidth(*clock) / 1e9,
+                100.0 * stats.row_hit_rate(),
+                stats.row_conflicts
+            );
+        }
+        println!();
+    }
+    println!("Takeaways: streams ride open rows on both technologies; random");
+    println!("traffic collapses to row-cycle rates everywhere — the reason the");
+    println!("pseudopotential gathers needed the shared-block redesign; refresh");
+    println!("costs a few percent of streaming bandwidth.");
+}

@@ -1,0 +1,46 @@
+//! Quickstart: the two faces of the NDFT reproduction in one file.
+//!
+//! 1. Run the *numeric* LR-TDDFT pipeline (real FFTs, GEMM, SYEVD) on a
+//!    small silicon system and print its excitation spectrum.
+//! 2. Run the *timed* pipeline on the paper's small evaluation system and
+//!    print the CPU / GPU / NDFT comparison of Fig. 7(a).
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ndft::core::report::{fmt_time, render_run};
+use ndft::core::{run_cpu_baseline, run_gpu_baseline, run_ndft};
+use ndft::dft::{build_task_graph, run_lr_tddft, SiliconSystem};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- Part 1: real physics on Si_16. ---
+    let si16 = SiliconSystem::new(16)?;
+    println!("Running numeric LR-TDDFT on {si16} …");
+    let spectrum = run_lr_tddft(&si16)?;
+    println!(
+        "Response Hamiltonian: {}×{}, Hermiticity deviation {:.2e}",
+        spectrum.hamiltonian_dim, spectrum.hamiltonian_dim, spectrum.hermiticity_error
+    );
+    println!("Optical gap: {:.3} eV", spectrum.optical_gap());
+    println!("Lowest 8 excitation energies (eV):");
+    for (i, e) in spectrum.energies_ev.iter().take(8).enumerate() {
+        println!("  ω_{i} = {e:.4}");
+    }
+
+    // --- Part 2: the paper's small-system evaluation (Fig. 7a). ---
+    let small = SiliconSystem::small();
+    println!("\nTiming the LR-TDDFT pipeline on {small} across platforms …");
+    let graph = build_task_graph(&small, 1);
+    let cpu = run_cpu_baseline(&graph);
+    let gpu = run_gpu_baseline(&graph);
+    let ndft = run_ndft(&graph);
+    print!("{}", render_run(&cpu));
+    print!("{}", render_run(&gpu));
+    print!("{}", render_run(&ndft));
+    println!(
+        "\nNDFT: {} total — {:.2}x over CPU (paper: 1.9x), {:.2}x over GPU (paper: 1.6x)",
+        fmt_time(ndft.total()),
+        ndft.speedup_over(&cpu),
+        ndft.speedup_over(&gpu)
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! NDFT umbrella crate: re-exports the whole workspace public API.
+pub use ndft_core as core;
+pub use ndft_dft as dft;
+pub use ndft_numerics as numerics;
+pub use ndft_sched as sched;
+pub use ndft_shmem as shmem;
+pub use ndft_sim as sim;

@@ -1,0 +1,125 @@
+//! End-to-end anchors: every headline number of the paper's evaluation,
+//! asserted as a *shape* (who wins, by roughly what factor).
+
+use ndft::core::{fig7, fig8, other_discussion, table1};
+use ndft::dft::KernelKind;
+use ndft::shmem::Platform;
+
+#[test]
+fn fig7_small_system_speedups() {
+    let (small, _) = fig7();
+    let vs_cpu = small.ndft_over_cpu();
+    let vs_gpu = small.ndft_over_gpu();
+    // Paper: 1.9× over CPU, 1.6× over GPU.
+    assert!(vs_cpu > 1.2 && vs_cpu < 4.0, "NDFT vs CPU small {vs_cpu}");
+    assert!(vs_gpu > 0.9 && vs_gpu < 3.0, "NDFT vs GPU small {vs_gpu}");
+}
+
+#[test]
+fn fig7_large_system_speedups() {
+    let (_, large) = fig7();
+    let vs_cpu = large.ndft_over_cpu();
+    let vs_gpu = large.ndft_over_gpu();
+    // Paper: 5.2× over CPU, 2.5× over GPU.
+    assert!(vs_cpu > 3.5 && vs_cpu < 7.5, "NDFT vs CPU large {vs_cpu}");
+    assert!(vs_gpu > 1.5 && vs_gpu < 4.0, "NDFT vs GPU large {vs_gpu}");
+}
+
+#[test]
+fn fig7_fft_headline() {
+    // Paper: FFT achieves 11.2× on the large system.
+    let (_, large) = fig7();
+    let ratio = large.cpu.kind_time(KernelKind::Fft) / large.ndft.kind_time(KernelKind::Fft);
+    assert!(ratio > 8.0 && ratio < 15.0, "FFT speedup {ratio}");
+}
+
+#[test]
+fn fig7_face_splitting_small_system() {
+    // Paper: face-splitting product achieves 1.99× in the small system.
+    let (small, _) = fig7();
+    let ratio = small.cpu.kind_time(KernelKind::FaceSplitting)
+        / small.ndft.kind_time(KernelKind::FaceSplitting);
+    assert!(ratio > 1.5 && ratio < 6.0, "face-splitting speedup {ratio}");
+}
+
+#[test]
+fn fig7_gpu_wins_gemm_moderately() {
+    // Paper: GPU GEMM outperforms NDFT's by 22.2 % on the large system.
+    let (_, large) = fig7();
+    let gpu = large.gpu.kind_time(KernelKind::Gemm);
+    let ndft = large.ndft.kind_time(KernelKind::Gemm);
+    assert!(ndft > gpu, "GPU should win GEMM");
+    assert!(ndft / gpu < 2.0, "but only moderately: {:.2}", ndft / gpu);
+}
+
+#[test]
+fn fig7_scheduling_overhead_is_minimal() {
+    // Paper: 3.8 % (small) and 4.9 % (large).
+    let (small, large) = fig7();
+    assert!(small.ndft.sched_overhead_fraction() < 0.10);
+    assert!(large.ndft.sched_overhead_fraction() < 0.10);
+}
+
+#[test]
+fn fig8_scalability_shape() {
+    let rows = fig8();
+    assert_eq!(rows.len(), 7);
+    // Speedup grows with system size through Si_1024 …
+    for w in rows.windows(2).take(5) {
+        assert!(w[1].ndft_speedup > w[0].ndft_speedup);
+    }
+    // … peaking in the 5–6× band (paper: 5.33× max).
+    let peak = rows.iter().map(|r| r.ndft_speedup).fold(0.0, f64::max);
+    assert!(peak > 4.5 && peak < 7.0, "peak {peak}");
+    // NDFT leads the GPU from Si_64 onward.
+    for r in rows.iter().skip(2) {
+        assert!(r.ndft_speedup > r.gpu_speedup, "{}", r.system);
+    }
+}
+
+#[test]
+fn table1_footprint_shape() {
+    let rows = table1();
+    let get = |sys: &str, p: Platform| {
+        rows.iter()
+            .find(|r| r.system == sys && r.platform == p)
+            .unwrap()
+            .gib()
+    };
+    // CPU column calibrated to the paper (1.84 / 13.8 GB).
+    assert!((get("Si_64", Platform::Cpu) - 1.84).abs() < 0.05);
+    assert!((get("Si_1024", Platform::Cpu) - 13.8).abs() < 0.2);
+    // NDP inflation: paper +140.2 % (small), +155.7 % (large).
+    let infl_small = get("Si_64", Platform::NdpReplicated) / get("Si_64", Platform::Cpu);
+    let infl_large = get("Si_1024", Platform::NdpReplicated) / get("Si_1024", Platform::Cpu);
+    assert!(infl_small > 2.0 && infl_small < 3.0);
+    assert!(infl_large > infl_small);
+    // NDP large system uses over half of memory (paper 55.15 %).
+    let frac = rows
+        .iter()
+        .find(|r| r.system == "Si_1024" && r.platform == Platform::NdpReplicated)
+        .unwrap()
+        .fraction;
+    assert!(frac > 0.5);
+}
+
+#[test]
+fn section6a_other_discussion() {
+    let (small, large) = fig7();
+    let od = other_discussion(&small, &large);
+    // Paper: −57.8 % footprint vs NDP; ≈1.08× CPU.
+    assert!(od.footprint_reduction > 0.5 && od.footprint_reduction < 0.7);
+    assert!(od.footprint_vs_cpu > 0.9 && od.footprint_vs_cpu < 1.25);
+    // Global Comm comparable to the GPU baseline (paper: +3.2 %).
+    assert!(od.global_comm_vs_gpu < 1.25);
+}
+
+#[test]
+fn memory_bound_kernels_beat_gpu_and_grow() {
+    // Paper: memory-bound kernels improve 2.1× / 5.2× over the GPU.
+    let (small, large) = fig7();
+    let s = small.memory_bound_speedup_over(&small.gpu);
+    let l = large.memory_bound_speedup_over(&large.gpu);
+    assert!(l > 2.0, "large {l}");
+    assert!(l > s, "{s} → {l}");
+}
