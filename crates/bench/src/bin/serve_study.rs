@@ -1,0 +1,73 @@
+//! Serving-layer study: placement policies and batching under a job mix.
+//!
+//! Part 1 sweeps the paper suite across every [`PlacementPolicy`],
+//! reporting modeled end-to-end time per policy (the service analogue of
+//! the scheduler ablation). Part 2 pushes a live mixed stream through
+//! [`DftService`] and prints the resulting `ServeReport`.
+
+use ndft_bench::print_header;
+use ndft_dft::{build_task_graph, SiliconSystem};
+use ndft_serve::{plan_placement, DftJob, DftService, PlacementPolicy, ServeConfig};
+
+fn main() {
+    print_header("serving-layer policy and batching study");
+
+    // --- Part 1: policy sweep over the paper suite (modeled). ---
+    println!("modeled end-to-end seconds per placement policy:\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "system", "cost-aware", "greedy", "exhaustive", "cpu-pinned", "ndp-pinned"
+    );
+    let policies = [
+        PlacementPolicy::CostAware,
+        PlacementPolicy::Greedy,
+        PlacementPolicy::Exhaustive,
+        PlacementPolicy::CpuPinned,
+        PlacementPolicy::NdpPinned,
+    ];
+    for system in SiliconSystem::paper_suite() {
+        let graph = build_task_graph(&system, 1);
+        print!("{:>10}", system.label());
+        for policy in policies {
+            let d = plan_placement(&graph, policy);
+            print!(" {:>12.4}", d.modeled_time());
+        }
+        println!();
+    }
+
+    // --- Part 2: a live mixed stream through the engine. ---
+    println!("\nlive stream: 40 mixed jobs (SCF / MD / spectra), 4 workers\n");
+    let svc = DftService::start(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    });
+    let mut tickets = Vec::new();
+    for i in 0..40u64 {
+        let job = match i % 4 {
+            0 => DftJob::GroundState {
+                atoms: 8,
+                bands: 4,
+                max_iterations: 4,
+            },
+            1 => DftJob::MdSegment {
+                atoms: 64,
+                steps: 10,
+                temperature_k: 300.0,
+                seed: i % 8,
+            },
+            2 => DftJob::Spectrum {
+                atoms: 16,
+                full_casida: false,
+            },
+            _ => DftJob::Spectrum {
+                atoms: 16,
+                full_casida: true,
+            },
+        };
+        tickets.push(svc.submit_blocking(job).expect("submit"));
+    }
+    for t in &tickets {
+        t.wait().expect("job completes");
+    }
+    println!("{}", svc.shutdown());
+}

@@ -90,9 +90,7 @@ impl Machine for CpuBaselineMachine {
 
     fn time_stage(&self, d: &KernelDescriptor) -> StageTime {
         let c = &self.consts;
-        let util = (d.parallelism as f64 / self.cores as f64)
-            .min(1.0)
-            .max(1e-3);
+        let util = (d.parallelism as f64 / self.cores as f64).clamp(1e-3, 1.0);
         let eff = flop_efficiency(
             d.arithmetic_intensity(),
             c.cpu_eff_low_ai,
@@ -268,9 +266,7 @@ impl CpuNdpMachine {
         let c = &self.consts;
         match side {
             Side::Host => {
-                let util = (d.parallelism as f64 / self.host_cores as f64)
-                    .min(1.0)
-                    .max(1e-3);
+                let util = (d.parallelism as f64 / self.host_cores as f64).clamp(1e-3, 1.0);
                 let eff = flop_efficiency(
                     d.arithmetic_intensity(),
                     c.host_eff_low_ai,
@@ -289,9 +285,7 @@ impl CpuNdpMachine {
                 }
             }
             Side::Ndp => {
-                let util = (d.parallelism as f64 / self.ndp_cores as f64)
-                    .min(1.0)
-                    .max(1e-3);
+                let util = (d.parallelism as f64 / self.ndp_cores as f64).clamp(1e-3, 1.0);
                 let eff = flop_efficiency(
                     d.arithmetic_intensity(),
                     c.ndp_eff_low_ai,

@@ -111,12 +111,7 @@ pub fn alltoall_volume(volume: u64, topo: ProcessTopology) -> CommVolume {
 
 /// Bytes each process contributes to a balanced all-to-all.
 pub fn per_process_send(volume: u64, topo: ProcessTopology) -> u64 {
-    let p = topo.total() as u64;
-    if p == 0 {
-        0
-    } else {
-        volume / p
-    }
+    volume.checked_div(topo.total() as u64).unwrap_or(0)
 }
 
 #[cfg(test)]

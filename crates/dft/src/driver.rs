@@ -249,9 +249,9 @@ pub fn response_parts(
     }
 
     let mut delta_eps = Vec::with_capacity(npair);
-    for v in 0..nv {
-        for c in 0..nc {
-            delta_eps.push(eps_c[c] - eps_v[v]);
+    for &ev in eps_v {
+        for &ec in eps_c {
+            delta_eps.push(ec - ev);
         }
     }
     (delta_eps, coupling)

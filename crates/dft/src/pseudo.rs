@@ -161,8 +161,8 @@ pub fn apply_nonlocal(psi: &mut [Complex64], pseudos: &[AtomPseudo], volume_elem
         // ψ += Σ_p D_p · coef_p · β_p
         for (j, &idx) in ap.indices.iter().enumerate() {
             let mut acc = Complex64::ZERO;
-            for p in 0..N_PROJ {
-                acc += coef[p].scale(ap.coefficients[p] * ap.projectors[(p, j)]);
+            for (p, cf) in coef.iter().enumerate() {
+                acc += cf.scale(ap.coefficients[p] * ap.projectors[(p, j)]);
             }
             psi[idx as usize] += acc;
         }

@@ -107,14 +107,14 @@ pub fn oscillator_spectrum(
 
     // Transition dipoles d_vc per Cartesian axis.
     let mut dipoles = vec![[Complex64::ZERO; 3]; npair];
-    for axis in 0..3 {
-        let w = periodic_position(system, axis);
+    let weights: [Vec<f64>; 3] = std::array::from_fn(|axis| periodic_position(system, axis));
+    for (axis, w) in weights.iter().enumerate() {
         for v in 0..nv {
             let vrow = valence.row(v);
             for c in 0..nc {
                 let crow = conduction.row(c);
                 let mut acc = Complex64::ZERO;
-                for ((a, b), &wi) in vrow.iter().zip(crow).zip(&w) {
+                for ((a, b), &wi) in vrow.iter().zip(crow).zip(w) {
                     acc += (a.conj() * *b).scale(wi);
                 }
                 dipoles[v * nc + c][axis] = acc.scale(dv);

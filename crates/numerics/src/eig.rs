@@ -388,10 +388,10 @@ fn tql2(v: &mut Mat, d: &mut [f64], e: &mut [f64]) -> Result<(), EigError> {
     for i in 0..(n - 1) {
         let mut k = i;
         let mut p = d[i];
-        for j in (i + 1)..n {
-            if d[j] < p {
+        for (j, &dj) in d.iter().enumerate().skip(i + 1) {
+            if dj < p {
                 k = j;
-                p = d[j];
+                p = dj;
             }
         }
         if k != i {

@@ -6,14 +6,6 @@ use ndft_numerics::{
 };
 use proptest::prelude::*;
 
-fn complex_vec(n: usize) -> impl Strategy<Value = Vec<Complex64>> {
-    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), n..=n).prop_map(|v| {
-        v.into_iter()
-            .map(|(re, im)| Complex64::new(re, im))
-            .collect()
-    })
-}
-
 /// Sizes with prime factors in {2, 3, 5} only, up to 120.
 fn smooth_size() -> impl Strategy<Value = usize> {
     prop::sample::select(vec![
@@ -266,7 +258,7 @@ mod davidson_props {
             // ‖A v − λ v‖ small for every returned pair.
             for j in 0..3 {
                 let v: Vec<f64> = (0..20).map(|i| res.vectors[(i, j)]).collect();
-                let mut av = vec![0.0; 20];
+                let mut av = [0.0; 20];
                 for (i, out) in av.iter_mut().enumerate() {
                     *out = (0..20).map(|c| a[(i, c)] * v[c]).sum();
                 }

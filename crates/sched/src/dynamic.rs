@@ -145,13 +145,13 @@ fn dp_over_estimates(est: &[[f64; 2]], bounds: &[u64], cost: &CostModel) -> Vec<
         let mut next = [f64::INFINITY; 2];
         let mut choice = [0usize; 2];
         for ti in 0..2 {
-            for pi in 0..2 {
+            for (pi, &prev) in acc.iter().enumerate() {
                 let cross = if pi != ti {
                     cost.boundary(bounds[k - 1])
                 } else {
                     0.0
                 };
-                let total = acc[pi] + cross + est[k][ti];
+                let total = prev + cross + est[k][ti];
                 if total < next[ti] {
                     next[ti] = total;
                     choice[ti] = pi;

@@ -1,0 +1,155 @@
+//! Focused coverage for `ndft_sched::planner`: agreement between the
+//! planners on short chains, and bit-level determinism of `Plan`
+//! metrics across repeated runs.
+
+use ndft_dft::{build_task_graph, KernelDescriptor, SiliconSystem};
+use ndft_sched::{
+    plan_chain, plan_exhaustive, plan_greedy, plan_pinned, CostModel, StageTimer,
+    StaticCodeAnalyzer, Target,
+};
+
+fn stages(atoms: usize) -> Vec<KernelDescriptor> {
+    build_task_graph(&SiliconSystem::new(atoms).unwrap(), 1).stages
+}
+
+/// The paper SCA timer with its boundary-cost model zeroed out: with free
+/// crossings, greedy per-stage argmin is provably optimal.
+struct FreeBoundaryTimer {
+    sca: StaticCodeAnalyzer,
+    cost: CostModel,
+}
+
+impl FreeBoundaryTimer {
+    fn new() -> Self {
+        FreeBoundaryTimer {
+            sca: StaticCodeAnalyzer::paper_default(),
+            cost: CostModel {
+                transfer_bandwidth: f64::INFINITY,
+                transfer_latency: 0.0,
+                context_switch: 0.0,
+            },
+        }
+    }
+}
+
+impl StageTimer for FreeBoundaryTimer {
+    fn stage_time(&self, stage: &KernelDescriptor, target: Target) -> f64 {
+        self.sca.estimate_time(stage, target)
+    }
+    fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+}
+
+#[test]
+fn greedy_matches_exhaustive_when_boundaries_are_free() {
+    let timer = FreeBoundaryTimer::new();
+    for atoms in [16usize, 64, 256] {
+        let s = stages(atoms);
+        let greedy = plan_greedy(&s, &timer);
+        let ex = plan_exhaustive(&s, &timer);
+        assert!(
+            (greedy.total_time() - ex.total_time()).abs() <= 1e-12 * ex.total_time().max(1e-12),
+            "Si_{atoms}: greedy {} vs exhaustive {}",
+            greedy.total_time(),
+            ex.total_time()
+        );
+        assert_eq!(greedy.placement, ex.placement, "Si_{atoms}");
+    }
+}
+
+#[test]
+fn greedy_agrees_with_exhaustive_on_single_stage_chains() {
+    // A one-stage chain has no boundaries, so greedy is exact even under
+    // the paper cost model.
+    let sca = StaticCodeAnalyzer::paper_default();
+    for stage in stages(64) {
+        let chain = [stage];
+        let greedy = plan_greedy(&chain, &sca);
+        let ex = plan_exhaustive(&chain, &sca);
+        assert_eq!(greedy.placement, ex.placement, "{}", chain[0].name);
+        assert_eq!(greedy.crossings(), 0);
+        assert!((greedy.total_time() - ex.total_time()).abs() <= f64::EPSILON);
+    }
+}
+
+#[test]
+fn greedy_never_beats_exhaustive_on_short_chains() {
+    let sca = StaticCodeAnalyzer::paper_default();
+    let all = stages(64);
+    for window in all.windows(3) {
+        let greedy = plan_greedy(window, &sca);
+        let ex = plan_exhaustive(window, &sca);
+        assert!(
+            ex.total_time() <= greedy.total_time() + 1e-15,
+            "exhaustive must lower-bound greedy on {:?}",
+            window.iter().map(|s| &s.name).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn chain_dp_matches_exhaustive_on_short_chains() {
+    let sca = StaticCodeAnalyzer::paper_default();
+    let all = stages(64);
+    for len in 1..=4usize {
+        for window in all.windows(len) {
+            let dp = plan_chain(window, &sca);
+            let ex = plan_exhaustive(window, &sca);
+            assert!(
+                (dp.total_time() - ex.total_time()).abs() <= 1e-12 * ex.total_time().max(1e-12),
+                "len {len}: dp {} vs exhaustive {}",
+                dp.total_time(),
+                ex.total_time()
+            );
+        }
+    }
+}
+
+#[test]
+fn plan_metrics_are_deterministic_across_runs() {
+    let sca = StaticCodeAnalyzer::paper_default();
+    for atoms in [16usize, 64, 1024] {
+        let s1 = stages(atoms);
+        let s2 = stages(atoms);
+        for (label, a, b) in [
+            ("chain", plan_chain(&s1, &sca), plan_chain(&s2, &sca)),
+            ("greedy", plan_greedy(&s1, &sca), plan_greedy(&s2, &sca)),
+            (
+                "cpu-pinned",
+                plan_pinned(&s1, Target::Cpu, &sca),
+                plan_pinned(&s2, Target::Cpu, &sca),
+            ),
+        ] {
+            // Bit-exact: same placement, same times, same crossings.
+            assert_eq!(a.placement, b.placement, "Si_{atoms} {label}");
+            assert_eq!(
+                a.total_time().to_bits(),
+                b.total_time().to_bits(),
+                "Si_{atoms} {label} total_time"
+            );
+            assert_eq!(a.crossings(), b.crossings(), "Si_{atoms} {label}");
+        }
+    }
+}
+
+#[test]
+fn exhaustive_is_deterministic_on_small_graphs() {
+    let sca = StaticCodeAnalyzer::paper_default();
+    let s = stages(16);
+    let a = plan_exhaustive(&s, &sca);
+    let b = plan_exhaustive(&s, &sca);
+    assert_eq!(a.placement, b.placement);
+    assert_eq!(a.total_time().to_bits(), b.total_time().to_bits());
+    assert_eq!(a.crossings(), b.crossings());
+}
+
+#[test]
+fn crossings_consistent_with_placement() {
+    let sca = StaticCodeAnalyzer::paper_default();
+    let s = stages(256);
+    for plan in [plan_chain(&s, &sca), plan_greedy(&s, &sca)] {
+        let manual = plan.placement.windows(2).filter(|w| w[0] != w[1]).count();
+        assert_eq!(plan.crossings(), manual);
+    }
+}

@@ -1,0 +1,106 @@
+//! Batch formation.
+//!
+//! Workers drain a chunk of the submission queue and group it by
+//! [`WorkloadClass`] — jobs with the same kind, system size, and
+//! iteration count share a task-graph *shape*, so one planner consultation
+//! covers the whole batch. The grouping preserves first-seen class order
+//! and within-class submission order, keeping the engine deterministic
+//! for a given dequeue sequence.
+
+use crate::job::WorkloadClass;
+use std::collections::HashMap;
+
+/// Jobs of one workload class, planned together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Batch<P> {
+    /// Shared workload class.
+    pub class: WorkloadClass,
+    /// Member jobs, in submission order.
+    pub entries: Vec<P>,
+}
+
+impl<P> Batch<P> {
+    /// Number of jobs in the batch.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the batch is empty (never produced by [`form_batches`]).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// Groups drained jobs into per-class batches.
+///
+/// `class_of` maps a pending entry to its workload class (usually
+/// [`crate::DftJob::workload_class`]).
+pub fn form_batches<P>(pending: Vec<P>, class_of: impl Fn(&P) -> WorkloadClass) -> Vec<Batch<P>> {
+    let mut index: HashMap<WorkloadClass, usize> = HashMap::new();
+    let mut batches: Vec<Batch<P>> = Vec::new();
+    for entry in pending {
+        let class = class_of(&entry);
+        match index.get(&class) {
+            Some(&i) => batches[i].entries.push(entry),
+            None => {
+                index.insert(class, batches.len());
+                batches.push(Batch {
+                    class,
+                    entries: vec![entry],
+                });
+            }
+        }
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::DftJob;
+
+    fn scf(atoms: usize) -> DftJob {
+        DftJob::GroundState {
+            atoms,
+            bands: 4,
+            max_iterations: 6,
+        }
+    }
+
+    fn md(atoms: usize, seed: u64) -> DftJob {
+        DftJob::MdSegment {
+            atoms,
+            steps: 10,
+            temperature_k: 300.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn groups_by_class_preserving_order() {
+        let jobs = vec![scf(8), md(64, 1), scf(8), md(64, 2), scf(16)];
+        let batches = form_batches(jobs, DftJob::workload_class);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 2, "both Si_8 SCF jobs batched");
+        assert_eq!(batches[1].len(), 2, "MD seeds differ but class matches");
+        assert_eq!(batches[2].len(), 1);
+        // First-seen order: scf(8) before md(64) before scf(16).
+        assert_eq!(batches[0].class.atoms, 8);
+        assert_eq!(batches[1].class.atoms, 64);
+        assert_eq!(batches[2].class.atoms, 16);
+    }
+
+    #[test]
+    fn empty_input_forms_no_batches() {
+        let batches = form_batches(Vec::<DftJob>::new(), DftJob::workload_class);
+        assert!(batches.is_empty());
+    }
+
+    #[test]
+    fn no_batch_is_empty() {
+        let jobs = vec![scf(8); 5];
+        let batches = form_batches(jobs, DftJob::workload_class);
+        assert_eq!(batches.len(), 1);
+        assert!(batches.iter().all(|b| !b.is_empty()));
+    }
+}

@@ -1,0 +1,186 @@
+//! Content-addressed result cache.
+//!
+//! Completed results are stored under their job [`Fingerprint`]; a
+//! resubmission of an identical job is served from memory without
+//! touching the queue or the workers. Deterministic jobs (every
+//! [`crate::DftJob`] is — MD takes an explicit seed) make this sound.
+//!
+//! Bounded capacity with FIFO eviction, and hit/miss counters cheap
+//! enough to sit on the submission fast path.
+
+use crate::fingerprint::Fingerprint;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Hit/miss/eviction counters at one sampling instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that found a result.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted to respect capacity.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub len: usize,
+}
+
+impl CacheStats {
+    /// Hits over total lookups (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+struct CacheMap<V> {
+    map: HashMap<Fingerprint, V>,
+    order: VecDeque<Fingerprint>,
+}
+
+/// Thread-safe bounded cache keyed by fingerprint.
+pub struct ResultCache<V> {
+    inner: RwLock<CacheMap<V>>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl<V: Clone> ResultCache<V> {
+    /// Cache holding at most `capacity` results.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        ResultCache {
+            inner: RwLock::new(CacheMap {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up a result, counting the outcome.
+    pub fn get(&self, key: &Fingerprint) -> Option<V> {
+        let inner = self.inner.read().unwrap();
+        match inner.map.get(key) {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Peeks without counting (used by workers rechecking after dequeue).
+    pub fn peek(&self, key: &Fingerprint) -> Option<V> {
+        self.inner.read().unwrap().map.get(key).cloned()
+    }
+
+    /// Inserts a result, evicting the oldest entry when at capacity.
+    /// Re-inserting an existing key refreshes the value without growing.
+    pub fn insert(&self, key: Fingerprint, value: V) {
+        let mut inner = self.inner.write().unwrap();
+        if inner.map.insert(key, value).is_some() {
+            return; // refreshed in place; FIFO position unchanged
+        }
+        inner.order.push_back(key);
+        while inner.map.len() > self.capacity {
+            if let Some(oldest) = inner.order.pop_front() {
+                if inner.map.remove(&oldest).is_some() {
+                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.inner.read().unwrap().map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            len: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let c: ResultCache<u32> = ResultCache::new(4);
+        assert_eq!(c.get(&fp(1)), None);
+        c.insert(fp(1), 10);
+        assert_eq!(c.get(&fp(1)), Some(10));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert!((s.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fifo_eviction_respects_capacity() {
+        let c: ResultCache<u32> = ResultCache::new(2);
+        c.insert(fp(1), 1);
+        c.insert(fp(2), 2);
+        c.insert(fp(3), 3);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&fp(1)), None, "oldest entry evicted");
+        assert_eq!(c.peek(&fp(3)), Some(3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_refreshes_without_eviction() {
+        let c: ResultCache<u32> = ResultCache::new(2);
+        c.insert(fp(1), 1);
+        c.insert(fp(2), 2);
+        c.insert(fp(1), 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.peek(&fp(1)), Some(11));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let c: ResultCache<u32> = ResultCache::new(2);
+        c.insert(fp(7), 7);
+        let _ = c.peek(&fp(7));
+        let _ = c.peek(&fp(8));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+}

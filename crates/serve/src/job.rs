@@ -1,0 +1,367 @@
+//! Job descriptions and results.
+//!
+//! A [`DftJob`] is one calculation request: a ground-state SCF solve, a
+//! short MD segment, or an excitation spectrum (TDA or full Casida).
+//! Jobs are pure values — everything the engine needs (fingerprint,
+//! workload class, task graph) derives from the job alone, which is what
+//! makes result caching and batch formation sound.
+
+use ndft_dft::{
+    build_task_graph, CasidaResult, GroundState, MdOptions, MdTrajectory, ScfOptions,
+    SiliconSystem, Spectrum, SystemError, TaskGraph,
+};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::fingerprint::{Fingerprint, Hasher};
+
+/// Kind of calculation a job requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Ground-state SCF solve ([`ndft_dft::run_scf`]).
+    GroundState,
+    /// Molecular-dynamics segment ([`ndft_dft::run_md`]).
+    MdSegment,
+    /// LR-TDDFT spectrum in the Tamm–Dancoff approximation
+    /// ([`ndft_dft::run_lr_tddft`]).
+    TdaSpectrum,
+    /// Full Casida spectrum ([`ndft_dft::run_casida`]).
+    CasidaSpectrum,
+}
+
+impl JobKind {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobKind::GroundState => "scf",
+            JobKind::MdSegment => "md",
+            JobKind::TdaSpectrum => "tda",
+            JobKind::CasidaSpectrum => "casida",
+        }
+    }
+}
+
+impl fmt::Display for JobKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One DFT calculation request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DftJob {
+    /// Ground-state SCF on Si_`atoms`.
+    GroundState {
+        /// Atom count (multiple of 8).
+        atoms: usize,
+        /// Bands to converge.
+        bands: usize,
+        /// Subspace-iteration cap.
+        max_iterations: usize,
+    },
+    /// MD segment on Si_`atoms`.
+    MdSegment {
+        /// Atom count (multiple of 8).
+        atoms: usize,
+        /// Steps to integrate.
+        steps: usize,
+        /// Initial temperature, K (bit pattern is part of the fingerprint).
+        temperature_k: f64,
+        /// Velocity seed.
+        seed: u64,
+    },
+    /// Excitation spectrum on Si_`atoms`.
+    Spectrum {
+        /// Atom count (multiple of 8).
+        atoms: usize,
+        /// Solve the full Casida problem instead of TDA.
+        full_casida: bool,
+    },
+}
+
+impl DftJob {
+    /// The job's kind.
+    pub fn kind(&self) -> JobKind {
+        match self {
+            DftJob::GroundState { .. } => JobKind::GroundState,
+            DftJob::MdSegment { .. } => JobKind::MdSegment,
+            DftJob::Spectrum {
+                full_casida: false, ..
+            } => JobKind::TdaSpectrum,
+            DftJob::Spectrum {
+                full_casida: true, ..
+            } => JobKind::CasidaSpectrum,
+        }
+    }
+
+    /// Atom count the job runs on.
+    pub fn atoms(&self) -> usize {
+        match *self {
+            DftJob::GroundState { atoms, .. }
+            | DftJob::MdSegment { atoms, .. }
+            | DftJob::Spectrum { atoms, .. } => atoms,
+        }
+    }
+
+    /// Builds the physical system, validating the atom count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] when `atoms` is not a positive multiple
+    /// of 8.
+    pub fn system(&self) -> Result<SiliconSystem, SystemError> {
+        SiliconSystem::new(self.atoms())
+    }
+
+    /// Iteration count used for the modeled task graph: SCF iterations,
+    /// MD steps, or one response solve for spectra.
+    pub fn modeled_iterations(&self) -> usize {
+        match *self {
+            DftJob::GroundState { max_iterations, .. } => max_iterations.max(1),
+            DftJob::MdSegment { steps, .. } => steps.max(1),
+            DftJob::Spectrum { .. } => 1,
+        }
+    }
+
+    /// The workload descriptor graph the planner and machine models
+    /// consume for this job.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SystemError`] for invalid atom counts.
+    pub fn task_graph(&self) -> Result<TaskGraph, SystemError> {
+        Ok(build_task_graph(&self.system()?, self.modeled_iterations()))
+    }
+
+    /// Content-addressed identity: equal jobs hash equal, any parameter
+    /// change (including the MD seed) changes the fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut h = Hasher::new();
+        match *self {
+            DftJob::GroundState {
+                atoms,
+                bands,
+                max_iterations,
+            } => {
+                h.write_u64(0x01);
+                h.write_u64(atoms as u64);
+                h.write_u64(bands as u64);
+                h.write_u64(max_iterations as u64);
+            }
+            DftJob::MdSegment {
+                atoms,
+                steps,
+                temperature_k,
+                seed,
+            } => {
+                h.write_u64(0x02);
+                h.write_u64(atoms as u64);
+                h.write_u64(steps as u64);
+                h.write_u64(temperature_k.to_bits());
+                h.write_u64(seed);
+            }
+            DftJob::Spectrum { atoms, full_casida } => {
+                h.write_u64(0x03);
+                h.write_u64(atoms as u64);
+                h.write_u64(full_casida as u64);
+            }
+        }
+        h.finish()
+    }
+
+    /// Coarse batching key: jobs in the same class share a task-graph
+    /// shape, hence a placement plan. Distinct fingerprints (e.g. MD
+    /// seeds) can still share a class.
+    pub fn workload_class(&self) -> WorkloadClass {
+        WorkloadClass {
+            kind: self.kind(),
+            atoms: self.atoms(),
+            iterations: self.modeled_iterations(),
+        }
+    }
+
+    /// SCF options encoded by a [`DftJob::GroundState`] job.
+    pub fn scf_options(&self) -> Option<ScfOptions> {
+        match *self {
+            DftJob::GroundState {
+                bands,
+                max_iterations,
+                ..
+            } => Some(ScfOptions {
+                bands,
+                max_iterations,
+                ..ScfOptions::default()
+            }),
+            _ => None,
+        }
+    }
+
+    /// MD options encoded by a [`DftJob::MdSegment`] job.
+    pub fn md_options(&self) -> Option<MdOptions> {
+        match *self {
+            DftJob::MdSegment {
+                steps,
+                temperature_k,
+                seed,
+                ..
+            } => Some(MdOptions {
+                steps,
+                temperature_k,
+                seed,
+                ..MdOptions::default()
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DftJob {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(Si_{})", self.kind(), self.atoms())
+    }
+}
+
+/// Coarse equivalence class used by the batcher: same kind, system size,
+/// and iteration count ⇒ same task-graph shape ⇒ same placement plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WorkloadClass {
+    /// Calculation kind.
+    pub kind: JobKind,
+    /// Atom count.
+    pub atoms: usize,
+    /// Modeled iterations.
+    pub iterations: usize,
+}
+
+impl fmt::Display for WorkloadClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/Si_{}x{}", self.kind, self.atoms, self.iterations)
+    }
+}
+
+/// The physics payload a completed job carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPayload {
+    /// Converged ground state.
+    GroundState(GroundState),
+    /// MD trajectory.
+    Md(MdTrajectory),
+    /// TDA spectrum.
+    Tda(Spectrum),
+    /// Full Casida + TDA spectra.
+    Casida(CasidaResult),
+}
+
+impl JobPayload {
+    /// A scalar "headline" observable per payload, used by examples and
+    /// smoke tests: lowest band energy, equilibrium temperature, or
+    /// optical gap.
+    pub fn headline(&self) -> f64 {
+        match self {
+            JobPayload::GroundState(gs) => gs.energies_ev.first().copied().unwrap_or(f64::NAN),
+            JobPayload::Md(t) => t.equilibrium_temperature(),
+            JobPayload::Tda(s) => s.optical_gap(),
+            JobPayload::Casida(c) => c.optical_gap(),
+        }
+    }
+}
+
+/// Why a job failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobError {
+    /// The atom count is not a whole number of diamond cells.
+    InvalidSystem(String),
+    /// The numeric pipeline failed (eigensolver breakdown etc.).
+    Numerics(String),
+    /// The engine shut down before the job ran.
+    ShutDown,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JobError::InvalidSystem(m) => write!(f, "invalid system: {m}"),
+            JobError::Numerics(m) => write!(f, "numerics failure: {m}"),
+            JobError::ShutDown => f.write_str("engine shut down before execution"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprints_separate_parameters() {
+        let a = DftJob::GroundState {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 6,
+        };
+        let b = DftJob::GroundState {
+            atoms: 8,
+            bands: 5,
+            max_iterations: 6,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+    }
+
+    #[test]
+    fn md_seed_is_part_of_identity_but_not_class() {
+        let a = DftJob::MdSegment {
+            atoms: 64,
+            steps: 10,
+            temperature_k: 300.0,
+            seed: 1,
+        };
+        let b = DftJob::MdSegment {
+            atoms: 64,
+            steps: 10,
+            temperature_k: 300.0,
+            seed: 2,
+        };
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        assert_eq!(a.workload_class(), b.workload_class());
+    }
+
+    #[test]
+    fn spectrum_flavours_are_distinct_kinds() {
+        let tda = DftJob::Spectrum {
+            atoms: 16,
+            full_casida: false,
+        };
+        let casida = DftJob::Spectrum {
+            atoms: 16,
+            full_casida: true,
+        };
+        assert_ne!(tda.fingerprint(), casida.fingerprint());
+        assert_ne!(tda.workload_class(), casida.workload_class());
+        assert_eq!(tda.kind(), JobKind::TdaSpectrum);
+        assert_eq!(casida.kind(), JobKind::CasidaSpectrum);
+    }
+
+    #[test]
+    fn task_graph_matches_modeled_iterations() {
+        let job = DftJob::MdSegment {
+            atoms: 16,
+            steps: 7,
+            temperature_k: 250.0,
+            seed: 3,
+        };
+        let g = job.task_graph().unwrap();
+        assert_eq!(g.iterations, 7);
+        assert!(!g.stages.is_empty());
+    }
+
+    #[test]
+    fn invalid_atoms_rejected() {
+        let job = DftJob::Spectrum {
+            atoms: 12,
+            full_casida: false,
+        };
+        assert!(job.system().is_err());
+    }
+}

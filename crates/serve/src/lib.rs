@@ -1,0 +1,69 @@
+//! # ndft-serve
+//!
+//! A concurrent **DFT-as-a-Service job engine** over the NDFT co-design
+//! stack. Real deployments see *streams* of related calculations — SCF
+//! ground states, MD segments, excitation spectra — not single runs; this
+//! crate turns the per-run machinery of `ndft_dft`, `ndft_sched`, and
+//! `ndft_core` into a serving system:
+//!
+//! * [`DftJob`] — one calculation request; pure data, so its
+//!   [`Fingerprint`] content-addresses the result.
+//! * [`DftService`] — the façade: bounded-queue submission with
+//!   backpressure ([`SubmitError::QueueFull`]), a worker pool, and a
+//!   drain-on-[`shutdown`](DftService::shutdown) lifecycle.
+//! * **Batching** — workers drain the queue in chunks and group jobs by
+//!   [`WorkloadClass`] (same kind/size/iterations ⇒ same task-graph
+//!   shape), so one planner consultation covers the whole batch.
+//! * **Planner-driven placement** — each batch consults the `ndft_sched`
+//!   planners ([`PlacementPolicy`]) over the measured CPU-NDP machine
+//!   ([`ndft_core::MeasuredTimer`]) to pick CPU-vs-NDP placement per
+//!   pipeline stage; the [`PlacementDecision`] keeps both pinned
+//!   baselines so service-level speedup is always checkable.
+//! * **Result caching** — a content-addressed [`ResultCache`] with
+//!   hit/miss counters serves repeated submissions without re-running
+//!   the numerics.
+//! * **Metrics** — per-job latency, throughput, and modeled per-target
+//!   utilization, aggregated into a [`ServeReport`].
+//!
+//! ## Example
+//!
+//! ```
+//! use ndft_serve::{DftJob, DftService, ServeConfig};
+//!
+//! let svc = DftService::start(ServeConfig::default());
+//! let ticket = svc
+//!     .submit(DftJob::Spectrum { atoms: 16, full_casida: false })
+//!     .unwrap();
+//! let outcome = ticket.wait().unwrap();
+//! assert!(outcome.payload.headline() > 0.0); // optical gap, eV
+//! // An identical resubmission is served from the cache.
+//! let again = svc.submit(DftJob::Spectrum { atoms: 16, full_casida: false }).unwrap();
+//! assert!(again.is_done());
+//! let report = svc.shutdown();
+//! assert_eq!(report.completed, 2);
+//! assert!(report.cache.hits >= 1);
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod fingerprint;
+pub mod job;
+pub mod metrics;
+pub mod placement;
+pub mod queue;
+pub mod service;
+pub mod ticket;
+pub mod worker;
+
+pub use batch::{form_batches, Batch};
+pub use cache::{CacheStats, ResultCache};
+pub use fingerprint::{Fingerprint, Hasher};
+pub use job::{DftJob, JobError, JobKind, JobPayload, WorkloadClass};
+pub use metrics::{ExecutionSample, Metrics, ServeReport};
+pub use placement::{
+    measured_timer, plan_placement, plan_placement_with, PlacementDecision, PlacementPolicy,
+};
+pub use queue::{BoundedQueue, SubmitError};
+pub use service::{DftService, ServeConfig};
+pub use ticket::JobTicket;
+pub use worker::{execute_job, execute_payload, JobOutcome};

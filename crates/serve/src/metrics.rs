@@ -1,0 +1,384 @@
+//! Service metrics and the aggregate [`ServeReport`].
+//!
+//! Counters sit on atomics (submission fast path); latency and modeled
+//! per-target busy time accumulate under a small mutex touched once per
+//! completed job. A [`ServeReport`] snapshot folds in the cache counters
+//! and renders as a plain-text table for examples and harness binaries.
+
+use crate::cache::CacheStats;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+#[derive(Debug, Default, Clone, Copy)]
+struct Accum {
+    latency_sum_s: f64,
+    latency_max_s: f64,
+    latency_count: u64,
+    wall_numeric_s: f64,
+    modeled_cpu_busy_s: f64,
+    modeled_ndp_busy_s: f64,
+    modeled_total_s: f64,
+    modeled_cpu_pinned_s: f64,
+}
+
+impl Accum {
+    fn record_latency(&mut self, latency_s: f64) {
+        self.latency_sum_s += latency_s;
+        self.latency_max_s = self.latency_max_s.max(latency_s);
+        self.latency_count += 1;
+    }
+}
+
+/// Modeled-cost contribution of one executed job, taken from its
+/// placement decision and wall-clock measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutionSample {
+    /// Wall-clock the numeric kernels took, seconds.
+    pub wall_numeric_s: f64,
+    /// Modeled busy time on the host CPU, seconds.
+    pub modeled_cpu_busy_s: f64,
+    /// Modeled busy time on the NDP stacks, seconds.
+    pub modeled_ndp_busy_s: f64,
+    /// Modeled end-to-end time of the chosen plan, seconds.
+    pub modeled_total_s: f64,
+    /// Modeled time of the CPU-pinned baseline, seconds.
+    pub modeled_cpu_pinned_s: f64,
+}
+
+/// Live counters for one engine instance.
+pub struct Metrics {
+    started: Instant,
+    submitted: AtomicU64,
+    rejected: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    served_from_cache: AtomicU64,
+    batches: AtomicU64,
+    planner_calls: AtomicU64,
+    plans_reused: AtomicU64,
+    worker_panics: AtomicU64,
+    accum: Mutex<Accum>,
+}
+
+impl Metrics {
+    /// Fresh metrics anchored at "now".
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            served_from_cache: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            planner_calls: AtomicU64::new(0),
+            plans_reused: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            accum: Mutex::new(Accum::default()),
+        }
+    }
+
+    /// Counts an accepted (queued) submission.
+    pub fn on_submit(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a backpressure rejection.
+    pub fn on_reject(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a submission answered directly from the result cache
+    /// (never queued).
+    pub fn on_serve_from_cache(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.served_from_cache.fetch_add(1, Ordering::Relaxed);
+        self.accum.lock().unwrap().record_latency(0.0);
+    }
+
+    /// Counts one processed batch: `planner_consulted` when a plan was
+    /// made for it, `plan_riders` the executed jobs beyond the first that
+    /// rode that plan instead of re-planning. A batch fully served from
+    /// cache consults no planner and has no riders.
+    pub fn on_batch(&self, planner_consulted: bool, plan_riders: u64) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        if planner_consulted {
+            self.planner_calls.fetch_add(1, Ordering::Relaxed);
+        }
+        self.plans_reused.fetch_add(plan_riders, Ordering::Relaxed);
+    }
+
+    /// Records a job the worker actually executed.
+    pub fn on_executed(&self, latency_s: f64, sample: ExecutionSample) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        let mut a = self.accum.lock().unwrap();
+        a.record_latency(latency_s);
+        a.wall_numeric_s += sample.wall_numeric_s;
+        a.modeled_cpu_busy_s += sample.modeled_cpu_busy_s;
+        a.modeled_ndp_busy_s += sample.modeled_ndp_busy_s;
+        a.modeled_total_s += sample.modeled_total_s;
+        a.modeled_cpu_pinned_s += sample.modeled_cpu_pinned_s;
+    }
+
+    /// Records a queued job completed by cache/dedup inside a worker.
+    pub fn on_dedup_complete(&self, latency_s: f64) {
+        self.completed.fetch_add(1, Ordering::Relaxed);
+        self.served_from_cache.fetch_add(1, Ordering::Relaxed);
+        self.accum.lock().unwrap().record_latency(latency_s);
+    }
+
+    /// Records one failed job.
+    pub fn on_fail(&self) {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a worker thread that died by panic (seen at join time).
+    pub fn on_worker_panic(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot folded together with cache counters.
+    pub fn report(&self, cache: CacheStats) -> ServeReport {
+        let a = *self.accum.lock().unwrap();
+        ServeReport {
+            uptime_s: self.started.elapsed().as_secs_f64(),
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            served_from_cache: self.served_from_cache.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            planner_calls: self.planner_calls.load(Ordering::Relaxed),
+            plans_reused: self.plans_reused.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            mean_latency_s: if a.latency_count == 0 {
+                0.0
+            } else {
+                a.latency_sum_s / a.latency_count as f64
+            },
+            max_latency_s: a.latency_max_s,
+            wall_numeric_s: a.wall_numeric_s,
+            modeled_cpu_busy_s: a.modeled_cpu_busy_s,
+            modeled_ndp_busy_s: a.modeled_ndp_busy_s,
+            modeled_total_s: a.modeled_total_s,
+            modeled_cpu_pinned_s: a.modeled_cpu_pinned_s,
+            cache,
+        }
+    }
+}
+
+/// Aggregate view of one engine instance's lifetime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Seconds since the engine started.
+    pub uptime_s: f64,
+    /// Accepted submissions (including cache serves).
+    pub submitted: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected: u64,
+    /// Jobs completed (including cache serves).
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Jobs answered from the result cache (submit-path or worker dedup).
+    pub served_from_cache: u64,
+    /// Batches dispatched to workers.
+    pub batches: u64,
+    /// Planner consultations performed.
+    pub planner_calls: u64,
+    /// Jobs that rode an existing batch plan instead of re-planning.
+    pub plans_reused: u64,
+    /// Worker threads that died by panic (0 in a healthy engine).
+    pub worker_panics: u64,
+    /// Mean submit→complete latency, seconds.
+    pub mean_latency_s: f64,
+    /// Worst-case latency, seconds.
+    pub max_latency_s: f64,
+    /// Wall-clock spent in the numeric kernels, seconds.
+    pub wall_numeric_s: f64,
+    /// Modeled busy time placed on the host CPU, seconds.
+    pub modeled_cpu_busy_s: f64,
+    /// Modeled busy time placed on the NDP stacks, seconds.
+    pub modeled_ndp_busy_s: f64,
+    /// Modeled end-to-end time across executed jobs, seconds.
+    pub modeled_total_s: f64,
+    /// Modeled time had every executed job been CPU-pinned, seconds.
+    pub modeled_cpu_pinned_s: f64,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl ServeReport {
+    /// Completed jobs per wall-clock second of engine uptime.
+    pub fn throughput_jobs_per_s(&self) -> f64 {
+        if self.uptime_s == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / self.uptime_s
+        }
+    }
+
+    /// Fraction of modeled busy time on the CPU side (0 when idle).
+    pub fn cpu_utilization(&self) -> f64 {
+        let total = self.modeled_cpu_busy_s + self.modeled_ndp_busy_s;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.modeled_cpu_busy_s / total
+        }
+    }
+
+    /// Fraction of modeled busy time on the NDP side.
+    pub fn ndp_utilization(&self) -> f64 {
+        let total = self.modeled_cpu_busy_s + self.modeled_ndp_busy_s;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.modeled_ndp_busy_s / total
+        }
+    }
+
+    /// Modeled speedup of planner placement over CPU-pinned execution.
+    pub fn modeled_speedup_vs_cpu(&self) -> f64 {
+        if self.modeled_total_s == 0.0 {
+            1.0
+        } else {
+            self.modeled_cpu_pinned_s / self.modeled_total_s
+        }
+    }
+}
+
+impl fmt::Display for ServeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "ndft-serve report ({:.2}s uptime)", self.uptime_s)?;
+        writeln!(
+            f,
+            "  jobs        submitted {:>6}  completed {:>6}  failed {:>4}  rejected {:>4}",
+            self.submitted, self.completed, self.failed, self.rejected
+        )?;
+        if self.worker_panics > 0 {
+            writeln!(
+                f,
+                "  WARNING     {} worker thread(s) died by panic",
+                self.worker_panics
+            )?;
+        }
+        writeln!(
+            f,
+            "  cache       serves {:>6}  hits {:>6}  misses {:>6}  hit-rate {:>5.1}%  resident {:>5}",
+            self.served_from_cache,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.hit_rate() * 100.0,
+            self.cache.len
+        )?;
+        writeln!(
+            f,
+            "  batching    batches {:>5}  planner calls {:>5}  plans reused {:>5}",
+            self.batches, self.planner_calls, self.plans_reused
+        )?;
+        writeln!(
+            f,
+            "  latency     mean {:>9.3} ms  max {:>9.3} ms  throughput {:>8.1} jobs/s",
+            self.mean_latency_s * 1e3,
+            self.max_latency_s * 1e3,
+            self.throughput_jobs_per_s()
+        )?;
+        writeln!(
+            f,
+            "  placement   cpu busy {:>9.3}s ({:>4.1}%)  ndp busy {:>9.3}s ({:>4.1}%)",
+            self.modeled_cpu_busy_s,
+            self.cpu_utilization() * 100.0,
+            self.modeled_ndp_busy_s,
+            self.ndp_utilization() * 100.0
+        )?;
+        write!(
+            f,
+            "  modeled     planner {:>9.3}s  cpu-pinned {:>9.3}s  speedup {:>5.2}x",
+            self.modeled_total_s,
+            self.modeled_cpu_pinned_s,
+            self.modeled_speedup_vs_cpu()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(cpu: f64, ndp: f64, total: f64, pinned: f64) -> ExecutionSample {
+        ExecutionSample {
+            wall_numeric_s: 0.0,
+            modeled_cpu_busy_s: cpu,
+            modeled_ndp_busy_s: ndp,
+            modeled_total_s: total,
+            modeled_cpu_pinned_s: pinned,
+        }
+    }
+
+    #[test]
+    fn cache_serves_count_as_completions() {
+        let m = Metrics::new();
+        m.on_submit();
+        m.on_executed(0.5, sample(1.0, 3.0, 4.2, 6.0));
+        m.on_serve_from_cache();
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.submitted, 2);
+        assert_eq!(r.completed, 2);
+        assert_eq!(r.served_from_cache, 1);
+    }
+
+    #[test]
+    fn utilization_fractions_sum_to_one_when_busy() {
+        let m = Metrics::new();
+        m.on_executed(0.1, sample(1.0, 3.0, 4.1, 5.0));
+        let r = m.report(CacheStats::default());
+        assert!((r.cpu_utilization() + r.ndp_utilization() - 1.0).abs() < 1e-12);
+        assert!((r.cpu_utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_accounting_splits_fresh_and_reused() {
+        let m = Metrics::new();
+        m.on_batch(true, 3); // planner consulted once, 3 riders
+        m.on_batch(false, 0); // fully cache-served: no plan at all
+        let r = m.report(CacheStats::default());
+        assert_eq!(r.batches, 2);
+        assert_eq!(r.planner_calls, 1);
+        assert_eq!(r.plans_reused, 3);
+    }
+
+    #[test]
+    fn mean_latency_spans_executed_and_dedup_jobs() {
+        let m = Metrics::new();
+        m.on_executed(0.2, ExecutionSample::default());
+        m.on_dedup_complete(0.4);
+        let r = m.report(CacheStats::default());
+        assert!((r.mean_latency_s - 0.3).abs() < 1e-12);
+        assert!((r.max_latency_s - 0.4).abs() < 1e-12);
+        assert_eq!(r.served_from_cache, 1);
+    }
+
+    #[test]
+    fn modeled_speedup_aggregates_over_jobs() {
+        let m = Metrics::new();
+        m.on_executed(0.1, sample(1.0, 1.0, 2.0, 6.0));
+        m.on_executed(0.1, sample(1.0, 1.0, 2.0, 2.0));
+        let r = m.report(CacheStats::default());
+        assert!((r.modeled_speedup_vs_cpu() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_renders() {
+        let m = Metrics::new();
+        m.on_submit();
+        m.on_executed(0.01, sample(0.5, 1.5, 2.1, 3.0));
+        let text = m.report(CacheStats::default()).to_string();
+        assert!(text.contains("ndft-serve report"));
+        assert!(text.contains("speedup"));
+    }
+}

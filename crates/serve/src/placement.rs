@@ -1,0 +1,213 @@
+//! Planner-driven placement.
+//!
+//! Before executing a batch, a worker consults the `ndft_sched` planner
+//! over the measured CPU-NDP machine model ([`MeasuredTimer`] over
+//! [`CpuNdpMachine`]) to pick a CPU-vs-NDP placement per pipeline stage.
+//! The decision also carries both pinned baselines, so callers can verify
+//! the planner never loses to a CPU-only run — the service-level analogue
+//! of the paper's §IV-A guarantee.
+
+use ndft_core::{calib, CpuNdpMachine, MeasuredTimer, ModelConstants};
+use ndft_dft::TaskGraph;
+use ndft_sched::{plan_chain, plan_exhaustive, plan_greedy, plan_pinned, Plan, StageTimer, Target};
+use serde::{Deserialize, Serialize};
+
+/// Which planner a worker consults per batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// The NDFT mechanism: optimal chain DP ([`plan_chain`]).
+    CostAware,
+    /// Per-stage argmin ignoring boundary costs ([`plan_greedy`]).
+    Greedy,
+    /// Brute force over all placements ([`plan_exhaustive`]); falls back
+    /// to the chain DP beyond its 24-stage guard.
+    Exhaustive,
+    /// Everything on the host CPU (baseline).
+    CpuPinned,
+    /// Everything on the NDP side (baseline).
+    NdpPinned,
+}
+
+impl PlacementPolicy {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlacementPolicy::CostAware => "cost-aware",
+            PlacementPolicy::Greedy => "greedy",
+            PlacementPolicy::Exhaustive => "exhaustive",
+            PlacementPolicy::CpuPinned => "cpu-pinned",
+            PlacementPolicy::NdpPinned => "ndp-pinned",
+        }
+    }
+}
+
+/// A placement plan plus the context needed to judge it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementDecision {
+    /// Policy that produced the plan.
+    pub policy: PlacementPolicy,
+    /// The chosen placement with its predicted cost split.
+    pub plan: Plan,
+    /// Modeled time of the CPU-pinned baseline, seconds.
+    pub cpu_pinned_time: f64,
+    /// Modeled time of the NDP-pinned baseline, seconds.
+    pub ndp_pinned_time: f64,
+    /// Modeled busy time the plan puts on the host CPU, seconds.
+    pub cpu_busy: f64,
+    /// Modeled busy time the plan puts on the NDP stacks, seconds.
+    pub ndp_busy: f64,
+}
+
+impl PlacementDecision {
+    /// End-to-end modeled time of the chosen plan, seconds.
+    pub fn modeled_time(&self) -> f64 {
+        self.plan.total_time()
+    }
+
+    /// Speedup of the plan over the CPU-pinned baseline (>1 = faster).
+    pub fn speedup_vs_cpu(&self) -> f64 {
+        if self.modeled_time() == 0.0 {
+            1.0
+        } else {
+            self.cpu_pinned_time / self.modeled_time()
+        }
+    }
+
+    /// Stages placed on the NDP side.
+    pub fn ndp_stage_count(&self) -> usize {
+        self.plan
+            .placement
+            .iter()
+            .filter(|t| **t == Target::Ndp)
+            .count()
+    }
+}
+
+/// The measured-machine timer placement decisions are made against
+/// (the paper's Table III system with its measured calibration).
+pub fn measured_timer() -> MeasuredTimer {
+    MeasuredTimer::new(CpuNdpMachine::new(
+        calib::system_config(),
+        calib::measured(),
+        ModelConstants::paper_default(),
+    ))
+}
+
+/// Consults the planner selected by `policy` for one task graph.
+pub fn plan_placement(graph: &TaskGraph, policy: PlacementPolicy) -> PlacementDecision {
+    let timer = measured_timer();
+    plan_placement_with(graph, policy, &timer)
+}
+
+/// [`plan_placement`] against an explicit timer (tests inject the static
+/// code analyzer here to cross-check against the measured machine).
+pub fn plan_placement_with(
+    graph: &TaskGraph,
+    policy: PlacementPolicy,
+    timer: &dyn StageTimer,
+) -> PlacementDecision {
+    let stages = &graph.stages;
+    let plan = match policy {
+        PlacementPolicy::CostAware => plan_chain(stages, timer),
+        PlacementPolicy::Greedy => plan_greedy(stages, timer),
+        PlacementPolicy::Exhaustive => {
+            if stages.len() <= 24 {
+                plan_exhaustive(stages, timer)
+            } else {
+                plan_chain(stages, timer)
+            }
+        }
+        PlacementPolicy::CpuPinned => plan_pinned(stages, Target::Cpu, timer),
+        PlacementPolicy::NdpPinned => plan_pinned(stages, Target::Ndp, timer),
+    };
+    let cpu_pinned_time = plan_pinned(stages, Target::Cpu, timer).total_time();
+    let ndp_pinned_time = plan_pinned(stages, Target::Ndp, timer).total_time();
+    let (mut cpu_busy, mut ndp_busy) = (0.0, 0.0);
+    for (stage, &target) in stages.iter().zip(&plan.placement) {
+        let t = timer.stage_time(stage, target);
+        match target {
+            Target::Cpu => cpu_busy += t,
+            Target::Ndp => ndp_busy += t,
+        }
+    }
+    PlacementDecision {
+        policy,
+        plan,
+        cpu_pinned_time,
+        ndp_pinned_time,
+        cpu_busy,
+        ndp_busy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ndft_dft::{build_task_graph, SiliconSystem};
+
+    fn graph(atoms: usize) -> TaskGraph {
+        build_task_graph(&SiliconSystem::new(atoms).unwrap(), 1)
+    }
+
+    #[test]
+    fn cost_aware_never_loses_to_cpu_pinned() {
+        for atoms in [16usize, 64, 256, 1024] {
+            let d = plan_placement(&graph(atoms), PlacementPolicy::CostAware);
+            assert!(
+                d.modeled_time() <= d.cpu_pinned_time + 1e-12,
+                "Si_{atoms}: {} vs cpu {}",
+                d.modeled_time(),
+                d.cpu_pinned_time
+            );
+            assert!(d.modeled_time() <= d.ndp_pinned_time + 1e-12);
+        }
+    }
+
+    #[test]
+    fn busy_split_sums_to_compute_time() {
+        let d = plan_placement(&graph(64), PlacementPolicy::CostAware);
+        let sum = d.cpu_busy + d.ndp_busy;
+        assert!(
+            (sum - d.plan.compute_time).abs() < 1e-9 * d.plan.compute_time.max(1e-12),
+            "{sum} vs {}",
+            d.plan.compute_time
+        );
+    }
+
+    #[test]
+    fn pinned_policies_use_one_side() {
+        let cpu = plan_placement(&graph(64), PlacementPolicy::CpuPinned);
+        assert_eq!(cpu.ndp_stage_count(), 0);
+        assert_eq!(cpu.ndp_busy, 0.0);
+        let ndp = plan_placement(&graph(64), PlacementPolicy::NdpPinned);
+        assert_eq!(ndp.ndp_stage_count(), ndp.plan.placement.len());
+        assert_eq!(ndp.cpu_busy, 0.0);
+    }
+
+    #[test]
+    fn exhaustive_matches_cost_aware_on_chains() {
+        // The LR-TDDFT pipeline is a chain, so the DP is optimal and the
+        // brute-force search cannot beat it.
+        let g = graph(64);
+        let dp = plan_placement(&g, PlacementPolicy::CostAware);
+        let ex = plan_placement(&g, PlacementPolicy::Exhaustive);
+        let rel = (dp.modeled_time() - ex.modeled_time()).abs() / ex.modeled_time().max(1e-12);
+        assert!(
+            rel < 1e-9,
+            "dp {} ex {}",
+            dp.modeled_time(),
+            ex.modeled_time()
+        );
+    }
+
+    #[test]
+    fn large_systems_favor_hybrid_placement() {
+        let d = plan_placement(&graph(1024), PlacementPolicy::CostAware);
+        assert!(d.speedup_vs_cpu() > 1.2, "speedup {}", d.speedup_vs_cpu());
+        let n = d.ndp_stage_count();
+        assert!(
+            n > 0 && n < d.plan.placement.len(),
+            "hybrid expected, got {n}"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! The service façade: configuration, lifecycle, and submission.
+//!
+//! [`DftService::start`] spawns the worker pool; [`DftService::submit`]
+//! is the backpressure-aware entry point (cache lookup → bounded queue);
+//! [`DftService::shutdown`] drains the queue, joins the workers, and
+//! returns the final [`ServeReport`].
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::job::DftJob;
+use crate::metrics::{Metrics, ServeReport};
+use crate::placement::PlacementPolicy;
+use crate::queue::{BoundedQueue, SubmitError};
+use crate::ticket::JobTicket;
+use crate::worker::{worker_loop, JobOutcome, PendingJob};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+/// Engine configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Bounded submission-queue capacity (the backpressure knob).
+    pub queue_capacity: usize,
+    /// Maximum jobs one worker drains per dispatch (the batching window).
+    pub max_batch: usize,
+    /// Planner the workers consult per batch.
+    pub policy: PlacementPolicy,
+    /// Result-cache capacity, in entries.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            policy: PlacementPolicy::CostAware,
+            cache_capacity: 256,
+        }
+    }
+}
+
+/// State shared between the façade and the worker pool.
+pub(crate) struct EngineShared {
+    pub(crate) queue: BoundedQueue<PendingJob>,
+    pub(crate) cache: ResultCache<Arc<JobOutcome>>,
+    pub(crate) metrics: Metrics,
+    pub(crate) config: ServeConfig,
+}
+
+/// A running DFT-as-a-Service engine.
+pub struct DftService {
+    shared: Arc<EngineShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl DftService {
+    /// Starts the engine with `config`, spawning its worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero worker count, queue capacity, or cache capacity.
+    pub fn start(config: ServeConfig) -> Self {
+        assert!(config.workers > 0, "need at least one worker");
+        let shared = Arc::new(EngineShared {
+            queue: BoundedQueue::new(config.queue_capacity),
+            cache: ResultCache::new(config.cache_capacity),
+            metrics: Metrics::new(),
+            config,
+        });
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("ndft-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        DftService { shared, workers }
+    }
+
+    /// Starts with defaults.
+    pub fn start_default() -> Self {
+        DftService::start(ServeConfig::default())
+    }
+
+    /// Backpressure-aware submission: serves from the result cache when
+    /// possible, otherwise enqueues without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::InvalidJob`] for impossible systems,
+    /// [`SubmitError::QueueFull`] when saturated (back off and retry),
+    /// [`SubmitError::Closed`] after shutdown began.
+    pub fn submit(&self, job: DftJob) -> Result<JobTicket, SubmitError> {
+        self.submit_inner(job, false)
+    }
+
+    /// Like [`DftService::submit`] but blocks for queue space instead of
+    /// returning [`SubmitError::QueueFull`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::InvalidJob`] or [`SubmitError::Closed`].
+    pub fn submit_blocking(&self, job: DftJob) -> Result<JobTicket, SubmitError> {
+        self.submit_inner(job, true)
+    }
+
+    fn submit_inner(&self, job: DftJob, blocking: bool) -> Result<JobTicket, SubmitError> {
+        if let Err(e) = job.system() {
+            return Err(SubmitError::InvalidJob(e.to_string()));
+        }
+        let fingerprint = job.fingerprint();
+        if let Some(hit) = self.shared.cache.get(&fingerprint) {
+            self.shared.metrics.on_serve_from_cache();
+            return Ok(JobTicket::ready(fingerprint, hit));
+        }
+        let ticket = JobTicket::pending(fingerprint);
+        let pending = PendingJob {
+            job,
+            fingerprint,
+            ticket: ticket.clone(),
+            enqueued: Instant::now(),
+        };
+        let pushed = if blocking {
+            self.shared.queue.push(pending)
+        } else {
+            self.shared.queue.try_push(pending)
+        };
+        match pushed {
+            Ok(()) => {
+                self.shared.metrics.on_submit();
+                Ok(ticket)
+            }
+            Err(e) => {
+                if e == SubmitError::QueueFull {
+                    self.shared.metrics.on_reject();
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Jobs currently queued (not yet picked up by a worker).
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Result-cache counter snapshot.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.stats()
+    }
+
+    /// Live metrics snapshot.
+    pub fn report(&self) -> ServeReport {
+        self.shared.metrics.report(self.shared.cache.stats())
+    }
+
+    /// Stops accepting work, drains the queue, joins the workers, and
+    /// returns the final report.
+    pub fn shutdown(mut self) -> ServeReport {
+        self.shutdown_in_place();
+        self.report()
+    }
+
+    fn shutdown_in_place(&mut self) {
+        self.shared.queue.close();
+        for w in self.workers.drain(..) {
+            if w.join().is_err() {
+                self.shared.metrics.on_worker_panic();
+            }
+        }
+        // Workers fulfill every ticket they dequeue (panics included),
+        // so leftovers exist only if a worker thread died outright.
+        // Fail them explicitly rather than leaving waiters hanging.
+        while let Some(orphans) = self.shared.queue.pop_batch(usize::MAX) {
+            for pending in orphans {
+                self.shared.metrics.on_fail();
+                pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
+            }
+        }
+    }
+}
+
+impl Drop for DftService {
+    fn drop(&mut self) {
+        // Safety net for callers that drop without shutdown(): workers
+        // would otherwise block forever on the open queue.
+        self.shutdown_in_place();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobPayload;
+
+    fn md(atoms: usize, seed: u64) -> DftJob {
+        DftJob::MdSegment {
+            atoms,
+            steps: 5,
+            temperature_k: 300.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn submit_execute_wait_roundtrip() {
+        let svc = DftService::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        });
+        let ticket = svc.submit(md(64, 1)).unwrap();
+        let outcome = ticket.wait().unwrap();
+        match outcome.payload {
+            JobPayload::Md(ref t) => assert_eq!(t.atoms, 64),
+            ref other => panic!("unexpected payload {other:?}"),
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 0);
+    }
+
+    #[test]
+    fn resubmission_hits_cache() {
+        let svc = DftService::start_default();
+        svc.submit(md(64, 7)).unwrap().wait().unwrap();
+        let again = svc.submit(md(64, 7)).unwrap();
+        assert!(again.is_done(), "cache serve resolves immediately");
+        let report = svc.shutdown();
+        assert!(report.served_from_cache >= 1);
+        assert!(report.cache.hits >= 1);
+    }
+
+    #[test]
+    fn invalid_job_rejected_at_submission() {
+        let svc = DftService::start_default();
+        match svc.submit(md(10, 0)) {
+            Err(SubmitError::InvalidJob(_)) => {}
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+        let report = svc.shutdown();
+        assert_eq!(report.submitted, 0);
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let svc = DftService::start(ServeConfig {
+            workers: 2,
+            ..ServeConfig::default()
+        });
+        let tickets: Vec<_> = (0..6).map(|s| svc.submit(md(64, s)).unwrap()).collect();
+        let report = svc.shutdown();
+        assert!(tickets.iter().all(|t| t.is_done()), "drained on shutdown");
+        assert_eq!(report.completed, 6);
+    }
+
+    #[test]
+    fn submissions_rejected_after_shutdown() {
+        let mut svc = DftService::start_default();
+        svc.shutdown_in_place();
+        assert!(matches!(svc.submit(md(64, 0)), Err(SubmitError::Closed)));
+    }
+}

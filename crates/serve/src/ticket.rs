@@ -1,0 +1,149 @@
+//! Client-facing completion handles.
+//!
+//! Submitting a job yields a [`JobTicket`]; the caller blocks on
+//! [`JobTicket::wait`] (or polls [`JobTicket::try_result`]) while the
+//! worker pool fulfills it. Tickets are cheap `Arc` handles — clone
+//! freely, wait from any thread.
+
+use crate::fingerprint::Fingerprint;
+use crate::job::JobError;
+use crate::worker::JobOutcome;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+type JobResult = Result<Arc<JobOutcome>, JobError>;
+
+struct TicketInner {
+    slot: Mutex<Option<JobResult>>,
+    done: Condvar,
+}
+
+/// Handle to one submitted job's eventual result.
+#[derive(Clone)]
+pub struct JobTicket {
+    fingerprint: Fingerprint,
+    inner: Arc<TicketInner>,
+}
+
+impl std::fmt::Debug for JobTicket {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobTicket")
+            .field("fingerprint", &self.fingerprint)
+            .field("done", &self.is_done())
+            .finish()
+    }
+}
+
+impl JobTicket {
+    /// Fresh unfulfilled ticket for a job with the given fingerprint.
+    pub(crate) fn pending(fingerprint: Fingerprint) -> Self {
+        JobTicket {
+            fingerprint,
+            inner: Arc::new(TicketInner {
+                slot: Mutex::new(None),
+                done: Condvar::new(),
+            }),
+        }
+    }
+
+    /// Ticket already fulfilled (cache serve on the submission path).
+    pub(crate) fn ready(fingerprint: Fingerprint, outcome: Arc<JobOutcome>) -> Self {
+        let t = JobTicket::pending(fingerprint);
+        t.fulfill(Ok(outcome));
+        t
+    }
+
+    /// The job's content fingerprint (also the cache key).
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.fingerprint
+    }
+
+    /// Delivers the result and wakes waiters. First fulfillment wins;
+    /// later calls are ignored (a ticket resolves exactly once).
+    pub(crate) fn fulfill(&self, result: JobResult) {
+        let mut slot = self.inner.slot.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(result);
+            self.inner.done.notify_all();
+        }
+    }
+
+    /// True once a result (or error) is available.
+    pub fn is_done(&self) -> bool {
+        self.inner.slot.lock().unwrap().is_some()
+    }
+
+    /// Non-blocking result check.
+    pub fn try_result(&self) -> Option<JobResult> {
+        self.inner.slot.lock().unwrap().clone()
+    }
+
+    /// Blocks until the job resolves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the job's [`JobError`] when execution failed.
+    pub fn wait(&self) -> JobResult {
+        let mut slot = self.inner.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return result.clone();
+            }
+            slot = self.inner.done.wait(slot).unwrap();
+        }
+    }
+
+    /// [`JobTicket::wait`] with a fixed deadline `timeout` from now;
+    /// `None` on timeout (spurious wakeups do not extend it).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut slot = self.inner.slot.lock().unwrap();
+        loop {
+            if let Some(result) = slot.as_ref() {
+                return Some(result.clone());
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, _res) = self.inner.done.wait_timeout(slot, remaining).unwrap();
+            slot = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn fp() -> Fingerprint {
+        Fingerprint(42)
+    }
+
+    #[test]
+    fn wait_blocks_until_fulfilled() {
+        let t = JobTicket::pending(fp());
+        let waiter = {
+            let t = t.clone();
+            thread::spawn(move || t.wait())
+        };
+        thread::sleep(Duration::from_millis(10));
+        assert!(!t.is_done());
+        t.fulfill(Err(JobError::ShutDown));
+        assert_eq!(waiter.join().unwrap().unwrap_err(), JobError::ShutDown);
+    }
+
+    #[test]
+    fn first_fulfillment_wins() {
+        let t = JobTicket::pending(fp());
+        t.fulfill(Err(JobError::ShutDown));
+        t.fulfill(Err(JobError::Numerics("later".into())));
+        assert_eq!(t.wait().unwrap_err(), JobError::ShutDown);
+    }
+
+    #[test]
+    fn wait_timeout_expires_cleanly() {
+        let t = JobTicket::pending(fp());
+        assert!(t.wait_timeout(Duration::from_millis(10)).is_none());
+        t.fulfill(Err(JobError::ShutDown));
+        assert!(t.wait_timeout(Duration::from_millis(10)).is_some());
+    }
+}

@@ -1,0 +1,315 @@
+//! The worker pool: batch dispatch, placement, and execution.
+//!
+//! Each worker drains a chunk of the submission queue, groups it into
+//! per-class batches, consults the planner **once per batch**, then runs
+//! every member job: the real numerics through the `ndft_dft` drivers,
+//! and the modeled CPU/NDP timing through `ndft_core::run_ndft_with`.
+//! Completed outcomes land in the shared content-addressed cache and
+//! fulfill the submitters' tickets.
+
+use crate::batch::form_batches;
+use crate::batch::Batch;
+use crate::fingerprint::Fingerprint;
+use crate::job::{DftJob, JobError, JobPayload};
+use crate::metrics::ExecutionSample;
+use crate::placement::{plan_placement, PlacementDecision};
+use crate::service::EngineShared;
+use crate::ticket::JobTicket;
+use ndft_core::{run_ndft_with, NdftOptions, RunReport};
+use ndft_dft::{run_casida, run_lr_tddft, run_md, run_scf};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A completed job: the physics payload plus the co-design context it
+/// was produced under.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The job as submitted.
+    pub job: DftJob,
+    /// Content fingerprint (cache key).
+    pub fingerprint: Fingerprint,
+    /// The physics result.
+    pub payload: JobPayload,
+    /// The placement the batch's planner consultation chose.
+    pub placement: PlacementDecision,
+    /// Modeled NDFT engine run of the job's task graph (stage breakdown
+    /// on the paper's Table III machine).
+    pub modeled: RunReport,
+    /// Wall-clock the numeric kernels took on this host.
+    pub wall_numeric: Duration,
+}
+
+/// One queued job travelling to the workers.
+pub(crate) struct PendingJob {
+    pub(crate) job: DftJob,
+    pub(crate) fingerprint: Fingerprint,
+    pub(crate) ticket: JobTicket,
+    pub(crate) enqueued: Instant,
+}
+
+impl Drop for PendingJob {
+    fn drop(&mut self) {
+        // Last-resort guarantee that no waiter hangs: if this entry is
+        // dropped on any path that never resolved it (a panic unwinding
+        // through a worker, a dropped batch), fail the ticket. A no-op
+        // for the normal paths — the first fulfillment wins.
+        self.ticket.fulfill(Err(JobError::ShutDown));
+    }
+}
+
+/// Runs the job's actual numerics, timing the kernel work.
+///
+/// # Errors
+///
+/// [`JobError::InvalidSystem`] for bad atom counts,
+/// [`JobError::Numerics`] when a solver fails.
+pub fn execute_payload(job: &DftJob) -> Result<(JobPayload, Duration), JobError> {
+    let system = job
+        .system()
+        .map_err(|e| JobError::InvalidSystem(e.to_string()))?;
+    let start = Instant::now();
+    let payload = match job {
+        DftJob::GroundState { .. } => {
+            let opts = job.scf_options().expect("ground-state job");
+            let gs = run_scf(&system, &opts).map_err(|e| JobError::Numerics(format!("{e:?}")))?;
+            JobPayload::GroundState(gs)
+        }
+        DftJob::MdSegment { .. } => {
+            let opts = job.md_options().expect("md job");
+            JobPayload::Md(run_md(&system, &opts))
+        }
+        DftJob::Spectrum {
+            full_casida: false, ..
+        } => JobPayload::Tda(
+            run_lr_tddft(&system).map_err(|e| JobError::Numerics(format!("{e:?}")))?,
+        ),
+        DftJob::Spectrum {
+            full_casida: true, ..
+        } => JobPayload::Casida(
+            run_casida(&system).map_err(|e| JobError::Numerics(format!("{e:?}")))?,
+        ),
+    };
+    Ok((payload, start.elapsed()))
+}
+
+/// Executes one job under an already-made placement decision, producing
+/// the full outcome record (used by workers and by single-shot callers
+/// that bypass the service).
+///
+/// # Errors
+///
+/// Propagates [`execute_payload`] failures.
+pub fn execute_job(
+    job: &DftJob,
+    placement: &PlacementDecision,
+    modeled: &RunReport,
+) -> Result<JobOutcome, JobError> {
+    let (payload, wall_numeric) = execute_payload(job)?;
+    Ok(JobOutcome {
+        job: job.clone(),
+        fingerprint: job.fingerprint(),
+        payload,
+        placement: placement.clone(),
+        modeled: modeled.clone(),
+        wall_numeric,
+    })
+}
+
+impl JobOutcome {
+    /// The metrics contribution of this outcome.
+    pub(crate) fn sample(&self) -> ExecutionSample {
+        ExecutionSample {
+            wall_numeric_s: self.wall_numeric.as_secs_f64(),
+            modeled_cpu_busy_s: self.placement.cpu_busy,
+            modeled_ndp_busy_s: self.placement.ndp_busy,
+            modeled_total_s: self.placement.modeled_time(),
+            modeled_cpu_pinned_s: self.placement.cpu_pinned_time,
+        }
+    }
+}
+
+/// Worker main loop: drain → batch → plan once → execute members.
+pub(crate) fn worker_loop(shared: &EngineShared) {
+    while let Some(drained) = shared.queue.pop_batch(shared.config.max_batch) {
+        for batch in form_batches(drained, |p: &PendingJob| p.job.workload_class()) {
+            process_batch(shared, batch);
+        }
+    }
+}
+
+fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>) {
+    let graph = match batch.entries[0].job.task_graph() {
+        Ok(g) => g,
+        Err(e) => {
+            // Submission validates systems, so this is unreachable in
+            // practice — but a worker must never panic on a bad job.
+            let err = JobError::InvalidSystem(e.to_string());
+            for pending in &batch.entries {
+                shared.metrics.on_fail();
+                pending.ticket.fulfill(Err(err.clone()));
+            }
+            return;
+        }
+    };
+
+    // The planner consultation and modeled engine run are shared by the
+    // whole class (every member has the same task-graph shape) and made
+    // lazily: a batch fully served by cache/dedup pays for neither.
+    let mut planned: Option<(PlacementDecision, RunReport)> = None;
+    let mut executions = 0u64;
+
+    // Identical fingerprints inside the batch execute once; later entries
+    // share the Arc'd outcome, as do cross-batch repeats via the cache.
+    let mut local: HashMap<Fingerprint, Arc<JobOutcome>> = HashMap::new();
+    for pending in batch.entries {
+        let cached = local
+            .get(&pending.fingerprint)
+            .cloned()
+            .or_else(|| shared.cache.peek(&pending.fingerprint));
+        if let Some(hit) = cached {
+            shared
+                .metrics
+                .on_dedup_complete(pending.enqueued.elapsed().as_secs_f64());
+            pending.ticket.fulfill(Ok(hit));
+            continue;
+        }
+        // A panicking planner or solver must not take the worker thread
+        // (and every waiting ticket behind it) down with it.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let (placement, modeled) = planned.get_or_insert_with(|| {
+                (
+                    plan_placement(&graph, shared.config.policy),
+                    run_ndft_with(&graph, NdftOptions::default()),
+                )
+            });
+            execute_job(&pending.job, placement, modeled)
+        }));
+        match result {
+            Ok(Ok(outcome)) => {
+                executions += 1;
+                let outcome = Arc::new(outcome);
+                shared
+                    .cache
+                    .insert(pending.fingerprint, Arc::clone(&outcome));
+                local.insert(pending.fingerprint, Arc::clone(&outcome));
+                shared
+                    .metrics
+                    .on_executed(pending.enqueued.elapsed().as_secs_f64(), outcome.sample());
+                pending.ticket.fulfill(Ok(outcome));
+            }
+            Ok(Err(e)) => {
+                shared.metrics.on_fail();
+                pending.ticket.fulfill(Err(e));
+            }
+            Err(panic) => {
+                let msg = panic_message(panic.as_ref());
+                shared.metrics.on_fail();
+                pending
+                    .ticket
+                    .fulfill(Err(JobError::Numerics(format!("job panicked: {msg}"))));
+            }
+        }
+    }
+    shared
+        .metrics
+        .on_batch(planned.is_some(), executions.saturating_sub(1));
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("<non-string panic payload>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+
+    #[test]
+    fn execute_payload_runs_all_kinds() {
+        let jobs = [
+            DftJob::GroundState {
+                atoms: 8,
+                bands: 4,
+                max_iterations: 4,
+            },
+            DftJob::MdSegment {
+                atoms: 64,
+                steps: 5,
+                temperature_k: 300.0,
+                seed: 1,
+            },
+            DftJob::Spectrum {
+                atoms: 16,
+                full_casida: false,
+            },
+            DftJob::Spectrum {
+                atoms: 16,
+                full_casida: true,
+            },
+        ];
+        for job in &jobs {
+            let (payload, wall) = execute_payload(job).unwrap();
+            assert!(payload.headline().is_finite(), "{job}");
+            assert!(wall > Duration::ZERO);
+        }
+    }
+
+    #[test]
+    fn execute_job_carries_placement_context() {
+        let job = DftJob::Spectrum {
+            atoms: 16,
+            full_casida: false,
+        };
+        let graph = job.task_graph().unwrap();
+        let placement = plan_placement(&graph, PlacementPolicy::CostAware);
+        let modeled = run_ndft_with(&graph, NdftOptions::default());
+        let outcome = execute_job(&job, &placement, &modeled).unwrap();
+        assert_eq!(outcome.fingerprint, job.fingerprint());
+        assert_eq!(outcome.placement.policy, PlacementPolicy::CostAware);
+        assert!(outcome.modeled.total() > 0.0);
+        match outcome.payload {
+            JobPayload::Tda(ref s) => assert!(s.optical_gap() > 0.0),
+            ref other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_pending_job_fails_its_ticket() {
+        // The Drop guard is the last line of defense against hung
+        // waiters: an entry lost on any panic path resolves to ShutDown.
+        let job = DftJob::MdSegment {
+            atoms: 64,
+            steps: 1,
+            temperature_k: 300.0,
+            seed: 0,
+        };
+        let ticket = crate::ticket::JobTicket::pending(job.fingerprint());
+        let pending = PendingJob {
+            fingerprint: job.fingerprint(),
+            job,
+            ticket: ticket.clone(),
+            enqueued: Instant::now(),
+        };
+        drop(pending);
+        assert_eq!(ticket.wait().unwrap_err(), JobError::ShutDown);
+    }
+
+    #[test]
+    fn invalid_system_fails_cleanly() {
+        let job = DftJob::MdSegment {
+            atoms: 10,
+            steps: 1,
+            temperature_k: 300.0,
+            seed: 0,
+        };
+        match execute_payload(&job) {
+            Err(JobError::InvalidSystem(_)) => {}
+            other => panic!("expected InvalidSystem, got {other:?}"),
+        }
+    }
+}

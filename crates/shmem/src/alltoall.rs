@@ -57,10 +57,10 @@ pub fn simulate_alltoall(cfg: &SystemConfig, volume: u64, topology: Topology) ->
     let mut stack_clock = vec![0u64; stacks];
     let mut done_max = 0u64;
     for k in 1..stacks {
-        for s in 0..stacks {
+        for (s, clock) in stack_clock.iter_mut().enumerate() {
             let d = (s + k) % stacks;
-            let t = noc.transfer(s, d, chunk, stack_clock[s]);
-            stack_clock[s] = t.done;
+            let t = noc.transfer(s, d, chunk, *clock);
+            *clock = t.done;
             done_max = done_max.max(t.done);
         }
     }

@@ -93,8 +93,8 @@ pub fn simulate_block_gather_on(
     let mut fetch_lists: Vec<Vec<usize>> = vec![Vec::new(); stacks];
     let mut inter_bytes = 0u64;
     let mut intra_bytes = 0u64;
-    for s in 0..stacks {
-        let offset = if stacks > 0 { s * blocks / stacks } else { 0 };
+    for (s, fetch_list) in fetch_lists.iter_mut().enumerate() {
+        let offset = (s * blocks).checked_div(stacks).unwrap_or(0);
         for i in 0..blocks {
             let b = (offset + i) % blocks;
             let home = b % stacks;
@@ -107,7 +107,7 @@ pub fn simulate_block_gather_on(
                 CommScheme::Flat => units,
             };
             for _ in 0..fetches {
-                fetch_lists[s].push(home);
+                fetch_list.push(home);
             }
             intra_bytes += units as u64 * block_bytes;
         }

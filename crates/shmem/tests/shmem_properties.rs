@@ -21,8 +21,8 @@ proptest! {
                 per_stack[*stack] += *len;
             }
         }
-        for s in 0..16 {
-            prop_assert_eq!(store.stack_bytes(s), per_stack[s], "stack {}", s);
+        for (s, &expect) in per_stack.iter().enumerate() {
+            prop_assert_eq!(store.stack_bytes(s), expect, "stack {}", s);
         }
         // Free everything; all stacks drain to zero.
         for (bl, _, _) in live {

@@ -3,5 +3,6 @@ pub use ndft_core as core;
 pub use ndft_dft as dft;
 pub use ndft_numerics as numerics;
 pub use ndft_sched as sched;
+pub use ndft_serve as serve;
 pub use ndft_shmem as shmem;
 pub use ndft_sim as sim;

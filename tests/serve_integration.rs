@@ -1,0 +1,230 @@
+//! End-to-end test of the `ndft-serve` job engine: a mixed batch of SCF,
+//! MD, and spectrum jobs through submission, batching, planner-driven
+//! placement, execution, and the content-addressed result cache.
+
+use ndft::serve::{
+    DftJob, DftService, JobKind, JobPayload, PlacementPolicy, ServeConfig, SubmitError,
+};
+
+fn mixed_batch() -> Vec<DftJob> {
+    vec![
+        DftJob::GroundState {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 4,
+        },
+        DftJob::GroundState {
+            atoms: 16,
+            bands: 4,
+            max_iterations: 4,
+        },
+        DftJob::MdSegment {
+            atoms: 64,
+            steps: 8,
+            temperature_k: 300.0,
+            seed: 1,
+        },
+        DftJob::MdSegment {
+            atoms: 64,
+            steps: 8,
+            temperature_k: 300.0,
+            seed: 2,
+        },
+        DftJob::MdSegment {
+            atoms: 128,
+            steps: 8,
+            temperature_k: 500.0,
+            seed: 3,
+        },
+        DftJob::Spectrum {
+            atoms: 8,
+            full_casida: false,
+        },
+        DftJob::Spectrum {
+            atoms: 16,
+            full_casida: false,
+        },
+        DftJob::Spectrum {
+            atoms: 16,
+            full_casida: true,
+        },
+    ]
+}
+
+#[test]
+fn mixed_batch_completes_with_correct_payloads() {
+    let svc = DftService::start(ServeConfig {
+        workers: 3,
+        ..ServeConfig::default()
+    });
+    let jobs = mixed_batch();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit(j.clone()).expect("queue has capacity"))
+        .collect();
+    for (job, ticket) in jobs.iter().zip(&tickets) {
+        let outcome = ticket.wait().expect("job completes");
+        assert_eq!(outcome.fingerprint, job.fingerprint());
+        match (job.kind(), &outcome.payload) {
+            (JobKind::GroundState, JobPayload::GroundState(gs)) => {
+                assert!(!gs.energies_ev.is_empty());
+                assert!(gs.max_residual().is_finite());
+            }
+            (JobKind::MdSegment, JobPayload::Md(t)) => {
+                assert_eq!(t.atoms, job.atoms());
+                assert_eq!(t.samples.len(), 8);
+            }
+            (JobKind::TdaSpectrum, JobPayload::Tda(s)) => {
+                assert!(s.optical_gap() > 0.0);
+            }
+            (JobKind::CasidaSpectrum, JobPayload::Casida(c)) => {
+                assert!(c.optical_gap() > 0.0);
+            }
+            (kind, payload) => panic!("kind {kind} produced mismatched payload {payload:?}"),
+        }
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, jobs.len() as u64);
+    assert_eq!(report.failed, 0);
+    assert!(report.mean_latency_s > 0.0);
+}
+
+#[test]
+fn repeated_submission_hits_the_cache() {
+    let svc = DftService::start_default();
+    let jobs = mixed_batch();
+    // First wave executes everything.
+    let first: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit_blocking(j.clone()).unwrap())
+        .collect();
+    for t in &first {
+        t.wait().unwrap();
+    }
+    // Second wave must be served from the content-addressed cache.
+    for job in &jobs {
+        let ticket = svc.submit(job.clone()).unwrap();
+        assert!(ticket.is_done(), "cache serve resolves at submission");
+        ticket.wait().unwrap();
+    }
+    let report = svc.shutdown();
+    assert!(
+        report.cache.hit_rate() > 0.0,
+        "hit rate {} with {} hits / {} misses",
+        report.cache.hit_rate(),
+        report.cache.hits,
+        report.cache.misses
+    );
+    assert_eq!(report.served_from_cache, jobs.len() as u64);
+    assert_eq!(report.completed, 2 * jobs.len() as u64);
+}
+
+#[test]
+fn planner_placement_never_loses_to_cpu_pinned_baseline() {
+    let svc = DftService::start(ServeConfig {
+        policy: PlacementPolicy::CostAware,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<_> = mixed_batch()
+        .into_iter()
+        .map(|j| svc.submit_blocking(j).unwrap())
+        .collect();
+    for ticket in &tickets {
+        let outcome = ticket.wait().unwrap();
+        let placed = outcome.placement.modeled_time();
+        let pinned = outcome.placement.cpu_pinned_time;
+        assert!(
+            placed <= pinned + 1e-12,
+            "{}: planner {placed} vs cpu-pinned {pinned}",
+            outcome.job
+        );
+    }
+    let report = svc.shutdown();
+    assert!(
+        report.modeled_speedup_vs_cpu() >= 1.0,
+        "aggregate speedup {}",
+        report.modeled_speedup_vs_cpu()
+    );
+    assert!(report.modeled_ndp_busy_s > 0.0, "NDP side never used");
+    assert!(report.planner_calls > 0);
+}
+
+#[test]
+fn identical_jobs_in_one_wave_execute_once() {
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let job = DftJob::Spectrum {
+        atoms: 16,
+        full_casida: false,
+    };
+    let tickets: Vec<_> = (0..5)
+        .map(|_| svc.submit_blocking(job.clone()).unwrap())
+        .collect();
+    let outcomes: Vec<_> = tickets.iter().map(|t| t.wait().unwrap()).collect();
+    for pair in outcomes.windows(2) {
+        assert_eq!(pair[0].fingerprint, pair[1].fingerprint);
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 5);
+    assert!(
+        report.served_from_cache >= 1,
+        "duplicates deduped: {} cache serves",
+        report.served_from_cache
+    );
+}
+
+#[test]
+fn invalid_jobs_are_rejected_not_queued() {
+    let svc = DftService::start_default();
+    let bad = DftJob::GroundState {
+        atoms: 12, // not a whole number of diamond cells
+        bands: 4,
+        max_iterations: 4,
+    };
+    match svc.submit(bad) {
+        Err(SubmitError::InvalidJob(_)) => {}
+        other => panic!("expected InvalidJob, got {other:?}"),
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.submitted, 0);
+    assert_eq!(report.failed, 0);
+}
+
+#[test]
+fn batching_reuses_plans_across_same_class_jobs() {
+    // One worker + many same-class jobs queued up front ⇒ the drain
+    // forms multi-job batches and the planner is consulted once per
+    // batch, not once per job.
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        max_batch: 16,
+        ..ServeConfig::default()
+    });
+    // Steps are sized so one execution far outlasts the submission loop:
+    // while the first job runs, the remaining eleven accumulate in the
+    // queue and drain as one multi-job batch.
+    let tickets: Vec<_> = (0..12)
+        .map(|seed| {
+            svc.submit_blocking(DftJob::MdSegment {
+                atoms: 64,
+                steps: 100,
+                temperature_k: 300.0,
+                seed,
+            })
+            .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 12);
+    assert!(
+        report.planner_calls < 12,
+        "batching collapsed planner calls: {} for 12 jobs",
+        report.planner_calls
+    );
+    assert!(report.plans_reused > 0);
+}

@@ -1,0 +1,24 @@
+//! Offline stub of `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its report types but
+//! never serializes them (no `serde_json`/`bincode` in the tree), so this
+//! stub keeps the derive surface compiling without the real crate: the
+//! traits are markers with blanket impls, and the derive macros expand to
+//! nothing. Swapping in real serde later is a one-line Cargo.toml change.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (blanket-implemented).
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize` (blanket-implemented).
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Blanket-implemented owned-deserialization marker.
+    pub trait DeserializeOwned {}
+    impl<T> DeserializeOwned for T {}
+}

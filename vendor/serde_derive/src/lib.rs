@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no registry access, and nothing in the
+//! workspace actually serializes (there is no `serde_json` in the tree) —
+//! the `#[derive(Serialize, Deserialize)]` attributes only declare intent.
+//! The stub `serde` crate provides blanket impls of both traits, so the
+//! derive macros here can expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
