@@ -1,16 +1,107 @@
-//! Serving-layer study: placement policies and batching under a job mix.
+//! Serving-layer study: placement policies, batching, and sharding.
 //!
 //! Part 1 sweeps the paper suite across every [`PlacementPolicy`],
 //! reporting modeled end-to-end time per policy (the service analogue of
 //! the scheduler ablation). Part 2 pushes a live mixed stream through
-//! [`DftService`] and prints the resulting `ServeReport`.
+//! [`DftService`] and prints the resulting `ServeReport`. Part 3 is the
+//! **shard sweep** CI's `bench-smoke` job gates on: the fixed
+//! `service_throughput` mix (`DftJob::demo_mix`) runs once through a
+//! single-queue engine (`shards = 1`) and once through the sharded
+//! work-stealing engine (`shards = workers`), best-of-`REPEATS` each;
+//! the result lands in `BENCH_serve.json` (override the path with
+//! `--json <path>`) and the process exits non-zero when sharded
+//! throughput regresses below the single-queue baseline.
 
 use ndft_bench::print_header;
 use ndft_dft::{build_task_graph, SiliconSystem};
-use ndft_serve::{plan_placement, DftJob, DftService, PlacementPolicy, ServeConfig};
+use ndft_serve::{plan_placement, DftJob, DftService, PlacementPolicy, ServeConfig, ServeReport};
+use std::time::Instant;
+
+/// Jobs in the fixed smoke mix.
+const MIX_JOBS: usize = 100;
+/// Best-of repeats per configuration (absorbs scheduler noise).
+const REPEATS: usize = 3;
+/// Allowed fractional regression before the smoke gate fails — shared
+/// CI runners jitter a few percent run-to-run; a real sharding
+/// regression (a lost steal path, a serialized hot lock) costs far more.
+const GATE_TOLERANCE: f64 = 0.05;
+
+/// One measured engine run over the fixed mix.
+struct MixRun {
+    wall_s: f64,
+    throughput: f64,
+    report: ServeReport,
+}
+
+/// Pushes the fixed mix through a fresh engine and times it end-to-end
+/// (start → all tickets resolved → shutdown).
+fn run_mix(config: ServeConfig) -> MixRun {
+    let start = Instant::now();
+    let svc = DftService::start(config);
+    let tickets: Vec<_> = DftJob::demo_mix(MIX_JOBS)
+        .into_iter()
+        .map(|job| svc.submit_blocking(job).expect("submit"))
+        .collect();
+    for t in &tickets {
+        t.wait().expect("job completes");
+    }
+    let report = svc.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(report.completed, MIX_JOBS as u64);
+    assert_eq!(report.failed, 0);
+    MixRun {
+        wall_s,
+        throughput: MIX_JOBS as f64 / wall_s,
+        report,
+    }
+}
+
+/// Best-of-`REPEATS` for one shard count.
+fn best_of(shards: usize) -> MixRun {
+    let config = ServeConfig {
+        workers: 4,
+        shards,
+        queue_capacity: 32,
+        max_batch: 8,
+        ..ServeConfig::default()
+    };
+    (0..REPEATS)
+        .map(|_| run_mix(config))
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repeat")
+}
+
+/// Renders one configuration's JSON object (no serde_json offline — the
+/// schema is flat enough to format by hand).
+fn config_json(label: &str, shards: usize, run: &MixRun) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"shards\": {},\n",
+            "    \"workers\": 4,\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"throughput_jobs_per_s\": {:.3},\n",
+            "    \"planner_calls\": {},\n",
+            "    \"plans_reused\": {},\n",
+            "    \"steals\": {},\n",
+            "    \"stolen_jobs\": {},\n",
+            "    \"served_from_cache\": {}\n",
+            "  }}"
+        ),
+        label,
+        shards,
+        run.wall_s,
+        run.throughput,
+        run.report.planner_calls,
+        run.report.plans_reused,
+        run.report.steals,
+        run.report.stolen_jobs,
+        run.report.served_from_cache,
+    )
+}
 
 fn main() {
-    print_header("serving-layer policy and batching study");
+    print_header("serving-layer policy, batching, and sharding study");
 
     // --- Part 1: policy sweep over the paper suite (modeled). ---
     println!("modeled end-to-end seconds per placement policy:\n");
@@ -70,4 +161,56 @@ fn main() {
         t.wait().expect("job completes");
     }
     println!("{}", svc.shutdown());
+
+    // --- Part 3: shard sweep on the fixed smoke mix (the CI gate). ---
+    let json_path = {
+        let mut args = std::env::args().skip(1);
+        let mut path = String::from("BENCH_serve.json");
+        while let Some(arg) = args.next() {
+            if arg == "--json" {
+                path = args.next().expect("--json needs a path");
+            }
+        }
+        path
+    };
+    println!(
+        "\nshard sweep: {MIX_JOBS}-job demo mix, 4 workers, best of {REPEATS} runs per config\n"
+    );
+    let single = best_of(1);
+    let sharded = best_of(4);
+    let speedup = sharded.throughput / single.throughput;
+    println!(
+        "{:>14} {:>10} {:>14} {:>14} {:>8} {:>8}",
+        "config", "wall s", "jobs/s", "planner calls", "steals", "stolen"
+    );
+    for (label, run) in [("single-queue", &single), ("sharded x4", &sharded)] {
+        println!(
+            "{:>14} {:>10.4} {:>14.1} {:>14} {:>8} {:>8}",
+            label,
+            run.wall_s,
+            run.throughput,
+            run.report.planner_calls,
+            run.report.steals,
+            run.report.stolen_jobs
+        );
+    }
+    println!("\nsharded/single-queue throughput: {speedup:.3}x");
+
+    let json = format!(
+        "{{\n  \"bench\": \"serve_shard_sweep\",\n  \"jobs\": {},\n  \"repeats\": {},\n{},\n{},\n  \"sharded_over_single_queue\": {:.4}\n}}\n",
+        MIX_JOBS,
+        REPEATS,
+        config_json("single_queue", 1, &single),
+        config_json("sharded", 4, &sharded),
+        speedup,
+    );
+    std::fs::write(&json_path, json).expect("write bench json");
+    println!("wrote {json_path}");
+
+    assert!(
+        sharded.throughput >= single.throughput * (1.0 - GATE_TOLERANCE),
+        "PERF GATE FAILED: sharded {:.1} jobs/s regressed below single-queue {:.1} jobs/s",
+        sharded.throughput,
+        single.throughput
+    );
 }

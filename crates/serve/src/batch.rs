@@ -1,20 +1,40 @@
 //! Batch formation.
 //!
-//! Workers drain a chunk of the submission queue and group it by
-//! [`WorkloadClass`] — jobs with the same kind, system size, and
-//! iteration count share a task-graph *shape*, so one planner consultation
-//! covers the whole batch. The grouping preserves first-seen class order
-//! and within-class submission order, keeping the engine deterministic
-//! for a given dequeue sequence.
+//! Workers drain a chunk of their home shard (or steal a run from a
+//! victim shard) and group it by [`WorkloadClass`] — jobs with the same
+//! kind, system size, and iteration count share a task-graph *shape*, so
+//! one planner consultation covers the whole batch. The grouping
+//! preserves first-seen class order and within-class submission order,
+//! keeping the engine deterministic for a given dequeue sequence.
+//!
+//! A stolen run is already key-coherent (the steal protocol takes the
+//! largest same-key run), but shard keys are hashes: two classes *can*
+//! collide, so stolen material still flows through the same grouping —
+//! [`form_batches_from`] tags the resulting batches with their
+//! [`BatchOrigin`], which the worker feeds into
+//! [`crate::Metrics::on_batch`] so the report's `stolen_batches`
+//! counter separates home work from stolen work.
 
 use crate::job::WorkloadClass;
 use std::collections::HashMap;
+
+/// Where a batch's jobs were dequeued from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchOrigin {
+    /// Drained from the worker's home shard.
+    #[default]
+    Home,
+    /// Stolen from a victim shard.
+    Stolen,
+}
 
 /// Jobs of one workload class, planned together.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Batch<P> {
     /// Shared workload class.
     pub class: WorkloadClass,
+    /// Whether the members came from the home shard or a steal.
+    pub origin: BatchOrigin,
     /// Member jobs, in submission order.
     pub entries: Vec<P>,
 }
@@ -31,11 +51,21 @@ impl<P> Batch<P> {
     }
 }
 
-/// Groups drained jobs into per-class batches.
+/// Groups drained jobs into per-class batches tagged [`BatchOrigin::Home`].
 ///
 /// `class_of` maps a pending entry to its workload class (usually
 /// [`crate::DftJob::workload_class`]).
 pub fn form_batches<P>(pending: Vec<P>, class_of: impl Fn(&P) -> WorkloadClass) -> Vec<Batch<P>> {
+    form_batches_from(BatchOrigin::Home, pending, class_of)
+}
+
+/// [`form_batches`] with an explicit origin tag — workers use
+/// [`BatchOrigin::Stolen`] for runs taken from a victim shard.
+pub fn form_batches_from<P>(
+    origin: BatchOrigin,
+    pending: Vec<P>,
+    class_of: impl Fn(&P) -> WorkloadClass,
+) -> Vec<Batch<P>> {
     let mut index: HashMap<WorkloadClass, usize> = HashMap::new();
     let mut batches: Vec<Batch<P>> = Vec::new();
     for entry in pending {
@@ -46,6 +76,7 @@ pub fn form_batches<P>(pending: Vec<P>, class_of: impl Fn(&P) -> WorkloadClass) 
                 index.insert(class, batches.len());
                 batches.push(Batch {
                     class,
+                    origin,
                     entries: vec![entry],
                 });
             }
@@ -88,6 +119,18 @@ mod tests {
         assert_eq!(batches[0].class.atoms, 8);
         assert_eq!(batches[1].class.atoms, 64);
         assert_eq!(batches[2].class.atoms, 16);
+        assert!(batches.iter().all(|b| b.origin == BatchOrigin::Home));
+    }
+
+    #[test]
+    fn stolen_runs_keep_their_origin_tag() {
+        // A key-coherent stolen run usually forms one batch, but a hash
+        // collision between classes still separates correctly.
+        let run = vec![md(64, 1), md(64, 2), scf(8)];
+        let batches = form_batches_from(BatchOrigin::Stolen, run, DftJob::workload_class);
+        assert_eq!(batches.len(), 2);
+        assert!(batches.iter().all(|b| b.origin == BatchOrigin::Stolen));
+        assert_eq!(batches[0].len(), 2);
     }
 
     #[test]

@@ -196,6 +196,59 @@ impl DftJob {
         }
     }
 
+    /// The canonical demo/benchmark stream: `n` mixed jobs — repeated
+    /// SCF configurations, MD segments with cycling seeds, TDA and full
+    /// Casida spectra — with realistic repetition (users resubmit
+    /// identical calculations). Shared by the `service_throughput`
+    /// example and the `serve_study` bench so the CI smoke gate and the
+    /// demo measure the same fixed mix.
+    pub fn demo_mix(n: usize) -> Vec<DftJob> {
+        let mut jobs = Vec::with_capacity(n);
+        for i in 0..n as u64 {
+            jobs.push(match i % 10 {
+                // Repeated SCF configurations — the cache's bread and butter.
+                0 | 1 => DftJob::GroundState {
+                    atoms: 8,
+                    bands: 4,
+                    max_iterations: 4,
+                },
+                2 => DftJob::GroundState {
+                    atoms: 16,
+                    bands: 4,
+                    max_iterations: 4,
+                },
+                // MD segments: seeds vary, so most are genuinely new work,
+                // but each 20-job cycle repeats a seed.
+                3..=5 => DftJob::MdSegment {
+                    atoms: 64,
+                    steps: 10,
+                    temperature_k: 300.0,
+                    seed: (i / 10) % 2 * 100 + i % 10,
+                },
+                6 => DftJob::MdSegment {
+                    atoms: 128,
+                    steps: 10,
+                    temperature_k: 600.0,
+                    seed: 42, // identical every cycle — always cached after the first
+                },
+                // Spectra: two sizes of TDA plus the full Casida solve.
+                7 => DftJob::Spectrum {
+                    atoms: 8,
+                    full_casida: false,
+                },
+                8 => DftJob::Spectrum {
+                    atoms: 16,
+                    full_casida: false,
+                },
+                _ => DftJob::Spectrum {
+                    atoms: 16,
+                    full_casida: true,
+                },
+            });
+        }
+        jobs
+    }
+
     /// MD options encoded by a [`DftJob::MdSegment`] job.
     pub fn md_options(&self) -> Option<MdOptions> {
         match *self {
@@ -231,6 +284,25 @@ pub struct WorkloadClass {
     pub atoms: usize,
     /// Modeled iterations.
     pub iterations: usize,
+}
+
+impl WorkloadClass {
+    /// Stable shard-routing key: equal classes always hash equal, so a
+    /// wave of same-class jobs lands on one queue shard and one planner
+    /// consultation still covers the whole run.
+    pub fn shard_key(&self) -> u64 {
+        let mut h = Hasher::new();
+        h.write_u64(match self.kind {
+            JobKind::GroundState => 0x11,
+            JobKind::MdSegment => 0x12,
+            JobKind::TdaSpectrum => 0x13,
+            JobKind::CasidaSpectrum => 0x14,
+        });
+        h.write_u64(self.atoms as u64);
+        h.write_u64(self.iterations as u64);
+        let Fingerprint(d) = h.finish();
+        (d >> 64) as u64 ^ d as u64
+    }
 }
 
 impl fmt::Display for WorkloadClass {
@@ -354,6 +426,34 @@ mod tests {
         let g = job.task_graph().unwrap();
         assert_eq!(g.iterations, 7);
         assert!(!g.stages.is_empty());
+    }
+
+    #[test]
+    fn shard_key_is_stable_per_class() {
+        let a = DftJob::MdSegment {
+            atoms: 64,
+            steps: 10,
+            temperature_k: 300.0,
+            seed: 1,
+        };
+        let b = DftJob::MdSegment {
+            atoms: 64,
+            steps: 10,
+            temperature_k: 350.0, // different job, same class
+            seed: 9,
+        };
+        assert_eq!(
+            a.workload_class().shard_key(),
+            b.workload_class().shard_key()
+        );
+        let other = DftJob::Spectrum {
+            atoms: 64,
+            full_casida: false,
+        };
+        assert_ne!(
+            a.workload_class().shard_key(),
+            other.workload_class().shard_key()
+        );
     }
 
     #[test]

@@ -11,9 +11,17 @@
 //! * [`DftService`] — the façade: bounded-queue submission with
 //!   backpressure ([`SubmitError::QueueFull`]), a worker pool, and a
 //!   drain-on-[`shutdown`](DftService::shutdown) lifecycle.
-//! * **Batching** — workers drain the queue in chunks and group jobs by
-//!   [`WorkloadClass`] (same kind/size/iterations ⇒ same task-graph
-//!   shape), so one planner consultation covers the whole batch.
+//! * **Sharding + work stealing** — submissions route across the
+//!   [`ShardedQueue`]'s independent bounded shards by [`WorkloadClass`]
+//!   shard key ([`WorkloadClass::shard_key`]), each worker drains a home
+//!   shard, and idle workers steal the largest batchable run from the
+//!   most-loaded victim ([`StolenRun`]), so multi-socket hosts scale
+//!   past a single queue lock. `ServeConfig { shards: 1, .. }`
+//!   reproduces the old single-queue engine.
+//! * **Batching** — workers drain their shard in chunks and group jobs
+//!   by [`WorkloadClass`] (same kind/size/iterations ⇒ same task-graph
+//!   shape), so one planner consultation covers the whole batch; stolen
+//!   runs are key-coherent and batch the same way ([`BatchOrigin`]).
 //! * **Planner-driven placement** — each batch consults the `ndft_sched`
 //!   planners ([`PlacementPolicy`]) over the measured CPU-NDP machine
 //!   ([`ndft_core::MeasuredTimer`]) to pick CPU-vs-NDP placement per
@@ -22,8 +30,9 @@
 //! * **Result caching** — a content-addressed [`ResultCache`] with
 //!   hit/miss counters serves repeated submissions without re-running
 //!   the numerics.
-//! * **Metrics** — per-job latency, throughput, and modeled per-target
-//!   utilization, aggregated into a [`ServeReport`].
+//! * **Metrics** — per-job latency, throughput, steal counters,
+//!   per-shard depth/occupancy, and modeled per-target utilization,
+//!   aggregated into a [`ServeReport`].
 //!
 //! ## Example
 //!
@@ -55,7 +64,7 @@ pub mod service;
 pub mod ticket;
 pub mod worker;
 
-pub use batch::{form_batches, Batch};
+pub use batch::{form_batches, form_batches_from, Batch, BatchOrigin};
 pub use cache::{CacheStats, ResultCache};
 pub use fingerprint::{Fingerprint, Hasher};
 pub use job::{DftJob, JobError, JobKind, JobPayload, WorkloadClass};
@@ -63,7 +72,7 @@ pub use metrics::{ExecutionSample, Metrics, ServeReport};
 pub use placement::{
     measured_timer, plan_placement, plan_placement_with, PlacementDecision, PlacementPolicy,
 };
-pub use queue::{BoundedQueue, SubmitError};
+pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
 pub use service::{DftService, ServeConfig};
 pub use ticket::JobTicket;
 pub use worker::{execute_job, execute_payload, JobOutcome};

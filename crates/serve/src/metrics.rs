@@ -5,6 +5,7 @@
 //! completed job. A [`ServeReport`] snapshot folds in the cache counters
 //! and renders as a plain-text table for examples and harness binaries.
 
+use crate::batch::BatchOrigin;
 use crate::cache::CacheStats;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,13 +60,18 @@ pub struct Metrics {
     planner_calls: AtomicU64,
     plans_reused: AtomicU64,
     worker_panics: AtomicU64,
+    steals: AtomicU64,
+    stolen_jobs: AtomicU64,
+    stolen_batches: AtomicU64,
+    shard_dispatched: Vec<AtomicU64>,
+    worker_dispatched: Vec<AtomicU64>,
     accum: Mutex<Accum>,
 }
 
 impl Metrics {
-    /// Fresh metrics anchored at "now".
-    #[allow(clippy::new_without_default)]
-    pub fn new() -> Self {
+    /// Fresh metrics anchored at "now", sized for `shards` queue shards
+    /// and `workers` worker threads.
+    pub fn new(shards: usize, workers: usize) -> Self {
         Metrics {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -77,7 +83,29 @@ impl Metrics {
             planner_calls: AtomicU64::new(0),
             plans_reused: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+            stolen_jobs: AtomicU64::new(0),
+            stolen_batches: AtomicU64::new(0),
+            shard_dispatched: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            worker_dispatched: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             accum: Mutex::new(Accum::default()),
+        }
+    }
+
+    /// Records one dequeue by `worker` of `jobs` jobs that had been
+    /// queued on `shard` — either a home drain or a stolen run
+    /// (`stolen`). Feeds the steal counters and the per-shard /
+    /// per-worker dispatch histograms.
+    pub fn on_dispatch(&self, worker: usize, shard: usize, jobs: u64, stolen: bool) {
+        if stolen {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+            self.stolen_jobs.fetch_add(jobs, Ordering::Relaxed);
+        }
+        if let Some(s) = self.shard_dispatched.get(shard) {
+            s.fetch_add(jobs, Ordering::Relaxed);
+        }
+        if let Some(w) = self.worker_dispatched.get(worker) {
+            w.fetch_add(jobs, Ordering::Relaxed);
         }
     }
 
@@ -102,14 +130,18 @@ impl Metrics {
 
     /// Counts one processed batch: `planner_consulted` when a plan was
     /// made for it, `plan_riders` the executed jobs beyond the first that
-    /// rode that plan instead of re-planning. A batch fully served from
-    /// cache consults no planner and has no riders.
-    pub fn on_batch(&self, planner_consulted: bool, plan_riders: u64) {
+    /// rode that plan instead of re-planning, and `origin` whether the
+    /// batch was drained from the worker's home shard or stolen. A batch
+    /// fully served from cache consults no planner and has no riders.
+    pub fn on_batch(&self, planner_consulted: bool, plan_riders: u64, origin: BatchOrigin) {
         self.batches.fetch_add(1, Ordering::Relaxed);
         if planner_consulted {
             self.planner_calls.fetch_add(1, Ordering::Relaxed);
         }
         self.plans_reused.fetch_add(plan_riders, Ordering::Relaxed);
+        if origin == BatchOrigin::Stolen {
+            self.stolen_batches.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     /// Records a job the worker actually executed.
@@ -141,11 +173,26 @@ impl Metrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Snapshot folded together with cache counters.
-    pub fn report(&self, cache: CacheStats) -> ServeReport {
+    /// Snapshot folded together with cache counters and the queue's
+    /// live per-shard depths.
+    pub fn report(&self, cache: CacheStats, shard_depths: Vec<usize>) -> ServeReport {
         let a = *self.accum.lock().unwrap();
         ServeReport {
             uptime_s: self.started.elapsed().as_secs_f64(),
+            steals: self.steals.load(Ordering::Relaxed),
+            stolen_jobs: self.stolen_jobs.load(Ordering::Relaxed),
+            stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
+            shard_depths,
+            shard_dispatched: self
+                .shard_dispatched
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
+            worker_dispatched: self
+                .worker_dispatched
+                .iter()
+                .map(|w| w.load(Ordering::Relaxed))
+                .collect(),
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -194,6 +241,18 @@ pub struct ServeReport {
     pub plans_reused: u64,
     /// Worker threads that died by panic (0 in a healthy engine).
     pub worker_panics: u64,
+    /// Work-stealing dispatches (one per stolen run).
+    pub steals: u64,
+    /// Jobs that arrived at their worker via a steal.
+    pub stolen_jobs: u64,
+    /// Batches whose members were stolen rather than home-drained.
+    pub stolen_batches: u64,
+    /// Live queue depth per shard at snapshot time.
+    pub shard_depths: Vec<usize>,
+    /// Jobs dispatched out of each shard over the engine's lifetime.
+    pub shard_dispatched: Vec<u64>,
+    /// Jobs dispatched to each worker over the engine's lifetime.
+    pub worker_dispatched: Vec<u64>,
     /// Mean submit→complete latency, seconds.
     pub mean_latency_s: f64,
     /// Worst-case latency, seconds.
@@ -242,6 +301,38 @@ impl ServeReport {
         }
     }
 
+    /// Fraction of lifetime dispatches each shard contributed (sums to 1
+    /// when anything ran; all zeros when idle). The serving-side
+    /// utilization view the cross-job placement layer consumes.
+    pub fn shard_occupancy(&self) -> Vec<f64> {
+        let total: u64 = self.shard_dispatched.iter().sum();
+        self.shard_dispatched
+            .iter()
+            .map(|&d| {
+                if total == 0 {
+                    0.0
+                } else {
+                    d as f64 / total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Fraction of dispatched jobs that travelled via a steal.
+    pub fn steal_fraction(&self) -> f64 {
+        let total: u64 = self.shard_dispatched.iter().sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.stolen_jobs as f64 / total as f64
+        }
+    }
+
+    /// Fewest jobs any worker dispatched — 0 means a worker starved.
+    pub fn min_worker_dispatched(&self) -> u64 {
+        self.worker_dispatched.iter().copied().min().unwrap_or(0)
+    }
+
     /// Modeled speedup of planner placement over CPU-pinned execution.
     pub fn modeled_speedup_vs_cpu(&self) -> f64 {
         if self.modeled_total_s == 0.0 {
@@ -280,6 +371,20 @@ impl fmt::Display for ServeReport {
             f,
             "  batching    batches {:>5}  planner calls {:>5}  plans reused {:>5}",
             self.batches, self.planner_calls, self.plans_reused
+        )?;
+        writeln!(
+            f,
+            "  sharding    shards {:>6}  steals {:>5}  stolen jobs {:>5} ({:>4.1}%)  stolen batches {:>5}  occupancy [{}]",
+            self.shard_dispatched.len(),
+            self.steals,
+            self.stolen_jobs,
+            self.steal_fraction() * 100.0,
+            self.stolen_batches,
+            self.shard_occupancy()
+                .iter()
+                .map(|o| format!("{:.2}", o))
+                .collect::<Vec<_>>()
+                .join(" ")
         )?;
         writeln!(
             f,
@@ -322,11 +427,11 @@ mod tests {
 
     #[test]
     fn cache_serves_count_as_completions() {
-        let m = Metrics::new();
+        let m = Metrics::new(2, 2);
         m.on_submit();
         m.on_executed(0.5, sample(1.0, 3.0, 4.2, 6.0));
         m.on_serve_from_cache();
-        let r = m.report(CacheStats::default());
+        let r = m.report(CacheStats::default(), vec![0, 0]);
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 2);
         assert_eq!(r.served_from_cache, 1);
@@ -334,30 +439,31 @@ mod tests {
 
     #[test]
     fn utilization_fractions_sum_to_one_when_busy() {
-        let m = Metrics::new();
+        let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 3.0, 4.1, 5.0));
-        let r = m.report(CacheStats::default());
+        let r = m.report(CacheStats::default(), vec![0, 0]);
         assert!((r.cpu_utilization() + r.ndp_utilization() - 1.0).abs() < 1e-12);
         assert!((r.cpu_utilization() - 0.25).abs() < 1e-12);
     }
 
     #[test]
     fn batch_accounting_splits_fresh_and_reused() {
-        let m = Metrics::new();
-        m.on_batch(true, 3); // planner consulted once, 3 riders
-        m.on_batch(false, 0); // fully cache-served: no plan at all
-        let r = m.report(CacheStats::default());
+        let m = Metrics::new(2, 2);
+        m.on_batch(true, 3, BatchOrigin::Home); // planner consulted once, 3 riders
+        m.on_batch(false, 0, BatchOrigin::Stolen); // fully cache-served: no plan at all
+        let r = m.report(CacheStats::default(), vec![0, 0]);
         assert_eq!(r.batches, 2);
         assert_eq!(r.planner_calls, 1);
         assert_eq!(r.plans_reused, 3);
+        assert_eq!(r.stolen_batches, 1);
     }
 
     #[test]
     fn mean_latency_spans_executed_and_dedup_jobs() {
-        let m = Metrics::new();
+        let m = Metrics::new(2, 2);
         m.on_executed(0.2, ExecutionSample::default());
         m.on_dedup_complete(0.4);
-        let r = m.report(CacheStats::default());
+        let r = m.report(CacheStats::default(), vec![0, 0]);
         assert!((r.mean_latency_s - 0.3).abs() < 1e-12);
         assert!((r.max_latency_s - 0.4).abs() < 1e-12);
         assert_eq!(r.served_from_cache, 1);
@@ -365,19 +471,38 @@ mod tests {
 
     #[test]
     fn modeled_speedup_aggregates_over_jobs() {
-        let m = Metrics::new();
+        let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 6.0));
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 2.0));
-        let r = m.report(CacheStats::default());
+        let r = m.report(CacheStats::default(), vec![0, 0]);
         assert!((r.modeled_speedup_vs_cpu() - 2.0).abs() < 1e-12);
     }
 
     #[test]
+    fn dispatch_accounting_tracks_shards_workers_and_steals() {
+        let m = Metrics::new(2, 2);
+        m.on_dispatch(0, 0, 4, false); // worker 0 drains its home shard
+        m.on_dispatch(1, 0, 2, true); // worker 1 steals from shard 0
+        m.on_dispatch(1, 1, 2, false);
+        let r = m.report(CacheStats::default(), vec![3, 1]);
+        assert_eq!(r.steals, 1);
+        assert_eq!(r.stolen_jobs, 2);
+        assert_eq!(r.shard_dispatched, vec![6, 2]);
+        assert_eq!(r.worker_dispatched, vec![4, 4]);
+        assert_eq!(r.shard_depths, vec![3, 1]);
+        assert!((r.steal_fraction() - 0.25).abs() < 1e-12);
+        let occ = r.shard_occupancy();
+        assert!((occ[0] - 0.75).abs() < 1e-12);
+        assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(r.min_worker_dispatched(), 4);
+    }
+
+    #[test]
     fn report_renders() {
-        let m = Metrics::new();
+        let m = Metrics::new(2, 2);
         m.on_submit();
         m.on_executed(0.01, sample(0.5, 1.5, 2.1, 3.0));
-        let text = m.report(CacheStats::default()).to_string();
+        let text = m.report(CacheStats::default(), vec![0, 0]).to_string();
         assert!(text.contains("ndft-serve report"));
         assert!(text.contains("speedup"));
     }

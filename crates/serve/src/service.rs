@@ -9,7 +9,7 @@ use crate::cache::{CacheStats, ResultCache};
 use crate::job::DftJob;
 use crate::metrics::{Metrics, ServeReport};
 use crate::placement::PlacementPolicy;
-use crate::queue::{BoundedQueue, SubmitError};
+use crate::queue::{ShardedQueue, SubmitError};
 use crate::ticket::JobTicket;
 use crate::worker::{worker_loop, JobOutcome, PendingJob};
 use std::sync::Arc;
@@ -21,7 +21,13 @@ use std::time::Instant;
 pub struct ServeConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
-    /// Bounded submission-queue capacity (the backpressure knob).
+    /// Queue shards. Submissions route by [`crate::WorkloadClass`] shard
+    /// key, each worker homes on shard `worker % shards`, and idle
+    /// workers steal batchable runs from loaded shards. `1` reproduces
+    /// the old single-queue engine.
+    pub shards: usize,
+    /// Bounded submission-queue capacity across all shards (the
+    /// backpressure knob; split evenly per shard, rounded up).
     pub queue_capacity: usize,
     /// Maximum jobs one worker drains per dispatch (the batching window).
     pub max_batch: usize,
@@ -35,6 +41,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 2,
+            shards: 2,
             queue_capacity: 64,
             max_batch: 8,
             policy: PlacementPolicy::CostAware,
@@ -45,7 +52,7 @@ impl Default for ServeConfig {
 
 /// State shared between the façade and the worker pool.
 pub(crate) struct EngineShared {
-    pub(crate) queue: BoundedQueue<PendingJob>,
+    pub(crate) queue: ShardedQueue<PendingJob>,
     pub(crate) cache: ResultCache<Arc<JobOutcome>>,
     pub(crate) metrics: Metrics,
     pub(crate) config: ServeConfig,
@@ -65,10 +72,11 @@ impl DftService {
     /// Panics on a zero worker count, queue capacity, or cache capacity.
     pub fn start(config: ServeConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
+        assert!(config.shards > 0, "need at least one shard");
         let shared = Arc::new(EngineShared {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: ShardedQueue::new(config.shards, config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
-            metrics: Metrics::new(),
+            metrics: Metrics::new(config.shards, config.workers),
             config,
         });
         let workers = (0..config.workers)
@@ -76,7 +84,7 @@ impl DftService {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
                     .name(format!("ndft-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn worker thread")
             })
             .collect();
@@ -120,6 +128,10 @@ impl DftService {
             return Ok(JobTicket::ready(fingerprint, hit));
         }
         let ticket = JobTicket::pending(fingerprint);
+        // Class-keyed routing: a wave of same-class jobs lands on one
+        // shard, so a home drain (or a stolen run) stays batchable under
+        // a single planner consultation.
+        let shard_key = job.workload_class().shard_key();
         let pending = PendingJob {
             job,
             fingerprint,
@@ -127,9 +139,9 @@ impl DftService {
             enqueued: Instant::now(),
         };
         let pushed = if blocking {
-            self.shared.queue.push(pending)
+            self.shared.queue.push(shard_key, pending)
         } else {
-            self.shared.queue.try_push(pending)
+            self.shared.queue.try_push(shard_key, pending)
         };
         match pushed {
             Ok(()) => {
@@ -145,9 +157,15 @@ impl DftService {
         }
     }
 
-    /// Jobs currently queued (not yet picked up by a worker).
+    /// Jobs currently queued across all shards (not yet picked up by a
+    /// worker).
     pub fn queue_depth(&self) -> usize {
         self.shared.queue.len()
+    }
+
+    /// Live per-shard queue depths (index = shard).
+    pub fn shard_depths(&self) -> Vec<usize> {
+        self.shared.queue.shard_depths()
     }
 
     /// Result-cache counter snapshot.
@@ -157,10 +175,12 @@ impl DftService {
 
     /// Live metrics snapshot.
     pub fn report(&self) -> ServeReport {
-        self.shared.metrics.report(self.shared.cache.stats())
+        self.shared
+            .metrics
+            .report(self.shared.cache.stats(), self.shared.queue.shard_depths())
     }
 
-    /// Stops accepting work, drains the queue, joins the workers, and
+    /// Stops accepting work, drains every shard, joins the workers, and
     /// returns the final report.
     pub fn shutdown(mut self) -> ServeReport {
         self.shutdown_in_place();
@@ -174,14 +194,13 @@ impl DftService {
                 self.shared.metrics.on_worker_panic();
             }
         }
-        // Workers fulfill every ticket they dequeue (panics included),
-        // so leftovers exist only if a worker thread died outright.
-        // Fail them explicitly rather than leaving waiters hanging.
-        while let Some(orphans) = self.shared.queue.pop_batch(usize::MAX) {
-            for pending in orphans {
-                self.shared.metrics.on_fail();
-                pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
-            }
+        // Workers fulfill every ticket they dequeue (panics included) and
+        // only exit once the closed queue is empty, so leftovers exist
+        // only if a worker thread died outright. Sweep every shard and
+        // fail them explicitly rather than leaving waiters hanging.
+        for pending in self.shared.queue.drain_all() {
+            self.shared.metrics.on_fail();
+            pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
         }
     }
 }

@@ -1,14 +1,21 @@
-//! The worker pool: batch dispatch, placement, and execution.
+//! The worker pool: work-stealing dispatch, placement, and execution.
 //!
-//! Each worker drains a chunk of the submission queue, groups it into
-//! per-class batches, consults the planner **once per batch**, then runs
-//! every member job: the real numerics through the `ndft_dft` drivers,
-//! and the modeled CPU/NDP timing through `ndft_core::run_ndft_with`.
-//! Completed outcomes land in the shared content-addressed cache and
-//! fulfill the submitters' tickets.
+//! Each worker owns a *home* shard of the [`crate::ShardedQueue`]
+//! (`worker % shards`) and drains it in batch-sized chunks. When the
+//! home shard is empty it turns thief: it steals the largest batchable
+//! run from the most-loaded victim shard, so even stolen work usually
+//! shares one workload class. Dequeued chunks are grouped into
+//! per-class batches, the planner is consulted **once per batch**, then
+//! every member job runs: the real numerics through the `ndft_dft`
+//! drivers, and the modeled CPU/NDP timing through
+//! `ndft_core::run_ndft_with`. Completed outcomes land in the shared
+//! content-addressed cache and fulfill the submitters' tickets.
+//!
+//! Idle workers park with per-shard exponential backoff between
+//! home/steal rounds; the queue's generation token closes the race
+//! between scanning the shards and going to sleep.
 
-use crate::batch::form_batches;
-use crate::batch::Batch;
+use crate::batch::{form_batches_from, Batch, BatchOrigin};
 use crate::fingerprint::Fingerprint;
 use crate::job::{DftJob, JobError, JobPayload};
 use crate::metrics::ExecutionSample;
@@ -129,16 +136,59 @@ impl JobOutcome {
     }
 }
 
-/// Worker main loop: drain → batch → plan once → execute members.
-pub(crate) fn worker_loop(shared: &EngineShared) {
-    while let Some(drained) = shared.queue.pop_batch(shared.config.max_batch) {
-        for batch in form_batches(drained, |p: &PendingJob| p.job.workload_class()) {
-            process_batch(shared, batch);
+/// Floor of the idle-park window; reset on every successful dequeue.
+const BACKOFF_MIN: Duration = Duration::from_micros(50);
+/// Ceiling of the idle-park window (also bounds shutdown latency for a
+/// worker that missed the close notification).
+const BACKOFF_MAX: Duration = Duration::from_millis(5);
+
+/// Worker main loop: drain home shard → steal → batch → plan once →
+/// execute members, parking with exponential backoff when idle.
+pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
+    let home = worker % shared.queue.shards();
+    let mut backoff = BACKOFF_MIN;
+    loop {
+        // Read the generation *before* scanning so a push that races the
+        // scan turns the park below into a no-op.
+        let generation = shared.queue.generation();
+        if let Some(drained) = shared.queue.try_pop_home(home, shared.config.max_batch) {
+            backoff = BACKOFF_MIN;
+            shared
+                .metrics
+                .on_dispatch(worker, home, drained.len() as u64, false);
+            dispatch_chunk(shared, BatchOrigin::Home, drained);
+            continue;
         }
+        if let Some(run) = shared.queue.try_steal(home, shared.config.max_batch) {
+            backoff = BACKOFF_MIN;
+            shared
+                .metrics
+                .on_dispatch(worker, run.from_shard, run.items.len() as u64, true);
+            dispatch_chunk(shared, BatchOrigin::Stolen, run.items);
+            continue;
+        }
+        if shared.queue.is_closed() {
+            if shared.queue.is_empty() {
+                return;
+            }
+            // Closed but a shard still holds items (racing drains):
+            // loop again and help finish them.
+            continue;
+        }
+        shared.queue.wait_for_work(generation, backoff);
+        backoff = (backoff * 2).min(BACKOFF_MAX);
+    }
+}
+
+/// Groups one dequeued chunk into per-class batches and processes them.
+fn dispatch_chunk(shared: &EngineShared, origin: BatchOrigin, chunk: Vec<PendingJob>) {
+    for batch in form_batches_from(origin, chunk, |p: &PendingJob| p.job.workload_class()) {
+        process_batch(shared, batch);
     }
 }
 
 fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>) {
+    let origin = batch.origin;
     let graph = match batch.entries[0].job.task_graph() {
         Ok(g) => g,
         Err(e) => {
@@ -213,7 +263,7 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>) {
     }
     shared
         .metrics
-        .on_batch(planned.is_some(), executions.saturating_sub(1));
+        .on_batch(planned.is_some(), executions.saturating_sub(1), origin);
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {

@@ -1,0 +1,107 @@
+//! Property tests of the sharded submit/drain/steal protocol.
+//!
+//! The engine's correctness contract is *exactly-once delivery*: every
+//! fingerprint pushed into the [`ShardedQueue`] comes out exactly once,
+//! whatever interleaving of home drains and steals the dispatcher
+//! happens to run. The properties drive the queue through randomized
+//! job mixes, shard counts, and dequeue schedules, then check the
+//! multiset of fingerprints survives unchanged.
+
+use ndft_serve::{DftJob, Fingerprint, ShardedQueue};
+use proptest::prelude::*;
+
+/// Builds a job stream from drawn class parameters; the index is the MD
+/// seed, so every job has a distinct fingerprint even within a class.
+fn job_stream(classes: &[(u64, usize)]) -> Vec<DftJob> {
+    classes
+        .iter()
+        .enumerate()
+        .map(|(i, &(cells, steps))| DftJob::MdSegment {
+            atoms: (cells as usize) * 8,
+            steps,
+            temperature_k: 300.0,
+            seed: i as u64,
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any interleaving of home drains and steals delivers every
+    /// fingerprint exactly once — nothing lost, nothing duplicated.
+    #[test]
+    fn sharded_submit_drain_preserves_every_fingerprint_exactly_once(
+        classes in prop::collection::vec((1u64..5, 1usize..4), 1..40),
+        shards in 1usize..5,
+        workers in 1usize..5,
+        schedule in prop::collection::vec((0usize..8, 1usize..6), 0..120),
+    ) {
+        let jobs = job_stream(&classes);
+        // Capacity sized so even a fully skewed mix fits one shard.
+        let q: ShardedQueue<Fingerprint> =
+            ShardedQueue::new(shards, jobs.len() * shards);
+        for job in &jobs {
+            q.try_push(job.workload_class().shard_key(), job.fingerprint()).unwrap();
+        }
+        prop_assert_eq!(q.len(), jobs.len());
+
+        // Replay the drawn dispatcher schedule: each step is one worker
+        // doing exactly what `worker_loop` does — home drain first, then
+        // steal from the most-loaded victim.
+        let mut collected: Vec<Fingerprint> = Vec::new();
+        for &(w, max_batch) in &schedule {
+            let home = (w % workers) % shards;
+            if let Some(batch) = q.try_pop_home(home, max_batch) {
+                collected.extend(batch);
+            } else if let Some(run) = q.try_steal(home, max_batch) {
+                prop_assert!(run.from_shard != home, "never steals from home");
+                prop_assert!(!run.items.is_empty(), "a steal always carries items");
+                collected.extend(run.items);
+            }
+        }
+        // Whatever the schedule left behind is the shutdown sweep's job.
+        q.close();
+        collected.extend(q.drain_all());
+
+        let mut want: Vec<Fingerprint> = jobs.iter().map(DftJob::fingerprint).collect();
+        want.sort();
+        collected.sort();
+        prop_assert_eq!(collected, want, "fingerprint multiset must survive");
+    }
+
+    /// Stolen runs are key-coherent: every item in one steal shares the
+    /// victim's reported shard key, so the run batches under one plan.
+    #[test]
+    fn stolen_runs_share_one_shard_key(
+        classes in prop::collection::vec((1u64..5, 1usize..4), 2..40),
+        shards in 2usize..5,
+    ) {
+        let jobs = job_stream(&classes);
+        let q: ShardedQueue<(u64, Fingerprint)> =
+            ShardedQueue::new(shards, jobs.len() * shards);
+        for job in &jobs {
+            let key = job.workload_class().shard_key();
+            q.try_push(key, (key, job.fingerprint())).unwrap();
+        }
+        // Steal everything through a thief homed on each shard in turn.
+        let mut rounds = 0usize;
+        loop {
+            let mut stole_any = false;
+            for thief in 0..shards {
+                if let Some(run) = q.try_steal(thief, usize::MAX) {
+                    prop_assert!(run.items.iter().all(|&(k, _)| k == run.key),
+                        "run mixes shard keys");
+                    stole_any = true;
+                }
+            }
+            rounds += 1;
+            if !stole_any || rounds > jobs.len() + shards {
+                break;
+            }
+        }
+        // With >= 2 shards a thief reaches every other shard; only the
+        // thief-cycle's blind spot (nothing) may remain.
+        prop_assert!(q.is_empty() || shards == 1);
+    }
+}

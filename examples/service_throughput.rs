@@ -12,62 +12,21 @@
 use ndft::serve::{DftJob, DftService, ServeConfig, SubmitError};
 
 fn job_stream() -> Vec<DftJob> {
-    let mut jobs = Vec::with_capacity(100);
-    for i in 0..100u64 {
-        jobs.push(match i % 10 {
-            // Repeated SCF configurations — the cache's bread and butter.
-            0 | 1 => DftJob::GroundState {
-                atoms: 8,
-                bands: 4,
-                max_iterations: 4,
-            },
-            2 => DftJob::GroundState {
-                atoms: 16,
-                bands: 4,
-                max_iterations: 4,
-            },
-            // MD segments: seeds vary, so most are genuinely new work,
-            // but each 20-job cycle repeats a seed.
-            3..=5 => DftJob::MdSegment {
-                atoms: 64,
-                steps: 10,
-                temperature_k: 300.0,
-                seed: (i / 10) % 2 * 100 + i % 10,
-            },
-            6 => DftJob::MdSegment {
-                atoms: 128,
-                steps: 10,
-                temperature_k: 600.0,
-                seed: 42, // identical every cycle — always cached after the first
-            },
-            // Spectra: two sizes of TDA plus the full Casida solve.
-            7 => DftJob::Spectrum {
-                atoms: 8,
-                full_casida: false,
-            },
-            8 => DftJob::Spectrum {
-                atoms: 16,
-                full_casida: false,
-            },
-            _ => DftJob::Spectrum {
-                atoms: 16,
-                full_casida: true,
-            },
-        });
-    }
-    jobs
+    DftJob::demo_mix(100)
 }
 
 fn main() {
     let config = ServeConfig {
         workers: 4,
+        shards: 4,
         queue_capacity: 32,
         max_batch: 8,
         ..ServeConfig::default()
     };
     println!(
-        "ndft-serve demo: 100 mixed jobs, {} workers, queue {} (policy: {})",
+        "ndft-serve demo: 100 mixed jobs, {} workers, {} shards, queue {} (policy: {})",
         config.workers,
+        config.shards,
         config.queue_capacity,
         config.policy.label()
     );

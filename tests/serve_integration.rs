@@ -193,6 +193,85 @@ fn invalid_jobs_are_rejected_not_queued() {
 }
 
 #[test]
+fn shard_skew_triggers_stealing_and_no_worker_starves() {
+    // Adversarial shard skew: every job shares one WorkloadClass, so
+    // class-keyed routing lands the entire stream on ONE shard. Without
+    // work stealing, three of the four workers would sit idle on their
+    // empty home shards forever.
+    let svc = DftService::start(ServeConfig {
+        workers: 4,
+        shards: 4,
+        max_batch: 2, // small drains so the loaded shard stays stealable
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    let jobs: Vec<_> = (0..48)
+        .map(|seed| DftJob::MdSegment {
+            atoms: 64,
+            steps: 40,
+            temperature_k: 300.0,
+            seed, // distinct fingerprints, one shared class
+        })
+        .collect();
+    let shard_key = jobs[0].workload_class().shard_key();
+    assert!(jobs
+        .iter()
+        .all(|j| j.workload_class().shard_key() == shard_key));
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit_blocking(j.clone()).unwrap())
+        .collect();
+    for (job, ticket) in jobs.iter().zip(&tickets) {
+        let outcome = ticket.wait().expect("job completes");
+        assert_eq!(outcome.fingerprint, job.fingerprint());
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 48);
+    assert_eq!(report.failed, 0);
+    assert!(report.steals > 0, "skewed load must trigger steals");
+    assert!(report.stolen_jobs > 0);
+    // Exactly one shard ever held work...
+    assert_eq!(
+        report
+            .shard_dispatched
+            .iter()
+            .filter(|&&jobs| jobs > 0)
+            .count(),
+        1,
+        "class-keyed routing concentrates one class on one shard: {:?}",
+        report.shard_dispatched
+    );
+    // ...yet every worker took part (stealing defeats the skew).
+    assert_eq!(report.worker_dispatched.len(), 4);
+    assert!(
+        report.min_worker_dispatched() > 0,
+        "no worker starves under skew: {:?}",
+        report.worker_dispatched
+    );
+}
+
+#[test]
+fn single_shard_config_reproduces_old_engine() {
+    // shards = 1 is the pre-sharding engine: one queue, no stealing.
+    let svc = DftService::start(ServeConfig {
+        workers: 3,
+        shards: 1,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<_> = mixed_batch()
+        .into_iter()
+        .map(|j| svc.submit_blocking(j).unwrap())
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 8);
+    assert_eq!(report.steals, 0, "one shard leaves nothing to steal");
+    assert_eq!(report.shard_dispatched.len(), 1);
+}
+
+#[test]
 fn batching_reuses_plans_across_same_class_jobs() {
     // One worker + many same-class jobs queued up front ⇒ the drain
     // forms multi-job batches and the planner is consulted once per
