@@ -1,4 +1,5 @@
-//! Serving-layer study: placement policies, batching, and sharding.
+//! Serving-layer study: placement policies, batching, sharding, and
+//! cross-job contention.
 //!
 //! Part 1 sweeps the paper suite across every [`PlacementPolicy`],
 //! reporting modeled end-to-end time per policy (the service analogue of
@@ -7,10 +8,16 @@
 //! **shard sweep** CI's `bench-smoke` job gates on: the fixed
 //! `service_throughput` mix (`DftJob::demo_mix`) runs once through a
 //! single-queue engine (`shards = 1`) and once through the sharded
-//! work-stealing engine (`shards = workers`), best-of-`REPEATS` each;
-//! the result lands in `BENCH_serve.json` (override the path with
-//! `--json <path>`) and the process exits non-zero when sharded
-//! throughput regresses below the single-queue baseline.
+//! work-stealing engine (`shards = workers`), best-of-`REPEATS` each.
+//! Part 4 is the **contention sweep**: many concurrent same-class
+//! batches (one `WorkloadClass`, distinct fingerprints — the worst case
+//! for load-blind planning, since every batch's isolated plan picks the
+//! same NDP stacks) run once load-blind (`load_aware: false`) and once
+//! consulting the shared `ClusterView`. Both sweeps land in
+//! `BENCH_serve.json` (override the path with `--json <path>`; schema
+//! documented in `crates/serve/src/README.md`) and the process exits
+//! non-zero when sharded throughput regresses below the single-queue
+//! baseline or load-aware throughput regresses below load-blind.
 
 use ndft_bench::print_header;
 use ndft_dft::{build_task_graph, SiliconSystem};
@@ -19,26 +26,39 @@ use std::time::Instant;
 
 /// Jobs in the fixed smoke mix.
 const MIX_JOBS: usize = 100;
+/// Jobs in the contention mix (one workload class, distinct seeds) —
+/// sized so one run takes a few hundred ms of wall clock, big enough
+/// that runner jitter cannot dominate the throughput gate.
+const CONTENTION_JOBS: usize = 256;
 /// Best-of repeats per configuration (absorbs scheduler noise).
 const REPEATS: usize = 3;
-/// Allowed fractional regression before the smoke gate fails — shared
-/// CI runners jitter a few percent run-to-run; a real sharding
-/// regression (a lost steal path, a serialized hot lock) costs far more.
+/// Allowed fractional regression before the shard-sweep gate fails —
+/// shared CI runners jitter a few percent run-to-run; a real sharding
+/// regression (a lost steal path, a serialized hot lock) costs far
+/// more.
 const GATE_TOLERANCE: f64 = 0.05;
+/// Tolerance for the contention gate. Load-aware placement changes only
+/// *modeled* placement, so its real-wall cost is one extra planner
+/// consultation per contended batch — a genuine regression (e.g. a lock
+/// on the ClusterView hot path) costs integer factors, while the sweep's
+/// sub-second wall time makes small percentages pure scheduler noise.
+/// Wider than the shard gate on purpose.
+const CONTENTION_GATE_TOLERANCE: f64 = 0.15;
 
-/// One measured engine run over the fixed mix.
+/// One measured engine run over a fixed job list.
 struct MixRun {
     wall_s: f64,
     throughput: f64,
     report: ServeReport,
 }
 
-/// Pushes the fixed mix through a fresh engine and times it end-to-end
+/// Pushes `jobs` through a fresh engine and times it end-to-end
 /// (start → all tickets resolved → shutdown).
-fn run_mix(config: ServeConfig) -> MixRun {
+fn run_jobs(config: ServeConfig, jobs: Vec<DftJob>) -> MixRun {
+    let n = jobs.len();
     let start = Instant::now();
     let svc = DftService::start(config);
-    let tickets: Vec<_> = DftJob::demo_mix(MIX_JOBS)
+    let tickets: Vec<_> = jobs
         .into_iter()
         .map(|job| svc.submit_blocking(job).expect("submit"))
         .collect();
@@ -47,17 +67,17 @@ fn run_mix(config: ServeConfig) -> MixRun {
     }
     let report = svc.shutdown();
     let wall_s = start.elapsed().as_secs_f64();
-    assert_eq!(report.completed, MIX_JOBS as u64);
+    assert_eq!(report.completed, n as u64);
     assert_eq!(report.failed, 0);
     MixRun {
         wall_s,
-        throughput: MIX_JOBS as f64 / wall_s,
+        throughput: n as f64 / wall_s,
         report,
     }
 }
 
-/// Best-of-`REPEATS` for one shard count.
-fn best_of(shards: usize) -> MixRun {
+/// Best-of-`REPEATS` over the demo mix for one shard count.
+fn best_of_shards(shards: usize) -> MixRun {
     let config = ServeConfig {
         workers: 4,
         shards,
@@ -66,14 +86,53 @@ fn best_of(shards: usize) -> MixRun {
         ..ServeConfig::default()
     };
     (0..REPEATS)
-        .map(|_| run_mix(config))
+        .map(|_| run_jobs(config, DftJob::demo_mix(MIX_JOBS)))
         .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
         .expect("at least one repeat")
 }
 
-/// Renders one configuration's JSON object (no serde_json offline — the
-/// schema is flat enough to format by hand).
-fn config_json(label: &str, shards: usize, run: &MixRun) -> String {
+/// The contention mix: one `WorkloadClass` (so every batch consults the
+/// planner for the same NDP-leaning graph), distinct fingerprints (so
+/// the cache can't absorb the work).
+fn contention_mix() -> Vec<DftJob> {
+    (0..CONTENTION_JOBS as u64)
+        .map(|seed| DftJob::MdSegment {
+            atoms: 128,
+            steps: 200, // heavy enough that batches genuinely overlap
+            temperature_k: 300.0,
+            seed,
+        })
+        .collect()
+}
+
+/// Best-of-`REPEATS` over the contention mix, load-aware or load-blind.
+fn best_of_contention(load_aware: bool) -> MixRun {
+    let config = ServeConfig {
+        workers: 4,
+        shards: 4,
+        queue_capacity: 64,
+        max_batch: 8,
+        load_aware,
+        ..ServeConfig::default()
+    };
+    (0..REPEATS)
+        .map(|_| run_jobs(config, contention_mix()))
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repeat")
+}
+
+/// Modeled cluster makespan of a run: the busiest target's total
+/// reserved busy time. Spreading concurrent batches lowers it; piling
+/// onto one target raises it.
+fn modeled_makespan(run: &MixRun) -> f64 {
+    run.report
+        .modeled_cpu_busy_s
+        .max(run.report.modeled_ndp_busy_s)
+}
+
+/// Renders one shard-sweep configuration's JSON object (no serde_json
+/// offline — the schema is flat enough to format by hand).
+fn shard_config_json(label: &str, shards: usize, run: &MixRun) -> String {
     format!(
         concat!(
             "  \"{}\": {{\n",
@@ -100,8 +159,38 @@ fn config_json(label: &str, shards: usize, run: &MixRun) -> String {
     )
 }
 
+/// Renders one contention-sweep configuration's JSON object.
+fn contention_config_json(label: &str, load_aware: bool, run: &MixRun) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"load_aware\": {},\n",
+            "    \"workers\": 4,\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"throughput_jobs_per_s\": {:.3},\n",
+            "    \"planner_calls\": {},\n",
+            "    \"plans_contended\": {},\n",
+            "    \"plans_shifted\": {},\n",
+            "    \"modeled_cpu_busy_s\": {:.6},\n",
+            "    \"modeled_ndp_busy_s\": {:.6},\n",
+            "    \"modeled_makespan_s\": {:.6}\n",
+            "  }}"
+        ),
+        label,
+        load_aware,
+        run.wall_s,
+        run.throughput,
+        run.report.planner_calls,
+        run.report.plans_contended,
+        run.report.plans_shifted,
+        run.report.modeled_cpu_busy_s,
+        run.report.modeled_ndp_busy_s,
+        modeled_makespan(run),
+    )
+}
+
 fn main() {
-    print_header("serving-layer policy, batching, and sharding study");
+    print_header("serving-layer policy, batching, sharding, and contention study");
 
     // --- Part 1: policy sweep over the paper suite (modeled). ---
     println!("modeled end-to-end seconds per placement policy:\n");
@@ -162,7 +251,7 @@ fn main() {
     }
     println!("{}", svc.shutdown());
 
-    // --- Part 3: shard sweep on the fixed smoke mix (the CI gate). ---
+    // --- Part 3: shard sweep on the fixed smoke mix (CI gate #1). ---
     let json_path = {
         let mut args = std::env::args().skip(1);
         let mut path = String::from("BENCH_serve.json");
@@ -176,9 +265,9 @@ fn main() {
     println!(
         "\nshard sweep: {MIX_JOBS}-job demo mix, 4 workers, best of {REPEATS} runs per config\n"
     );
-    let single = best_of(1);
-    let sharded = best_of(4);
-    let speedup = sharded.throughput / single.throughput;
+    let single = best_of_shards(1);
+    let sharded = best_of_shards(4);
+    let shard_speedup = sharded.throughput / single.throughput;
     println!(
         "{:>14} {:>10} {:>14} {:>14} {:>8} {:>8}",
         "config", "wall s", "jobs/s", "planner calls", "steals", "stolen"
@@ -194,15 +283,62 @@ fn main() {
             run.report.stolen_jobs
         );
     }
-    println!("\nsharded/single-queue throughput: {speedup:.3}x");
+    println!("\nsharded/single-queue throughput: {shard_speedup:.3}x");
+
+    // --- Part 4: contention sweep, load-blind vs load-aware (gate #2). ---
+    println!(
+        "\ncontention sweep: {CONTENTION_JOBS} same-class MD jobs, 4 workers, best of {REPEATS}\n"
+    );
+    let blind = best_of_contention(false);
+    let aware = best_of_contention(true);
+    let aware_speedup = aware.throughput / blind.throughput;
+    println!(
+        "{:>14} {:>10} {:>14} {:>10} {:>10} {:>12} {:>12}",
+        "config", "wall s", "jobs/s", "contended", "shifted", "cpu busy s", "ndp busy s"
+    );
+    for (label, run) in [("load-blind", &blind), ("load-aware", &aware)] {
+        println!(
+            "{:>14} {:>10.4} {:>14.1} {:>10} {:>10} {:>12.4} {:>12.4}",
+            label,
+            run.wall_s,
+            run.throughput,
+            run.report.plans_contended,
+            run.report.plans_shifted,
+            run.report.modeled_cpu_busy_s,
+            run.report.modeled_ndp_busy_s,
+        );
+    }
+    println!(
+        "\nload-aware/load-blind throughput: {aware_speedup:.3}x  \
+         modeled makespan: blind {:.4}s vs aware {:.4}s",
+        modeled_makespan(&blind),
+        modeled_makespan(&aware)
+    );
 
     let json = format!(
-        "{{\n  \"bench\": \"serve_shard_sweep\",\n  \"jobs\": {},\n  \"repeats\": {},\n{},\n{},\n  \"sharded_over_single_queue\": {:.4}\n}}\n",
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_study\",\n",
+            "  \"jobs\": {},\n",
+            "  \"repeats\": {},\n",
+            "{},\n",
+            "{},\n",
+            "  \"sharded_over_single_queue\": {:.4},\n",
+            "  \"contention_jobs\": {},\n",
+            "{},\n",
+            "{},\n",
+            "  \"load_aware_over_load_blind\": {:.4}\n",
+            "}}\n"
+        ),
         MIX_JOBS,
         REPEATS,
-        config_json("single_queue", 1, &single),
-        config_json("sharded", 4, &sharded),
-        speedup,
+        shard_config_json("single_queue", 1, &single),
+        shard_config_json("sharded", 4, &sharded),
+        shard_speedup,
+        CONTENTION_JOBS,
+        contention_config_json("contention_load_blind", false, &blind),
+        contention_config_json("contention_load_aware", true, &aware),
+        aware_speedup,
     );
     std::fs::write(&json_path, json).expect("write bench json");
     println!("wrote {json_path}");
@@ -212,5 +348,17 @@ fn main() {
         "PERF GATE FAILED: sharded {:.1} jobs/s regressed below single-queue {:.1} jobs/s",
         sharded.throughput,
         single.throughput
+    );
+    assert!(
+        aware.throughput >= blind.throughput * (1.0 - CONTENTION_GATE_TOLERANCE),
+        "PERF GATE FAILED: load-aware {:.1} jobs/s regressed below load-blind {:.1} jobs/s",
+        aware.throughput,
+        blind.throughput
+    );
+    assert!(
+        aware.report.plans_contended > 0,
+        "CONTENTION GATE FAILED: no plan ever saw a concurrent reservation \
+         ({} planner calls) — the ClusterView is not being consulted",
+        aware.report.planner_calls
     );
 }

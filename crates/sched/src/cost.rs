@@ -1,10 +1,32 @@
-//! The scheduling-overhead cost model (paper Eq. 1).
+//! The scheduling-overhead cost model (paper Eq. 1) and the cross-job
+//! load bias ([`TargetLoad`]) fed into the load-aware planners.
+//!
+//! ## Boundary costs (Eq. 1)
 //!
 //! `Scheduling Overhead = Σ_{i∈NDP} Σ_{j∈CPU} (DT(i,j) + CXT)` — every
 //! placement boundary between adjacent code segments on different units
 //! pays a data-transfer term proportional to the tensor crossing the
-//! boundary plus a constant context-switch term.
+//! boundary plus a constant context-switch term. [`CostModel`] holds the
+//! three constants (link bandwidth, link latency, context-switch cost)
+//! and evaluates single boundaries ([`CostModel::boundary`]) or whole
+//! placements ([`CostModel::scheduling_overhead`]).
+//!
+//! ## Cross-job load ([`TargetLoad`])
+//!
+//! The paper's planner places one task graph on an otherwise-idle
+//! machine. A serving system runs many batches concurrently, and each
+//! concurrent batch that has already reserved busy time on a target
+//! makes that target effectively slower for everyone else. [`TargetLoad`]
+//! captures that pressure: `cpu_reserved_s` / `ndp_reserved_s` are the
+//! modeled busy seconds concurrent work currently holds on each unit,
+//! and `reference_s` is the time scale of "one batch-equivalent" (the
+//! caller's own pinned time is the natural choice). Under processor
+//! sharing, a target already claimed by `k` batch-equivalents runs new
+//! work `1 + k` times slower — exactly what [`TargetLoad::dilation`]
+//! returns and what the `*_loaded` planner variants in
+//! [`crate::planner`] multiply into per-stage time estimates.
 
+use crate::sca::Target;
 use serde::{Deserialize, Serialize};
 
 /// Cost model constants.
@@ -68,9 +90,110 @@ impl CostModel {
     }
 }
 
+/// Cross-job utilization pressure on the two execution targets.
+///
+/// Produced by a serving layer's global utilization view (reserved
+/// modeled busy time per target across in-flight batches) and consumed
+/// by the load-aware planners ([`crate::plan_chain_loaded`] and
+/// friends), which dilate per-target stage-time estimates by
+/// [`TargetLoad::dilation`] so concurrent batches spread across targets
+/// instead of piling onto the one an isolated plan would pick.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TargetLoad {
+    /// Modeled busy seconds concurrent work has reserved on the host CPU.
+    pub cpu_reserved_s: f64,
+    /// Modeled busy seconds concurrent work has reserved on the NDP stacks.
+    pub ndp_reserved_s: f64,
+    /// Seconds of reserved time that count as one "batch-equivalent" of
+    /// pressure — the caller's own natural time scale (a serving layer
+    /// uses the planned graph's faster pinned time). Non-positive ⇒ the
+    /// load is ignored (dilation 1).
+    pub reference_s: f64,
+}
+
+impl TargetLoad {
+    /// The idle cluster: no reservations, no bias. `plan_*` entry points
+    /// without a load parameter plan under this.
+    pub const NONE: TargetLoad = TargetLoad {
+        cpu_reserved_s: 0.0,
+        ndp_reserved_s: 0.0,
+        reference_s: 0.0,
+    };
+
+    /// A load view with negatives clamped away (reservations are sums of
+    /// modeled times and must never be negative).
+    pub fn new(cpu_reserved_s: f64, ndp_reserved_s: f64, reference_s: f64) -> Self {
+        TargetLoad {
+            cpu_reserved_s: cpu_reserved_s.max(0.0),
+            ndp_reserved_s: ndp_reserved_s.max(0.0),
+            reference_s: reference_s.max(0.0),
+        }
+    }
+
+    /// True when the load cannot bias a plan: nothing reserved, or no
+    /// reference scale to measure the reservations against.
+    pub fn is_idle(&self) -> bool {
+        self.reference_s <= 0.0 || (self.cpu_reserved_s <= 0.0 && self.ndp_reserved_s <= 0.0)
+    }
+
+    /// Reserved busy seconds on `target`.
+    pub fn reserved(&self, target: Target) -> f64 {
+        match target {
+            Target::Cpu => self.cpu_reserved_s,
+            Target::Ndp => self.ndp_reserved_s,
+        }
+    }
+
+    /// Dimensionless pressure on `target`: reserved batch-equivalents
+    /// (`reserved / reference`, 0 when idle).
+    pub fn pressure(&self, target: Target) -> f64 {
+        if self.reference_s <= 0.0 {
+            0.0
+        } else {
+            (self.reserved(target) / self.reference_s).max(0.0)
+        }
+    }
+
+    /// Processor-sharing slowdown for new work on `target`: a unit
+    /// already claimed by `k` batch-equivalents runs new work `1 + k`
+    /// times slower. Always ≥ 1.
+    pub fn dilation(&self, target: Target) -> f64 {
+        1.0 + self.pressure(target)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn idle_load_has_unit_dilation() {
+        let l = TargetLoad::NONE;
+        assert!(l.is_idle());
+        assert_eq!(l.dilation(Target::Cpu), 1.0);
+        assert_eq!(l.dilation(Target::Ndp), 1.0);
+        // Reservations without a reference scale are also inert.
+        let unscaled = TargetLoad::new(5.0, 3.0, 0.0);
+        assert!(unscaled.is_idle());
+        assert_eq!(unscaled.dilation(Target::Ndp), 1.0);
+    }
+
+    #[test]
+    fn pressure_counts_batch_equivalents() {
+        let l = TargetLoad::new(1.0, 3.0, 2.0);
+        assert!(!l.is_idle());
+        assert!((l.pressure(Target::Cpu) - 0.5).abs() < 1e-15);
+        assert!((l.pressure(Target::Ndp) - 1.5).abs() < 1e-15);
+        assert!((l.dilation(Target::Ndp) - 2.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_inputs_are_clamped() {
+        let l = TargetLoad::new(-1.0, -2.0, -3.0);
+        assert_eq!(l, TargetLoad::new(0.0, 0.0, 0.0));
+        assert!(l.is_idle());
+        assert_eq!(l.dilation(Target::Cpu), 1.0);
+    }
 
     #[test]
     fn dt_scales_with_bytes() {

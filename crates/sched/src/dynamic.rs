@@ -15,6 +15,20 @@
 //! reproduce the static plan and never migrate; with bias it should
 //! converge towards the oracle plan (the DP run on the true times).
 //!
+//! The re-planning step is the same `(stage, last target)` chain DP as
+//! [`crate::plan_chain`] (see the [`crate::planner`] module docs for the
+//! recurrence), run over the scheduler's *current estimate table*
+//! instead of a [`crate::StageTimer`]. Note the relation to the
+//! cross-job [`crate::TargetLoad`] bias: both mechanisms perturb the
+//! per-target times the DP consumes, but they answer different
+//! questions. A `TargetLoad` models *other* work contending for a
+//! target right now (a serving-layer concern, applied per batch and
+//! released when the batch completes); this module models the SCA
+//! being *wrong about the machine itself*, corrected by measurement
+//! over many iterations of one long-running pipeline. A production
+//! runtime would compose them: EWMA-refined estimates dilated by live
+//! cluster load.
+//!
 //! ## Example
 //!
 //! ```

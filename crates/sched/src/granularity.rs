@@ -7,6 +7,15 @@
 //! kernel into `k` segments multiplies the potential boundaries by `k`
 //! while leaving per-segment character identical — quantifying the
 //! overhead curve the paper's design decision rests on.
+//!
+//! Mechanically, [`split_stages`] rewrites the kernel chain and the
+//! ordinary chain DP ([`crate::plan_chain`]) plans the split chain: the
+//! DP's `O(n)` cost is what makes the instruction-level point (≈1024
+//! segments per kernel) tractable at all, where the exhaustive search's
+//! `2^n` could not go past 24 total segments. The study runs on an idle
+//! machine ([`crate::TargetLoad::NONE`]) by construction — granularity
+//! is a *compile-time* design choice, while the cross-job load bias is
+//! a *serve-time* input; conflating them would double-count contention.
 
 use crate::cost::CostModel;
 use crate::planner::{plan_chain, Plan, StageTimer};

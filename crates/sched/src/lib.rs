@@ -5,9 +5,12 @@
 //! * [`roofline`] — the Fig. 4 roofline analysis of the LR-TDDFT kernels.
 //! * [`sca`] — the static code analyzer: per-kernel boundedness and
 //!   per-target time estimates.
-//! * [`cost`] — the Eq. 1 scheduling-overhead model (`DT + CXT`).
+//! * [`cost`] — the Eq. 1 scheduling-overhead model (`DT + CXT`) and the
+//!   cross-job [`TargetLoad`] pressure model.
 //! * [`planner`] — cost-aware placement: optimal chain DP (NDFT's
 //!   mechanism), exhaustive validation, greedy and pinned baselines.
+//!   Every planner has a `*_loaded` variant that biases the decision by
+//!   a [`TargetLoad`] so concurrent batches spread across targets.
 //! * [`granularity`] — the function-vs-basic-block-vs-instruction
 //!   offload-granularity study behind the paper's design choice.
 //!
@@ -34,10 +37,13 @@ pub mod roofline;
 pub mod sca;
 
 pub use anneal::{plan_anneal, AnnealOptions, AnnealOutcome, Objective, PowerModel};
-pub use cost::CostModel;
+pub use cost::{CostModel, TargetLoad};
 pub use dynamic::{simulate_online, DynamicOptions, DynamicReport};
 pub use granularity::{granularity_study, split_stages, Granularity, GranularityReport};
 pub use overlap::{analyze_overlap, OverlapAnalysis};
-pub use planner::{plan_chain, plan_exhaustive, plan_greedy, plan_pinned, Plan, StageTimer};
+pub use planner::{
+    plan_chain, plan_chain_loaded, plan_exhaustive, plan_exhaustive_loaded, plan_greedy,
+    plan_greedy_loaded, plan_pinned, LoadBiasedTimer, Plan, StageTimer,
+};
 pub use roofline::{fig4_points, Boundedness, Roofline, RooflinePoint};
 pub use sca::{Analysis, StaticCodeAnalyzer, Target, TargetModel};

@@ -10,8 +10,47 @@
 //!   used to validate the DP.
 //! * [`plan_greedy`] — per-stage argmin ignoring boundaries, the naive
 //!   baseline an ablation compares against.
+//!
+//! ## The chain DP
+//!
+//! The LR-TDDFT pipeline is a *chain*: stage `k` consumes only what
+//! stage `k−1` produced, so the only coupling between placement choices
+//! is the boundary between adjacent stages. That makes the optimal
+//! placement a textbook dynamic program over `(stage, last target)`
+//! states: let `dp[k][t]` be the cheapest way to finish stages `0..=k`
+//! with stage `k` on target `t`. The transition adds stage `k`'s
+//! execution time on `t` plus, when the previous stage sat on the other
+//! unit, one Eq. 1 boundary cost for the tensor crossing between them:
+//!
+//! ```text
+//! dp[k][t] = time(k, t) + min over p in {Cpu, Ndp} of
+//!            dp[k-1][p] + (p != t ? boundary(bytes[k-1]) : 0)
+//! ```
+//!
+//! Two states per stage, two predecessors per state: `O(n)` time,
+//! provably optimal for chains (validated against [`plan_exhaustive`]
+//! in `tests/planner_coverage.rs` up to the 24-stage brute-force guard).
+//! The back-pointers are traced to recover the placement.
+//!
+//! ## Cross-job load bias ([`TargetLoad`])
+//!
+//! Every planner also has a `*_loaded` variant
+//! ([`plan_chain_loaded`], [`plan_greedy_loaded`],
+//! [`plan_exhaustive_loaded`]) that plans under a cross-job
+//! [`TargetLoad`]: per-target stage-time estimates are dilated by the
+//! processor-sharing factor [`TargetLoad::dilation`] (a target already
+//! claimed by `k` concurrent batch-equivalents runs new work `1 + k`
+//! times slower), so the placement *decision* accounts for what
+//! concurrent batches have reserved. The returned [`Plan`]'s costs are
+//! then **re-evaluated under the unbiased timer**: reported
+//! `compute_time` / `sched_overhead` always describe the plan on an
+//! idle machine, so costs stay comparable across load levels and
+//! against the pinned baselines. The unloaded entry points are thin
+//! wrappers passing [`TargetLoad::NONE`]. Pinned placements
+//! ([`plan_pinned`]) take no load parameter — a pinned placement is the
+//! same under any load, only its completion time differs.
 
-use crate::cost::CostModel;
+use crate::cost::{CostModel, TargetLoad};
 use crate::sca::{StaticCodeAnalyzer, Target};
 use ndft_dft::KernelDescriptor;
 use serde::{Deserialize, Serialize};
@@ -103,8 +142,38 @@ pub(crate) fn make_plan(
     }
 }
 
+/// [`StageTimer`] adapter that dilates per-target stage times by a
+/// [`TargetLoad`]'s processor-sharing factor. This is how the `*_loaded`
+/// planners see a contended machine without any change to the DP itself;
+/// boundary costs pass through unchanged (the host link is modeled
+/// uncontended — transfers are short relative to compute and the link is
+/// not the shared resource the load view tracks).
+pub struct LoadBiasedTimer<'a> {
+    inner: &'a dyn StageTimer,
+    load: TargetLoad,
+}
+
+impl<'a> LoadBiasedTimer<'a> {
+    /// Wraps `inner` so every estimate on a target is multiplied by
+    /// `load.dilation(target)`.
+    pub fn new(inner: &'a dyn StageTimer, load: TargetLoad) -> Self {
+        LoadBiasedTimer { inner, load }
+    }
+}
+
+impl StageTimer for LoadBiasedTimer<'_> {
+    fn stage_time(&self, stage: &KernelDescriptor, target: Target) -> f64 {
+        self.inner.stage_time(stage, target) * self.load.dilation(target)
+    }
+    fn cost_model(&self) -> &CostModel {
+        self.inner.cost_model()
+    }
+}
+
 /// Optimal placement for a chain of stages via dynamic programming over
 /// (stage, last-target) states — NDFT's cost-aware offloading mechanism.
+/// Thin wrapper over [`plan_chain_loaded`] with [`TargetLoad::NONE`]
+/// (an idle machine).
 ///
 /// # Examples
 ///
@@ -120,6 +189,46 @@ pub(crate) fn make_plan(
 /// assert!(ndp >= plan.placement.len() / 2);
 /// ```
 pub fn plan_chain(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> Plan {
+    plan_chain_loaded(stages, timer, TargetLoad::NONE)
+}
+
+/// [`plan_chain`] under a cross-job [`TargetLoad`]: the DP decides the
+/// placement with per-target times dilated by the load's
+/// processor-sharing factor, then the chosen placement's reported costs
+/// are re-evaluated under the unbiased `timer` (see the
+/// [module docs](self) for why).
+///
+/// # Examples
+///
+/// ```
+/// use ndft_sched::{plan_chain, plan_chain_loaded, StaticCodeAnalyzer, Target, TargetLoad};
+/// use ndft_dft::{build_task_graph, SiliconSystem};
+///
+/// let sca = StaticCodeAnalyzer::paper_default();
+/// let stages = build_task_graph(&SiliconSystem::large(), 1).stages;
+/// let idle = plan_chain(&stages, &sca);
+/// // Concurrent batches hold 4 batch-equivalents of NDP busy time:
+/// // the loaded plan backs off the NDP side.
+/// let load = TargetLoad::new(0.0, 4.0 * idle.total_time(), idle.total_time());
+/// let loaded = plan_chain_loaded(&stages, &sca, load);
+/// let ndp = |p: &ndft_sched::Plan| p.placement.iter().filter(|t| **t == Target::Ndp).count();
+/// assert!(ndp(&loaded) <= ndp(&idle));
+/// ```
+pub fn plan_chain_loaded(
+    stages: &[KernelDescriptor],
+    timer: &dyn StageTimer,
+    load: TargetLoad,
+) -> Plan {
+    if load.is_idle() {
+        return chain_dp(stages, timer);
+    }
+    let biased = LoadBiasedTimer::new(timer, load);
+    let plan = chain_dp(stages, &biased);
+    make_plan(stages, plan.placement, timer)
+}
+
+/// The chain DP body shared by the loaded and unloaded entry points.
+fn chain_dp(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> Plan {
     if stages.is_empty() {
         return Plan {
             placement: Vec::new(),
@@ -169,12 +278,38 @@ pub fn plan_chain(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> Plan {
     make_plan(stages, placement, timer)
 }
 
-/// Brute-force optimal placement (`2^n` candidates).
+/// Brute-force optimal placement (`2^n` candidates). Thin wrapper over
+/// [`plan_exhaustive_loaded`] with [`TargetLoad::NONE`].
 ///
 /// # Panics
 ///
 /// Panics if `stages.len() > 24` (search-space guard).
 pub fn plan_exhaustive(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> Plan {
+    plan_exhaustive_loaded(stages, timer, TargetLoad::NONE)
+}
+
+/// [`plan_exhaustive`] under a cross-job [`TargetLoad`]: the search
+/// ranks candidates by load-dilated times, the winner's reported costs
+/// are unbiased (same convention as [`plan_chain_loaded`]).
+///
+/// # Panics
+///
+/// Panics if `stages.len() > 24` (search-space guard).
+pub fn plan_exhaustive_loaded(
+    stages: &[KernelDescriptor],
+    timer: &dyn StageTimer,
+    load: TargetLoad,
+) -> Plan {
+    if !load.is_idle() {
+        let biased = LoadBiasedTimer::new(timer, load);
+        let plan = exhaustive_search(stages, &biased);
+        return make_plan(stages, plan.placement, timer);
+    }
+    exhaustive_search(stages, timer)
+}
+
+/// The `2^n` search body shared by the loaded and unloaded entry points.
+fn exhaustive_search(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> Plan {
     assert!(stages.len() <= 24, "exhaustive search limited to 24 stages");
     if stages.is_empty() {
         return Plan {
@@ -207,12 +342,26 @@ pub fn plan_exhaustive(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> P
 }
 
 /// Greedy per-stage placement: each stage goes wherever it runs faster,
-/// ignoring boundary costs (the ablation baseline).
+/// ignoring boundary costs (the ablation baseline). Thin wrapper over
+/// [`plan_greedy_loaded`] with [`TargetLoad::NONE`].
 pub fn plan_greedy(stages: &[KernelDescriptor], timer: &dyn StageTimer) -> Plan {
+    plan_greedy_loaded(stages, timer, TargetLoad::NONE)
+}
+
+/// [`plan_greedy`] under a cross-job [`TargetLoad`]: each stage's argmin
+/// compares load-dilated times, reported costs are unbiased (same
+/// convention as [`plan_chain_loaded`]).
+pub fn plan_greedy_loaded(
+    stages: &[KernelDescriptor],
+    timer: &dyn StageTimer,
+    load: TargetLoad,
+) -> Plan {
     let placement: Vec<Target> = stages
         .iter()
         .map(|s| {
-            if timer.stage_time(s, Target::Ndp) < timer.stage_time(s, Target::Cpu) {
+            let cpu = timer.stage_time(s, Target::Cpu) * load.dilation(Target::Cpu);
+            let ndp = timer.stage_time(s, Target::Ndp) * load.dilation(Target::Ndp);
+            if ndp < cpu {
                 Target::Ndp
             } else {
                 Target::Cpu
@@ -310,6 +459,100 @@ mod tests {
         let p = plan_chain(&[], &t);
         assert!(p.placement.is_empty());
         assert_eq!(p.total_time(), 0.0);
+    }
+
+    #[test]
+    fn idle_load_reproduces_the_unloaded_plan() {
+        let s = stages(256);
+        let t = sca();
+        let base = plan_chain(&s, &t);
+        for load in [
+            TargetLoad::NONE,
+            TargetLoad::new(0.0, 0.0, 1.0),
+            TargetLoad::new(3.0, 5.0, 0.0), // no reference scale ⇒ inert
+        ] {
+            assert_eq!(plan_chain_loaded(&s, &t, load), base);
+            assert_eq!(
+                plan_greedy_loaded(&s, &t, load),
+                plan_greedy(&s, &t),
+                "greedy under idle load"
+            );
+        }
+    }
+
+    #[test]
+    fn ndp_pressure_pushes_placement_toward_cpu() {
+        let s = stages(1024);
+        let t = sca();
+        let idle = plan_chain(&s, &t);
+        let scale = idle.total_time();
+        let ndp_stages = |p: &Plan| {
+            p.placement
+                .iter()
+                .filter(|target| **target == Target::Ndp)
+                .count()
+        };
+        // Monotone back-off: growing NDP pressure never adds NDP stages.
+        let mut last = ndp_stages(&idle);
+        for pressure in [1.0, 4.0, 16.0, 256.0] {
+            let load = TargetLoad::new(0.0, pressure * scale, scale);
+            let plan = plan_chain_loaded(&s, &t, load);
+            let n = ndp_stages(&plan);
+            assert!(n <= last, "pressure {pressure}: {n} > {last}");
+            last = n;
+        }
+        // Crushing pressure on one side pins the plan to the other.
+        let crushed = plan_chain_loaded(&s, &t, TargetLoad::new(0.0, 1e6 * scale, scale));
+        assert_eq!(ndp_stages(&crushed), 0, "NDP fully evacuated");
+        let crushed_cpu = plan_chain_loaded(&s, &t, TargetLoad::new(1e6 * scale, 0.0, scale));
+        assert_eq!(ndp_stages(&crushed_cpu), crushed_cpu.placement.len());
+    }
+
+    #[test]
+    fn loaded_plan_costs_are_reported_unbiased() {
+        // The decision is made under dilation, but the Plan's numbers
+        // must describe the idle machine: re-evaluating the loaded
+        // placement with the raw timer reproduces them exactly, and the
+        // loaded plan can never beat the unloaded optimum on those terms.
+        let s = stages(1024);
+        let t = sca();
+        let idle = plan_chain(&s, &t);
+        let scale = idle.total_time();
+        let load = TargetLoad::new(0.0, 8.0 * scale, scale);
+        let loaded = plan_chain_loaded(&s, &t, load);
+        let reeval = make_plan(&s, loaded.placement.clone(), &t);
+        assert_eq!(loaded, reeval);
+        assert!(loaded.total_time() >= idle.total_time() - 1e-12 * idle.total_time());
+    }
+
+    #[test]
+    fn loaded_exhaustive_matches_loaded_dp_on_chains() {
+        let s = stages(64);
+        let t = sca();
+        let load = TargetLoad::new(0.0, 5.0, 1.0);
+        let dp = plan_chain_loaded(&s, &t, load);
+        let ex = plan_exhaustive_loaded(&s, &t, load);
+        // Both optimize the same dilated objective; compare under it.
+        let biased = LoadBiasedTimer::new(&t, load);
+        let dp_cost = make_plan(&s, dp.placement, &biased).total_time();
+        let ex_cost = make_plan(&s, ex.placement, &biased).total_time();
+        assert!(
+            (dp_cost - ex_cost).abs() <= 1e-9 * ex_cost.max(1e-12),
+            "dp {dp_cost} vs exhaustive {ex_cost}"
+        );
+    }
+
+    #[test]
+    fn load_biased_timer_dilates_stage_times_only() {
+        let s = stages(64);
+        let t = sca();
+        let load = TargetLoad::new(2.0, 6.0, 2.0); // dilations 2× and 4×
+        let biased = LoadBiasedTimer::new(&t, load);
+        let raw_cpu = t.stage_time(&s[0], Target::Cpu);
+        let raw_ndp = t.stage_time(&s[0], Target::Ndp);
+        assert!((biased.stage_time(&s[0], Target::Cpu) - 2.0 * raw_cpu).abs() < 1e-12 * raw_cpu);
+        assert!((biased.stage_time(&s[0], Target::Ndp) - 4.0 * raw_ndp).abs() < 1e-12 * raw_ndp);
+        assert_eq!(biased.cost_model(), t.cost_model());
     }
 
     #[test]

@@ -27,6 +27,14 @@
 //!   ([`ndft_core::MeasuredTimer`]) to pick CPU-vs-NDP placement per
 //!   pipeline stage; the [`PlacementDecision`] keeps both pinned
 //!   baselines so service-level speedup is always checkable.
+//! * **Utilization-aware cross-job placement** — workers share a
+//!   [`ClusterView`] of the modeled busy time in-flight batches have
+//!   reserved per target; planning consults it
+//!   ([`plan_placement_loaded`]) so concurrent batches spread across
+//!   CPU and NDP instead of piling onto the same modeled stacks, and
+//!   each batch's footprint is held as an RAII [`Reservation`] released
+//!   on every exit path. `ServeConfig { load_aware: false, .. }`
+//!   reproduces the old load-blind engine.
 //! * **Result caching** — a content-addressed [`ResultCache`] with
 //!   hit/miss counters serves repeated submissions without re-running
 //!   the numerics.
@@ -55,6 +63,7 @@
 
 pub mod batch;
 pub mod cache;
+pub mod cluster;
 pub mod fingerprint;
 pub mod job;
 pub mod metrics;
@@ -66,11 +75,13 @@ pub mod worker;
 
 pub use batch::{form_batches, form_batches_from, Batch, BatchOrigin};
 pub use cache::{CacheStats, ResultCache};
+pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
 pub use fingerprint::{Fingerprint, Hasher};
 pub use job::{DftJob, JobError, JobKind, JobPayload, WorkloadClass};
 pub use metrics::{ExecutionSample, Metrics, ServeReport};
 pub use placement::{
-    measured_timer, plan_placement, plan_placement_with, PlacementDecision, PlacementPolicy,
+    measured_timer, plan_placement, plan_placement_loaded, plan_placement_loaded_with,
+    plan_placement_with, PlacementDecision, PlacementPolicy,
 };
 pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
 pub use service::{DftService, ServeConfig};

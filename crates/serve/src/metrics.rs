@@ -22,6 +22,8 @@ struct Accum {
     modeled_ndp_busy_s: f64,
     modeled_total_s: f64,
     modeled_cpu_pinned_s: f64,
+    cpu_contention_s: f64,
+    ndp_contention_s: f64,
 }
 
 impl Accum {
@@ -63,6 +65,8 @@ pub struct Metrics {
     steals: AtomicU64,
     stolen_jobs: AtomicU64,
     stolen_batches: AtomicU64,
+    plans_contended: AtomicU64,
+    plans_shifted: AtomicU64,
     shard_dispatched: Vec<AtomicU64>,
     worker_dispatched: Vec<AtomicU64>,
     accum: Mutex<Accum>,
@@ -86,6 +90,8 @@ impl Metrics {
             steals: AtomicU64::new(0),
             stolen_jobs: AtomicU64::new(0),
             stolen_batches: AtomicU64::new(0),
+            plans_contended: AtomicU64::new(0),
+            plans_shifted: AtomicU64::new(0),
             shard_dispatched: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             worker_dispatched: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             accum: Mutex::new(Accum::default()),
@@ -126,6 +132,23 @@ impl Metrics {
         self.completed.fetch_add(1, Ordering::Relaxed);
         self.served_from_cache.fetch_add(1, Ordering::Relaxed);
         self.accum.lock().unwrap().record_latency(0.0);
+    }
+
+    /// Records one planner consultation's view of the cluster:
+    /// `cpu_load_s` / `ndp_load_s` are the reserved busy seconds
+    /// concurrent batches held when the plan was made, and `shifted`
+    /// whether that load actually changed the placement. Feeds the
+    /// report's per-target contention sums and shift counters.
+    pub fn on_plan(&self, cpu_load_s: f64, ndp_load_s: f64, shifted: bool) {
+        if cpu_load_s > 0.0 || ndp_load_s > 0.0 {
+            self.plans_contended.fetch_add(1, Ordering::Relaxed);
+        }
+        if shifted {
+            self.plans_shifted.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut a = self.accum.lock().unwrap();
+        a.cpu_contention_s += cpu_load_s.max(0.0);
+        a.ndp_contention_s += ndp_load_s.max(0.0);
     }
 
     /// Counts one processed batch: `planner_consulted` when a plan was
@@ -173,6 +196,17 @@ impl Metrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Lifetime total of jobs dispatched out of all shards. Monotonic,
+    /// so [`crate::DftService::report`] uses it as the seqlock
+    /// stability witness: equal before/after a snapshot ⇒ no dispatch
+    /// raced it.
+    pub fn total_dispatched(&self) -> u64 {
+        self.shard_dispatched
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Snapshot folded together with cache counters and the queue's
     /// live per-shard depths.
     pub fn report(&self, cache: CacheStats, shard_depths: Vec<usize>) -> ServeReport {
@@ -182,6 +216,10 @@ impl Metrics {
             steals: self.steals.load(Ordering::Relaxed),
             stolen_jobs: self.stolen_jobs.load(Ordering::Relaxed),
             stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
+            plans_contended: self.plans_contended.load(Ordering::Relaxed),
+            plans_shifted: self.plans_shifted.load(Ordering::Relaxed),
+            cpu_contention_s: a.cpu_contention_s,
+            ndp_contention_s: a.ndp_contention_s,
             shard_depths,
             shard_dispatched: self
                 .shard_dispatched
@@ -247,6 +285,18 @@ pub struct ServeReport {
     pub stolen_jobs: u64,
     /// Batches whose members were stolen rather than home-drained.
     pub stolen_batches: u64,
+    /// Planner consultations made while concurrent batches held a
+    /// nonzero reservation (the cluster was contended).
+    pub plans_contended: u64,
+    /// Planner consultations where the utilization bias changed the
+    /// placement relative to an idle-machine plan.
+    pub plans_shifted: u64,
+    /// Σ reserved CPU busy seconds observed across planner
+    /// consultations (per-target contention pressure integrated over
+    /// plans).
+    pub cpu_contention_s: f64,
+    /// Σ reserved NDP busy seconds observed across planner consultations.
+    pub ndp_contention_s: f64,
     /// Live queue depth per shard at snapshot time.
     pub shard_depths: Vec<usize>,
     /// Jobs dispatched out of each shard over the engine's lifetime.
@@ -333,6 +383,16 @@ impl ServeReport {
         self.worker_dispatched.iter().copied().min().unwrap_or(0)
     }
 
+    /// Fraction of planner consultations the utilization bias shifted
+    /// (0 when nothing was planned).
+    pub fn shift_fraction(&self) -> f64 {
+        if self.planner_calls == 0 {
+            0.0
+        } else {
+            self.plans_shifted as f64 / self.planner_calls as f64
+        }
+    }
+
     /// Modeled speedup of planner placement over CPU-pinned execution.
     pub fn modeled_speedup_vs_cpu(&self) -> f64 {
         if self.modeled_total_s == 0.0 {
@@ -385,6 +445,15 @@ impl fmt::Display for ServeReport {
                 .map(|o| format!("{:.2}", o))
                 .collect::<Vec<_>>()
                 .join(" ")
+        )?;
+        writeln!(
+            f,
+            "  contention  contended plans {:>4}  shifted {:>4} ({:>4.1}%)  seen cpu {:>8.3}s  ndp {:>8.3}s",
+            self.plans_contended,
+            self.plans_shifted,
+            self.shift_fraction() * 100.0,
+            self.cpu_contention_s,
+            self.ndp_contention_s
         )?;
         writeln!(
             f,
@@ -495,6 +564,30 @@ mod tests {
         assert!((occ[0] - 0.75).abs() < 1e-12);
         assert!((occ.iter().sum::<f64>() - 1.0).abs() < 1e-12);
         assert_eq!(r.min_worker_dispatched(), 4);
+    }
+
+    #[test]
+    fn plan_accounting_tracks_contention_and_shifts() {
+        let m = Metrics::new(2, 2);
+        m.on_plan(0.0, 0.0, false); // idle cluster: counts nowhere
+        m.on_plan(1.5, 4.0, true); // contended and shifted
+        m.on_plan(0.0, 2.0, false); // contended, bias didn't move the plan
+        m.on_batch(true, 0, BatchOrigin::Home);
+        m.on_batch(true, 0, BatchOrigin::Home);
+        m.on_batch(true, 0, BatchOrigin::Home);
+        let r = m.report(CacheStats::default(), vec![0, 0]);
+        assert_eq!(r.plans_contended, 2);
+        assert_eq!(r.plans_shifted, 1);
+        assert!((r.cpu_contention_s - 1.5).abs() < 1e-12);
+        assert!((r.ndp_contention_s - 6.0).abs() < 1e-12);
+        assert!((r.shift_fraction() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shift_fraction_is_zero_without_plans() {
+        let m = Metrics::new(1, 1);
+        let r = m.report(CacheStats::default(), vec![0]);
+        assert_eq!(r.shift_fraction(), 0.0);
     }
 
     #[test]

@@ -6,21 +6,35 @@
 //! The decision also carries both pinned baselines, so callers can verify
 //! the planner never loses to a CPU-only run — the service-level analogue
 //! of the paper's §IV-A guarantee.
+//!
+//! Placement is **utilization-aware**: [`plan_placement_loaded`] takes a
+//! [`ClusterSnapshot`] of what concurrent batches have already reserved
+//! per target and converts it into an [`ndft_sched::TargetLoad`] bias —
+//! the reserved busy seconds divided by this graph's faster pinned time,
+//! i.e. pressure measured in *batch-equivalents of this very workload*.
+//! The `*_loaded` planners then see contended targets as proportionally
+//! slower and spread simultaneous batches across CPU and NDP. The
+//! reported plan costs stay unbiased (idle-machine numbers), so the
+//! pinned-baseline comparisons remain meaningful at any load.
 
+use crate::cluster::ClusterSnapshot;
 use ndft_core::{calib, CpuNdpMachine, MeasuredTimer, ModelConstants};
 use ndft_dft::TaskGraph;
-use ndft_sched::{plan_chain, plan_exhaustive, plan_greedy, plan_pinned, Plan, StageTimer, Target};
+use ndft_sched::{
+    plan_chain_loaded, plan_exhaustive_loaded, plan_greedy_loaded, plan_pinned, Plan, StageTimer,
+    Target, TargetLoad,
+};
 use serde::{Deserialize, Serialize};
 
 /// Which planner a worker consults per batch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum PlacementPolicy {
-    /// The NDFT mechanism: optimal chain DP ([`plan_chain`]).
+    /// The NDFT mechanism: optimal chain DP ([`ndft_sched::plan_chain`]).
     CostAware,
-    /// Per-stage argmin ignoring boundary costs ([`plan_greedy`]).
+    /// Per-stage argmin ignoring boundary costs ([`ndft_sched::plan_greedy`]).
     Greedy,
-    /// Brute force over all placements ([`plan_exhaustive`]); falls back
-    /// to the chain DP beyond its 24-stage guard.
+    /// Brute force over all placements ([`ndft_sched::plan_exhaustive`]);
+    /// falls back to the chain DP beyond its 24-stage guard.
     Exhaustive,
     /// Everything on the host CPU (baseline).
     CpuPinned,
@@ -56,6 +70,15 @@ pub struct PlacementDecision {
     pub cpu_busy: f64,
     /// Modeled busy time the plan puts on the NDP stacks, seconds.
     pub ndp_busy: f64,
+    /// Reserved CPU busy seconds concurrent batches held when this plan
+    /// was made (0 for load-blind planning or an idle cluster).
+    pub cpu_load_s: f64,
+    /// Reserved NDP busy seconds concurrent batches held when this plan
+    /// was made.
+    pub ndp_load_s: f64,
+    /// Whether the load bias actually changed the placement relative to
+    /// an idle-machine plan under the same policy.
+    pub shifted: bool,
 }
 
 impl PlacementDecision {
@@ -93,10 +116,11 @@ pub fn measured_timer() -> MeasuredTimer {
     ))
 }
 
-/// Consults the planner selected by `policy` for one task graph.
+/// Consults the planner selected by `policy` for one task graph on an
+/// idle cluster (load-blind). Thin wrapper over
+/// [`plan_placement_loaded`] with [`ClusterSnapshot::idle`].
 pub fn plan_placement(graph: &TaskGraph, policy: PlacementPolicy) -> PlacementDecision {
-    let timer = measured_timer();
-    plan_placement_with(graph, policy, &timer)
+    plan_placement_loaded(graph, policy, &ClusterSnapshot::idle())
 }
 
 /// [`plan_placement`] against an explicit timer (tests inject the static
@@ -106,22 +130,64 @@ pub fn plan_placement_with(
     policy: PlacementPolicy,
     timer: &dyn StageTimer,
 ) -> PlacementDecision {
+    plan_placement_loaded_with(graph, policy, timer, &ClusterSnapshot::idle())
+}
+
+/// Utilization-aware planner consultation: the placement decision is
+/// biased by what concurrent batches have reserved per target in
+/// `cluster` (see the [module docs](self) for the pressure model).
+pub fn plan_placement_loaded(
+    graph: &TaskGraph,
+    policy: PlacementPolicy,
+    cluster: &ClusterSnapshot,
+) -> PlacementDecision {
+    let timer = measured_timer();
+    plan_placement_loaded_with(graph, policy, &timer, cluster)
+}
+
+/// [`plan_placement_loaded`] against an explicit timer.
+pub fn plan_placement_loaded_with(
+    graph: &TaskGraph,
+    policy: PlacementPolicy,
+    timer: &dyn StageTimer,
+    cluster: &ClusterSnapshot,
+) -> PlacementDecision {
     let stages = &graph.stages;
-    let plan = match policy {
-        PlacementPolicy::CostAware => plan_chain(stages, timer),
-        PlacementPolicy::Greedy => plan_greedy(stages, timer),
+    let cpu_pinned_time = plan_pinned(stages, Target::Cpu, timer).total_time();
+    let ndp_pinned_time = plan_pinned(stages, Target::Ndp, timer).total_time();
+    // One unit of pressure = one batch-equivalent of *this* workload:
+    // reserved seconds are measured against the graph's faster pinned
+    // time, so the bias is dimensionless and scale-appropriate whatever
+    // the job size.
+    let reference_s = cpu_pinned_time.min(ndp_pinned_time);
+    let load = TargetLoad::new(cluster.cpu_reserved_s, cluster.ndp_reserved_s, reference_s);
+    let plan_under = |load: TargetLoad| match policy {
+        PlacementPolicy::CostAware => plan_chain_loaded(stages, timer, load),
+        PlacementPolicy::Greedy => plan_greedy_loaded(stages, timer, load),
         PlacementPolicy::Exhaustive => {
             if stages.len() <= 24 {
-                plan_exhaustive(stages, timer)
+                plan_exhaustive_loaded(stages, timer, load)
             } else {
-                plan_chain(stages, timer)
+                plan_chain_loaded(stages, timer, load)
             }
         }
+        // Pinned baselines ignore load: the placement is fixed by
+        // definition, only its completion time would change.
         PlacementPolicy::CpuPinned => plan_pinned(stages, Target::Cpu, timer),
         PlacementPolicy::NdpPinned => plan_pinned(stages, Target::Ndp, timer),
     };
-    let cpu_pinned_time = plan_pinned(stages, Target::Cpu, timer).total_time();
-    let ndp_pinned_time = plan_pinned(stages, Target::Ndp, timer).total_time();
+    let plan = plan_under(load);
+    // A shift is observable only against the idle-machine plan; skip the
+    // second consultation when the bias was inert, and for pinned
+    // policies, whose placement is fixed by definition. (For the biased
+    // policies the re-plan is one extra O(n) DP per *batch* — noise next
+    // to the numerics — and Exhaustive is a validation-only policy.)
+    let pinned = matches!(
+        policy,
+        PlacementPolicy::CpuPinned | PlacementPolicy::NdpPinned
+    );
+    let shifted =
+        !pinned && !load.is_idle() && plan.placement != plan_under(TargetLoad::NONE).placement;
     let (mut cpu_busy, mut ndp_busy) = (0.0, 0.0);
     for (stage, &target) in stages.iter().zip(&plan.placement) {
         let t = timer.stage_time(stage, target);
@@ -137,6 +203,9 @@ pub fn plan_placement_with(
         ndp_pinned_time,
         cpu_busy,
         ndp_busy,
+        cpu_load_s: cluster.cpu_reserved_s.max(0.0),
+        ndp_load_s: cluster.ndp_reserved_s.max(0.0),
+        shifted,
     }
 }
 
@@ -198,6 +267,53 @@ mod tests {
             dp.modeled_time(),
             ex.modeled_time()
         );
+    }
+
+    fn snapshot(cpu: f64, ndp: f64) -> ClusterSnapshot {
+        ClusterSnapshot {
+            cpu_reserved_s: cpu,
+            ndp_reserved_s: ndp,
+            shard_inflight: vec![1],
+        }
+    }
+
+    #[test]
+    fn idle_cluster_reproduces_load_blind_decision() {
+        let g = graph(256);
+        let blind = plan_placement(&g, PlacementPolicy::CostAware);
+        let idle = plan_placement_loaded(&g, PlacementPolicy::CostAware, &ClusterSnapshot::idle());
+        assert_eq!(blind, idle);
+        assert!(!blind.shifted);
+        assert_eq!(blind.cpu_load_s, 0.0);
+        assert_eq!(blind.ndp_load_s, 0.0);
+    }
+
+    #[test]
+    fn ndp_contention_shifts_the_split_toward_cpu() {
+        let g = graph(1024);
+        let blind = plan_placement(&g, PlacementPolicy::CostAware);
+        assert!(blind.ndp_stage_count() > 0, "idle plan uses the NDP side");
+        // Concurrent batches hold many batch-equivalents of NDP busy
+        // time; the loaded plan must evacuate (records the load + shift).
+        let heavy = snapshot(0.0, 1e4 * blind.cpu_pinned_time);
+        let loaded = plan_placement_loaded(&g, PlacementPolicy::CostAware, &heavy);
+        assert!(loaded.ndp_stage_count() < blind.ndp_stage_count());
+        assert!(loaded.shifted);
+        assert_eq!(loaded.ndp_load_s, heavy.ndp_reserved_s);
+        // Reported costs stay idle-machine numbers: the shifted plan
+        // cannot look better than the idle optimum on those terms.
+        assert!(loaded.modeled_time() >= blind.modeled_time() - 1e-12);
+    }
+
+    #[test]
+    fn pinned_policies_never_shift_under_load() {
+        let g = graph(64);
+        let heavy = snapshot(1e6, 1e6);
+        for policy in [PlacementPolicy::CpuPinned, PlacementPolicy::NdpPinned] {
+            let d = plan_placement_loaded(&g, policy, &heavy);
+            assert!(!d.shifted, "{policy:?} shifted under load");
+            assert_eq!(d.plan.placement, plan_placement(&g, policy).plan.placement);
+        }
     }
 
     #[test]

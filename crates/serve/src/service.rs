@@ -6,6 +6,7 @@
 //! returns the final [`ServeReport`].
 
 use crate::cache::{CacheStats, ResultCache};
+use crate::cluster::{ClusterSnapshot, ClusterView};
 use crate::job::DftJob;
 use crate::metrics::{Metrics, ServeReport};
 use crate::placement::PlacementPolicy;
@@ -33,6 +34,12 @@ pub struct ServeConfig {
     pub max_batch: usize,
     /// Planner the workers consult per batch.
     pub policy: PlacementPolicy,
+    /// Consult the global [`ClusterView`] when planning, so concurrent
+    /// batches spread across CPU/NDP targets instead of piling onto the
+    /// stacks an isolated plan would pick. `false` reproduces the old
+    /// load-blind engine (each batch plans as if it had the machine to
+    /// itself) — the A/B knob the `serve_study` contention sweep flips.
+    pub load_aware: bool,
     /// Result-cache capacity, in entries.
     pub cache_capacity: usize,
 }
@@ -45,6 +52,7 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             max_batch: 8,
             policy: PlacementPolicy::CostAware,
+            load_aware: true,
             cache_capacity: 256,
         }
     }
@@ -54,6 +62,7 @@ impl Default for ServeConfig {
 pub(crate) struct EngineShared {
     pub(crate) queue: ShardedQueue<PendingJob>,
     pub(crate) cache: ResultCache<Arc<JobOutcome>>,
+    pub(crate) cluster: ClusterView,
     pub(crate) metrics: Metrics,
     pub(crate) config: ServeConfig,
 }
@@ -76,6 +85,7 @@ impl DftService {
         let shared = Arc::new(EngineShared {
             queue: ShardedQueue::new(config.shards, config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
+            cluster: ClusterView::new(config.shards),
             metrics: Metrics::new(config.shards, config.workers),
             config,
         });
@@ -173,11 +183,46 @@ impl DftService {
         self.shared.cache.stats()
     }
 
-    /// Live metrics snapshot.
+    /// Live view of what concurrent batches have reserved per target.
+    pub fn cluster_snapshot(&self) -> ClusterSnapshot {
+        self.shared.cluster.snapshot()
+    }
+
+    /// Live metrics snapshot, taken as one consistent pass.
+    ///
+    /// The report folds together counters (metrics), cache stats, and
+    /// the queue's live per-shard depths — state owned by three
+    /// different structures that workers mutate concurrently. Reading
+    /// them one after another can pair a depth vector with dispatch
+    /// counters from a different instant (a drain between the two reads
+    /// makes `shard_depths` and `shard_dispatched` disagree about the
+    /// same jobs). The snapshot is therefore taken seqlock-style:
+    /// record the depths *and* the monotonic lifetime dispatch total,
+    /// snapshot everything, re-read both, and retry if either moved.
+    /// The monotonic counter is the real witness — depths alone could
+    /// read equal across a drain + offsetting pushes, but the dispatch
+    /// total only ever grows, so equality proves no dispatch raced the
+    /// snapshot. A handful of attempts always suffices in practice; if
+    /// the engine churns faster than we can snapshot, the last
+    /// (possibly torn) attempt is returned rather than spinning
+    /// forever.
     pub fn report(&self) -> ServeReport {
-        self.shared
-            .metrics
-            .report(self.shared.cache.stats(), self.shared.queue.shard_depths())
+        let mut report = None;
+        for _ in 0..8 {
+            let depths = self.shared.queue.shard_depths();
+            let dispatched = self.shared.metrics.total_dispatched();
+            let r = self
+                .shared
+                .metrics
+                .report(self.shared.cache.stats(), depths.clone());
+            let stable = self.shared.metrics.total_dispatched() == dispatched
+                && self.shared.queue.shard_depths() == depths;
+            report = Some(r);
+            if stable {
+                break;
+            }
+        }
+        report.expect("at least one snapshot attempt")
     }
 
     /// Stops accepting work, drains every shard, joins the workers, and

@@ -11,15 +11,26 @@
 //! `ndft_core::run_ndft_with`. Completed outcomes land in the shared
 //! content-addressed cache and fulfill the submitters' tickets.
 //!
+//! The planner consultation is **utilization-aware** (unless
+//! [`crate::ServeConfig::load_aware`] is off): before planning, the
+//! worker snapshots the shared [`crate::ClusterView`] — the modeled
+//! busy time concurrent batches have reserved per target — and plans
+//! under that bias, so simultaneous batches spread across CPU and NDP
+//! instead of piling onto the stacks an isolated plan would pick. The
+//! batch's own modeled footprint is then reserved through an RAII
+//! [`Reservation`] held for the life of the batch; `Drop` releases it
+//! on every exit path (panics included), so the view never drifts.
+//!
 //! Idle workers park with per-shard exponential backoff between
 //! home/steal rounds; the queue's generation token closes the race
 //! between scanning the shards and going to sleep.
 
 use crate::batch::{form_batches_from, Batch, BatchOrigin};
+use crate::cluster::Reservation;
 use crate::fingerprint::Fingerprint;
 use crate::job::{DftJob, JobError, JobPayload};
 use crate::metrics::ExecutionSample;
-use crate::placement::{plan_placement, PlacementDecision};
+use crate::placement::{plan_placement, plan_placement_loaded, PlacementDecision};
 use crate::service::EngineShared;
 use crate::ticket::JobTicket;
 use ndft_core::{run_ndft_with, NdftOptions, RunReport};
@@ -156,7 +167,7 @@ pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
             shared
                 .metrics
                 .on_dispatch(worker, home, drained.len() as u64, false);
-            dispatch_chunk(shared, BatchOrigin::Home, drained);
+            dispatch_chunk(shared, BatchOrigin::Home, home, drained);
             continue;
         }
         if let Some(run) = shared.queue.try_steal(home, shared.config.max_batch) {
@@ -164,7 +175,7 @@ pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
             shared
                 .metrics
                 .on_dispatch(worker, run.from_shard, run.items.len() as u64, true);
-            dispatch_chunk(shared, BatchOrigin::Stolen, run.items);
+            dispatch_chunk(shared, BatchOrigin::Stolen, run.from_shard, run.items);
             continue;
         }
         if shared.queue.is_closed() {
@@ -181,14 +192,22 @@ pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
 }
 
 /// Groups one dequeued chunk into per-class batches and processes them.
-fn dispatch_chunk(shared: &EngineShared, origin: BatchOrigin, chunk: Vec<PendingJob>) {
+/// `shard` is the queue shard the chunk was dequeued from (home or
+/// victim), recorded on the cluster view's per-shard in-flight counts.
+fn dispatch_chunk(
+    shared: &EngineShared,
+    origin: BatchOrigin,
+    shard: usize,
+    chunk: Vec<PendingJob>,
+) {
     for batch in form_batches_from(origin, chunk, |p: &PendingJob| p.job.workload_class()) {
-        process_batch(shared, batch);
+        process_batch(shared, batch, shard);
     }
 }
 
-fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>) {
+fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) {
     let origin = batch.origin;
+    let batch_jobs = batch.entries.len();
     let graph = match batch.entries[0].job.task_graph() {
         Ok(g) => g,
         Err(e) => {
@@ -205,8 +224,13 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>) {
 
     // The planner consultation and modeled engine run are shared by the
     // whole class (every member has the same task-graph shape) and made
-    // lazily: a batch fully served by cache/dedup pays for neither.
+    // lazily: a batch fully served by cache/dedup pays for neither —
+    // and reserves nothing on the cluster view.
     let mut planned: Option<(PlacementDecision, RunReport)> = None;
+    // Held for the rest of the batch; Drop releases it on every exit
+    // path (including a panic unwinding through the catch below), so
+    // the cluster view always returns to zero when the engine drains.
+    let mut reservation: Option<Reservation<'_>> = None;
     let mut executions = 0u64;
 
     // Identical fingerprints inside the batch execute once; later entries
@@ -227,12 +251,35 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>) {
         // A panicking planner or solver must not take the worker thread
         // (and every waiting ticket behind it) down with it.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let (placement, modeled) = planned.get_or_insert_with(|| {
-                (
-                    plan_placement(&graph, shared.config.policy),
-                    run_ndft_with(&graph, NdftOptions::default()),
-                )
-            });
+            if planned.is_none() {
+                let decision = if shared.config.load_aware {
+                    // Consult the global utilization view: targets that
+                    // concurrent batches have reserved look slower, so
+                    // simultaneous batches spread instead of stacking.
+                    plan_placement_loaded(&graph, shared.config.policy, &shared.cluster.snapshot())
+                } else {
+                    plan_placement(&graph, shared.config.policy)
+                };
+                let modeled = run_ndft_with(&graph, NdftOptions::default());
+                // Metrics and reservation only after every fallible step
+                // above: if planning or the modeled run panics, the next
+                // member's retry must not find a half-recorded plan
+                // (double-counted on_plan, or a snapshot contending with
+                // this batch's own abandoned reservation).
+                shared
+                    .metrics
+                    .on_plan(decision.cpu_load_s, decision.ndp_load_s, decision.shifted);
+                // Reserve the whole batch's modeled footprint (per-job
+                // busy × members — pessimistic for members the cache
+                // later serves, released wholesale when the batch ends).
+                reservation = Some(shared.cluster.reserve(
+                    shard,
+                    decision.cpu_busy * batch_jobs as f64,
+                    decision.ndp_busy * batch_jobs as f64,
+                ));
+                planned = Some((decision, modeled));
+            }
+            let (placement, modeled) = planned.as_ref().expect("just planned");
             execute_job(&pending.job, placement, modeled)
         }));
         match result {

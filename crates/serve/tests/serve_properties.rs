@@ -1,4 +1,5 @@
-//! Property tests of the sharded submit/drain/steal protocol.
+//! Property tests of the sharded submit/drain/steal protocol and the
+//! cluster-view reservation lifecycle.
 //!
 //! The engine's correctness contract is *exactly-once delivery*: every
 //! fingerprint pushed into the [`ShardedQueue`] comes out exactly once,
@@ -6,9 +7,16 @@
 //! happens to run. The properties drive the queue through randomized
 //! job mixes, shard counts, and dequeue schedules, then check the
 //! multiset of fingerprints survives unchanged.
+//!
+//! The placement layer's analogue is *no reservation leaks*: whatever
+//! schedule of batch completions, interleavings, and mid-batch panics
+//! the workers see, every [`ClusterView`] reservation is released and
+//! the view returns to exactly zero — the property the load-aware
+//! planner depends on to never drift.
 
-use ndft_serve::{DftJob, Fingerprint, ShardedQueue};
+use ndft_serve::{ClusterView, DftJob, Fingerprint, Reservation, ShardedQueue};
 use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Builds a job stream from drawn class parameters; the index is the MD
 /// seed, so every job has a distinct fingerprint even within a class.
@@ -103,5 +111,60 @@ proptest! {
         // With >= 2 shards a thief reaches every other shard; only the
         // thief-cycle's blind spot (nothing) may remain.
         prop_assert!(q.is_empty() || shards == 1);
+    }
+
+    /// After ANY schedule of batch completions and panics, the cluster
+    /// view returns to exactly zero reservations — the panic-safe worker
+    /// path cannot leak modeled busy time into future placement
+    /// decisions. Ops are (shard, cpu_tenths, ndp_tenths, action):
+    /// action 0 reserves and holds, 1 releases the oldest held
+    /// reservation, 2 releases the newest, and 3 simulates a worker
+    /// panicking mid-batch with the reservation live (the `Drop` guard
+    /// must release it during unwind, exactly as in
+    /// `process_batch`'s `catch_unwind`).
+    #[test]
+    fn cluster_reservations_never_leak(
+        shards in 1usize..6,
+        ops in prop::collection::vec((0usize..8, 0u32..500, 0u32..500, 0usize..4), 0..80),
+    ) {
+        let view = ClusterView::new(shards);
+        let mut held: Vec<Reservation<'_>> = Vec::new();
+        let mut live = 0u64; // reservations currently held, cross-checked below
+        for &(shard, cpu_tenths, ndp_tenths, action) in &ops {
+            let (cpu_s, ndp_s) = (cpu_tenths as f64 / 10.0, ndp_tenths as f64 / 10.0);
+            match action {
+                0 => {
+                    held.push(view.reserve(shard, cpu_s, ndp_s));
+                    live += 1;
+                }
+                1 if !held.is_empty() => {
+                    held.remove(0);
+                    live -= 1;
+                }
+                2 if !held.is_empty() => {
+                    held.pop();
+                    live -= 1;
+                }
+                3 => {
+                    let result = catch_unwind(AssertUnwindSafe(|| {
+                        let _guard = view.reserve(shard, cpu_s, ndp_s);
+                        panic!("solver panicked mid-batch");
+                    }));
+                    prop_assert!(result.is_err());
+                }
+                _ => {}
+            }
+            // The live aggregate always equals the held count: panicked
+            // reservations are gone the moment the unwind passes.
+            prop_assert_eq!(view.snapshot().inflight_batches(), live);
+        }
+        drop(held);
+        // Exactly zero — integer-nanosecond bookkeeping means release is
+        // exact, not merely within float epsilon.
+        prop_assert!(view.is_idle(), "cluster view drifted: {:?}", view.snapshot());
+        let s = view.snapshot();
+        prop_assert_eq!(s.cpu_reserved_s, 0.0);
+        prop_assert_eq!(s.ndp_reserved_s, 0.0);
+        prop_assert_eq!(s.inflight_batches(), 0);
     }
 }

@@ -272,6 +272,93 @@ fn single_shard_config_reproduces_old_engine() {
 }
 
 #[test]
+fn concurrent_batches_plan_under_contention_and_release_reservations() {
+    // Many same-class batches in flight at once: workers must observe
+    // each other's reservations while planning (plans_contended > 0),
+    // and once everything drains the shared ClusterView must return to
+    // exactly zero — no modeled busy time leaks into future decisions.
+    let svc = DftService::start(ServeConfig {
+        workers: 4,
+        shards: 4,
+        max_batch: 2, // many small concurrent batches
+        queue_capacity: 64,
+        load_aware: true,
+        ..ServeConfig::default()
+    });
+    // Steps sized so each batch's execution dwarfs its planning: at any
+    // moment several batches hold reservations, so later consultations
+    // must observe them (plans_contended is structural, not a timing
+    // accident).
+    let tickets: Vec<_> = (0..32)
+        .map(|seed| {
+            svc.submit_blocking(DftJob::MdSegment {
+                atoms: 64,
+                steps: 400,
+                temperature_k: 300.0,
+                seed,
+            })
+            .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    // Tickets resolve inside the batch loop, a hair before the batch's
+    // reservation guard drops; give the release a moment.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !svc.cluster_snapshot().is_idle() && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let snapshot = svc.cluster_snapshot();
+    assert!(
+        snapshot.is_idle() && snapshot.inflight_batches() == 0,
+        "reservations leaked: {snapshot:?}"
+    );
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 32);
+    assert_eq!(report.failed, 0);
+    assert!(
+        report.plans_contended > 0,
+        "4 workers × 16 batches never overlapped? {report}"
+    );
+    // Contention integrates reserved busy time; it must be consistent
+    // with the counters that claim contention happened.
+    assert!(report.cpu_contention_s + report.ndp_contention_s > 0.0);
+    assert!(report.plans_shifted <= report.planner_calls);
+}
+
+#[test]
+fn load_blind_engine_reports_zero_contention() {
+    // load_aware: false reproduces the old engine: every plan is made
+    // against an idle machine, so no contention is ever observed.
+    let svc = DftService::start(ServeConfig {
+        workers: 4,
+        load_aware: false,
+        ..ServeConfig::default()
+    });
+    let tickets: Vec<_> = (0..16)
+        .map(|seed| {
+            svc.submit_blocking(DftJob::MdSegment {
+                atoms: 64,
+                steps: 20,
+                temperature_k: 300.0,
+                seed,
+            })
+            .unwrap()
+        })
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 16);
+    assert_eq!(report.plans_contended, 0);
+    assert_eq!(report.plans_shifted, 0);
+    assert_eq!(report.cpu_contention_s, 0.0);
+    assert_eq!(report.ndp_contention_s, 0.0);
+}
+
+#[test]
 fn batching_reuses_plans_across_same_class_jobs() {
     // One worker + many same-class jobs queued up front ⇒ the drain
     // forms multi-job batches and the planner is consulted once per
