@@ -18,11 +18,19 @@
 //! documented in `crates/serve/src/README.md`) and the process exits
 //! non-zero when sharded throughput regresses below the single-queue
 //! baseline or load-aware throughput regresses below load-blind.
+//! Part 5 is the **multiplex sweep** (gate #3): 10 000 jobs through one
+//! `ClientSession` with completions drained from its `CompletionStream`
+//! by a single thread, A/B'd against the same mix waited on per-ticket
+//! by a thread pool — the stream-drain path must not regress below the
+//! thread-pool `wait` baseline.
 
 use ndft_bench::print_header;
 use ndft_dft::{build_task_graph, SiliconSystem};
-use ndft_serve::{plan_placement, DftJob, DftService, PlacementPolicy, ServeConfig, ServeReport};
-use std::time::Instant;
+use ndft_serve::{
+    plan_placement, DftJob, DftService, JobTicket, PlacementPolicy, ServeConfig, ServeReport,
+};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 /// Jobs in the fixed smoke mix.
 const MIX_JOBS: usize = 100;
@@ -44,6 +52,19 @@ const GATE_TOLERANCE: f64 = 0.05;
 /// sub-second wall time makes small percentages pure scheduler noise.
 /// Wider than the shard gate on purpose.
 const CONTENTION_GATE_TOLERANCE: f64 = 0.15;
+/// Jobs in the multiplex mix (one `ClientSession`, one drainer thread).
+const MULTIPLEX_JOBS: usize = 10_000;
+/// Distinct fingerprints in the multiplex mix; the rest are cache
+/// serves, so the sweep stresses the client API (submission, completion
+/// forwarding, draining) rather than the solvers.
+const MULTIPLEX_UNIQUE: u64 = 512;
+/// Threads in the per-ticket `wait` baseline's pool.
+const MULTIPLEX_WAITERS: usize = 4;
+/// Tolerance for the multiplex gate: both paths run the same submission
+/// loop and numerics, so the delta under test is pure completion-drain
+/// overhead — small, and easily swamped by runner jitter. A real
+/// regression (e.g. a lock convoy on the forwarder path) costs far more.
+const MULTIPLEX_GATE_TOLERANCE: f64 = 0.10;
 
 /// One measured engine run over a fixed job list.
 struct MixRun {
@@ -121,6 +142,129 @@ fn best_of_contention(load_aware: bool) -> MixRun {
         .expect("at least one repeat")
 }
 
+/// Engine configuration shared by both multiplex paths. The cache must
+/// hold every unique fingerprint (the mix cycles seeds, which would
+/// thrash a smaller FIFO cache into re-executing everything).
+fn multiplex_config() -> ServeConfig {
+    ServeConfig {
+        workers: 4,
+        shards: 4,
+        queue_capacity: 64,
+        max_batch: 8,
+        cache_capacity: 4096,
+        ..ServeConfig::default()
+    }
+}
+
+/// The multiplex mix: mostly cache-served MD segments, so the measured
+/// wall time is dominated by the client API under test.
+fn multiplex_mix() -> Vec<DftJob> {
+    (0..MULTIPLEX_JOBS as u64)
+        .map(|n| {
+            // Atoms keyed off the seed (not n), so the fingerprint count
+            // really is MULTIPLEX_UNIQUE — an independent atom cycle
+            // would silently double the distinct-job population.
+            let seed = n % MULTIPLEX_UNIQUE;
+            DftJob::MdSegment {
+                atoms: if seed.is_multiple_of(3) { 128 } else { 64 },
+                steps: 20,
+                temperature_k: 300.0,
+                seed,
+            }
+        })
+        .collect()
+}
+
+/// Stream-drain path: one `ClientSession`, submissions from the main
+/// thread while ONE spawned drainer consumes the `CompletionStream` in
+/// finish order — completions are pushed to the client as they happen,
+/// so draining fully overlaps submission. Total OS threads: workers + 2,
+/// independent of how many jobs are outstanding.
+fn run_multiplex_stream() -> MixRun {
+    let start = Instant::now();
+    let svc = DftService::start(multiplex_config());
+    let (session, completions) = svc.session();
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for _ in 0..MULTIPLEX_JOBS {
+                // Bounded wait: if a job ever fails (its completion still
+                // arrives) or a submit regression strands the drainer,
+                // panic with a message instead of hanging the CI job —
+                // the session outlives this scope, so recv() alone would
+                // never observe a closed channel.
+                completions
+                    .next_timeout(Duration::from_secs(120))
+                    .expect("completion within timeout")
+                    .result
+                    .expect("job completes");
+            }
+        });
+        for job in multiplex_mix() {
+            session.submit_blocking(job).expect("session submit");
+        }
+    });
+    assert_eq!(session.in_flight(), 0);
+    drop(session);
+    let report = svc.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(report.completed, MULTIPLEX_JOBS as u64);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.tickets_outstanding, 0);
+    MixRun {
+        wall_s,
+        throughput: MULTIPLEX_JOBS as f64 / wall_s,
+        report,
+    }
+}
+
+/// Thread-pool `wait` baseline: what a frontend must build WITHOUT the
+/// session API to handle completions concurrently with submission —
+/// the main thread submits and hands each `JobTicket` to a pool of
+/// waiter threads that block in per-ticket `wait`. Structurally
+/// symmetric with the stream path (submission overlaps completion
+/// handling in both), so the A/B isolates the completion mechanism:
+/// forwarder-pushed channel vs ticket hand-off + parked `wait`.
+fn run_multiplex_waitpool() -> MixRun {
+    let start = Instant::now();
+    let svc = DftService::start(multiplex_config());
+    let (tx, rx) = std::sync::mpsc::channel::<JobTicket>();
+    let rx = Mutex::new(rx);
+    std::thread::scope(|scope| {
+        for _ in 0..MULTIPLEX_WAITERS {
+            scope.spawn(|| loop {
+                let next = rx.lock().unwrap().recv();
+                let Ok(ticket) = next else {
+                    break;
+                };
+                ticket.wait().expect("job completes");
+            });
+        }
+        for job in multiplex_mix() {
+            tx.send(svc.submit_blocking(job).expect("submit"))
+                .expect("waiter pool alive");
+        }
+        drop(tx);
+    });
+    let report = svc.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(report.completed, MULTIPLEX_JOBS as u64);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.tickets_outstanding, 0);
+    MixRun {
+        wall_s,
+        throughput: MULTIPLEX_JOBS as f64 / wall_s,
+        report,
+    }
+}
+
+/// Best-of-`REPEATS` over one multiplex drain path.
+fn best_of_multiplex(run: fn() -> MixRun) -> MixRun {
+    (0..REPEATS)
+        .map(|_| run())
+        .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+        .expect("at least one repeat")
+}
+
 /// Modeled cluster makespan of a run: the busiest target's total
 /// reserved busy time. Spreading concurrent batches lowers it; piling
 /// onto one target raises it.
@@ -156,6 +300,32 @@ fn shard_config_json(label: &str, shards: usize, run: &MixRun) -> String {
         run.report.steals,
         run.report.stolen_jobs,
         run.report.served_from_cache,
+    )
+}
+
+/// Renders one multiplex-sweep configuration's JSON object.
+fn multiplex_config_json(label: &str, drain: &str, run: &MixRun) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"drain\": \"{}\",\n",
+            "    \"workers\": 4,\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"throughput_jobs_per_s\": {:.3},\n",
+            "    \"served_from_cache\": {},\n",
+            "    \"planner_calls\": {},\n",
+            "    \"tickets_outstanding_end\": {},\n",
+            "    \"progress_events_dropped\": {}\n",
+            "  }}"
+        ),
+        label,
+        drain,
+        run.wall_s,
+        run.throughput,
+        run.report.served_from_cache,
+        run.report.planner_calls,
+        run.report.tickets_outstanding,
+        run.report.progress_events_dropped,
     )
 }
 
@@ -315,6 +485,30 @@ fn main() {
         modeled_makespan(&aware)
     );
 
+    // --- Part 5: multiplex sweep, session stream vs wait pool (gate #3). ---
+    println!(
+        "\nmultiplex sweep: {MULTIPLEX_JOBS} jobs ({MULTIPLEX_UNIQUE} unique), one \
+         ClientSession + single drainer vs {MULTIPLEX_WAITERS}-thread wait pool, best of {REPEATS}\n"
+    );
+    let stream = best_of_multiplex(run_multiplex_stream);
+    let waitpool = best_of_multiplex(run_multiplex_waitpool);
+    let stream_speedup = stream.throughput / waitpool.throughput;
+    println!(
+        "{:>14} {:>10} {:>14} {:>12} {:>14}",
+        "config", "wall s", "jobs/s", "cache serves", "planner calls"
+    );
+    for (label, run) in [("stream-drain", &stream), ("wait-pool", &waitpool)] {
+        println!(
+            "{:>14} {:>10.4} {:>14.1} {:>12} {:>14}",
+            label,
+            run.wall_s,
+            run.throughput,
+            run.report.served_from_cache,
+            run.report.planner_calls,
+        );
+    }
+    println!("\nstream-drain/wait-pool throughput: {stream_speedup:.3}x");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -327,7 +521,12 @@ fn main() {
             "  \"contention_jobs\": {},\n",
             "{},\n",
             "{},\n",
-            "  \"load_aware_over_load_blind\": {:.4}\n",
+            "  \"load_aware_over_load_blind\": {:.4},\n",
+            "  \"multiplex_jobs\": {},\n",
+            "  \"multiplex_unique\": {},\n",
+            "{},\n",
+            "{},\n",
+            "  \"stream_over_waitpool\": {:.4}\n",
             "}}\n"
         ),
         MIX_JOBS,
@@ -339,6 +538,11 @@ fn main() {
         contention_config_json("contention_load_blind", false, &blind),
         contention_config_json("contention_load_aware", true, &aware),
         aware_speedup,
+        MULTIPLEX_JOBS,
+        MULTIPLEX_UNIQUE,
+        multiplex_config_json("multiplex_stream", "completion_stream", &stream),
+        multiplex_config_json("multiplex_waitpool", "thread_pool_wait", &waitpool),
+        stream_speedup,
     );
     std::fs::write(&json_path, json).expect("write bench json");
     println!("wrote {json_path}");
@@ -360,5 +564,11 @@ fn main() {
         "CONTENTION GATE FAILED: no plan ever saw a concurrent reservation \
          ({} planner calls) — the ClusterView is not being consulted",
         aware.report.planner_calls
+    );
+    assert!(
+        stream.throughput >= waitpool.throughput * (1.0 - MULTIPLEX_GATE_TOLERANCE),
+        "PERF GATE FAILED: stream-drain {:.1} jobs/s regressed below wait-pool {:.1} jobs/s",
+        stream.throughput,
+        waitpool.throughput
     );
 }

@@ -1,0 +1,291 @@
+//! Multiplexing client sessions over one [`DftService`].
+//!
+//! A [`ClientSession`] is the frontend-facing answer to "keep thousands
+//! of jobs in flight per thread": submissions return a session-scoped
+//! [`JobId`] immediately, and completions drain **in finish order**
+//! through a channel-backed [`CompletionStream`] — one drainer thread
+//! services any number of outstanding jobs, instead of one parked OS
+//! thread per [`crate::JobTicket::wait`].
+//!
+//! The mechanism is the ticket state machine itself: `submit` registers
+//! a completion forwarder as a [`Waker`] on the job's ticket
+//! ([`crate::JobTicket`]'s `on_done` registration). When a worker
+//! fulfills the ticket — or instantly, for a cache-served submission —
+//! the forwarder fires exactly once on the fulfilling thread, reads the
+//! result, and sends a [`SessionCompletion`] into the session channel.
+//! No polling, no extra threads, provably no lost completions (the
+//! registration shares the ticket's lost-wakeup-free lock discipline).
+//!
+//! Sessions are `Sync`: any number of frontend threads may submit
+//! through one `&ClientSession` concurrently (the 4×2 500-job
+//! `async_multiplex` example does exactly that). For future-style
+//! consumption of individual jobs, [`ClientSession::future`] hands out a
+//! [`crate::TicketFuture`] for any still-in-flight id; combine futures
+//! with [`crate::exec::join_all`] / [`crate::exec::race`].
+
+use crate::fingerprint::Fingerprint;
+use crate::job::{DftJob, JobError};
+use crate::queue::SubmitError;
+use crate::service::{DftService, Issued};
+use crate::ticket::{JobTicket, TicketFuture};
+use crate::worker::JobOutcome;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex, Weak};
+
+use std::task::{Wake, Waker};
+use std::time::Duration;
+
+/// Session-scoped identifier of one submitted job.
+///
+/// Distinct from the content [`Fingerprint`]: submitting the same
+/// calculation twice yields one fingerprint but two ids, so a frontend
+/// can correlate completions with *requests*, not just payloads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job#{}", self.0)
+    }
+}
+
+/// One finished job, delivered through the session's
+/// [`CompletionStream`] in finish order.
+#[derive(Debug, Clone)]
+pub struct SessionCompletion {
+    /// The id [`ClientSession::submit`] returned for this job.
+    pub id: JobId,
+    /// The job's content fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The job's result (shared outcome on success).
+    pub result: Result<Arc<JobOutcome>, JobError>,
+}
+
+/// State shared by the session handle and its completion forwarders.
+struct SessionShared {
+    /// Tickets of jobs submitted but not yet completed; pruned by the
+    /// forwarder the moment a job finishes, so the map is bounded by
+    /// the number of jobs *in flight*, not submitted.
+    inflight_tickets: Mutex<HashMap<JobId, JobTicket>>,
+    next_id: AtomicU64,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+}
+
+/// The per-job completion hook, registered as a [`Waker`] on the job's
+/// ticket. Fulfillment wakes each registered waker exactly once, so the
+/// forwarder sends exactly one [`SessionCompletion`].
+struct CompletionForwarder {
+    id: JobId,
+    ticket: JobTicket,
+    tx: Sender<SessionCompletion>,
+    session: Weak<SessionShared>,
+}
+
+impl Wake for CompletionForwarder {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        let result = self
+            .ticket
+            .try_result()
+            .expect("completion waker fires only after fulfillment");
+        if let Some(shared) = self.session.upgrade() {
+            shared.inflight_tickets.lock().unwrap().remove(&self.id);
+            shared.completed.fetch_add(1, Ordering::AcqRel);
+        }
+        // A dropped CompletionStream just discards completions; the
+        // session keeps working for callers that use futures instead.
+        let _ = self.tx.send(SessionCompletion {
+            id: self.id,
+            fingerprint: self.ticket.fingerprint(),
+            result,
+        });
+    }
+}
+
+/// A multiplexing client handle over one [`DftService`].
+///
+/// Created (paired with its [`CompletionStream`]) by
+/// [`DftService::session`]. Borrows the service, so the engine is
+/// guaranteed alive for the session's lifetime.
+pub struct ClientSession<'a> {
+    service: &'a DftService,
+    shared: Arc<SessionShared>,
+    /// Completion channel; used directly for instantly-resolved tickets
+    /// and cloned into each forwarder for in-flight ones.
+    tx: Sender<SessionCompletion>,
+}
+
+impl<'a> ClientSession<'a> {
+    pub(crate) fn new(service: &'a DftService) -> (Self, CompletionStream) {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let session = ClientSession {
+            service,
+            shared: Arc::new(SessionShared {
+                inflight_tickets: Mutex::new(HashMap::new()),
+                next_id: AtomicU64::new(0),
+                submitted: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+            }),
+            tx,
+        };
+        (session, CompletionStream { rx })
+    }
+
+    /// Non-blocking submission; the completion will arrive on this
+    /// session's [`CompletionStream`]. Cache-served jobs complete before
+    /// this returns.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`DftService::submit`]'s errors: [`SubmitError::InvalidJob`],
+    /// [`SubmitError::QueueFull`], [`SubmitError::Closed`].
+    pub fn submit(&self, job: DftJob) -> Result<JobId, SubmitError> {
+        self.attach(self.service.issue(job, false)?)
+    }
+
+    /// Like [`ClientSession::submit`] but blocks for queue space instead
+    /// of returning [`SubmitError::QueueFull`].
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::InvalidJob`] or [`SubmitError::Closed`].
+    pub fn submit_blocking(&self, job: DftJob) -> Result<JobId, SubmitError> {
+        self.attach(self.service.issue(job, true)?)
+    }
+
+    /// Wires a submission into the session: allocate an id and either
+    /// deliver the completion on the spot (cache serve — no ticket, no
+    /// forwarder, just a channel send) or track the ticket in flight and
+    /// register the completion forwarder on it.
+    fn attach(&self, issued: Issued) -> Result<JobId, SubmitError> {
+        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        self.shared.submitted.fetch_add(1, Ordering::AcqRel);
+        let ticket = match issued {
+            Issued::Cached {
+                fingerprint,
+                outcome,
+            } => {
+                // The job was never in flight: deliver directly, skipping
+                // the ticket map and forwarder machinery entirely.
+                self.shared.completed.fetch_add(1, Ordering::AcqRel);
+                let _ = self.tx.send(SessionCompletion {
+                    id,
+                    fingerprint,
+                    result: Ok(outcome),
+                });
+                return Ok(id);
+            }
+            Issued::Queued(ticket) => ticket,
+        };
+        // Insert before registering: a ticket resolving mid-attach fires
+        // the forwarder on this very thread, and the prune must find its
+        // entry.
+        self.shared
+            .inflight_tickets
+            .lock()
+            .unwrap()
+            .insert(id, ticket.clone());
+        let forwarder = Arc::new(CompletionForwarder {
+            id,
+            ticket: ticket.clone(),
+            tx: self.tx.clone(),
+            session: Arc::downgrade(&self.shared),
+        });
+        ticket.on_done(Waker::from(forwarder));
+        Ok(id)
+    }
+
+    /// The ticket behind an id, while the job is still in flight.
+    /// `None` once the job completed (its result went to the
+    /// [`CompletionStream`]) — the session prunes finished tickets so
+    /// long-lived sessions stay bounded by in-flight work.
+    pub fn ticket(&self, id: JobId) -> Option<JobTicket> {
+        self.shared
+            .inflight_tickets
+            .lock()
+            .unwrap()
+            .get(&id)
+            .cloned()
+    }
+
+    /// A [`Future`](std::future::Future) for an in-flight job (`None`
+    /// once it completed; see [`ClientSession::ticket`]).
+    pub fn future(&self, id: JobId) -> Option<TicketFuture> {
+        self.ticket(id).map(|t| t.future())
+    }
+
+    /// Jobs submitted through this session so far.
+    pub fn submitted(&self) -> u64 {
+        self.shared.submitted.load(Ordering::Acquire)
+    }
+
+    /// Jobs whose completions have been forwarded so far.
+    pub fn completed(&self) -> u64 {
+        self.shared.completed.load(Ordering::Acquire)
+    }
+
+    /// Jobs currently in flight on this session (submitted − completed).
+    /// Saturating: the two counters are read independently while other
+    /// threads submit and complete, so a snapshot can transiently
+    /// observe a completion before its submission.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted().saturating_sub(self.completed())
+    }
+
+    /// The engine this session multiplexes over.
+    pub fn service(&self) -> &'a DftService {
+        self.service
+    }
+}
+
+impl std::fmt::Debug for ClientSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientSession")
+            .field("submitted", &self.submitted())
+            .field("completed", &self.completed())
+            .field("in_flight", &self.in_flight())
+            .finish()
+    }
+}
+
+/// Finish-order completion stream of one [`ClientSession`].
+///
+/// Single-consumer (the receiving half of the session channel). The
+/// stream ends (`None`) once the session **and** every pending
+/// forwarder are gone — i.e. after the session is dropped and all its
+/// jobs resolved. While the session lives, [`CompletionStream::next`]
+/// blocks until a job finishes; drain exactly as many completions as
+/// you submitted, or use the timeout/non-blocking variants.
+#[derive(Debug)]
+pub struct CompletionStream {
+    rx: Receiver<SessionCompletion>,
+}
+
+impl CompletionStream {
+    /// Blocks for the next completion; `None` at end of stream.
+    pub fn next(&self) -> Option<SessionCompletion> {
+        self.rx.recv().ok()
+    }
+
+    /// [`CompletionStream::next`] with a timeout; `None` on timeout or
+    /// end of stream.
+    pub fn next_timeout(&self, timeout: Duration) -> Option<SessionCompletion> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Next completion without blocking; `None` when none is ready.
+    pub fn try_next(&self) -> Option<SessionCompletion> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Takes every completion currently buffered, without blocking.
+    pub fn drain(&self) -> Vec<SessionCompletion> {
+        self.rx.try_iter().collect()
+    }
+}

@@ -38,9 +38,24 @@
 //! * **Result caching** — a content-addressed [`ResultCache`] with
 //!   hit/miss counters serves repeated submissions without re-running
 //!   the numerics.
+//! * **Async client API** — every [`JobTicket`] is future-capable: its
+//!   completion state machine stores registered [`std::task::Waker`]s,
+//!   so a [`TicketFuture`] (or `ticket.await`) resolves with provably no
+//!   lost wakeups while the blocking `wait` path rides the same lock. A
+//!   multiplexing [`ClientSession`] keeps thousands of jobs in flight
+//!   per frontend thread — submissions return a session-scoped
+//!   [`JobId`], completions drain in finish order through a
+//!   channel-backed [`CompletionStream`] — and [`exec`] ships a minimal
+//!   `block_on` executor plus `join_all`/`race` combinators, all
+//!   runtime-agnostic (no tokio).
+//! * **Progress streaming** — workers publish per-job lifecycle events
+//!   (`Queued` → `Planned` → `Running` → `Done`, cache-hit and panic
+//!   paths included) into a bounded drop-oldest ring; subscribe with
+//!   [`DftService::progress`] ([`ProgressStream`]) to watch live
+//!   placement decisions without touching the aggregate report.
 //! * **Metrics** — per-job latency, throughput, steal counters,
-//!   per-shard depth/occupancy, and modeled per-target utilization,
-//!   aggregated into a [`ServeReport`].
+//!   per-shard depth/occupancy, in-flight ticket gauge, and modeled
+//!   per-target utilization, aggregated into a [`ServeReport`].
 //!
 //! ## Example
 //!
@@ -63,11 +78,14 @@
 
 pub mod batch;
 pub mod cache;
+pub mod client;
 pub mod cluster;
+pub mod exec;
 pub mod fingerprint;
 pub mod job;
 pub mod metrics;
 pub mod placement;
+pub mod progress;
 pub mod queue;
 pub mod service;
 pub mod ticket;
@@ -75,7 +93,9 @@ pub mod worker;
 
 pub use batch::{form_batches, form_batches_from, Batch, BatchOrigin};
 pub use cache::{CacheStats, ResultCache};
+pub use client::{ClientSession, CompletionStream, JobId, SessionCompletion};
 pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
+pub use exec::{block_on, join_all, race, JoinAll, Race};
 pub use fingerprint::{Fingerprint, Hasher};
 pub use job::{DftJob, JobError, JobKind, JobPayload, WorkloadClass};
 pub use metrics::{ExecutionSample, Metrics, ServeReport};
@@ -83,7 +103,8 @@ pub use placement::{
     measured_timer, plan_placement, plan_placement_loaded, plan_placement_loaded_with,
     plan_placement_with, PlacementDecision, PlacementPolicy,
 };
+pub use progress::{JobStage, ProgressEvent, ProgressStream};
 pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
 pub use service::{DftService, ServeConfig};
-pub use ticket::JobTicket;
+pub use ticket::{JobTicket, TicketFuture, TicketResolver};
 pub use worker::{execute_job, execute_payload, JobOutcome};

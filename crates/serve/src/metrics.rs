@@ -207,12 +207,31 @@ impl Metrics {
             .sum()
     }
 
-    /// Snapshot folded together with cache counters and the queue's
-    /// live per-shard depths.
-    pub fn report(&self, cache: CacheStats, shard_depths: Vec<usize>) -> ServeReport {
+    /// Live in-flight ticket gauge: submissions whose tickets are not
+    /// yet fulfilled (submitted − completed − failed). Cache-served
+    /// submissions count as instantly fulfilled, so a drained engine
+    /// reads zero. Saturating: concurrent counter updates can
+    /// transiently observe completions before their submissions.
+    pub fn tickets_outstanding(&self) -> u64 {
+        let submitted = self.submitted.load(Ordering::Relaxed);
+        let fulfilled =
+            self.completed.load(Ordering::Relaxed) + self.failed.load(Ordering::Relaxed);
+        submitted.saturating_sub(fulfilled)
+    }
+
+    /// Snapshot folded together with cache counters, the queue's live
+    /// per-shard depths, and the progress ring's drop counter.
+    pub fn report(
+        &self,
+        cache: CacheStats,
+        shard_depths: Vec<usize>,
+        progress_events_dropped: u64,
+    ) -> ServeReport {
         let a = *self.accum.lock().unwrap();
         ServeReport {
             uptime_s: self.started.elapsed().as_secs_f64(),
+            tickets_outstanding: self.tickets_outstanding(),
+            progress_events_dropped,
             steals: self.steals.load(Ordering::Relaxed),
             stolen_jobs: self.stolen_jobs.load(Ordering::Relaxed),
             stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
@@ -277,6 +296,14 @@ pub struct ServeReport {
     pub planner_calls: u64,
     /// Jobs that rode an existing batch plan instead of re-planning.
     pub plans_reused: u64,
+    /// Tickets issued but not yet fulfilled at snapshot time
+    /// (submitted − completed − failed; cache serves count as instantly
+    /// fulfilled). The in-flight gauge async frontends watch.
+    pub tickets_outstanding: u64,
+    /// Progress events evicted unread from the bounded drop-oldest ring
+    /// (slow or absent [`crate::ProgressStream`] consumer; never a
+    /// worker stall).
+    pub progress_events_dropped: u64,
     /// Worker threads that died by panic (0 in a healthy engine).
     pub worker_panics: u64,
     /// Work-stealing dispatches (one per stolen run).
@@ -434,6 +461,11 @@ impl fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
+            "  streaming   tickets outstanding {:>6}  progress events dropped {:>6}",
+            self.tickets_outstanding, self.progress_events_dropped
+        )?;
+        writeln!(
+            f,
             "  sharding    shards {:>6}  steals {:>5}  stolen jobs {:>5} ({:>4.1}%)  stolen batches {:>5}  occupancy [{}]",
             self.shard_dispatched.len(),
             self.steals,
@@ -500,7 +532,7 @@ mod tests {
         m.on_submit();
         m.on_executed(0.5, sample(1.0, 3.0, 4.2, 6.0));
         m.on_serve_from_cache();
-        let r = m.report(CacheStats::default(), vec![0, 0]);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0);
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 2);
         assert_eq!(r.served_from_cache, 1);
@@ -510,7 +542,7 @@ mod tests {
     fn utilization_fractions_sum_to_one_when_busy() {
         let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 3.0, 4.1, 5.0));
-        let r = m.report(CacheStats::default(), vec![0, 0]);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0);
         assert!((r.cpu_utilization() + r.ndp_utilization() - 1.0).abs() < 1e-12);
         assert!((r.cpu_utilization() - 0.25).abs() < 1e-12);
     }
@@ -520,7 +552,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_batch(true, 3, BatchOrigin::Home); // planner consulted once, 3 riders
         m.on_batch(false, 0, BatchOrigin::Stolen); // fully cache-served: no plan at all
-        let r = m.report(CacheStats::default(), vec![0, 0]);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0);
         assert_eq!(r.batches, 2);
         assert_eq!(r.planner_calls, 1);
         assert_eq!(r.plans_reused, 3);
@@ -532,7 +564,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_executed(0.2, ExecutionSample::default());
         m.on_dedup_complete(0.4);
-        let r = m.report(CacheStats::default(), vec![0, 0]);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0);
         assert!((r.mean_latency_s - 0.3).abs() < 1e-12);
         assert!((r.max_latency_s - 0.4).abs() < 1e-12);
         assert_eq!(r.served_from_cache, 1);
@@ -543,7 +575,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 6.0));
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 2.0));
-        let r = m.report(CacheStats::default(), vec![0, 0]);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0);
         assert!((r.modeled_speedup_vs_cpu() - 2.0).abs() < 1e-12);
     }
 
@@ -553,7 +585,7 @@ mod tests {
         m.on_dispatch(0, 0, 4, false); // worker 0 drains its home shard
         m.on_dispatch(1, 0, 2, true); // worker 1 steals from shard 0
         m.on_dispatch(1, 1, 2, false);
-        let r = m.report(CacheStats::default(), vec![3, 1]);
+        let r = m.report(CacheStats::default(), vec![3, 1], 0);
         assert_eq!(r.steals, 1);
         assert_eq!(r.stolen_jobs, 2);
         assert_eq!(r.shard_dispatched, vec![6, 2]);
@@ -575,7 +607,7 @@ mod tests {
         m.on_batch(true, 0, BatchOrigin::Home);
         m.on_batch(true, 0, BatchOrigin::Home);
         m.on_batch(true, 0, BatchOrigin::Home);
-        let r = m.report(CacheStats::default(), vec![0, 0]);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0);
         assert_eq!(r.plans_contended, 2);
         assert_eq!(r.plans_shifted, 1);
         assert!((r.cpu_contention_s - 1.5).abs() < 1e-12);
@@ -586,7 +618,7 @@ mod tests {
     #[test]
     fn shift_fraction_is_zero_without_plans() {
         let m = Metrics::new(1, 1);
-        let r = m.report(CacheStats::default(), vec![0]);
+        let r = m.report(CacheStats::default(), vec![0], 0);
         assert_eq!(r.shift_fraction(), 0.0);
     }
 
@@ -595,7 +627,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_submit();
         m.on_executed(0.01, sample(0.5, 1.5, 2.1, 3.0));
-        let text = m.report(CacheStats::default(), vec![0, 0]).to_string();
+        let text = m.report(CacheStats::default(), vec![0, 0], 0).to_string();
         assert!(text.contains("ndft-serve report"));
         assert!(text.contains("speedup"));
     }

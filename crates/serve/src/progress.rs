@@ -1,0 +1,400 @@
+//! Per-job lifecycle progress streaming.
+//!
+//! Workers (and the submission path) publish a [`ProgressEvent`] on
+//! every job state transition — `Queued` → `Planned` → `Running` →
+//! `Done`, including the cache-hit short-circuits and the panic/shutdown
+//! failure paths — into a **bounded, drop-oldest** ring shared by the
+//! whole engine. Frontends subscribe with [`crate::DftService::progress`]
+//! and render live placement decisions without ever touching the
+//! aggregate [`crate::ServeReport`].
+//!
+//! The ring never applies backpressure to workers: publishing into a
+//! full ring evicts the *oldest* event and counts it (surfaced as
+//! [`crate::ServeReport::progress_events_dropped`] and
+//! [`ProgressStream::dropped`]). A slow or absent consumer therefore
+//! costs a bounded amount of memory and zero worker stalls — the
+//! freshest events always win, which is the right bias for a live view.
+//! Gaps are detectable: every event carries a monotone `seq` assigned at
+//! publish time.
+//!
+//! [`ProgressStream`] handles are cheap clones of one shared ring and
+//! consume **destructively**: two streams draining the same engine split
+//! the events between them (shard your consumers, or keep one).
+//!
+//! Publishing is **subscriber-gated**: while no `ProgressStream` handle
+//! is alive, workers skip the ring entirely (one relaxed atomic load
+//! per transition — nothing is stored, counted, or locked), so engines
+//! nobody watches pay effectively nothing for the feature. When the
+//! last handle drops, undelivered events are discarded, so every
+//! subscription window starts clean: subscribe before submitting to
+//! observe full lifecycles.
+
+use crate::fingerprint::Fingerprint;
+use crate::placement::PlacementDecision;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// One job's position in its lifecycle.
+#[derive(Debug, Clone)]
+pub enum JobStage {
+    /// Accepted by [`crate::DftService::submit`] and parked on a queue
+    /// shard.
+    Queued {
+        /// The shard the class-keyed routing chose.
+        shard: usize,
+    },
+    /// A worker consulted the planner for the job's batch; the job will
+    /// execute under this placement. Boxed so the common events stay
+    /// small.
+    Planned {
+        /// The (possibly load-shifted) placement decision.
+        placement: Box<PlacementDecision>,
+    },
+    /// Execution of the real numerics began on a worker.
+    Running,
+    /// The job's ticket was fulfilled.
+    Done {
+        /// Whether the job produced a result (vs. an error/panic/shutdown).
+        ok: bool,
+        /// Whether the result came from the cache or in-batch dedup
+        /// rather than a fresh execution.
+        cached: bool,
+    },
+}
+
+impl JobStage {
+    /// Short label for logs and tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobStage::Queued { .. } => "queued",
+            JobStage::Planned { .. } => "planned",
+            JobStage::Running => "running",
+            JobStage::Done { .. } => "done",
+        }
+    }
+}
+
+/// One published lifecycle transition.
+#[derive(Debug, Clone)]
+pub struct ProgressEvent {
+    /// Monotone sequence number assigned at publish time. Consecutive
+    /// events from one stream with a gap in `seq` mean the ring dropped
+    /// events in between.
+    pub seq: u64,
+    /// The job the transition belongs to (its cache key / identity).
+    pub fingerprint: Fingerprint,
+    /// The transition itself.
+    pub stage: JobStage,
+}
+
+struct RingState {
+    events: VecDeque<ProgressEvent>,
+    next_seq: u64,
+    closed: bool,
+}
+
+/// The engine-owned ring; public API goes through [`ProgressStream`].
+pub(crate) struct ProgressBus {
+    state: Mutex<RingState>,
+    not_empty: Condvar,
+    capacity: usize,
+    dropped: AtomicU64,
+    /// Live [`ProgressStream`] handles. Publishing is a lock-free no-op
+    /// at zero subscribers, so an engine nobody is watching pays one
+    /// relaxed atomic load per transition instead of a mutex round-trip
+    /// (and nothing accumulates or "drops" unread).
+    subscribers: AtomicUsize,
+}
+
+impl ProgressBus {
+    /// Ring holding at most `capacity` undelivered events.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero capacity.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "progress capacity must be positive");
+        ProgressBus {
+            state: Mutex::new(RingState {
+                events: VecDeque::with_capacity(capacity),
+                next_seq: 0,
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            capacity,
+            dropped: AtomicU64::new(0),
+            subscribers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Publishes one transition; evicts the oldest event (counted) when
+    /// the ring is full. Never blocks, and skips all work while no
+    /// [`ProgressStream`] subscriber exists — a subscriber attaching
+    /// mid-run sees events from that point on (same contract as joining
+    /// a drop-oldest ring late).
+    pub(crate) fn publish(&self, fingerprint: Fingerprint, stage: JobStage) {
+        if self.subscribers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        // Re-check under the lock: subscriber attach/detach (and the
+        // detach-time clear) are serialized by this mutex, so an event
+        // can never be appended after the last subscriber's clear.
+        if self.subscribers.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        if st.events.len() == self.capacity {
+            st.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        let seq = st.next_seq;
+        st.next_seq += 1;
+        st.events.push_back(ProgressEvent {
+            seq,
+            fingerprint,
+            stage,
+        });
+        drop(st);
+        self.not_empty.notify_one();
+    }
+
+    /// True while at least one [`ProgressStream`] handle is alive.
+    /// Workers check this before *constructing* expensive events (the
+    /// `Planned` placement clone), not just before publishing them.
+    pub(crate) fn has_subscribers(&self) -> bool {
+        self.subscribers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Marks the engine shut down: buffered events still drain, then
+    /// blocking consumers observe the end of the stream (`None`).
+    pub(crate) fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.not_empty.notify_all();
+    }
+
+    /// Events evicted unread so far (monotone).
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Consumer handle over the engine's progress ring.
+///
+/// Obtained from [`crate::DftService::progress`]. Clones share one ring
+/// and consume destructively (see the [module docs](self)). The engine
+/// only publishes while at least one handle is alive — subscribe
+/// *before* submitting to observe full lifecycles.
+pub struct ProgressStream {
+    bus: Arc<ProgressBus>,
+}
+
+impl ProgressStream {
+    pub(crate) fn new(bus: Arc<ProgressBus>) -> Self {
+        // Under the state lock so attach cannot interleave with a
+        // departing last subscriber's ring clear.
+        let _st = bus.state.lock().unwrap();
+        bus.subscribers.fetch_add(1, Ordering::Relaxed);
+        drop(_st);
+        ProgressStream { bus }
+    }
+
+    /// Next event without blocking; `None` when the ring is currently
+    /// empty (the engine may still be running).
+    pub fn try_next(&self) -> Option<ProgressEvent> {
+        self.bus.state.lock().unwrap().events.pop_front()
+    }
+
+    /// Blocks for the next event; `None` only once the engine has shut
+    /// down **and** the ring is drained (end of stream).
+    pub fn next(&self) -> Option<ProgressEvent> {
+        let mut st = self.bus.state.lock().unwrap();
+        loop {
+            if let Some(event) = st.events.pop_front() {
+                return Some(event);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.bus.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// [`ProgressStream::next`] with a fixed deadline `timeout` from
+    /// now; `None` on timeout or end of stream (spurious wakeups do not
+    /// extend the deadline).
+    pub fn next_timeout(&self, timeout: Duration) -> Option<ProgressEvent> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.bus.state.lock().unwrap();
+        loop {
+            if let Some(event) = st.events.pop_front() {
+                return Some(event);
+            }
+            if st.closed {
+                return None;
+            }
+            let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
+            let (guard, _res) = self.bus.not_empty.wait_timeout(st, remaining).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Takes everything currently buffered, without blocking.
+    pub fn drain(&self) -> Vec<ProgressEvent> {
+        let mut st = self.bus.state.lock().unwrap();
+        st.events.drain(..).collect()
+    }
+
+    /// Events currently buffered (undelivered).
+    pub fn len(&self) -> usize {
+        self.bus.state.lock().unwrap().events.len()
+    }
+
+    /// True when nothing is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted unread over the engine's lifetime (the same
+    /// counter [`crate::ServeReport::progress_events_dropped`] reports).
+    pub fn dropped(&self) -> u64 {
+        self.bus.dropped()
+    }
+}
+
+impl Clone for ProgressStream {
+    fn clone(&self) -> Self {
+        ProgressStream::new(Arc::clone(&self.bus))
+    }
+}
+
+impl Drop for ProgressStream {
+    fn drop(&mut self) {
+        let mut st = self.bus.state.lock().unwrap();
+        if self.bus.subscribers.fetch_sub(1, Ordering::Relaxed) == 1 {
+            // Last subscriber out: discard undelivered events so a later
+            // subscriber starts clean instead of reading a stale window
+            // (uncounted — nothing was dropped on a *watched* engine).
+            st.events.clear();
+        }
+    }
+}
+
+impl std::fmt::Debug for ProgressStream {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ProgressStream")
+            .field("buffered", &self.len())
+            .field("dropped", &self.dropped())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn fp(n: u128) -> Fingerprint {
+        Fingerprint(n)
+    }
+
+    #[test]
+    fn publishes_in_order_with_monotone_seq() {
+        let bus = Arc::new(ProgressBus::new(8));
+        let stream = ProgressStream::new(Arc::clone(&bus));
+        bus.publish(fp(1), JobStage::Queued { shard: 0 });
+        bus.publish(fp(1), JobStage::Running);
+        bus.publish(
+            fp(1),
+            JobStage::Done {
+                ok: true,
+                cached: false,
+            },
+        );
+        let events = stream.drain();
+        assert_eq!(events.len(), 3);
+        assert!(events.windows(2).all(|w| w[0].seq + 1 == w[1].seq));
+        assert_eq!(events[0].stage.label(), "queued");
+        assert_eq!(events[2].stage.label(), "done");
+        assert_eq!(stream.dropped(), 0);
+    }
+
+    #[test]
+    fn full_ring_drops_oldest_and_counts() {
+        let bus = Arc::new(ProgressBus::new(2));
+        let stream = ProgressStream::new(Arc::clone(&bus));
+        for i in 0..5u128 {
+            bus.publish(fp(i), JobStage::Running);
+        }
+        assert_eq!(stream.dropped(), 3);
+        let events = stream.drain();
+        assert_eq!(events.len(), 2);
+        // The freshest events survive; seq exposes the gap.
+        assert_eq!(events[0].fingerprint, fp(3));
+        assert_eq!(events[1].fingerprint, fp(4));
+        assert_eq!(events[0].seq, 3);
+    }
+
+    #[test]
+    fn blocking_next_wakes_on_publish_and_ends_on_close() {
+        let bus = Arc::new(ProgressBus::new(4));
+        let stream = ProgressStream::new(Arc::clone(&bus));
+        let consumer = {
+            let stream = stream.clone();
+            thread::spawn(move || {
+                let first = stream.next();
+                let end = stream.next();
+                (first, end)
+            })
+        };
+        thread::sleep(Duration::from_millis(10));
+        bus.publish(fp(7), JobStage::Running);
+        thread::sleep(Duration::from_millis(10));
+        bus.close();
+        let (first, end) = consumer.join().unwrap();
+        assert_eq!(first.unwrap().fingerprint, fp(7));
+        assert!(end.is_none(), "closed + drained ⇒ end of stream");
+    }
+
+    #[test]
+    fn publishing_without_subscribers_is_a_gated_no_op() {
+        let bus = Arc::new(ProgressBus::new(4));
+        bus.publish(fp(1), JobStage::Running); // nobody listening: skipped
+        let stream = ProgressStream::new(Arc::clone(&bus));
+        assert!(stream.is_empty(), "pre-subscription event was not stored");
+        bus.publish(fp(2), JobStage::Running);
+        assert_eq!(stream.len(), 1);
+        let clone = stream.clone();
+        drop(stream);
+        bus.publish(fp(3), JobStage::Running); // clone keeps the bus live
+        assert_eq!(clone.drain().len(), 2);
+        drop(clone);
+        bus.publish(fp(4), JobStage::Running); // last handle gone: skipped
+        assert_eq!(bus.dropped(), 0);
+        let late = ProgressStream::new(bus);
+        assert!(late.is_empty(), "nothing published while unsubscribed");
+    }
+
+    #[test]
+    fn last_unsubscribe_clears_undelivered_events() {
+        let bus = Arc::new(ProgressBus::new(8));
+        let stream = ProgressStream::new(Arc::clone(&bus));
+        bus.publish(fp(1), JobStage::Running);
+        bus.publish(fp(2), JobStage::Running);
+        drop(stream); // last subscriber out with 2 events undelivered
+        let late = ProgressStream::new(bus);
+        assert!(
+            late.is_empty(),
+            "a new subscription window must not see stale events"
+        );
+        assert_eq!(late.dropped(), 0, "clearing is not counted as drops");
+    }
+
+    #[test]
+    fn next_timeout_expires_without_events() {
+        let bus = Arc::new(ProgressBus::new(4));
+        let stream = ProgressStream::new(bus);
+        assert!(stream.next_timeout(Duration::from_millis(10)).is_none());
+    }
+}

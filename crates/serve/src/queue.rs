@@ -340,18 +340,23 @@ impl<T> ShardedQueue<T> {
     /// # Errors
     ///
     /// [`SubmitError::QueueFull`] when the target shard is at capacity,
-    /// [`SubmitError::Closed`] after [`ShardedQueue::close`].
-    pub fn try_push(&self, key: u64, item: T) -> Result<(), SubmitError> {
+    /// [`SubmitError::Closed`] after [`ShardedQueue::close`] — the
+    /// rejected item rides back with the error, so the caller decides
+    /// its fate (retry, fail its ticket, drop) instead of the queue
+    /// silently destroying it.
+    pub fn try_push(&self, key: u64, item: T) -> Result<(), (T, SubmitError)> {
         if self.closed.load(Ordering::Acquire) {
-            return Err(SubmitError::Closed);
+            return Err((item, SubmitError::Closed));
         }
         let shard = &self.shards[self.shard_for(key)];
         let mut st = shard.state.lock().unwrap();
         if self.closed.load(Ordering::Acquire) {
-            return Err(SubmitError::Closed);
+            drop(st);
+            return Err((item, SubmitError::Closed));
         }
         if st.items.len() >= self.capacity_per_shard {
-            return Err(SubmitError::QueueFull);
+            drop(st);
+            return Err((item, SubmitError::QueueFull));
         }
         st.items.push_back((key, item));
         shard.depth.store(st.items.len(), Ordering::Release);
@@ -364,13 +369,15 @@ impl<T> ShardedQueue<T> {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::Closed`] if the queue closes while waiting.
-    pub fn push(&self, key: u64, item: T) -> Result<(), SubmitError> {
+    /// [`SubmitError::Closed`] if the queue closes while waiting (the
+    /// rejected item rides back with the error).
+    pub fn push(&self, key: u64, item: T) -> Result<(), (T, SubmitError)> {
         let shard = &self.shards[self.shard_for(key)];
         let mut st = shard.state.lock().unwrap();
         loop {
             if self.closed.load(Ordering::Acquire) {
-                return Err(SubmitError::Closed);
+                drop(st);
+                return Err((item, SubmitError::Closed));
             }
             if st.items.len() < self.capacity_per_shard {
                 st.items.push_back((key, item));
@@ -619,7 +626,7 @@ mod tests {
         let q: ShardedQueue<u32> = ShardedQueue::new(2, 4);
         q.try_push(0, 1).unwrap();
         q.try_push(0, 2).unwrap();
-        assert_eq!(q.try_push(0, 3), Err(SubmitError::QueueFull));
+        assert_eq!(q.try_push(0, 3), Err((3, SubmitError::QueueFull)));
         // The other shard still has room.
         q.try_push(1, 4).unwrap();
     }
@@ -670,8 +677,9 @@ mod tests {
         };
         thread::sleep(Duration::from_millis(20));
         q.close();
-        assert_eq!(prod.join().unwrap(), Err(SubmitError::Closed));
-        assert_eq!(q.try_push(2, 3), Err(SubmitError::Closed));
+        // The blocked producer gets both the verdict and its item back.
+        assert_eq!(prod.join().unwrap(), Err((2, SubmitError::Closed)));
+        assert_eq!(q.try_push(2, 3), Err((3, SubmitError::Closed)));
         // Pending items still drain after close.
         assert_eq!(q.try_pop_home(0, 4), Some(vec![1]));
     }

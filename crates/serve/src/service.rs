@@ -6,10 +6,12 @@
 //! returns the final [`ServeReport`].
 
 use crate::cache::{CacheStats, ResultCache};
+use crate::client::{ClientSession, CompletionStream};
 use crate::cluster::{ClusterSnapshot, ClusterView};
 use crate::job::DftJob;
 use crate::metrics::{Metrics, ServeReport};
 use crate::placement::PlacementPolicy;
+use crate::progress::{JobStage, ProgressBus, ProgressStream};
 use crate::queue::{ShardedQueue, SubmitError};
 use crate::ticket::JobTicket;
 use crate::worker::{worker_loop, JobOutcome, PendingJob};
@@ -42,6 +44,11 @@ pub struct ServeConfig {
     pub load_aware: bool,
     /// Result-cache capacity, in entries.
     pub cache_capacity: usize,
+    /// Capacity of the bounded, drop-oldest progress-event ring
+    /// ([`crate::ProgressStream`]). Full ⇒ the oldest undelivered event
+    /// is evicted and counted ([`ServeReport::progress_events_dropped`]);
+    /// publishing never blocks a worker.
+    pub progress_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -54,8 +61,24 @@ impl Default for ServeConfig {
             policy: PlacementPolicy::CostAware,
             load_aware: true,
             cache_capacity: 256,
+            progress_capacity: 1024,
         }
     }
+}
+
+/// What a submission turned into: a cache hit served on the spot, or a
+/// queued job travelling to the workers. The public API always wraps
+/// this in a [`JobTicket`]; [`ClientSession`] consumes it raw.
+pub(crate) enum Issued {
+    /// Served from the result cache at submission time.
+    Cached {
+        /// The job's content fingerprint.
+        fingerprint: crate::fingerprint::Fingerprint,
+        /// The shared cached outcome.
+        outcome: Arc<JobOutcome>,
+    },
+    /// Enqueued; the ticket resolves when a worker fulfills it.
+    Queued(JobTicket),
 }
 
 /// State shared between the façade and the worker pool.
@@ -63,7 +86,8 @@ pub(crate) struct EngineShared {
     pub(crate) queue: ShardedQueue<PendingJob>,
     pub(crate) cache: ResultCache<Arc<JobOutcome>>,
     pub(crate) cluster: ClusterView,
-    pub(crate) metrics: Metrics,
+    pub(crate) metrics: Arc<Metrics>,
+    pub(crate) progress: Arc<ProgressBus>,
     pub(crate) config: ServeConfig,
 }
 
@@ -86,7 +110,8 @@ impl DftService {
             queue: ShardedQueue::new(config.shards, config.queue_capacity),
             cache: ResultCache::new(config.cache_capacity),
             cluster: ClusterView::new(config.shards),
-            metrics: Metrics::new(config.shards, config.workers),
+            metrics: Arc::new(Metrics::new(config.shards, config.workers)),
+            progress: Arc::new(ProgressBus::new(config.progress_capacity)),
             config,
         });
         let workers = (0..config.workers)
@@ -129,13 +154,41 @@ impl DftService {
     }
 
     fn submit_inner(&self, job: DftJob, blocking: bool) -> Result<JobTicket, SubmitError> {
+        match self.issue(job, blocking)? {
+            Issued::Cached {
+                fingerprint,
+                outcome,
+            } => Ok(JobTicket::ready(fingerprint, outcome)),
+            Issued::Queued(ticket) => Ok(ticket),
+        }
+    }
+
+    /// The shared admission path. [`ClientSession`] calls it directly: a
+    /// cache hit hands back the outcome itself instead of wrapping it in
+    /// an already-fulfilled ticket, so the session forwards it straight
+    /// into its completion channel — no ticket allocation and two fewer
+    /// lock round-trips per warm submission.
+    pub(crate) fn issue(&self, job: DftJob, blocking: bool) -> Result<Issued, SubmitError> {
         if let Err(e) = job.system() {
             return Err(SubmitError::InvalidJob(e.to_string()));
         }
         let fingerprint = job.fingerprint();
         if let Some(hit) = self.shared.cache.get(&fingerprint) {
             self.shared.metrics.on_serve_from_cache();
-            return Ok(JobTicket::ready(fingerprint, hit));
+            // Done is published before the caller can observe the
+            // result, so by the time any waiter resolves, the lifecycle
+            // stream already tells the whole story.
+            self.shared.progress.publish(
+                fingerprint,
+                JobStage::Done {
+                    ok: true,
+                    cached: true,
+                },
+            );
+            return Ok(Issued::Cached {
+                fingerprint,
+                outcome: hit,
+            });
         }
         let ticket = JobTicket::pending(fingerprint);
         // Class-keyed routing: a wave of same-class jobs lands on one
@@ -147,7 +200,21 @@ impl DftService {
             fingerprint,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
+            progress: Arc::clone(&self.shared.progress),
+            metrics: Arc::clone(&self.shared.metrics),
         };
+        // Queued is published *before* the push: once the job is in the
+        // queue a worker may stream Planned/Running/Done at any moment,
+        // and the lifecycle must never appear out of order. A rejected
+        // push hands the PendingJob back, and the error arm below closes
+        // the dangling lifecycle itself — a never-admitted job must not
+        // run the worker-side Drop guard's failure accounting.
+        self.shared.progress.publish(
+            fingerprint,
+            JobStage::Queued {
+                shard: self.shared.queue.shard_for(shard_key),
+            },
+        );
         let pushed = if blocking {
             self.shared.queue.push(shard_key, pending)
         } else {
@@ -156,15 +223,50 @@ impl DftService {
         match pushed {
             Ok(()) => {
                 self.shared.metrics.on_submit();
-                Ok(ticket)
+                Ok(Issued::Queued(ticket))
             }
-            Err(e) => {
+            Err((pending, e)) => {
                 if e == SubmitError::QueueFull {
                     self.shared.metrics.on_reject();
                 }
+                // Close the streamed lifecycle, then defuse the Drop
+                // guard by resolving the ticket first: this job was
+                // never admitted, so it counts as a rejection — not as
+                // a submitted-then-failed job.
+                self.shared.progress.publish(
+                    fingerprint,
+                    JobStage::Done {
+                        ok: false,
+                        cached: false,
+                    },
+                );
+                pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
+                drop(pending);
                 Err(e)
             }
         }
+    }
+
+    /// Opens a multiplexing [`ClientSession`] over this engine, paired
+    /// with the [`CompletionStream`] its finished jobs drain through in
+    /// finish order. Any number of sessions can coexist; each sees only
+    /// its own submissions.
+    pub fn session(&self) -> (ClientSession<'_>, CompletionStream) {
+        ClientSession::new(self)
+    }
+
+    /// Subscribes to the engine's per-job lifecycle events (`Queued` →
+    /// `Planned` → `Running` → `Done`). Handles share one bounded
+    /// drop-oldest ring and consume destructively — see
+    /// [`crate::progress`].
+    pub fn progress(&self) -> ProgressStream {
+        ProgressStream::new(Arc::clone(&self.shared.progress))
+    }
+
+    /// Live in-flight ticket gauge: submissions not yet fulfilled
+    /// (cache serves count as instantly fulfilled).
+    pub fn tickets_outstanding(&self) -> u64 {
+        self.shared.metrics.tickets_outstanding()
     }
 
     /// Jobs currently queued across all shards (not yet picked up by a
@@ -211,10 +313,11 @@ impl DftService {
         for _ in 0..8 {
             let depths = self.shared.queue.shard_depths();
             let dispatched = self.shared.metrics.total_dispatched();
-            let r = self
-                .shared
-                .metrics
-                .report(self.shared.cache.stats(), depths.clone());
+            let r = self.shared.metrics.report(
+                self.shared.cache.stats(),
+                depths.clone(),
+                self.shared.progress.dropped(),
+            );
             let stable = self.shared.metrics.total_dispatched() == dispatched
                 && self.shared.queue.shard_depths() == depths;
             report = Some(r);
@@ -223,6 +326,16 @@ impl DftService {
             }
         }
         report.expect("at least one snapshot attempt")
+    }
+
+    /// Begins shutdown without consuming the service: closes the
+    /// submission queue, so new submissions fail with
+    /// [`SubmitError::Closed`] and **every producer blocked in
+    /// [`DftService::submit_blocking`] on a full shard wakes with
+    /// `Closed`** rather than hanging. Queued work still drains;
+    /// call [`DftService::shutdown`] (or drop) to join the workers.
+    pub fn close(&self) {
+        self.shared.queue.close();
     }
 
     /// Stops accepting work, drains every shard, joins the workers, and
@@ -245,8 +358,21 @@ impl DftService {
         // fail them explicitly rather than leaving waiters hanging.
         for pending in self.shared.queue.drain_all() {
             self.shared.metrics.on_fail();
+            self.shared.progress.publish(
+                pending.fingerprint,
+                JobStage::Done {
+                    ok: false,
+                    cached: false,
+                },
+            );
             pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
         }
+        // (Entries failed above drop with their tickets already done, so
+        // the PendingJob Drop guard publishes nothing extra.)
+        // Close the lifecycle stream last: buffered events still drain,
+        // then blocking consumers observe end-of-stream instead of
+        // parking forever on a dead engine.
+        self.shared.progress.close();
     }
 }
 

@@ -1,20 +1,56 @@
 //! Client-facing completion handles.
 //!
-//! Submitting a job yields a [`JobTicket`]; the caller blocks on
-//! [`JobTicket::wait`] (or polls [`JobTicket::try_result`]) while the
-//! worker pool fulfills it. Tickets are cheap `Arc` handles — clone
-//! freely, wait from any thread.
+//! Submitting a job yields a [`JobTicket`]; the worker pool fulfills it
+//! exactly once. Tickets are cheap `Arc` handles — clone freely, and
+//! complete through whichever style fits the caller:
+//!
+//! * **Blocking** — [`JobTicket::wait`] / [`JobTicket::wait_timeout`]
+//!   park the calling thread on a condvar (the original API, unchanged).
+//! * **Polling** — [`JobTicket::try_result`] / [`JobTicket::is_done`].
+//! * **Async** — [`JobTicket::future`] yields a [`TicketFuture`]
+//!   implementing [`Future`]; drive it with [`crate::exec::block_on`],
+//!   combine many with [`crate::exec::join_all`] / [`crate::exec::race`],
+//!   or hand it to any external executor. `ticket.await` works too
+//!   ([`IntoFuture`]).
+//!
+//! All three styles are views over one state machine: a mutex-guarded
+//! result slot plus a registry of [`Waker`]s. The lost-wakeup argument
+//! is a single lock: `poll` checks the slot and registers its waker
+//! under the same mutex acquisition, and fulfillment writes
+//! the slot and drains the registry under that mutex — so a waker
+//! registered before the transition is in the drained set (woken
+//! exactly once, outside the lock), and a poll that misses the drain
+//! observes the filled slot and returns `Ready`. There is no window in
+//! which a future can park without either being woken or seeing the
+//! result.
 
 use crate::fingerprint::Fingerprint;
 use crate::job::JobError;
 use crate::worker::JobOutcome;
+use std::future::{Future, IntoFuture};
+use std::pin::Pin;
 use std::sync::{Arc, Condvar, Mutex};
+use std::task::{Context, Poll, Waker};
 use std::time::Duration;
 
 type JobResult = Result<Arc<JobOutcome>, JobError>;
 
+/// Result slot + waker registry; every completion style is a view of
+/// this one state machine.
+struct TicketState {
+    /// `None` while pending; written exactly once by `fulfill`.
+    result: Option<JobResult>,
+    /// Wakers registered by in-flight futures and session forwarders,
+    /// keyed so a re-polled future *updates* its entry instead of
+    /// duplicating it, and a dropped future can remove its own.
+    wakers: Vec<(u64, Waker)>,
+    /// Allocator for waker-registry keys; key allocation is serialized
+    /// by the state lock, like every other registry access.
+    next_waker_key: u64,
+}
+
 struct TicketInner {
-    slot: Mutex<Option<JobResult>>,
+    state: Mutex<TicketState>,
     done: Condvar,
 }
 
@@ -40,7 +76,11 @@ impl JobTicket {
         JobTicket {
             fingerprint,
             inner: Arc::new(TicketInner {
-                slot: Mutex::new(None),
+                state: Mutex::new(TicketState {
+                    result: None,
+                    wakers: Vec::new(),
+                    next_waker_key: 0,
+                }),
                 done: Condvar::new(),
             }),
         }
@@ -53,29 +93,80 @@ impl JobTicket {
         t
     }
 
+    /// Manual-resolution pair: a pending ticket plus the handle that
+    /// fulfills it. This is how adapters, executors, and tests drive the
+    /// completion state machine without a running [`crate::DftService`]
+    /// (the `serve_properties` lost-wakeup suite lives on it).
+    pub fn promise(fingerprint: Fingerprint) -> (JobTicket, TicketResolver) {
+        let ticket = JobTicket::pending(fingerprint);
+        let resolver = TicketResolver {
+            ticket: Some(ticket.clone()),
+        };
+        (ticket, resolver)
+    }
+
     /// The job's content fingerprint (also the cache key).
     pub fn fingerprint(&self) -> Fingerprint {
         self.fingerprint
     }
 
-    /// Delivers the result and wakes waiters. First fulfillment wins;
-    /// later calls are ignored (a ticket resolves exactly once).
+    /// Delivers the result and wakes every waiter — condvar sleepers and
+    /// registered future wakers alike. First fulfillment wins; later
+    /// calls are ignored (a ticket resolves exactly once), so each
+    /// registered waker is woken **exactly once** over the ticket's
+    /// lifetime. Wakers run outside the state lock: a waker that
+    /// immediately re-polls (or forwards into a session channel) can
+    /// never deadlock against the registry.
     pub(crate) fn fulfill(&self, result: JobResult) {
-        let mut slot = self.inner.slot.lock().unwrap();
-        if slot.is_none() {
-            *slot = Some(result);
+        let wakers = {
+            let mut st = self.inner.state.lock().unwrap();
+            if st.result.is_some() {
+                return;
+            }
+            st.result = Some(result);
             self.inner.done.notify_all();
+            std::mem::take(&mut st.wakers)
+        };
+        for (_, waker) in wakers {
+            waker.wake();
         }
+    }
+
+    /// Registers an external completion waker: woken exactly once when
+    /// the ticket resolves — immediately (on this thread) if it already
+    /// has. The session completion path rides on this; unlike a
+    /// [`TicketFuture`] registration the entry is never replaced or
+    /// deregistered.
+    pub(crate) fn on_done(&self, waker: Waker) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.result.is_some() {
+            drop(st);
+            waker.wake();
+            return;
+        }
+        let key = st.next_waker_key;
+        st.next_waker_key += 1;
+        st.wakers.push((key, waker));
     }
 
     /// True once a result (or error) is available.
     pub fn is_done(&self) -> bool {
-        self.inner.slot.lock().unwrap().is_some()
+        self.inner.state.lock().unwrap().result.is_some()
     }
 
     /// Non-blocking result check.
     pub fn try_result(&self) -> Option<JobResult> {
-        self.inner.slot.lock().unwrap().clone()
+        self.inner.state.lock().unwrap().result.clone()
+    }
+
+    /// A [`Future`] view of this ticket. Many futures can observe one
+    /// ticket; each registers its own waker and resolves to a clone of
+    /// the shared result.
+    pub fn future(&self) -> TicketFuture {
+        TicketFuture {
+            ticket: self.clone(),
+            key: None,
+        }
     }
 
     /// Blocks until the job resolves.
@@ -84,12 +175,12 @@ impl JobTicket {
     ///
     /// Propagates the job's [`JobError`] when execution failed.
     pub fn wait(&self) -> JobResult {
-        let mut slot = self.inner.slot.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap();
         loop {
-            if let Some(result) = slot.as_ref() {
+            if let Some(result) = st.result.as_ref() {
                 return result.clone();
             }
-            slot = self.inner.done.wait(slot).unwrap();
+            st = self.inner.done.wait(st).unwrap();
         }
     }
 
@@ -97,14 +188,147 @@ impl JobTicket {
     /// `None` on timeout (spurious wakeups do not extend it).
     pub fn wait_timeout(&self, timeout: Duration) -> Option<JobResult> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut slot = self.inner.slot.lock().unwrap();
+        let mut st = self.inner.state.lock().unwrap();
         loop {
-            if let Some(result) = slot.as_ref() {
+            if let Some(result) = st.result.as_ref() {
                 return Some(result.clone());
             }
             let remaining = deadline.checked_duration_since(std::time::Instant::now())?;
-            let (guard, _res) = self.inner.done.wait_timeout(slot, remaining).unwrap();
-            slot = guard;
+            let (guard, _res) = self.inner.done.wait_timeout(st, remaining).unwrap();
+            st = guard;
+        }
+    }
+
+    /// Wakers currently registered (tests assert deregistration).
+    #[cfg(test)]
+    fn registered_wakers(&self) -> usize {
+        self.inner.state.lock().unwrap().wakers.len()
+    }
+}
+
+impl IntoFuture for JobTicket {
+    type Output = JobResult;
+    type IntoFuture = TicketFuture;
+
+    fn into_future(self) -> TicketFuture {
+        self.future()
+    }
+}
+
+impl IntoFuture for &JobTicket {
+    type Output = JobResult;
+    type IntoFuture = TicketFuture;
+
+    fn into_future(self) -> TicketFuture {
+        self.future()
+    }
+}
+
+/// The fulfilling half of [`JobTicket::promise`].
+///
+/// Consuming [`TicketResolver::fulfill`] resolves the paired ticket; if
+/// the resolver is dropped unfulfilled, the ticket fails with
+/// [`JobError::ShutDown`] so no waiter can hang on an abandoned promise.
+#[derive(Debug)]
+pub struct TicketResolver {
+    /// Taken on fulfillment, so the Drop guard fires only for an
+    /// abandoned resolver (and the ticket handle is always released —
+    /// never leaked).
+    ticket: Option<JobTicket>,
+}
+
+impl TicketResolver {
+    /// Resolves the paired ticket (exactly once; the consuming signature
+    /// makes double-fulfillment unrepresentable).
+    pub fn fulfill(mut self, result: JobResult) {
+        if let Some(ticket) = self.ticket.take() {
+            ticket.fulfill(result);
+        }
+    }
+
+    /// The paired ticket's fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.ticket
+            .as_ref()
+            .expect("resolver holds its ticket until fulfilled")
+            .fingerprint()
+    }
+}
+
+impl Drop for TicketResolver {
+    fn drop(&mut self) {
+        if let Some(ticket) = self.ticket.take() {
+            ticket.fulfill(Err(JobError::ShutDown));
+        }
+    }
+}
+
+/// [`Future`] view of a [`JobTicket`], resolving to the job's result.
+///
+/// Created by [`JobTicket::future`] (or `ticket.await` via
+/// [`IntoFuture`]). Runtime-agnostic: poll it from
+/// [`crate::exec::block_on`], [`crate::exec::join_all`], or any executor.
+/// Re-polling *updates* this future's registered waker in place (no
+/// duplicate registrations), and dropping the future before completion
+/// deregisters it, so abandoned futures leak nothing and are never woken.
+#[derive(Debug)]
+pub struct TicketFuture {
+    ticket: JobTicket,
+    /// Registry key of this future's waker entry, allocated on the first
+    /// `Pending` poll.
+    key: Option<u64>,
+}
+
+impl TicketFuture {
+    /// The underlying ticket's fingerprint.
+    pub fn fingerprint(&self) -> Fingerprint {
+        self.ticket.fingerprint()
+    }
+
+    /// The underlying ticket (e.g. to fall back to a blocking wait).
+    pub fn ticket(&self) -> &JobTicket {
+        &self.ticket
+    }
+}
+
+impl Future for TicketFuture {
+    type Output = JobResult;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<JobResult> {
+        let this = &mut *self;
+        let mut st = this.ticket.inner.state.lock().unwrap();
+        if let Some(result) = st.result.as_ref() {
+            // fulfill() drained the registry, so there is no entry left
+            // to deregister — forget the key so Drop skips the lock scan.
+            let result = result.clone();
+            this.key = None;
+            return Poll::Ready(result);
+        }
+        let key = match this.key {
+            Some(key) => key,
+            None => {
+                let key = st.next_waker_key;
+                st.next_waker_key += 1;
+                this.key = Some(key);
+                key
+            }
+        };
+        match st.wakers.iter_mut().find(|(k, _)| *k == key) {
+            Some(entry) => entry.1.clone_from(cx.waker()),
+            None => st.wakers.push((key, cx.waker().clone())),
+        }
+        Poll::Pending
+    }
+}
+
+impl Drop for TicketFuture {
+    fn drop(&mut self) {
+        // Deregister this future's waker so an abandoned future is never
+        // woken and the registry cannot grow with dead entries. No-op
+        // when the future resolved (key cleared) or was never polled.
+        if let Some(key) = self.key {
+            let mut st = self.ticket.inner.state.lock().unwrap();
+            st.wakers.retain(|(k, _)| *k != key);
         }
     }
 }
@@ -112,10 +336,35 @@ impl JobTicket {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::exec::block_on;
+    use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
+    use std::task::Wake;
     use std::thread;
 
     fn fp() -> Fingerprint {
         Fingerprint(42)
+    }
+
+    struct CountingWaker {
+        wakes: AtomicUsize,
+    }
+
+    impl CountingWaker {
+        fn new() -> Arc<Self> {
+            Arc::new(CountingWaker {
+                wakes: AtomicUsize::new(0),
+            })
+        }
+
+        fn count(&self) -> usize {
+            self.wakes.load(AtomicOrdering::SeqCst)
+        }
+    }
+
+    impl Wake for CountingWaker {
+        fn wake(self: Arc<Self>) {
+            self.wakes.fetch_add(1, AtomicOrdering::SeqCst);
+        }
     }
 
     #[test]
@@ -145,5 +394,95 @@ mod tests {
         assert!(t.wait_timeout(Duration::from_millis(10)).is_none());
         t.fulfill(Err(JobError::ShutDown));
         assert!(t.wait_timeout(Duration::from_millis(10)).is_some());
+    }
+
+    #[test]
+    fn future_resolves_when_fulfilled_from_another_thread() {
+        let t = JobTicket::pending(fp());
+        let fulfiller = {
+            let t = t.clone();
+            thread::spawn(move || {
+                thread::sleep(Duration::from_millis(10));
+                t.fulfill(Err(JobError::ShutDown));
+            })
+        };
+        assert_eq!(block_on(t.future()).unwrap_err(), JobError::ShutDown);
+        // IntoFuture works on both the handle and a reference to it.
+        assert_eq!(block_on(&t).unwrap_err(), JobError::ShutDown);
+        fulfiller.join().unwrap();
+    }
+
+    #[test]
+    fn registered_waker_is_woken_exactly_once() {
+        let t = JobTicket::pending(fp());
+        let counting = CountingWaker::new();
+        let waker = Waker::from(Arc::clone(&counting));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = t.future();
+        // Two polls, one registration: the second poll updates in place.
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        assert_eq!(t.registered_wakers(), 1);
+        t.fulfill(Err(JobError::ShutDown));
+        assert_eq!(counting.count(), 1);
+        // Fulfilling again (ignored) must not re-wake.
+        t.fulfill(Err(JobError::Numerics("dup".into())));
+        assert_eq!(counting.count(), 1);
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_ready());
+        assert_eq!(t.registered_wakers(), 0);
+    }
+
+    #[test]
+    fn dropped_future_deregisters_and_is_never_woken() {
+        let t = JobTicket::pending(fp());
+        let counting = CountingWaker::new();
+        let waker = Waker::from(Arc::clone(&counting));
+        let mut cx = Context::from_waker(&waker);
+        let mut fut = t.future();
+        assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+        assert_eq!(t.registered_wakers(), 1);
+        drop(fut);
+        assert_eq!(t.registered_wakers(), 0);
+        t.fulfill(Err(JobError::ShutDown));
+        assert_eq!(counting.count(), 0, "dropped future must not be woken");
+    }
+
+    #[test]
+    fn on_done_fires_immediately_for_ready_tickets() {
+        let t = JobTicket::pending(fp());
+        t.fulfill(Err(JobError::ShutDown));
+        let counting = CountingWaker::new();
+        t.on_done(Waker::from(Arc::clone(&counting)));
+        assert_eq!(counting.count(), 1);
+    }
+
+    #[test]
+    fn promise_resolver_fulfills_and_drop_fails_the_ticket() {
+        let (t, resolver) = JobTicket::promise(fp());
+        assert_eq!(resolver.fingerprint(), t.fingerprint());
+        resolver.fulfill(Err(JobError::Numerics("boom".into())));
+        assert_eq!(t.wait().unwrap_err(), JobError::Numerics("boom".into()));
+
+        let (t, resolver) = JobTicket::promise(fp());
+        drop(resolver);
+        assert_eq!(
+            t.wait().unwrap_err(),
+            JobError::ShutDown,
+            "abandoned promise fails instead of hanging"
+        );
+    }
+
+    #[test]
+    fn resolver_releases_its_ticket_handle_on_fulfill() {
+        // Regression: fulfill() must not leak the resolver's Arc handle
+        // (a long-lived adapter makes one promise per request).
+        let (t, resolver) = JobTicket::promise(fp());
+        assert_eq!(Arc::strong_count(&t.inner), 2);
+        resolver.fulfill(Err(JobError::ShutDown));
+        assert_eq!(
+            Arc::strong_count(&t.inner),
+            1,
+            "fulfilled resolver released its handle"
+        );
     }
 }

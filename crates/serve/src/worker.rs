@@ -31,6 +31,7 @@ use crate::fingerprint::Fingerprint;
 use crate::job::{DftJob, JobError, JobPayload};
 use crate::metrics::ExecutionSample;
 use crate::placement::{plan_placement, plan_placement_loaded, PlacementDecision};
+use crate::progress::JobStage;
 use crate::service::EngineShared;
 use crate::ticket::JobTicket;
 use ndft_core::{run_ndft_with, NdftOptions, RunReport};
@@ -64,15 +65,37 @@ pub(crate) struct PendingJob {
     pub(crate) fingerprint: Fingerprint,
     pub(crate) ticket: JobTicket,
     pub(crate) enqueued: Instant,
+    /// Progress ring handle, so even the last-resort Drop fulfillment
+    /// below closes the job's streamed lifecycle with a `Done`.
+    pub(crate) progress: Arc<crate::progress::ProgressBus>,
+    /// Metrics handle, so the guard's failure also lands in the
+    /// counters (else `tickets_outstanding` would read > 0 forever).
+    pub(crate) metrics: Arc<crate::metrics::Metrics>,
 }
 
 impl Drop for PendingJob {
     fn drop(&mut self) {
         // Last-resort guarantee that no waiter hangs: if this entry is
         // dropped on any path that never resolved it (a panic unwinding
-        // through a worker, a dropped batch), fail the ticket. A no-op
-        // for the normal paths — the first fulfillment wins.
-        self.ticket.fulfill(Err(JobError::ShutDown));
+        // through a worker, a dropped batch), fail the ticket — and
+        // record the failure + stream the closing Done, so neither the
+        // counters nor a watched lifecycle are left dangling (a guard
+        // firing here means the job WAS admitted and counted submitted;
+        // the rejected-push path resolves its ticket before dropping).
+        // A no-op for the normal paths: the entry is only dropped
+        // unresolved by the owning thread, so the is_done check cannot
+        // race another fulfiller.
+        if !self.ticket.is_done() {
+            self.metrics.on_fail();
+            self.progress.publish(
+                self.fingerprint,
+                JobStage::Done {
+                    ok: false,
+                    cached: false,
+                },
+            );
+            self.ticket.fulfill(Err(JobError::ShutDown));
+        }
     }
 }
 
@@ -216,6 +239,13 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
             let err = JobError::InvalidSystem(e.to_string());
             for pending in &batch.entries {
                 shared.metrics.on_fail();
+                shared.progress.publish(
+                    pending.fingerprint,
+                    JobStage::Done {
+                        ok: false,
+                        cached: false,
+                    },
+                );
                 pending.ticket.fulfill(Err(err.clone()));
             }
             return;
@@ -245,6 +275,15 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
             shared
                 .metrics
                 .on_dedup_complete(pending.enqueued.elapsed().as_secs_f64());
+            // Done is published before fulfillment on every path, so a
+            // waiter that just resolved can already read the lifecycle.
+            shared.progress.publish(
+                pending.fingerprint,
+                JobStage::Done {
+                    ok: true,
+                    cached: true,
+                },
+            );
             pending.ticket.fulfill(Ok(hit));
             continue;
         }
@@ -280,6 +319,23 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                 planned = Some((decision, modeled));
             }
             let (placement, modeled) = planned.as_ref().expect("just planned");
+            // Stream the lifecycle: the job is now committed to this
+            // batch's placement and about to run. Riders publish the
+            // same (shared) decision as the member that planned it. The
+            // subscriber check guards the *construction* — cloning and
+            // boxing a PlacementDecision per executed job is exactly the
+            // cost the gate exists to avoid on unwatched engines.
+            if shared.progress.has_subscribers() {
+                shared.progress.publish(
+                    pending.fingerprint,
+                    JobStage::Planned {
+                        placement: Box::new(placement.clone()),
+                    },
+                );
+            }
+            shared
+                .progress
+                .publish(pending.fingerprint, JobStage::Running);
             execute_job(&pending.job, placement, modeled)
         }));
         match result {
@@ -293,15 +349,38 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                 shared
                     .metrics
                     .on_executed(pending.enqueued.elapsed().as_secs_f64(), outcome.sample());
+                shared.progress.publish(
+                    pending.fingerprint,
+                    JobStage::Done {
+                        ok: true,
+                        cached: false,
+                    },
+                );
                 pending.ticket.fulfill(Ok(outcome));
             }
             Ok(Err(e)) => {
                 shared.metrics.on_fail();
+                shared.progress.publish(
+                    pending.fingerprint,
+                    JobStage::Done {
+                        ok: false,
+                        cached: false,
+                    },
+                );
                 pending.ticket.fulfill(Err(e));
             }
             Err(panic) => {
                 let msg = panic_message(panic.as_ref());
                 shared.metrics.on_fail();
+                // The panic path streams Done like any other exit: a
+                // frontend watching the job sees it fail, not vanish.
+                shared.progress.publish(
+                    pending.fingerprint,
+                    JobStage::Done {
+                        ok: false,
+                        cached: false,
+                    },
+                );
                 pending
                     .ticket
                     .fulfill(Err(JobError::Numerics(format!("job panicked: {msg}"))));
@@ -386,14 +465,33 @@ mod tests {
             seed: 0,
         };
         let ticket = crate::ticket::JobTicket::pending(job.fingerprint());
+        let progress = Arc::new(crate::progress::ProgressBus::new(8));
+        let stream = crate::progress::ProgressStream::new(Arc::clone(&progress));
+        let metrics = Arc::new(crate::metrics::Metrics::new(1, 1));
         let pending = PendingJob {
             fingerprint: job.fingerprint(),
             job,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
+            progress,
+            metrics: Arc::clone(&metrics),
         };
         drop(pending);
         assert_eq!(ticket.wait().unwrap_err(), JobError::ShutDown);
+        // The failure lands in the counters too — the in-flight gauge
+        // must return to zero even on the last-resort path.
+        let report = metrics.report(crate::cache::CacheStats::default(), vec![0], 0);
+        assert_eq!(report.failed, 1);
+        // The lifecycle closes too: the Drop guard streams a failed Done.
+        let events = stream.drain();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0].stage,
+            JobStage::Done {
+                ok: false,
+                cached: false
+            }
+        ));
     }
 
     #[test]

@@ -13,10 +13,58 @@
 //! the workers see, every [`ClusterView`] reservation is released and
 //! the view returns to exactly zero — the property the load-aware
 //! planner depends on to never drift.
+//!
+//! The async client API adds a third contract, the *lost-wakeup
+//! invariant* of the ticket state machine: under any interleaving of
+//! `poll`, waker registration/replacement, ticket clone, future drop,
+//! and `fulfill`, every waker registered at fulfillment time is woken
+//! **exactly once**, deregistered or replaced wakers are woken **zero**
+//! times, and no future is left pending after fulfillment.
 
-use ndft_serve::{ClusterView, DftJob, Fingerprint, Reservation, ShardedQueue};
+use ndft_serve::{
+    block_on, ClusterView, DftJob, Fingerprint, JobError, JobTicket, Reservation, ShardedQueue,
+    TicketFuture, TicketResolver,
+};
 use proptest::prelude::*;
+use std::future::Future;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::pin::Pin;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Waker that only counts — the property suite's wake observer.
+struct CountingWake {
+    wakes: AtomicU64,
+}
+
+impl CountingWake {
+    fn new() -> Arc<Self> {
+        Arc::new(CountingWake {
+            wakes: AtomicU64::new(0),
+        })
+    }
+
+    fn count(&self) -> u64 {
+        self.wakes.load(Ordering::SeqCst)
+    }
+}
+
+impl Wake for CountingWake {
+    fn wake(self: Arc<Self>) {
+        self.wakes.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+/// One live future view of the shared ticket, with the model's view of
+/// its waker wiring: `current` is the waker the next poll will hand in,
+/// `registered` the waker currently sitting in the ticket's registry
+/// (i.e. the one handed in at the last `Pending` poll).
+struct FutureSlot {
+    future: TicketFuture,
+    current: usize,
+    registered: Option<usize>,
+}
 
 /// Builds a job stream from drawn class parameters; the index is the MD
 /// seed, so every job has a distinct fingerprint even within a class.
@@ -166,5 +214,148 @@ proptest! {
         prop_assert_eq!(s.cpu_reserved_s, 0.0);
         prop_assert_eq!(s.ndp_reserved_s, 0.0);
         prop_assert_eq!(s.inflight_batches(), 0);
+    }
+
+    /// The lost-wakeup invariant of the ticket state machine. Ops are
+    /// (action, index) applied to a pool of future views of ONE shared
+    /// ticket: 0 creates a future (fresh waker), 1 polls one, 2 drops
+    /// one, 3 hands a future a fresh waker for its NEXT poll — the old
+    /// waker stays registered (and must still fire at fulfillment)
+    /// until a later `Pending` poll replaces the entry in place, 4
+    /// clones the ticket handle and makes a future from the clone (same
+    /// state machine). `fulfill_at` picks where in the schedule
+    /// fulfillment lands. Afterwards: wakers registered at
+    /// fulfillment time fired exactly once, every other waker exactly
+    /// zero times, and every surviving future polls `Ready` — none is
+    /// left pending.
+    #[test]
+    fn ticket_wakers_fire_exactly_once_and_no_future_stays_pending(
+        ops in prop::collection::vec((0usize..5, 0usize..8), 1..80),
+        fulfill_at in 0usize..81,
+    ) {
+        let (ticket, resolver) = JobTicket::promise(Fingerprint(0xF00D));
+        let mut resolver = Some(resolver);
+        let mut wakers: Vec<Arc<CountingWake>> = Vec::new();
+        let mut slots: Vec<FutureSlot> = Vec::new();
+        // Indices (into `wakers`) expected to fire, snapshotted at the
+        // instant of fulfillment; everything else must stay at zero.
+        let mut expect_woken: Vec<usize> = Vec::new();
+        let mut fulfilled = false;
+
+        let fresh_waker = |wakers: &mut Vec<Arc<CountingWake>>| {
+            wakers.push(CountingWake::new());
+            wakers.len() - 1
+        };
+        let new_slot = |t: &JobTicket, wakers: &mut Vec<Arc<CountingWake>>| FutureSlot {
+            future: t.future(),
+            current: {
+                wakers.push(CountingWake::new());
+                wakers.len() - 1
+            },
+            registered: None,
+        };
+
+        let fulfill = |resolver: &mut Option<TicketResolver>,
+                           slots: &[FutureSlot],
+                           expect_woken: &mut Vec<usize>| {
+            // The registry at this instant is exactly the live slots'
+            // last-Pending wakers; fulfillment must fire each once.
+            expect_woken.extend(slots.iter().filter_map(|s| s.registered));
+            resolver.take().expect("fulfill once").fulfill(Err(JobError::ShutDown));
+        };
+
+        let fulfill_pos = fulfill_at.min(ops.len());
+        for (step, &(action, index)) in ops.iter().enumerate() {
+            if step == fulfill_pos && !fulfilled {
+                fulfill(&mut resolver, &slots, &mut expect_woken);
+                fulfilled = true;
+            }
+            match action {
+                0 => slots.push(new_slot(&ticket, &mut wakers)),
+                1 if !slots.is_empty() => {
+                    let pick = index % slots.len();
+                    let slot = &mut slots[pick];
+                    let waker = Waker::from(Arc::clone(&wakers[slot.current]));
+                    let mut cx = Context::from_waker(&waker);
+                    match Pin::new(&mut slot.future).poll(&mut cx) {
+                        Poll::Ready(result) => {
+                            prop_assert!(fulfilled, "Ready before fulfillment");
+                            prop_assert_eq!(result.unwrap_err(), JobError::ShutDown);
+                            slot.registered = None;
+                        }
+                        Poll::Pending => {
+                            prop_assert!(!fulfilled, "pending after fulfillment");
+                            // A Pending poll (re)registers: the previous
+                            // registration is replaced in place.
+                            slot.registered = Some(slot.current);
+                        }
+                    }
+                }
+                2 if !slots.is_empty() => {
+                    // Dropping deregisters: the waker must never fire
+                    // (pre-fulfill) — post-fulfill its fate was already
+                    // sealed at fulfillment time.
+                    slots.swap_remove(index % slots.len());
+                }
+                3 if !slots.is_empty() => {
+                    let pick = index % slots.len();
+                    slots[pick].current = fresh_waker(&mut wakers);
+                }
+                4 => slots.push(new_slot(&ticket.clone(), &mut wakers)),
+                _ => {}
+            }
+        }
+        if !fulfilled {
+            fulfill(&mut resolver, &slots, &mut expect_woken);
+        }
+
+        // No future is left pending after fulfillment.
+        for slot in &mut slots {
+            let waker = Waker::from(Arc::clone(&wakers[slot.current]));
+            let mut cx = Context::from_waker(&waker);
+            match Pin::new(&mut slot.future).poll(&mut cx) {
+                Poll::Ready(result) => prop_assert_eq!(result.unwrap_err(), JobError::ShutDown),
+                Poll::Pending => prop_assert!(false, "future pending after fulfillment"),
+            }
+        }
+        prop_assert!(ticket.is_done());
+
+        // Exactly-once accounting: registered-at-fulfillment wakers
+        // fired once, everything else (replaced, dropped, post-fulfill,
+        // never-registered) exactly zero times.
+        for (i, waker) in wakers.iter().enumerate() {
+            let expected = u64::from(expect_woken.contains(&i));
+            prop_assert_eq!(
+                waker.count(),
+                expected,
+                "waker {} fired {} times, expected {}",
+                i,
+                waker.count(),
+                expected
+            );
+        }
+    }
+}
+
+/// The same invariant under real thread interleavings: many `block_on`
+/// waiters race one fulfiller; every waiter must resolve (no lost
+/// wakeup ⇒ no hang) with the shared result.
+#[test]
+fn concurrent_block_on_waiters_never_miss_the_wakeup() {
+    for _round in 0..64 {
+        let (ticket, resolver) = JobTicket::promise(Fingerprint(0xBEEF));
+        let waiters: Vec<_> = (0..4)
+            .map(|_| {
+                let future = ticket.future();
+                std::thread::spawn(move || block_on(future))
+            })
+            .collect();
+        // No synchronization on purpose: fulfillment races the waiters'
+        // first polls, exercising both the register-then-wake and the
+        // observe-result-directly paths.
+        resolver.fulfill(Err(JobError::ShutDown));
+        for waiter in waiters {
+            assert_eq!(waiter.join().unwrap().unwrap_err(), JobError::ShutDown);
+        }
     }
 }

@@ -1,10 +1,15 @@
 //! End-to-end test of the `ndft-serve` job engine: a mixed batch of SCF,
 //! MD, and spectrum jobs through submission, batching, planner-driven
-//! placement, execution, and the content-addressed result cache.
+//! placement, execution, and the content-addressed result cache — plus
+//! the async client surface: ticket futures, the multiplexing
+//! `ClientSession`, and per-job progress streams.
 
 use ndft::serve::{
-    DftJob, DftService, JobKind, JobPayload, PlacementPolicy, ServeConfig, SubmitError,
+    block_on, join_all, race, DftJob, DftService, JobKind, JobPayload, JobStage, PlacementPolicy,
+    ServeConfig, SubmitError,
 };
+use std::collections::HashSet;
+use std::time::Duration;
 
 fn mixed_batch() -> Vec<DftJob> {
     vec![
@@ -393,4 +398,245 @@ fn batching_reuses_plans_across_same_class_jobs() {
         report.planner_calls
     );
     assert!(report.plans_reused > 0);
+}
+
+#[test]
+fn shutdown_unblocks_producer_stuck_on_full_shard_with_closed() {
+    // Regression for the submit_blocking-vs-shutdown race: a producer
+    // parked on a full shard while shutdown begins must observe
+    // SubmitError::Closed — never hang, never panic. The single slow
+    // worker guarantees the bounded queue fills, so the producer loop
+    // is genuinely blocked when close() lands.
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let err = std::thread::scope(|s| {
+        let producer = s.spawn(|| {
+            let mut seed = 0u64;
+            loop {
+                let job = DftJob::MdSegment {
+                    atoms: 64,
+                    steps: 150,
+                    temperature_k: 300.0,
+                    seed,
+                };
+                match svc.submit_blocking(job) {
+                    Ok(_) => seed += 1,
+                    Err(e) => return e,
+                }
+            }
+        });
+        // Let the producer wedge against the 1-slot queue, then begin
+        // shutdown from another thread.
+        std::thread::sleep(Duration::from_millis(100));
+        svc.close();
+        producer.join().expect("producer must return, not hang")
+    });
+    assert_eq!(err, SubmitError::Closed);
+    // Accepted work still drains cleanly after the race.
+    let report = svc.shutdown();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.tickets_outstanding, 0);
+}
+
+#[test]
+fn session_multiplexes_frontends_and_drains_in_finish_order() {
+    const FRONTENDS: usize = 3;
+    const PER_FRONTEND: usize = 20;
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let (session, completions) = svc.session();
+    std::thread::scope(|s| {
+        for f in 0..FRONTENDS {
+            let session = &session;
+            s.spawn(move || {
+                for i in 0..PER_FRONTEND {
+                    // Seed collisions on purpose: some completions are
+                    // cache serves resolving during submit itself.
+                    let seed = ((f * PER_FRONTEND + i) % 10) as u64;
+                    session
+                        .submit_blocking(DftJob::MdSegment {
+                            atoms: 64,
+                            steps: 10,
+                            temperature_k: 300.0,
+                            seed,
+                        })
+                        .expect("submit through session");
+                }
+            });
+        }
+        // One drainer services all frontends: completions arrive in
+        // finish order with unique session-scoped ids.
+        let mut ids = HashSet::new();
+        for _ in 0..FRONTENDS * PER_FRONTEND {
+            let completion = completions
+                .next_timeout(Duration::from_secs(60))
+                .expect("completion before timeout");
+            assert!(ids.insert(completion.id), "duplicate completion id");
+            completion.result.expect("job succeeds");
+        }
+    });
+    let total = (FRONTENDS * PER_FRONTEND) as u64;
+    assert_eq!(session.submitted(), total);
+    assert_eq!(session.completed(), total);
+    assert_eq!(session.in_flight(), 0);
+    drop(session);
+    assert!(
+        completions.next().is_none(),
+        "stream ends once the session and its jobs are gone"
+    );
+    let report = svc.shutdown();
+    assert_eq!(report.completed, total);
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.tickets_outstanding, 0);
+}
+
+#[test]
+fn progress_stream_reports_the_job_lifecycle() {
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    });
+    let stream = svc.progress();
+    let job = DftJob::MdSegment {
+        atoms: 64,
+        steps: 10,
+        temperature_k: 300.0,
+        seed: 77,
+    };
+    let fp = job.fingerprint();
+
+    // Fresh execution: every lifecycle stage streams, and Done is
+    // published before the ticket resolves, so the whole story is
+    // already in the ring when wait() returns.
+    svc.submit(job.clone()).unwrap().wait().unwrap();
+    let events = stream.drain();
+    let labels: Vec<&str> = events
+        .iter()
+        .filter(|e| e.fingerprint == fp)
+        .map(|e| e.stage.label())
+        .collect();
+    assert_eq!(labels, ["queued", "planned", "running", "done"]);
+    assert!(
+        events.windows(2).all(|w| w[0].seq < w[1].seq),
+        "seq is monotone"
+    );
+    for event in &events {
+        match &event.stage {
+            JobStage::Planned { placement } => {
+                assert!(placement.cpu_pinned_time > 0.0);
+                assert_eq!(placement.cpu_load_s, 0.0, "idle engine plans unloaded");
+            }
+            JobStage::Done { ok, cached } => {
+                assert!(*ok);
+                assert!(!*cached, "first run is a fresh execution");
+            }
+            _ => {}
+        }
+    }
+
+    // Cache hit: a single Done{cached} event, no queue/plan/run stages.
+    let ticket = svc.submit(job).unwrap();
+    assert!(ticket.is_done());
+    let events = stream.drain();
+    assert_eq!(events.len(), 1);
+    assert!(matches!(
+        events[0].stage,
+        JobStage::Done {
+            ok: true,
+            cached: true
+        }
+    ));
+
+    let report = svc.shutdown();
+    assert_eq!(report.progress_events_dropped, 0);
+    assert!(
+        stream.next().is_none(),
+        "closed + drained stream reports end"
+    );
+}
+
+#[test]
+fn report_gauges_outstanding_tickets_and_progress_drops() {
+    // progress_capacity 4 cannot hold 8 jobs × ≥2 events: the ring must
+    // evict oldest and count every eviction, while workers never stall.
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        max_batch: 2,
+        progress_capacity: 4,
+        ..ServeConfig::default()
+    });
+    // Publishing is subscriber-gated: hold a stream (unconsumed — the
+    // worst-case slow consumer) so events actually flow into the ring.
+    let _stream = svc.progress();
+    assert_eq!(svc.report().tickets_outstanding, 0);
+    let tickets: Vec<_> = (0..8)
+        .map(|seed| {
+            svc.submit(DftJob::MdSegment {
+                atoms: 64,
+                steps: 300,
+                temperature_k: 300.0,
+                seed,
+            })
+            .unwrap()
+        })
+        .collect();
+    assert!(
+        svc.tickets_outstanding() > 0,
+        "eight heavy jobs on one worker cannot all be fulfilled yet"
+    );
+    for ticket in &tickets {
+        ticket.wait().unwrap();
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 8);
+    assert_eq!(
+        report.tickets_outstanding, 0,
+        "drained engine holds no tickets"
+    );
+    assert!(
+        report.progress_events_dropped > 0,
+        "tiny ring must have evicted events"
+    );
+}
+
+#[test]
+fn ticket_futures_drive_with_block_on_join_all_and_race() {
+    let svc = DftService::start_default();
+    let jobs = mixed_batch();
+    // join_all: results come back in submission order, no thread per
+    // ticket, one block_on drives the whole batch.
+    let futures: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit_blocking(j.clone()).unwrap().future())
+        .collect();
+    let results = block_on(join_all(futures));
+    assert_eq!(results.len(), jobs.len());
+    for (job, result) in jobs.iter().zip(&results) {
+        assert_eq!(result.as_ref().unwrap().fingerprint, job.fingerprint());
+    }
+    // race: the winner is whichever resolves first (cache-served here,
+    // so immediately); losers are dropped and deregister themselves.
+    let contestants: Vec<_> = jobs
+        .iter()
+        .take(3)
+        .map(|j| svc.submit(j.clone()).unwrap().future())
+        .collect();
+    let (winner, result) = block_on(race(contestants));
+    assert!(winner < 3);
+    result.expect("winner carries the shared outcome");
+    // `await` syntax via IntoFuture.
+    let ticket = svc.submit_blocking(jobs[0].clone()).unwrap();
+    let outcome = block_on(async move { ticket.await }).unwrap();
+    assert_eq!(outcome.fingerprint, jobs[0].fingerprint());
+    let report = svc.shutdown();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.tickets_outstanding, 0);
 }
