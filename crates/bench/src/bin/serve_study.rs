@@ -23,12 +23,25 @@
 //! by a single thread, A/B'd against the same mix waited on per-ticket
 //! by a thread pool — the stream-drain path must not regress below the
 //! thread-pool `wait` baseline.
+//! Part 6 is the **cache-policy sweep** (gate #4): a skewed repeat mix
+//! (a handful of expensive long MD segments repeatedly resubmitted
+//! through floods of unique cheap segments) runs through three cache
+//! configurations — FIFO, cost-weighted, and cost-weighted plus the
+//! persistent disk tier — and the cost-weighted tier must end the run
+//! retaining strictly more modeled compute-seconds (`cost_retained_s`)
+//! than FIFO, while the disk configuration must serve promotions
+//! (`disk_hits > 0`) for entries the memory tier had already evicted.
+//!
+//! Run with `--help` for the part-by-part summary, `--json <path>` to
+//! redirect the JSON trajectory point.
 
 use ndft_bench::print_header;
 use ndft_dft::{build_task_graph, SiliconSystem};
 use ndft_serve::{
-    plan_placement, DftJob, DftService, JobTicket, PlacementPolicy, ServeConfig, ServeReport,
+    plan_placement, CachePolicy, DftJob, DftService, JobTicket, PlacementPolicy, ServeConfig,
+    ServeReport,
 };
+use std::path::PathBuf;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -65,6 +78,18 @@ const MULTIPLEX_WAITERS: usize = 4;
 /// overhead — small, and easily swamped by runner jitter. A real
 /// regression (e.g. a lock convoy on the forwarder path) costs far more.
 const MULTIPLEX_GATE_TOLERANCE: f64 = 0.10;
+/// Memory-tier capacity for the cache-policy sweep — small enough that
+/// the cheap-segment flood overflows it every round.
+const CACHE_CAPACITY: usize = 32;
+/// Distinct expensive jobs in the cache sweep (long MD segments; ~120×
+/// the modeled cost of a flood segment).
+const CACHE_EXPENSIVE: u64 = 8;
+/// Flood rounds in the cache sweep; each inserts `CACHE_FLOOD_PER_ROUND`
+/// unique cheap segments, then resubmits every expensive job, then a
+/// few long-evicted cheap ones (the disk tier's promotion fodder).
+const CACHE_ROUNDS: u64 = 6;
+/// Unique cheap segments per flood round (≈ the whole memory tier).
+const CACHE_FLOOD_PER_ROUND: u64 = 30;
 
 /// One measured engine run over a fixed job list.
 struct MixRun {
@@ -107,7 +132,7 @@ fn best_of_shards(shards: usize) -> MixRun {
         ..ServeConfig::default()
     };
     (0..REPEATS)
-        .map(|_| run_jobs(config, DftJob::demo_mix(MIX_JOBS)))
+        .map(|_| run_jobs(config.clone(), DftJob::demo_mix(MIX_JOBS)))
         .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
         .expect("at least one repeat")
 }
@@ -137,7 +162,7 @@ fn best_of_contention(load_aware: bool) -> MixRun {
         ..ServeConfig::default()
     };
     (0..REPEATS)
-        .map(|_| run_jobs(config, contention_mix()))
+        .map(|_| run_jobs(config.clone(), contention_mix()))
         .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
         .expect("at least one repeat")
 }
@@ -265,6 +290,164 @@ fn best_of_multiplex(run: fn() -> MixRun) -> MixRun {
         .expect("at least one repeat")
 }
 
+/// One expensive cache-sweep job: a long MD segment whose modeled
+/// re-creation cost (~0.9 modeled s, plan time × 50 steps) is ~120×
+/// a flood segment's — the asymmetry the cost-weighted tier exists to
+/// respect. MD keeps the *wall* cost of re-executions negligible, so
+/// the sweep measures cache policy, not solver time.
+fn cache_expensive(seed: u64) -> DftJob {
+    DftJob::MdSegment {
+        atoms: 128,
+        steps: 50,
+        temperature_k: 300.0,
+        seed,
+    }
+}
+
+/// One cheap flood job (~0.008 modeled s); unique seeds make most of
+/// the flood genuinely new work.
+fn cache_cheap(seed: u64) -> DftJob {
+    DftJob::MdSegment {
+        atoms: 64,
+        steps: 1,
+        temperature_k: 300.0,
+        seed,
+    }
+}
+
+/// The skewed repeat mix: every expensive job runs once up front, then
+/// each round floods the cache with unique cheap segments (overflowing
+/// the memory tier), resubmits every expensive job, and resubmits a
+/// few cheap segments from two rounds ago (evicted from memory long
+/// since — only the disk tier can still serve them). A final oversized
+/// cheap flood closes the run, so a FIFO tier ends holding almost
+/// nothing but flood entries while the cost-weighted tier still holds
+/// the expensive population.
+fn cache_mix() -> Vec<DftJob> {
+    let mut jobs = Vec::new();
+    for s in 0..CACHE_EXPENSIVE {
+        jobs.push(cache_expensive(s));
+    }
+    let mut next_cheap = 0u64;
+    for round in 0..CACHE_ROUNDS {
+        for _ in 0..CACHE_FLOOD_PER_ROUND {
+            jobs.push(cache_cheap(next_cheap));
+            next_cheap += 1;
+        }
+        for s in 0..CACHE_EXPENSIVE {
+            jobs.push(cache_expensive(s));
+        }
+        // Resubmit a few cheap segments from the flood of two rounds
+        // ago (rounds 0 and 1 reach back to round 0): long evicted
+        // from memory, so only the disk tier can still answer them.
+        for k in 0..6 {
+            jobs.push(cache_cheap(
+                round.saturating_sub(2) * CACHE_FLOOD_PER_ROUND + k,
+            ));
+        }
+    }
+    for _ in 0..40 {
+        jobs.push(cache_cheap(next_cheap));
+        next_cheap += 1;
+    }
+    jobs
+}
+
+/// Runs the cache mix through one cache configuration. Single worker,
+/// single shard: insertions then happen in near-submission order, so
+/// the FIFO-vs-cost-weighted comparison reflects policy, not dispatch
+/// interleaving.
+fn run_cache_config(policy: CachePolicy, cache_dir: Option<PathBuf>) -> MixRun {
+    let config = ServeConfig {
+        workers: 1,
+        shards: 1,
+        queue_capacity: 16,
+        max_batch: 8,
+        cache_capacity: CACHE_CAPACITY,
+        cache_policy: policy,
+        cache_dir,
+        ..ServeConfig::default()
+    };
+    run_jobs(config, cache_mix())
+}
+
+/// Renders one cache-sweep configuration's JSON object.
+fn cache_config_json(label: &str, policy: CachePolicy, disk: bool, run: &MixRun) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"policy\": \"{}\",\n",
+            "    \"disk_tier\": {},\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"served_from_cache\": {},\n",
+            "    \"cache_hits\": {},\n",
+            "    \"cache_misses\": {},\n",
+            "    \"evictions\": {},\n",
+            "    \"cost_retained_s\": {:.6},\n",
+            "    \"disk_hits\": {},\n",
+            "    \"disk_entries\": {},\n",
+            "    \"bytes_persisted\": {}\n",
+            "  }}"
+        ),
+        label,
+        policy.label(),
+        disk,
+        run.wall_s,
+        run.report.served_from_cache,
+        run.report.cache.hits,
+        run.report.cache.misses,
+        run.report.cache.evictions,
+        run.report.cache.cost_retained_s,
+        run.report.cache.disk_hits,
+        run.report.cache.disk_len,
+        run.report.cache.bytes_persisted,
+    )
+}
+
+/// `--help` text: the part-by-part contract of this binary, including
+/// every CI gate it enforces.
+const HELP: &str = "\
+serve_study — serving-layer study over the ndft-serve engine
+
+USAGE:
+    cargo run --release -p ndft-bench --bin serve_study [-- FLAGS]
+
+FLAGS:
+    --json <path>   write the JSON trajectory point to <path>
+                    (default: BENCH_serve.json in the working directory)
+    -h, --help      print this help and exit
+
+PARTS (all run, in order):
+    1  policy sweep      modeled end-to-end seconds for every placement
+                         policy across the paper suite (no engine).
+    2  live stream       40 mixed jobs through a 4-worker engine;
+                         prints the resulting ServeReport.
+    3  shard sweep       CI gate #1 — the fixed 100-job demo mix on a
+                         single-queue engine (shards=1) vs the sharded
+                         work-stealing engine (shards=4); sharded
+                         throughput must not regress below single-queue.
+    4  contention sweep  CI gate #2 — 256 concurrent same-class jobs,
+                         load-blind vs load-aware placement; load-aware
+                         throughput must not regress, and at least one
+                         plan must observe a concurrent reservation.
+    5  multiplex sweep   CI gate #3 — 10 000 jobs over one ClientSession
+                         drained by a single CompletionStream thread vs
+                         a per-ticket thread-pool wait baseline; the
+                         stream drain must not regress.
+    6  cache sweep       CI gate #4 — a skewed repeat mix (expensive
+                         long MD segments resubmitted through floods of
+                         unique cheap segments) under three cache
+                         configurations: FIFO, cost-weighted, and
+                         cost-weighted + persistent disk tier. The
+                         cost-weighted tier must retain strictly more
+                         modeled compute-seconds (cost_retained_s) than
+                         FIFO, and the disk configuration must promote
+                         at least one evicted entry (disk_hits > 0).
+
+All sweeps append to the JSON trajectory point (schema documented in
+crates/serve/src/README.md); the process exits non-zero when any gate
+fails.";
+
 /// Modeled cluster makespan of a run: the busiest target's total
 /// reserved busy time. Spreading concurrent batches lowers it; piling
 /// onto one target raises it.
@@ -360,7 +543,11 @@ fn contention_config_json(label: &str, load_aware: bool, run: &MixRun) -> String
 }
 
 fn main() {
-    print_header("serving-layer policy, batching, sharding, and contention study");
+    if std::env::args().skip(1).any(|a| a == "--help" || a == "-h") {
+        println!("{HELP}");
+        return;
+    }
+    print_header("serving-layer policy, batching, sharding, contention, and cache study");
 
     // --- Part 1: policy sweep over the paper suite (modeled). ---
     println!("modeled end-to-end seconds per placement policy:\n");
@@ -509,6 +696,56 @@ fn main() {
     }
     println!("\nstream-drain/wait-pool throughput: {stream_speedup:.3}x");
 
+    // --- Part 6: cache-policy sweep, FIFO vs cost-weighted vs +disk
+    // (gate #4). ---
+    let cache_jobs = cache_mix().len();
+    println!(
+        "\ncache sweep: {cache_jobs}-job skewed repeat mix ({CACHE_EXPENSIVE} expensive x{CACHE_ROUNDS} \
+         rounds through cheap floods), capacity {CACHE_CAPACITY}\n"
+    );
+    let cache_fifo = run_cache_config(CachePolicy::Fifo, None);
+    let cache_cw = run_cache_config(CachePolicy::CostWeighted, None);
+    let disk_dir =
+        std::env::temp_dir().join(format!("ndft-serve-study-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    let cache_cw_disk = run_cache_config(CachePolicy::CostWeighted, Some(disk_dir.clone()));
+    let _ = std::fs::remove_dir_all(&disk_dir);
+    println!(
+        "{:>18} {:>10} {:>12} {:>10} {:>10} {:>14} {:>10} {:>12}",
+        "config",
+        "wall s",
+        "cache serves",
+        "hits",
+        "evictions",
+        "cost retained",
+        "disk hits",
+        "persisted B"
+    );
+    for (label, run) in [
+        ("fifo", &cache_fifo),
+        ("cost-weighted", &cache_cw),
+        ("cost-weighted+disk", &cache_cw_disk),
+    ] {
+        println!(
+            "{:>18} {:>10.4} {:>12} {:>10} {:>10} {:>13.4}s {:>10} {:>12}",
+            label,
+            run.wall_s,
+            run.report.served_from_cache,
+            run.report.cache.hits,
+            run.report.cache.evictions,
+            run.report.cache.cost_retained_s,
+            run.report.cache.disk_hits,
+            run.report.cache.bytes_persisted,
+        );
+    }
+    let retained_ratio =
+        cache_cw.report.cache.cost_retained_s / cache_fifo.report.cache.cost_retained_s.max(1e-12);
+    println!(
+        "\ncost-weighted/fifo retained modeled compute: {retained_ratio:.2}x  \
+         disk promotions: {}",
+        cache_cw_disk.report.cache.disk_hits
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -526,7 +763,13 @@ fn main() {
             "  \"multiplex_unique\": {},\n",
             "{},\n",
             "{},\n",
-            "  \"stream_over_waitpool\": {:.4}\n",
+            "  \"stream_over_waitpool\": {:.4},\n",
+            "  \"cache_jobs\": {},\n",
+            "  \"cache_capacity\": {},\n",
+            "{},\n",
+            "{},\n",
+            "{},\n",
+            "  \"cost_retained_cw_over_fifo\": {:.4}\n",
             "}}\n"
         ),
         MIX_JOBS,
@@ -543,6 +786,22 @@ fn main() {
         multiplex_config_json("multiplex_stream", "completion_stream", &stream),
         multiplex_config_json("multiplex_waitpool", "thread_pool_wait", &waitpool),
         stream_speedup,
+        cache_jobs,
+        CACHE_CAPACITY,
+        cache_config_json("cache_fifo", CachePolicy::Fifo, false, &cache_fifo),
+        cache_config_json(
+            "cache_cost_weighted",
+            CachePolicy::CostWeighted,
+            false,
+            &cache_cw
+        ),
+        cache_config_json(
+            "cache_cost_weighted_disk",
+            CachePolicy::CostWeighted,
+            true,
+            &cache_cw_disk,
+        ),
+        retained_ratio,
     );
     std::fs::write(&json_path, json).expect("write bench json");
     println!("wrote {json_path}");
@@ -570,5 +829,24 @@ fn main() {
         "PERF GATE FAILED: stream-drain {:.1} jobs/s regressed below wait-pool {:.1} jobs/s",
         stream.throughput,
         waitpool.throughput
+    );
+    // Gate #4a: the whole point of cost-weighted eviction — at the end
+    // of the skewed repeat mix it must hold strictly more modeled
+    // compute-seconds than FIFO did on the identical schedule.
+    assert!(
+        cache_cw.report.cache.cost_retained_s > cache_fifo.report.cache.cost_retained_s,
+        "CACHE GATE FAILED: cost-weighted retained {:.4}s of modeled compute, \
+         not strictly more than FIFO's {:.4}s",
+        cache_cw.report.cache.cost_retained_s,
+        cache_fifo.report.cache.cost_retained_s
+    );
+    // Gate #4b: the disk tier must actually serve — the mix resubmits
+    // entries the memory tier evicted rounds ago, and only a working
+    // spill → promote path answers them without re-execution.
+    assert!(
+        cache_cw_disk.report.cache.disk_hits > 0,
+        "CACHE GATE FAILED: the persistent tier never promoted an evicted entry \
+         ({} bytes persisted)",
+        cache_cw_disk.report.cache.bytes_persisted
     );
 }

@@ -12,6 +12,25 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Fingerprint(pub u128);
 
+impl Fingerprint {
+    /// Stable on-disk encoding: the digest as 16 little-endian bytes.
+    ///
+    /// This is the byte layout the persistent cache tier
+    /// ([`crate::persist`]) keys its write-ahead records with, so it is
+    /// a compatibility surface: the mapping is fixed little-endian
+    /// (independent of host endianness) and must never change without
+    /// bumping the WAL format version.
+    pub fn to_le_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Inverse of [`Fingerprint::to_le_bytes`] — bit-exact for every
+    /// input.
+    pub fn from_le_bytes(bytes: [u8; 16]) -> Self {
+        Fingerprint(u128::from_le_bytes(bytes))
+    }
+}
+
 impl fmt::Display for Fingerprint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:032x}", self.0)
@@ -91,6 +110,20 @@ mod tests {
         h.write_u64(0xDEAD_BEEF);
         let Fingerprint(d) = h.finish();
         assert_ne!((d >> 64) as u64, d as u64);
+    }
+
+    #[test]
+    fn le_bytes_roundtrip_bit_exactly() {
+        for fp in [
+            Fingerprint(0),
+            Fingerprint(u128::MAX),
+            Fingerprint(0x0123_4567_89AB_CDEF_FEDC_BA98_7654_3210),
+        ] {
+            assert_eq!(Fingerprint::from_le_bytes(fp.to_le_bytes()), fp);
+        }
+        // The layout is little-endian regardless of host order.
+        assert_eq!(Fingerprint(1).to_le_bytes()[0], 1);
+        assert_eq!(Fingerprint(1 << 120).to_le_bytes()[15], 1);
     }
 
     #[test]

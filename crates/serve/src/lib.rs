@@ -35,9 +35,16 @@
 //!   each batch's footprint is held as an RAII [`Reservation`] released
 //!   on every exit path. `ServeConfig { load_aware: false, .. }`
 //!   reproduces the old load-blind engine.
-//! * **Result caching** — a content-addressed [`ResultCache`] with
-//!   hit/miss counters serves repeated submissions without re-running
-//!   the numerics.
+//! * **Two-tier result caching** — a content-addressed [`ResultCache`]
+//!   serves repeated submissions without re-running the numerics. The
+//!   bounded memory tier evicts by [`CachePolicy`]: **cost-weighted**
+//!   (each entry carries its plan's modeled compute cost, and the
+//!   minimum cost/age score is evicted via a keyed priority index, so
+//!   expensive Casida solves outlive floods of cheap MD segments) or
+//!   the seed engine's FIFO. An optional **persistent tier**
+//!   (`ServeConfig::cache_dir`) writes every result through to an
+//!   append-only log keyed by the same [`Fingerprint`] ([`persist`]),
+//!   reloads lazily on miss, and survives engine restarts.
 //! * **Async client API** — every [`JobTicket`] is future-capable: its
 //!   completion state machine stores registered [`std::task::Waker`]s,
 //!   so a [`TicketFuture`] (or `ticket.await`) resolves with provably no
@@ -84,6 +91,7 @@ pub mod exec;
 pub mod fingerprint;
 pub mod job;
 pub mod metrics;
+pub mod persist;
 pub mod placement;
 pub mod progress;
 pub mod queue;
@@ -92,13 +100,14 @@ pub mod ticket;
 pub mod worker;
 
 pub use batch::{form_batches, form_batches_from, Batch, BatchOrigin};
-pub use cache::{CacheStats, ResultCache};
+pub use cache::{CachePolicy, CacheStats, ResultCache};
 pub use client::{ClientSession, CompletionStream, JobId, SessionCompletion};
 pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
 pub use exec::{block_on, join_all, race, JoinAll, Race};
 pub use fingerprint::{Fingerprint, Hasher};
 pub use job::{DftJob, JobError, JobKind, JobPayload, WorkloadClass};
 pub use metrics::{ExecutionSample, Metrics, ServeReport};
+pub use persist::{Dec, DiskTier, Enc, PersistValue};
 pub use placement::{
     measured_timer, plan_placement, plan_placement_loaded, plan_placement_loaded_with,
     plan_placement_with, PlacementDecision, PlacementPolicy,

@@ -344,7 +344,10 @@ pub struct ServeReport {
     pub modeled_total_s: f64,
     /// Modeled time had every executed job been CPU-pinned, seconds.
     pub modeled_cpu_pinned_s: f64,
-    /// Result-cache counters.
+    /// Result-cache counters, spanning both tiers: memory
+    /// hits/misses/evictions and resident retained cost
+    /// (`cost_retained_s`), plus the persistent tier's
+    /// `disk_hits`/`disk_len`/`bytes_persisted` when one is attached.
     pub cache: CacheStats,
 }
 
@@ -453,6 +456,15 @@ impl fmt::Display for ServeReport {
             self.cache.misses,
             self.cache.hit_rate() * 100.0,
             self.cache.len
+        )?;
+        writeln!(
+            f,
+            "  cache tiers evictions {:>5}  cost retained {:>9.3}s  disk hits {:>5}  disk entries {:>5}  persisted {:>8} B",
+            self.cache.evictions,
+            self.cache.cost_retained_s,
+            self.cache.disk_hits,
+            self.cache.disk_len,
+            self.cache.bytes_persisted
         )?;
         writeln!(
             f,

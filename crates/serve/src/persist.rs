@@ -1,0 +1,1010 @@
+//! The persistent on-disk cache tier: a write-ahead result log.
+//!
+//! DFT-as-a-Service deployments reuse expensive solves *across engine
+//! restarts* — a Casida spectrum computed yesterday should answer
+//! today's identical submission without touching a worker. This module
+//! gives [`crate::ResultCache`] that durability:
+//!
+//! * [`Enc`] / [`Dec`] — a hand-rolled little-endian binary codec
+//!   (the vendored `serde` is an offline stub, so derives cannot
+//!   serialize; every number is written as explicit `to_le_bytes`
+//!   and floats as raw IEEE-754 bits, which is what makes round-trips
+//!   **bit-exact**).
+//! * [`PersistValue`] — the encode/decode contract a cache value must
+//!   implement to be spillable; implemented here for
+//!   `Arc<JobOutcome>` (the engine's value type), covering the full
+//!   outcome record: job, payload, placement decision, modeled run,
+//!   and wall time.
+//! * [`DiskTier`] — an append-only write-ahead file
+//!   (`<cache_dir>/results.wal`) plus an in-memory index from
+//!   [`Fingerprint`] to record location, rebuilt by scanning at open.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! file   := header record*
+//! header := b"NDFTWAL1"                      (8 bytes, format version)
+//! record := marker   u32  = 0x4352444E ("NDRC", little-endian)
+//!           fp       u128                    (Fingerprint::to_le_bytes)
+//!           cost     f64                     (modeled compute cost, bits)
+//!           len      u32                     (payload byte count)
+//!           payload  [u8; len]               (PersistValue encoding)
+//!           check    u64                     (FNV-1a over fp‖cost‖payload)
+//! ```
+//!
+//! Appends are atomic at record granularity in the WAL sense: a crash
+//! mid-append leaves a truncated tail, and the open-time scan stops at
+//! the first malformed or checksum-failing record and **truncates the
+//! file back to the last good boundary** — corruption costs the tail
+//! of the cache, never a panic and never a poisoned index. A later
+//! record for the same fingerprint shadows an earlier one (last write
+//! wins), so refreshing an entry never needs in-place rewrites.
+//!
+//! Reads verify the record checksum again (the file may have been
+//! damaged after open); a failing record is dropped from the index and
+//! reported as a miss.
+//!
+//! ## Single writer
+//!
+//! The tier assumes **one live engine per directory**: offsets and the
+//! index are tracked by the opener, so two concurrent engines sharing
+//! a `cache_dir` would append at stale offsets and clobber each
+//! other's records (the damage is contained — checksums catch it and
+//! the next open truncates to the last good record — but everything
+//! after the clobber point is lost). Reuse across *sequential* engine
+//! instances is the supported restart story; give concurrent engines
+//! distinct directories.
+
+use crate::fingerprint::{Fingerprint, Hasher};
+use crate::job::{DftJob, JobPayload};
+use crate::placement::{PlacementDecision, PlacementPolicy};
+use crate::worker::JobOutcome;
+use ndft_core::{RunReport, StageReport, StageTime};
+use ndft_dft::{CasidaResult, GroundState, MdSample, MdTrajectory, Spectrum};
+use ndft_numerics::{CMat, Complex64};
+use ndft_sched::{Plan, Target};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// File-format magic + version. Bump the trailing digit on any codec
+/// change: an old file then fails the header check and is reset rather
+/// than misdecoded.
+const HEADER: &[u8; 8] = b"NDFTWAL1";
+/// Per-record marker ("NDRC" little-endian). The open-time scan
+/// treats anything else where a record should start as corruption and
+/// truncates from there — it does not skip ahead looking for the next
+/// marker (see [`DiskTier::open`]'s recovery rules).
+const RECORD_MARKER: u32 = 0x4352_444E;
+/// Name of the write-ahead file inside `ServeConfig::cache_dir`.
+const WAL_FILE: &str = "results.wal";
+
+// ---------------------------------------------------------------------
+// Binary codec
+// ---------------------------------------------------------------------
+
+/// Append-only binary encoder (little-endian throughout).
+#[derive(Debug, Default)]
+pub struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    /// Fresh empty encoder.
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    /// Consumes the encoder, returning the encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Writes one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Writes a `u32`, little-endian.
+    pub fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `u64`, little-endian.
+    pub fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes a `usize` count as `u64` (the encoding is 64-bit
+    /// regardless of host width, so files move between machines).
+    pub fn count(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    /// Writes a `u128`, little-endian.
+    pub fn u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Writes an `f64` as its raw IEEE-754 bit pattern — the encoding
+    /// is bit-exact, NaN payloads and signed zeros included.
+    pub fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    /// Writes a `bool` as one byte.
+    pub fn boolean(&mut self, v: bool) {
+        self.u8(v as u8);
+    }
+
+    /// Writes a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
+        self.count(s.len());
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    /// Writes a length-prefixed `f64` slice.
+    pub fn f64s(&mut self, vs: &[f64]) {
+        self.count(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+}
+
+/// Bounds-checked binary decoder over an encoded byte slice.
+///
+/// Every read returns `Option`: running off the end of the buffer (or
+/// any malformed field) yields `None`, never a panic — the contract
+/// the disk tier's corruption handling is built on.
+#[derive(Debug)]
+pub struct Dec<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    /// Decoder over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Dec { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.remaining() < n {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|s| s[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|s| u32::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|s| u64::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u128`.
+    pub fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|s| u128::from_le_bytes(s.try_into().unwrap()))
+    }
+
+    /// Reads a count written by [`Enc::count`], refusing values that
+    /// could not possibly fit in the remaining bytes assuming at least
+    /// `elem_bytes` per element — the guard that keeps a corrupt
+    /// length field from triggering a huge allocation.
+    pub fn count(&mut self, elem_bytes: usize) -> Option<usize> {
+        let n = self.u64()?;
+        let n = usize::try_from(n).ok()?;
+        if n.checked_mul(elem_bytes.max(1))? > self.remaining() {
+            return None;
+        }
+        Some(n)
+    }
+
+    /// Reads an `f64` from its raw bit pattern (bit-exact).
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+
+    /// Reads a `bool` (any nonzero byte is `true`).
+    pub fn boolean(&mut self) -> Option<bool> {
+        self.u8().map(|b| b != 0)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn str(&mut self) -> Option<String> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    /// Reads a length-prefixed `f64` vector.
+    pub fn f64s(&mut self) -> Option<Vec<f64>> {
+        let n = self.count(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+}
+
+/// A value the disk tier can spill and reload.
+///
+/// Implementations must round-trip **bit-exactly**: `decode(encode(v))
+/// == v`, including float bit patterns (encode floats via their raw
+/// bits, not through text). `decode` must treat any malformed input as
+/// `None` and must never panic — corrupt bytes reach it only after a
+/// checksum pass, but the contract is defense in depth.
+pub trait PersistValue: Sized {
+    /// Appends this value's encoding to `enc`.
+    fn encode(&self, enc: &mut Enc);
+    /// Decodes one value, consuming exactly what [`encode`](Self::encode)
+    /// wrote; `None` on any malformation.
+    fn decode(dec: &mut Dec<'_>) -> Option<Self>;
+}
+
+// ---------------------------------------------------------------------
+// PersistValue for the engine's value graph
+// ---------------------------------------------------------------------
+
+fn encode_target(enc: &mut Enc, t: Target) {
+    enc.u8(match t {
+        Target::Cpu => 0,
+        Target::Ndp => 1,
+    });
+}
+
+fn decode_target(dec: &mut Dec<'_>) -> Option<Target> {
+    match dec.u8()? {
+        0 => Some(Target::Cpu),
+        1 => Some(Target::Ndp),
+        _ => None,
+    }
+}
+
+impl PersistValue for DftJob {
+    fn encode(&self, enc: &mut Enc) {
+        match *self {
+            DftJob::GroundState {
+                atoms,
+                bands,
+                max_iterations,
+            } => {
+                enc.u8(1);
+                enc.count(atoms);
+                enc.count(bands);
+                enc.count(max_iterations);
+            }
+            DftJob::MdSegment {
+                atoms,
+                steps,
+                temperature_k,
+                seed,
+            } => {
+                enc.u8(2);
+                enc.count(atoms);
+                enc.count(steps);
+                enc.f64(temperature_k);
+                enc.u64(seed);
+            }
+            DftJob::Spectrum { atoms, full_casida } => {
+                enc.u8(3);
+                enc.count(atoms);
+                enc.boolean(full_casida);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Option<Self> {
+        match dec.u8()? {
+            1 => Some(DftJob::GroundState {
+                atoms: usize::try_from(dec.u64()?).ok()?,
+                bands: usize::try_from(dec.u64()?).ok()?,
+                max_iterations: usize::try_from(dec.u64()?).ok()?,
+            }),
+            2 => Some(DftJob::MdSegment {
+                atoms: usize::try_from(dec.u64()?).ok()?,
+                steps: usize::try_from(dec.u64()?).ok()?,
+                temperature_k: dec.f64()?,
+                seed: dec.u64()?,
+            }),
+            3 => Some(DftJob::Spectrum {
+                atoms: usize::try_from(dec.u64()?).ok()?,
+                full_casida: dec.boolean()?,
+            }),
+            _ => None,
+        }
+    }
+}
+
+impl PersistValue for JobPayload {
+    fn encode(&self, enc: &mut Enc) {
+        match self {
+            JobPayload::GroundState(gs) => {
+                enc.u8(1);
+                enc.f64s(&gs.energies_ev);
+                enc.count(gs.orbitals.rows());
+                enc.count(gs.orbitals.cols());
+                for c in gs.orbitals.as_slice() {
+                    enc.f64(c.re);
+                    enc.f64(c.im);
+                }
+                enc.f64s(&gs.residuals);
+                enc.count(gs.iterations);
+            }
+            JobPayload::Md(t) => {
+                enc.u8(2);
+                enc.count(t.samples.len());
+                for s in &t.samples {
+                    enc.f64(s.kinetic_ev);
+                    enc.f64(s.potential_ev);
+                    enc.f64(s.rebuild_fraction);
+                }
+                enc.count(t.atoms);
+                enc.f64(t.final_mean_displacement);
+                enc.u64(t.total_rebuilds);
+            }
+            JobPayload::Tda(s) => {
+                enc.u8(3);
+                enc.f64s(&s.energies_ev);
+                enc.count(s.hamiltonian_dim);
+                enc.f64(s.hermiticity_error);
+            }
+            JobPayload::Casida(c) => {
+                enc.u8(4);
+                enc.f64s(&c.energies_ev);
+                enc.f64s(&c.tda_energies_ev);
+                enc.count(c.dim);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Option<Self> {
+        match dec.u8()? {
+            1 => {
+                let energies_ev = dec.f64s()?;
+                let rows = dec.count(0)?;
+                let cols = dec.count(0)?;
+                let n = rows.checked_mul(cols)?;
+                // 16 bytes per complex element must still fit.
+                if n.checked_mul(16)? > dec.remaining() {
+                    return None;
+                }
+                let data = (0..n)
+                    .map(|_| {
+                        Some(Complex64 {
+                            re: dec.f64()?,
+                            im: dec.f64()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(JobPayload::GroundState(GroundState {
+                    energies_ev,
+                    orbitals: CMat::from_vec(rows, cols, data),
+                    residuals: dec.f64s()?,
+                    iterations: usize::try_from(dec.u64()?).ok()?,
+                }))
+            }
+            2 => {
+                let n = dec.count(24)?;
+                let samples = (0..n)
+                    .map(|_| {
+                        Some(MdSample {
+                            kinetic_ev: dec.f64()?,
+                            potential_ev: dec.f64()?,
+                            rebuild_fraction: dec.f64()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                Some(JobPayload::Md(MdTrajectory {
+                    samples,
+                    atoms: usize::try_from(dec.u64()?).ok()?,
+                    final_mean_displacement: dec.f64()?,
+                    total_rebuilds: dec.u64()?,
+                }))
+            }
+            3 => Some(JobPayload::Tda(Spectrum {
+                energies_ev: dec.f64s()?,
+                hamiltonian_dim: usize::try_from(dec.u64()?).ok()?,
+                hermiticity_error: dec.f64()?,
+            })),
+            4 => Some(JobPayload::Casida(CasidaResult {
+                energies_ev: dec.f64s()?,
+                tda_energies_ev: dec.f64s()?,
+                dim: usize::try_from(dec.u64()?).ok()?,
+            })),
+            _ => None,
+        }
+    }
+}
+
+impl PersistValue for PlacementDecision {
+    fn encode(&self, enc: &mut Enc) {
+        enc.u8(match self.policy {
+            PlacementPolicy::CostAware => 0,
+            PlacementPolicy::Greedy => 1,
+            PlacementPolicy::Exhaustive => 2,
+            PlacementPolicy::CpuPinned => 3,
+            PlacementPolicy::NdpPinned => 4,
+        });
+        enc.count(self.plan.placement.len());
+        for &t in &self.plan.placement {
+            encode_target(enc, t);
+        }
+        enc.f64(self.plan.compute_time);
+        enc.f64(self.plan.sched_overhead);
+        enc.f64(self.cpu_pinned_time);
+        enc.f64(self.ndp_pinned_time);
+        enc.f64(self.cpu_busy);
+        enc.f64(self.ndp_busy);
+        enc.f64(self.cpu_load_s);
+        enc.f64(self.ndp_load_s);
+        enc.boolean(self.shifted);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Option<Self> {
+        let policy = match dec.u8()? {
+            0 => PlacementPolicy::CostAware,
+            1 => PlacementPolicy::Greedy,
+            2 => PlacementPolicy::Exhaustive,
+            3 => PlacementPolicy::CpuPinned,
+            4 => PlacementPolicy::NdpPinned,
+            _ => return None,
+        };
+        let n = dec.count(1)?;
+        let placement = (0..n)
+            .map(|_| decode_target(dec))
+            .collect::<Option<Vec<_>>>()?;
+        Some(PlacementDecision {
+            policy,
+            plan: Plan {
+                placement,
+                compute_time: dec.f64()?,
+                sched_overhead: dec.f64()?,
+            },
+            cpu_pinned_time: dec.f64()?,
+            ndp_pinned_time: dec.f64()?,
+            cpu_busy: dec.f64()?,
+            ndp_busy: dec.f64()?,
+            cpu_load_s: dec.f64()?,
+            ndp_load_s: dec.f64()?,
+            shifted: dec.boolean()?,
+        })
+    }
+}
+
+impl PersistValue for RunReport {
+    fn encode(&self, enc: &mut Enc) {
+        enc.str(&self.machine);
+        enc.str(&self.system);
+        enc.count(self.iterations);
+        enc.count(self.stages.len());
+        for s in &self.stages {
+            enc.str(&s.name);
+            enc.u8(kernel_kind_tag(s.kind));
+            match s.target {
+                None => enc.u8(0),
+                Some(t) => {
+                    enc.u8(1);
+                    encode_target(enc, t);
+                }
+            }
+            enc.f64(s.time.compute);
+            enc.f64(s.time.memory);
+            enc.f64(s.time.comm);
+            enc.f64(s.time.transfer);
+            enc.f64(s.time.overhead);
+        }
+        enc.f64(self.sched_overhead);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Option<Self> {
+        let machine = dec.str()?;
+        let system = dec.str()?;
+        let iterations = usize::try_from(dec.u64()?).ok()?;
+        let n = dec.count(8)?;
+        let stages = (0..n)
+            .map(|_| {
+                let name = dec.str()?;
+                let kind = kernel_kind_from_tag(dec.u8()?)?;
+                let target = match dec.u8()? {
+                    0 => None,
+                    1 => Some(decode_target(dec)?),
+                    _ => return None,
+                };
+                Some(StageReport {
+                    name,
+                    kind,
+                    target,
+                    time: StageTime {
+                        compute: dec.f64()?,
+                        memory: dec.f64()?,
+                        comm: dec.f64()?,
+                        transfer: dec.f64()?,
+                        overhead: dec.f64()?,
+                    },
+                })
+            })
+            .collect::<Option<Vec<_>>>()?;
+        Some(RunReport {
+            machine,
+            system,
+            iterations,
+            stages,
+            sched_overhead: dec.f64()?,
+        })
+    }
+}
+
+fn kernel_kind_tag(k: ndft_dft::KernelKind) -> u8 {
+    use ndft_dft::KernelKind::*;
+    match k {
+        FaceSplitting => 0,
+        Fft => 1,
+        ApplyKernel => 2,
+        Alltoall => 3,
+        Gemm => 4,
+        Syevd => 5,
+        PseudoUpdate => 6,
+    }
+}
+
+fn kernel_kind_from_tag(tag: u8) -> Option<ndft_dft::KernelKind> {
+    use ndft_dft::KernelKind::*;
+    Some(match tag {
+        0 => FaceSplitting,
+        1 => Fft,
+        2 => ApplyKernel,
+        3 => Alltoall,
+        4 => Gemm,
+        5 => Syevd,
+        6 => PseudoUpdate,
+        _ => return None,
+    })
+}
+
+impl PersistValue for JobOutcome {
+    fn encode(&self, enc: &mut Enc) {
+        self.job.encode(enc);
+        enc.u128(self.fingerprint.0);
+        self.payload.encode(enc);
+        self.placement.encode(enc);
+        self.modeled.encode(enc);
+        enc.u64(self.wall_numeric.as_secs());
+        enc.u32(self.wall_numeric.subsec_nanos());
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Option<Self> {
+        let job = DftJob::decode(dec)?;
+        let fingerprint = Fingerprint(dec.u128()?);
+        let payload = JobPayload::decode(dec)?;
+        let placement = PlacementDecision::decode(dec)?;
+        let modeled = RunReport::decode(dec)?;
+        let secs = dec.u64()?;
+        let nanos = dec.u32()?;
+        if nanos >= 1_000_000_000 {
+            return None;
+        }
+        Some(JobOutcome {
+            job,
+            fingerprint,
+            payload,
+            placement,
+            modeled,
+            wall_numeric: Duration::new(secs, nanos),
+        })
+    }
+}
+
+impl PersistValue for Arc<JobOutcome> {
+    fn encode(&self, enc: &mut Enc) {
+        JobOutcome::encode(self, enc);
+    }
+
+    fn decode(dec: &mut Dec<'_>) -> Option<Self> {
+        JobOutcome::decode(dec).map(Arc::new)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The disk tier
+// ---------------------------------------------------------------------
+
+/// Location of one live record's payload inside the WAL.
+#[derive(Debug, Clone, Copy)]
+struct RecordLoc {
+    /// Byte offset of the payload (past the record header fields).
+    payload_at: u64,
+    /// Payload byte count.
+    len: u32,
+    /// Modeled compute cost stored with the record, seconds.
+    cost: f64,
+    /// Checksum stored with the record (re-verified on read).
+    check: u64,
+}
+
+#[derive(Debug)]
+struct DiskInner {
+    file: File,
+    index: HashMap<Fingerprint, RecordLoc>,
+    /// Current logical end of the file (next append offset).
+    file_len: u64,
+}
+
+/// The persistent tier: an append-only record log plus a fingerprint
+/// index, shared behind one mutex (the tier is touched only on memory
+/// misses and inserts, never on the memory-hit fast path).
+#[derive(Debug)]
+pub struct DiskTier {
+    inner: Mutex<DiskInner>,
+    path: PathBuf,
+}
+
+/// Checksum over one record's identity + payload: both FNV lanes of
+/// the repo's [`Hasher`] folded to 64 bits.
+fn record_check(fp: Fingerprint, cost: f64, payload: &[u8]) -> u64 {
+    let mut h = Hasher::new();
+    h.write_bytes(&fp.to_le_bytes());
+    h.write_u64(cost.to_bits());
+    h.write_bytes(payload);
+    let Fingerprint(d) = h.finish();
+    (d >> 64) as u64 ^ d as u64
+}
+
+impl DiskTier {
+    /// Opens (or creates) the write-ahead file under `dir`, scanning it
+    /// to rebuild the fingerprint index.
+    ///
+    /// Recovery rules, in order:
+    /// * missing or empty file → write a fresh header;
+    /// * unrecognized header (foreign file, older format version) →
+    ///   reset the file (it is a cache — regenerable by definition);
+    /// * malformed / checksum-failing / truncated record → stop the
+    ///   scan and truncate back to the last good record boundary, so
+    ///   subsequent appends never interleave with garbage.
+    ///
+    /// No content ever makes this function panic.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the directory cannot be
+    /// created or the file cannot be opened/read — misconfiguration,
+    /// as opposed to corruption, is surfaced to the caller.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(WAL_FILE);
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let file_len = file.metadata()?.len();
+        let (index, good_len) = scan(&mut file, file_len)?;
+        let good_len = match good_len {
+            Some(len) => len,
+            None => {
+                // Bad or missing header: reset to a fresh, valid file.
+                file.set_len(0)?;
+                file.seek(SeekFrom::Start(0))?;
+                file.write_all(HEADER)?;
+                HEADER.len() as u64
+            }
+        };
+        if good_len < file_len {
+            file.set_len(good_len)?;
+        }
+        file.seek(SeekFrom::Start(good_len))?;
+        Ok(DiskTier {
+            inner: Mutex::new(DiskInner {
+                file,
+                index,
+                file_len: good_len,
+            }),
+            path,
+        })
+    }
+
+    /// Path of the write-ahead file this tier appends to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Live records in the index.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().index.len()
+    }
+
+    /// True when no record is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes the write-ahead file currently holds (header + records;
+    /// shadowed duplicates included — the file is append-only).
+    pub fn bytes_persisted(&self) -> u64 {
+        self.inner.lock().unwrap().file_len
+    }
+
+    /// Appends one record (last write for a fingerprint wins on
+    /// reload). I/O errors drop the record — the disk tier degrades to
+    /// a smaller cache, it never takes the engine down.
+    pub fn append(&self, fp: Fingerprint, cost: f64, payload: &[u8]) {
+        let mut rec = Vec::with_capacity(34 + payload.len() + 8);
+        rec.extend_from_slice(&RECORD_MARKER.to_le_bytes());
+        rec.extend_from_slice(&fp.to_le_bytes());
+        rec.extend_from_slice(&cost.to_bits().to_le_bytes());
+        rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        rec.extend_from_slice(payload);
+        let check = record_check(fp, cost, payload);
+        rec.extend_from_slice(&check.to_le_bytes());
+        let mut inner = self.inner.lock().unwrap();
+        let at = inner.file_len;
+        if inner.file.seek(SeekFrom::Start(at)).is_err() {
+            return;
+        }
+        if inner.file.write_all(&rec).is_err() {
+            // A partial append leaves a malformed tail; the next open's
+            // scan truncates it away. Forget the record now.
+            return;
+        }
+        inner.file_len = at + rec.len() as u64;
+        inner.index.insert(
+            fp,
+            RecordLoc {
+                payload_at: at + 32,
+                len: payload.len() as u32,
+                cost,
+                check,
+            },
+        );
+    }
+
+    /// Reads one record's payload (re-verifying its checksum),
+    /// returning it with the stored modeled cost. Any failure —
+    /// unindexed fingerprint, I/O error, checksum mismatch — is a
+    /// miss; a record that fails verification is dropped from the
+    /// index so it is not retried.
+    pub fn get(&self, fp: &Fingerprint) -> Option<(Vec<u8>, f64)> {
+        let mut inner = self.inner.lock().unwrap();
+        let loc = *inner.index.get(fp)?;
+        let mut payload = vec![0u8; loc.len as usize];
+        let ok = inner
+            .file
+            .seek(SeekFrom::Start(loc.payload_at))
+            .is_ok_and(|_| inner.file.read_exact(&mut payload).is_ok());
+        if !ok || record_check(*fp, loc.cost, &payload) != loc.check {
+            inner.index.remove(fp);
+            return None;
+        }
+        Some((payload, loc.cost))
+    }
+}
+
+/// Streaming scan of the WAL: one buffered pass, holding at most one
+/// record's payload in memory at a time (startup cost is O(largest
+/// record), not O(file size)). Returns the rebuilt index plus the
+/// offset of the last good record boundary, or `None` when the header
+/// itself is unusable (caller resets the file).
+///
+/// The scan stops at the first malformed, out-of-bounds, or
+/// checksum-failing record; everything after that offset is treated
+/// as lost (the caller truncates it away). I/O errors propagate —
+/// unlike corruption, a failing disk is the caller's problem.
+fn scan(
+    file: &mut File,
+    file_len: u64,
+) -> std::io::Result<(HashMap<Fingerprint, RecordLoc>, Option<u64>)> {
+    let mut index = HashMap::new();
+    if file_len < HEADER.len() as u64 {
+        return Ok((index, None));
+    }
+    file.seek(SeekFrom::Start(0))?;
+    let mut reader = std::io::BufReader::new(file);
+    let mut header = [0u8; 8];
+    if !read_full(&mut reader, &mut header)? || &header != HEADER {
+        return Ok((index, None));
+    }
+    let mut good = HEADER.len() as u64;
+    let mut payload = Vec::new();
+    loop {
+        // Record head: marker u32 ‖ fp u128 ‖ cost f64 ‖ len u32.
+        let mut head = [0u8; 32];
+        if !read_full(&mut reader, &mut head)? {
+            break;
+        }
+        if u32::from_le_bytes(head[0..4].try_into().unwrap()) != RECORD_MARKER {
+            break;
+        }
+        let fp = Fingerprint(u128::from_le_bytes(head[4..20].try_into().unwrap()));
+        let cost = f64::from_bits(u64::from_le_bytes(head[20..28].try_into().unwrap()));
+        let len = u32::from_le_bytes(head[28..32].try_into().unwrap());
+        // The whole record must fit in the file — the guard that keeps
+        // a corrupt length field from allocating past the data we have.
+        if good + 32 + len as u64 + 8 > file_len {
+            break;
+        }
+        payload.resize(len as usize, 0);
+        if !read_full(&mut reader, &mut payload)? {
+            break;
+        }
+        let mut check_bytes = [0u8; 8];
+        if !read_full(&mut reader, &mut check_bytes)? {
+            break;
+        }
+        let check = u64::from_le_bytes(check_bytes);
+        if record_check(fp, cost, &payload) != check {
+            break;
+        }
+        index.insert(
+            fp,
+            RecordLoc {
+                payload_at: good + 32,
+                len,
+                cost,
+                check,
+            },
+        );
+        good += 32 + len as u64 + 8;
+    }
+    Ok((index, Some(good)))
+}
+
+/// `read_exact` that reports EOF / short reads as `Ok(false)` (the
+/// scan's truncation signal) instead of an error.
+fn read_full(reader: &mut impl Read, buf: &mut [u8]) -> std::io::Result<bool> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        let n = reader.read(&mut buf[filled..])?;
+        if n == 0 {
+            return Ok(false);
+        }
+        filled += n;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::plan_placement;
+    use crate::worker::execute_job;
+    use ndft_core::{run_ndft_with, NdftOptions};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("ndft-persist-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn outcome_for(job: DftJob) -> JobOutcome {
+        let graph = job.task_graph().unwrap();
+        let placement = plan_placement(&graph, PlacementPolicy::CostAware);
+        let modeled = run_ndft_with(&graph, NdftOptions::default());
+        execute_job(&job, &placement, &modeled).unwrap()
+    }
+
+    #[test]
+    fn outcome_roundtrips_bit_exactly_for_every_kind() {
+        let jobs = [
+            DftJob::GroundState {
+                atoms: 8,
+                bands: 4,
+                max_iterations: 4,
+            },
+            DftJob::MdSegment {
+                atoms: 64,
+                steps: 3,
+                temperature_k: 300.0,
+                seed: 7,
+            },
+            DftJob::Spectrum {
+                atoms: 16,
+                full_casida: false,
+            },
+            DftJob::Spectrum {
+                atoms: 16,
+                full_casida: true,
+            },
+        ];
+        for job in jobs {
+            let out = outcome_for(job);
+            let mut enc = Enc::new();
+            out.encode(&mut enc);
+            let bytes = enc.into_bytes();
+            let mut dec = Dec::new(&bytes);
+            let back = JobOutcome::decode(&mut dec).expect("decodes");
+            assert_eq!(dec.remaining(), 0, "decode consumed everything");
+            // PartialEq compares every f64 exactly, so equality here is
+            // the bit-exactness claim (no payload holds a NaN).
+            assert_eq!(back, out);
+        }
+    }
+
+    #[test]
+    fn floats_roundtrip_raw_bits() {
+        let mut enc = Enc::new();
+        for v in [0.0f64, -0.0, f64::NAN, f64::INFINITY, 1e-300, -3.25] {
+            enc.f64(v);
+        }
+        let bytes = enc.into_bytes();
+        let mut dec = Dec::new(&bytes);
+        for v in [0.0f64, -0.0, f64::NAN, f64::INFINITY, 1e-300, -3.25] {
+            assert_eq!(dec.f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    #[test]
+    fn wal_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        {
+            let tier = DiskTier::open(&dir).unwrap();
+            tier.append(Fingerprint(1), 2.5, b"alpha");
+            tier.append(Fingerprint(2), 0.5, b"beta");
+            tier.append(Fingerprint(1), 3.0, b"alpha-v2"); // shadows
+        }
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.len(), 2);
+        let (bytes, cost) = tier.get(&Fingerprint(1)).unwrap();
+        assert_eq!((bytes.as_slice(), cost), (b"alpha-v2".as_slice(), 3.0));
+        assert_eq!(tier.get(&Fingerprint(2)).unwrap().0, b"beta");
+        assert!(tier.get(&Fingerprint(9)).is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_not_fatal() {
+        let dir = tmp_dir("trunc");
+        let path = {
+            let tier = DiskTier::open(&dir).unwrap();
+            tier.append(Fingerprint(1), 1.0, b"keep me");
+            tier.append(Fingerprint(2), 1.0, b"lose my tail");
+            tier.path().to_path_buf()
+        };
+        let len = std::fs::metadata(&path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(len - 3).unwrap(); // rip bytes off the last record
+        drop(f);
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.len(), 1, "only the intact record survives");
+        assert!(tier.get(&Fingerprint(1)).is_some());
+        assert!(tier.get(&Fingerprint(2)).is_none());
+        // The file was truncated to the good boundary: appends work.
+        tier.append(Fingerprint(3), 1.0, b"fresh");
+        drop(tier);
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.len(), 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn foreign_file_is_reset_not_fatal() {
+        let dir = tmp_dir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(WAL_FILE), b"definitely not a WAL").unwrap();
+        let tier = DiskTier::open(&dir).unwrap();
+        assert_eq!(tier.len(), 0);
+        tier.append(Fingerprint(4), 1.0, b"usable again");
+        drop(tier);
+        assert_eq!(DiskTier::open(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

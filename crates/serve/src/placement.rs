@@ -87,6 +87,18 @@ impl PlacementDecision {
         self.plan.total_time()
     }
 
+    /// The canonical **cache-entry cost** of a result produced under
+    /// this plan: the modeled seconds re-creating the whole job would
+    /// take on the paper's machine — the per-iteration plan time
+    /// ([`PlacementDecision::modeled_time`]) scaled by the job's
+    /// modeled iteration count (SCF iterations, MD steps, 1 for
+    /// spectra). Named separately because it is a semantic contract:
+    /// the cost-weighted cache tier weighs eviction by exactly this
+    /// number, threaded from the worker's fulfill path.
+    pub fn modeled_cost_s(&self, iterations: usize) -> f64 {
+        self.modeled_time() * iterations.max(1) as f64
+    }
+
     /// Speedup of the plan over the CPU-pinned baseline (>1 = faster).
     pub fn speedup_vs_cpu(&self) -> f64 {
         if self.modeled_time() == 0.0 {
@@ -230,6 +242,14 @@ mod tests {
             );
             assert!(d.modeled_time() <= d.ndp_pinned_time + 1e-12);
         }
+    }
+
+    #[test]
+    fn modeled_cost_scales_with_iterations() {
+        let d = plan_placement(&graph(64), PlacementPolicy::CostAware);
+        assert!((d.modeled_cost_s(10) - 10.0 * d.modeled_time()).abs() < 1e-12);
+        assert_eq!(d.modeled_cost_s(1), d.modeled_time());
+        assert_eq!(d.modeled_cost_s(0), d.modeled_time(), "clamped to ≥ 1");
     }
 
     #[test]

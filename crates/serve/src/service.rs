@@ -5,7 +5,7 @@
 //! [`DftService::shutdown`] drains the queue, joins the workers, and
 //! returns the final [`ServeReport`].
 
-use crate::cache::{CacheStats, ResultCache};
+use crate::cache::{CachePolicy, CacheStats, ResultCache};
 use crate::client::{ClientSession, CompletionStream};
 use crate::cluster::{ClusterSnapshot, ClusterView};
 use crate::job::DftJob;
@@ -20,7 +20,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 /// Engine configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Worker threads executing jobs.
     pub workers: usize,
@@ -42,8 +42,21 @@ pub struct ServeConfig {
     /// load-blind engine (each batch plans as if it had the machine to
     /// itself) — the A/B knob the `serve_study` contention sweep flips.
     pub load_aware: bool,
-    /// Result-cache capacity, in entries.
+    /// Result-cache capacity, in entries (memory tier).
     pub cache_capacity: usize,
+    /// Memory-tier eviction policy. [`CachePolicy::CostWeighted`]
+    /// keeps expensive results (Casida solves) through floods of cheap
+    /// ones (MD segments); [`CachePolicy::Fifo`] reproduces the seed
+    /// engine bit for bit — the A/B knob `serve_study` part 6 flips.
+    pub cache_policy: CachePolicy,
+    /// Directory for the persistent cache tier. `Some(dir)` attaches a
+    /// write-ahead result log under `dir` (created if missing, scanned
+    /// on start so results from prior engine instances are warm);
+    /// `None` (the default) keeps the cache memory-only. One live
+    /// engine per directory: the tier supports *sequential* reuse
+    /// across restarts, not concurrent engines sharing a `dir` (see
+    /// [`crate::persist`]).
+    pub cache_dir: Option<std::path::PathBuf>,
     /// Capacity of the bounded, drop-oldest progress-event ring
     /// ([`crate::ProgressStream`]). Full ⇒ the oldest undelivered event
     /// is evicted and counted ([`ServeReport::progress_events_dropped`]);
@@ -61,6 +74,8 @@ impl Default for ServeConfig {
             policy: PlacementPolicy::CostAware,
             load_aware: true,
             cache_capacity: 256,
+            cache_policy: CachePolicy::CostWeighted,
+            cache_dir: None,
             progress_capacity: 1024,
         }
     }
@@ -102,19 +117,29 @@ impl DftService {
     ///
     /// # Panics
     ///
-    /// Panics on a zero worker count, queue capacity, or cache capacity.
+    /// Panics on a zero worker count, queue capacity, or cache
+    /// capacity, and when `cache_dir` is set but the directory or its
+    /// write-ahead file cannot be created/opened (misconfiguration; a
+    /// *corrupt* existing file is recovered, not fatal — see
+    /// [`crate::persist`]).
     pub fn start(config: ServeConfig) -> Self {
         assert!(config.workers > 0, "need at least one worker");
         assert!(config.shards > 0, "need at least one shard");
+        let worker_count = config.workers;
+        let cache = match &config.cache_dir {
+            Some(dir) => ResultCache::with_disk(config.cache_capacity, config.cache_policy, dir)
+                .expect("open persistent cache tier under cache_dir"),
+            None => ResultCache::new(config.cache_capacity, config.cache_policy),
+        };
         let shared = Arc::new(EngineShared {
             queue: ShardedQueue::new(config.shards, config.queue_capacity),
-            cache: ResultCache::new(config.cache_capacity),
+            cache,
             cluster: ClusterView::new(config.shards),
             metrics: Arc::new(Metrics::new(config.shards, config.workers)),
             progress: Arc::new(ProgressBus::new(config.progress_capacity)),
             config,
         });
-        let workers = (0..config.workers)
+        let workers = (0..worker_count)
             .map(|i| {
                 let shared = Arc::clone(&shared);
                 thread::Builder::new()
@@ -173,7 +198,10 @@ impl DftService {
             return Err(SubmitError::InvalidJob(e.to_string()));
         }
         let fingerprint = job.fingerprint();
-        if let Some(hit) = self.shared.cache.get(&fingerprint) {
+        // Two-tier lookup: memory, then (when configured) the
+        // persistent tier — a disk hit decodes the record, promotes it
+        // into memory, and serves without ever touching the queue.
+        if let Some(hit) = self.shared.cache.fetch(&fingerprint) {
             self.shared.metrics.on_serve_from_cache();
             // Done is published before the caller can observe the
             // result, so by the time any waiter resolves, the lifecycle

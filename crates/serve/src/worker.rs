@@ -9,7 +9,11 @@
 //! every member job runs: the real numerics through the `ndft_dft`
 //! drivers, and the modeled CPU/NDP timing through
 //! `ndft_core::run_ndft_with`. Completed outcomes land in the shared
-//! content-addressed cache and fulfill the submitters' tickets.
+//! content-addressed cache — stored with the plan's **modeled compute
+//! cost** ([`crate::PlacementDecision::modeled_cost_s`]), which is
+//! what the cost-weighted eviction policy weighs, and written through
+//! to the persistent tier when one is configured — and fulfill the
+//! submitters' tickets.
 //!
 //! The planner consultation is **utilization-aware** (unless
 //! [`crate::ServeConfig::load_aware`] is off): before planning, the
@@ -42,7 +46,11 @@ use std::time::{Duration, Instant};
 
 /// A completed job: the physics payload plus the co-design context it
 /// was produced under.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every field exactly (floats by value), which
+/// is what lets the persistence tests state their bit-exact round-trip
+/// claim as plain equality.
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobOutcome {
     /// The job as submitted.
     pub job: DftJob,
@@ -270,7 +278,7 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
         let cached = local
             .get(&pending.fingerprint)
             .cloned()
-            .or_else(|| shared.cache.peek(&pending.fingerprint));
+            .or_else(|| shared.cache.peek_fetch(&pending.fingerprint));
         if let Some(hit) = cached {
             shared
                 .metrics
@@ -342,9 +350,17 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
             Ok(Ok(outcome)) => {
                 executions += 1;
                 let outcome = Arc::new(outcome);
-                shared
-                    .cache
-                    .insert(pending.fingerprint, Arc::clone(&outcome));
+                // Write-through insert carrying the plan's modeled
+                // compute cost: the cost-weighted tier retains entries
+                // in proportion to what re-creating them would cost,
+                // and the disk tier (when configured) appends the
+                // encoded outcome before the memory tier can ever
+                // evict it.
+                shared.cache.store(
+                    pending.fingerprint,
+                    Arc::clone(&outcome),
+                    outcome.placement.modeled_cost_s(outcome.modeled.iterations),
+                );
                 local.insert(pending.fingerprint, Arc::clone(&outcome));
                 shared
                     .metrics

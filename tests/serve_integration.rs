@@ -5,8 +5,8 @@
 //! `ClientSession`, and per-job progress streams.
 
 use ndft::serve::{
-    block_on, join_all, race, DftJob, DftService, JobKind, JobPayload, JobStage, PlacementPolicy,
-    ServeConfig, SubmitError,
+    block_on, join_all, race, CachePolicy, DftJob, DftService, JobKind, JobPayload, JobStage,
+    PlacementPolicy, ServeConfig, SubmitError,
 };
 use std::collections::HashSet;
 use std::time::Duration;
@@ -639,4 +639,96 @@ fn ticket_futures_drive_with_block_on_join_all_and_race() {
     let report = svc.shutdown();
     assert_eq!(report.failed, 0);
     assert_eq!(report.tickets_outstanding, 0);
+}
+
+/// A scratch cache directory unique to this test process.
+fn scratch_cache_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("ndft-serve-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The restart scenario the persistent tier exists for: fill the cache
+/// through one engine, drop it, rebuild on the same `cache_dir`, and
+/// observe every resubmission served warm from disk — bit-identical
+/// payloads, zero re-executions, and the `ServeReport` tier counters
+/// telling that story.
+#[test]
+fn cache_survives_engine_restart_via_disk_tier() {
+    let dir = scratch_cache_dir("restart");
+    let jobs = mixed_batch();
+    let config = ServeConfig {
+        workers: 2,
+        cache_policy: CachePolicy::CostWeighted,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    };
+
+    // Engine 1: everything executes once; every outcome is written
+    // through to the write-ahead file.
+    let first = DftService::start(config.clone());
+    let mut first_outcomes = Vec::new();
+    for job in &jobs {
+        first_outcomes.push(first.submit(job.clone()).unwrap().wait().unwrap());
+    }
+    let report = first.shutdown();
+    assert_eq!(report.completed, jobs.len() as u64);
+    assert_eq!(report.failed, 0);
+    assert_eq!(
+        report.cache.disk_len,
+        jobs.len(),
+        "one record per distinct fingerprint"
+    );
+    assert!(report.cache.bytes_persisted > 0);
+
+    // Engine 2, same directory: the memory tier starts cold, but the
+    // scan of the write-ahead file makes every prior result warm.
+    let second = DftService::start(config);
+    for (job, first_outcome) in jobs.iter().zip(&first_outcomes) {
+        let ticket = second.submit(job.clone()).unwrap();
+        assert!(ticket.is_done(), "disk tier serves at submission time");
+        let outcome = ticket.wait().unwrap();
+        assert_eq!(
+            outcome.payload, first_outcome.payload,
+            "restarted engine serves the bit-identical payload"
+        );
+    }
+    let report = second.shutdown();
+    assert_eq!(report.served_from_cache, jobs.len() as u64);
+    assert_eq!(report.completed, jobs.len() as u64);
+    assert_eq!(report.planner_calls, 0, "nothing re-executed after restart");
+    assert_eq!(
+        report.cache.disk_hits,
+        jobs.len() as u64,
+        "every first resubmission promoted from the disk tier"
+    );
+    assert_eq!(report.cache.misses, 0);
+    assert_eq!(report.cache.len, jobs.len(), "promotions repopulate memory");
+    assert!(
+        report.cache.cost_retained_s > 0.0,
+        "promoted entries carry their stored modeled cost"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Corruption of the persistent tier must never take the engine down:
+/// a clobbered write-ahead file is recovered (reset or truncated) at
+/// start and the engine serves normally, re-executing what was lost.
+#[test]
+fn corrupt_cache_dir_recovers_and_engine_serves() {
+    let dir = scratch_cache_dir("corrupt");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(dir.join("results.wal"), b"not a write-ahead log at all").unwrap();
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        cache_dir: Some(dir.clone()),
+        ..ServeConfig::default()
+    });
+    for job in mixed_batch() {
+        svc.submit(job).unwrap().wait().unwrap();
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.failed, 0);
+    assert_eq!(report.cache.disk_len, mixed_batch().len(), "log rebuilt");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
