@@ -139,6 +139,32 @@ pub struct CacheStats {
     pub cost_retained_s: f64,
 }
 
+/// Which lookup path served a result without executing it — carried on
+/// [`crate::trace::TraceEventKind::CacheHit`] span events so traces
+/// distinguish a warm memory hit from a disk promotion or an in-batch
+/// dedup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HitTier {
+    /// Served by the in-memory tier.
+    Memory,
+    /// Served by the persistent tier (decoded and promoted).
+    Disk,
+    /// Served by another member of the same batch (worker-side dedup,
+    /// never touches the cache tiers).
+    Batch,
+}
+
+impl HitTier {
+    /// Short label for trace exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            HitTier::Memory => "memory",
+            HitTier::Disk => "disk",
+            HitTier::Batch => "batch",
+        }
+    }
+}
+
 impl CacheStats {
     /// Served lookups (either tier) over total lookups (0 when never
     /// queried). With the disk tier off this is exactly the seed
@@ -418,16 +444,22 @@ impl<V: Clone + PersistValue> ResultCache<V> {
     /// counts as a miss. Without a disk tier this is exactly
     /// [`ResultCache::get`].
     pub fn fetch(&self, key: &Fingerprint) -> Option<V> {
+        self.fetch_tiered(key).map(|(v, _)| v)
+    }
+
+    /// [`ResultCache::fetch`] that also reports which tier served the
+    /// hit (feeds trace span events).
+    pub fn fetch_tiered(&self, key: &Fingerprint) -> Option<(V, HitTier)> {
         {
             let inner = self.inner.read().unwrap();
             if let Some(e) = inner.map.get(key) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(e.value.clone());
+                return Some((e.value.clone(), HitTier::Memory));
             }
         }
         if let Some(v) = self.promote(key) {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
-            return Some(v);
+            return Some((v, HitTier::Disk));
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
         None
@@ -438,14 +470,19 @@ impl<V: Clone + PersistValue> ResultCache<V> {
     /// hit — the promotion does real decode work worth surfacing, even
     /// on the uncounted worker recheck path).
     pub fn peek_fetch(&self, key: &Fingerprint) -> Option<V> {
+        self.peek_fetch_tiered(key).map(|(v, _)| v)
+    }
+
+    /// [`ResultCache::peek_fetch`] that also reports the serving tier.
+    pub fn peek_fetch_tiered(&self, key: &Fingerprint) -> Option<(V, HitTier)> {
         if let Some(v) = self.peek(key) {
-            return Some(v);
+            return Some((v, HitTier::Memory));
         }
         let v = self.promote(key);
         if v.is_some() {
             self.disk_hits.fetch_add(1, Ordering::Relaxed);
         }
-        v
+        v.map(|v| (v, HitTier::Disk))
     }
 
     /// Write-through insert: the memory tier per policy, plus an

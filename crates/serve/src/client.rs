@@ -170,6 +170,7 @@ impl<'a> ClientSession<'a> {
             Issued::Cached {
                 fingerprint,
                 outcome,
+                ..
             } => {
                 // The job was never in flight: deliver directly, skipping
                 // the ticket map and forwarder machinery entirely.

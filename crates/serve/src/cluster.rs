@@ -83,6 +83,7 @@ impl ClusterView {
             cpu_ns,
             ndp_ns,
             shard,
+            granted: std::time::Instant::now(),
         }
     }
 
@@ -155,6 +156,7 @@ pub struct Reservation<'a> {
     cpu_ns: u64,
     ndp_ns: u64,
     shard: usize,
+    granted: std::time::Instant,
 }
 
 impl Reservation<'_> {
@@ -166,6 +168,17 @@ impl Reservation<'_> {
     /// The reservation's NDP share, seconds (as reserved, post-clamp).
     pub fn ndp_busy_s(&self) -> f64 {
         self.ndp_ns as f64 * 1e-9
+    }
+
+    /// When the reservation was granted (telemetry records the hold
+    /// span from here to release).
+    pub fn granted_at(&self) -> std::time::Instant {
+        self.granted
+    }
+
+    /// How long the reservation has been held so far.
+    pub fn held_for(&self) -> std::time::Duration {
+        self.granted.elapsed()
     }
 }
 

@@ -16,7 +16,10 @@ use std::fmt;
 use crate::fingerprint::{Fingerprint, Hasher};
 
 /// Kind of calculation a job requests.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// The `Ord` is the stable reporting order telemetry snapshots and
+/// report tables sort classes by (enum declaration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum JobKind {
     /// Ground-state SCF solve ([`ndft_dft::run_scf`]).
     GroundState,
@@ -276,7 +279,10 @@ impl fmt::Display for DftJob {
 
 /// Coarse equivalence class used by the batcher: same kind, system size,
 /// and iteration count ⇒ same task-graph shape ⇒ same placement plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Classes order by kind, then atoms, then iterations — the row order
+/// of every per-class telemetry table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct WorkloadClass {
     /// Calculation kind.
     pub kind: JobKind,

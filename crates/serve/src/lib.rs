@@ -96,11 +96,13 @@ pub mod placement;
 pub mod progress;
 pub mod queue;
 pub mod service;
+pub mod telemetry;
 pub mod ticket;
+pub mod trace;
 pub mod worker;
 
 pub use batch::{form_batches, form_batches_from, Batch, BatchOrigin};
-pub use cache::{CachePolicy, CacheStats, ResultCache};
+pub use cache::{CachePolicy, CacheStats, HitTier, ResultCache};
 pub use client::{ClientSession, CompletionStream, JobId, SessionCompletion};
 pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
 pub use exec::{block_on, join_all, race, JoinAll, Race};
@@ -115,5 +117,10 @@ pub use placement::{
 pub use progress::{JobStage, ProgressEvent, ProgressStream};
 pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
 pub use service::{DftService, ServeConfig};
+pub use telemetry::{
+    ClassLatencySummary, ClassSnapshot, HistogramSnapshot, LatencyHistogram, PlacementTarget,
+    Stage, Telemetry, TelemetrySnapshot,
+};
 pub use ticket::{JobTicket, TicketFuture, TicketResolver};
+pub use trace::{chrome_trace_json, TraceCollector, TraceEvent, TraceEventKind, TraceId};
 pub use worker::{execute_job, execute_payload, JobOutcome};

@@ -7,6 +7,7 @@
 
 use crate::batch::BatchOrigin;
 use crate::cache::CacheStats;
+use crate::telemetry::ClassLatencySummary;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -220,18 +221,23 @@ impl Metrics {
     }
 
     /// Snapshot folded together with cache counters, the queue's live
-    /// per-shard depths, and the progress ring's drop counter.
+    /// per-shard depths, the progress and trace rings' drop counters,
+    /// and the telemetry hub's per-class latency percentile rows.
     pub fn report(
         &self,
         cache: CacheStats,
         shard_depths: Vec<usize>,
         progress_events_dropped: u64,
+        class_latency: Vec<ClassLatencySummary>,
+        trace_events_dropped: u64,
     ) -> ServeReport {
         let a = *self.accum.lock().unwrap();
         ServeReport {
             uptime_s: self.started.elapsed().as_secs_f64(),
             tickets_outstanding: self.tickets_outstanding(),
             progress_events_dropped,
+            trace_events_dropped,
+            class_latency,
             steals: self.steals.load(Ordering::Relaxed),
             stolen_jobs: self.stolen_jobs.load(Ordering::Relaxed),
             stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
@@ -304,6 +310,15 @@ pub struct ServeReport {
     /// (slow or absent [`crate::ProgressStream`] consumer; never a
     /// worker stall).
     pub progress_events_dropped: u64,
+    /// Span events evicted unread from the trace ring (slow
+    /// [`crate::TraceCollector`] consumer; zero on unwatched engines,
+    /// which buffer nothing).
+    pub trace_events_dropped: u64,
+    /// Per-class end-to-end latency percentiles (p50/p90/p99/p99.9 and
+    /// the exact max), derived from the always-on telemetry histograms
+    /// and sorted by class. The mean/max fields below remain for
+    /// continuity; these rows carry the tail.
+    pub class_latency: Vec<ClassLatencySummary>,
     /// Worker threads that died by panic (0 in a healthy engine).
     pub worker_panics: u64,
     /// Work-stealing dispatches (one per stolen run).
@@ -473,8 +488,8 @@ impl fmt::Display for ServeReport {
         )?;
         writeln!(
             f,
-            "  streaming   tickets outstanding {:>6}  progress events dropped {:>6}",
-            self.tickets_outstanding, self.progress_events_dropped
+            "  streaming   tickets outstanding {:>6}  progress events dropped {:>6}  trace events dropped {:>6}",
+            self.tickets_outstanding, self.progress_events_dropped, self.trace_events_dropped
         )?;
         writeln!(
             f,
@@ -506,6 +521,18 @@ impl fmt::Display for ServeReport {
             self.max_latency_s * 1e3,
             self.throughput_jobs_per_s()
         )?;
+        for row in &self.class_latency {
+            writeln!(
+                f,
+                "    {:<14} jobs {:>6}  p50 {:>9.3} ms  p90 {:>9.3} ms  p99 {:>9.3} ms  max {:>9.3} ms",
+                row.class.to_string(),
+                row.jobs,
+                row.p50_s * 1e3,
+                row.p90_s * 1e3,
+                row.p99_s * 1e3,
+                row.max_s * 1e3
+            )?;
+        }
         writeln!(
             f,
             "  placement   cpu busy {:>9.3}s ({:>4.1}%)  ndp busy {:>9.3}s ({:>4.1}%)",
@@ -544,7 +571,7 @@ mod tests {
         m.on_submit();
         m.on_executed(0.5, sample(1.0, 3.0, 4.2, 6.0));
         m.on_serve_from_cache();
-        let r = m.report(CacheStats::default(), vec![0, 0], 0);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 2);
         assert_eq!(r.served_from_cache, 1);
@@ -554,7 +581,7 @@ mod tests {
     fn utilization_fractions_sum_to_one_when_busy() {
         let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 3.0, 4.1, 5.0));
-        let r = m.report(CacheStats::default(), vec![0, 0], 0);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
         assert!((r.cpu_utilization() + r.ndp_utilization() - 1.0).abs() < 1e-12);
         assert!((r.cpu_utilization() - 0.25).abs() < 1e-12);
     }
@@ -564,7 +591,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_batch(true, 3, BatchOrigin::Home); // planner consulted once, 3 riders
         m.on_batch(false, 0, BatchOrigin::Stolen); // fully cache-served: no plan at all
-        let r = m.report(CacheStats::default(), vec![0, 0], 0);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
         assert_eq!(r.batches, 2);
         assert_eq!(r.planner_calls, 1);
         assert_eq!(r.plans_reused, 3);
@@ -576,7 +603,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_executed(0.2, ExecutionSample::default());
         m.on_dedup_complete(0.4);
-        let r = m.report(CacheStats::default(), vec![0, 0], 0);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
         assert!((r.mean_latency_s - 0.3).abs() < 1e-12);
         assert!((r.max_latency_s - 0.4).abs() < 1e-12);
         assert_eq!(r.served_from_cache, 1);
@@ -587,7 +614,7 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 6.0));
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 2.0));
-        let r = m.report(CacheStats::default(), vec![0, 0], 0);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
         assert!((r.modeled_speedup_vs_cpu() - 2.0).abs() < 1e-12);
     }
 
@@ -597,7 +624,7 @@ mod tests {
         m.on_dispatch(0, 0, 4, false); // worker 0 drains its home shard
         m.on_dispatch(1, 0, 2, true); // worker 1 steals from shard 0
         m.on_dispatch(1, 1, 2, false);
-        let r = m.report(CacheStats::default(), vec![3, 1], 0);
+        let r = m.report(CacheStats::default(), vec![3, 1], 0, Vec::new(), 0);
         assert_eq!(r.steals, 1);
         assert_eq!(r.stolen_jobs, 2);
         assert_eq!(r.shard_dispatched, vec![6, 2]);
@@ -619,7 +646,7 @@ mod tests {
         m.on_batch(true, 0, BatchOrigin::Home);
         m.on_batch(true, 0, BatchOrigin::Home);
         m.on_batch(true, 0, BatchOrigin::Home);
-        let r = m.report(CacheStats::default(), vec![0, 0], 0);
+        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
         assert_eq!(r.plans_contended, 2);
         assert_eq!(r.plans_shifted, 1);
         assert!((r.cpu_contention_s - 1.5).abs() < 1e-12);
@@ -630,7 +657,7 @@ mod tests {
     #[test]
     fn shift_fraction_is_zero_without_plans() {
         let m = Metrics::new(1, 1);
-        let r = m.report(CacheStats::default(), vec![0], 0);
+        let r = m.report(CacheStats::default(), vec![0], 0, Vec::new(), 0);
         assert_eq!(r.shift_fraction(), 0.0);
     }
 
@@ -639,7 +666,9 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_submit();
         m.on_executed(0.01, sample(0.5, 1.5, 2.1, 3.0));
-        let text = m.report(CacheStats::default(), vec![0, 0], 0).to_string();
+        let text = m
+            .report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0)
+            .to_string();
         assert!(text.contains("ndft-serve report"));
         assert!(text.contains("speedup"));
     }

@@ -202,6 +202,9 @@ struct Shard<T> {
     not_full: Condvar,
     /// Lock-free depth mirror so victim selection never takes a lock.
     depth: AtomicUsize,
+    /// Highest depth this shard ever reached (telemetry: how close each
+    /// lane came to its backpressure ceiling over the engine's life).
+    high_watermark: AtomicUsize,
 }
 
 impl<T> Shard<T> {
@@ -212,7 +215,14 @@ impl<T> Shard<T> {
             }),
             not_full: Condvar::new(),
             depth: AtomicUsize::new(0),
+            high_watermark: AtomicUsize::new(0),
         }
+    }
+
+    /// Publishes a new depth, folding it into the high-watermark.
+    fn set_depth(&self, depth: usize) {
+        self.depth.store(depth, Ordering::Release);
+        self.high_watermark.fetch_max(depth, Ordering::AcqRel);
     }
 }
 
@@ -303,6 +313,16 @@ impl<T> ShardedQueue<T> {
             .collect()
     }
 
+    /// Highest depth each shard ever reached (index = shard) — a
+    /// monotone gauge of how close each lane came to its backpressure
+    /// ceiling, exported on [`crate::TelemetrySnapshot`].
+    pub fn shard_high_watermarks(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.high_watermark.load(Ordering::Acquire))
+            .collect()
+    }
+
     /// One push ⇒ one item ⇒ one woken consumer. The empty critical
     /// section orders the bump against any parked consumer's
     /// check-then-wait; `notify_all` would stampede every idle worker
@@ -359,7 +379,7 @@ impl<T> ShardedQueue<T> {
             return Err((item, SubmitError::QueueFull));
         }
         st.items.push_back((key, item));
-        shard.depth.store(st.items.len(), Ordering::Release);
+        shard.set_depth(st.items.len());
         drop(st);
         self.bump_work_generation();
         Ok(())
@@ -381,7 +401,7 @@ impl<T> ShardedQueue<T> {
             }
             if st.items.len() < self.capacity_per_shard {
                 st.items.push_back((key, item));
-                shard.depth.store(st.items.len(), Ordering::Release);
+                shard.set_depth(st.items.len());
                 drop(st);
                 self.bump_work_generation();
                 return Ok(());
@@ -400,7 +420,7 @@ impl<T> ShardedQueue<T> {
         }
         let n = st.items.len().min(max.max(1));
         let batch: Vec<T> = st.items.drain(..n).map(|(_, item)| item).collect();
-        shard.depth.store(st.items.len(), Ordering::Release);
+        shard.set_depth(st.items.len());
         drop(st);
         shard.not_full.notify_all();
         Some(batch)
@@ -453,7 +473,7 @@ impl<T> ShardedQueue<T> {
                 }
             }
             st.items = kept;
-            shard.depth.store(st.items.len(), Ordering::Release);
+            shard.set_depth(st.items.len());
             drop(st);
             shard.not_full.notify_all();
             return Some(StolenRun {
@@ -471,7 +491,7 @@ impl<T> ShardedQueue<T> {
         for shard in &self.shards {
             let mut st = shard.state.lock().unwrap();
             all.extend(st.items.drain(..).map(|(_, item)| item));
-            shard.depth.store(0, Ordering::Release);
+            shard.set_depth(0);
             drop(st);
             shard.not_full.notify_all();
         }

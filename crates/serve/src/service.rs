@@ -13,7 +13,9 @@ use crate::metrics::{Metrics, ServeReport};
 use crate::placement::PlacementPolicy;
 use crate::progress::{JobStage, ProgressBus, ProgressStream};
 use crate::queue::{ShardedQueue, SubmitError};
+use crate::telemetry::{Telemetry, TelemetrySnapshot};
 use crate::ticket::JobTicket;
+use crate::trace::{TraceCollector, TraceEvent, TraceEventKind, TraceId};
 use crate::worker::{worker_loop, JobOutcome, PendingJob};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -62,6 +64,13 @@ pub struct ServeConfig {
     /// is evicted and counted ([`ServeReport::progress_events_dropped`]);
     /// publishing never blocks a worker.
     pub progress_capacity: usize,
+    /// Capacity of the bounded, drop-oldest span-event ring behind
+    /// [`DftService::trace`]. Only consumed while a
+    /// [`crate::TraceCollector`] is attached — unwatched engines buffer
+    /// nothing and pay one relaxed atomic load per would-be event. Full
+    /// ⇒ the oldest undelivered event is evicted and counted
+    /// ([`ServeReport::trace_events_dropped`]).
+    pub trace_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -77,6 +86,7 @@ impl Default for ServeConfig {
             cache_policy: CachePolicy::CostWeighted,
             cache_dir: None,
             progress_capacity: 1024,
+            trace_capacity: 65_536,
         }
     }
 }
@@ -89,6 +99,8 @@ pub(crate) enum Issued {
     Cached {
         /// The job's content fingerprint.
         fingerprint: crate::fingerprint::Fingerprint,
+        /// The trace id the admission allocated for the serve.
+        trace: TraceId,
         /// The shared cached outcome.
         outcome: Arc<JobOutcome>,
     },
@@ -103,6 +115,7 @@ pub(crate) struct EngineShared {
     pub(crate) cluster: ClusterView,
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) progress: Arc<ProgressBus>,
+    pub(crate) telemetry: Arc<Telemetry>,
     pub(crate) config: ServeConfig,
 }
 
@@ -137,6 +150,7 @@ impl DftService {
             cluster: ClusterView::new(config.shards),
             metrics: Arc::new(Metrics::new(config.shards, config.workers)),
             progress: Arc::new(ProgressBus::new(config.progress_capacity)),
+            telemetry: Arc::new(Telemetry::new(config.trace_capacity)),
             config,
         });
         let workers = (0..worker_count)
@@ -182,8 +196,9 @@ impl DftService {
         match self.issue(job, blocking)? {
             Issued::Cached {
                 fingerprint,
+                trace,
                 outcome,
-            } => Ok(JobTicket::ready(fingerprint, outcome)),
+            } => Ok(JobTicket::ready(fingerprint, trace, outcome)),
             Issued::Queued(ticket) => Ok(ticket),
         }
     }
@@ -197,12 +212,54 @@ impl DftService {
         if let Err(e) = job.system() {
             return Err(SubmitError::InvalidJob(e.to_string()));
         }
+        let admitted = Instant::now();
         let fingerprint = job.fingerprint();
+        let class = job.workload_class();
         // Two-tier lookup: memory, then (when configured) the
         // persistent tier — a disk hit decodes the record, promotes it
         // into memory, and serves without ever touching the queue.
-        if let Some(hit) = self.shared.cache.fetch(&fingerprint) {
+        if let Some((hit, tier)) = self.shared.cache.fetch_tiered(&fingerprint) {
             self.shared.metrics.on_serve_from_cache();
+            let trace = self.shared.telemetry.next_trace_id();
+            // The serve still counts end-to-end: the job's whole life is
+            // this lookup, so the pairing with `completed` holds.
+            let e2e = admitted.elapsed();
+            self.shared.telemetry.record_end_to_end(class, e2e);
+            if self.shared.telemetry.traced() {
+                let start_ns = self.shared.telemetry.ns_at(admitted);
+                // One ring acquisition for the whole two-event chain,
+                // straight from the stack — this is the hottest traced
+                // path on a warm cache.
+                let events = [
+                    TraceEvent {
+                        seq: 0,
+                        trace,
+                        fingerprint,
+                        class,
+                        worker: None,
+                        start_ns,
+                        dur_ns: 0,
+                        kind: TraceEventKind::CacheHit { tier },
+                    },
+                    TraceEvent {
+                        seq: 0,
+                        trace,
+                        fingerprint,
+                        class,
+                        worker: None,
+                        start_ns,
+                        // The serve's whole life is the lookup, so the
+                        // already-measured end-to-end span is the
+                        // fulfill span — no second clock read.
+                        dur_ns: e2e.as_nanos() as u64,
+                        kind: TraceEventKind::TicketFulfill {
+                            ok: true,
+                            cached: true,
+                        },
+                    },
+                ];
+                self.shared.telemetry.publish_slice(&events);
+            }
             // Done is published before the caller can observe the
             // result, so by the time any waiter resolves, the lifecycle
             // stream already tells the whole story.
@@ -215,34 +272,50 @@ impl DftService {
             );
             return Ok(Issued::Cached {
                 fingerprint,
+                trace,
                 outcome: hit,
             });
         }
-        let ticket = JobTicket::pending(fingerprint);
+        let trace = self.shared.telemetry.next_trace_id();
+        let ticket = JobTicket::pending(fingerprint, trace);
         // Class-keyed routing: a wave of same-class jobs lands on one
         // shard, so a home drain (or a stolen run) stays batchable under
         // a single planner consultation.
-        let shard_key = job.workload_class().shard_key();
+        let shard_key = class.shard_key();
+        let shard = self.shared.queue.shard_for(shard_key);
         let pending = PendingJob {
             job,
             fingerprint,
+            class,
+            trace,
             ticket: ticket.clone(),
-            enqueued: Instant::now(),
+            enqueued: admitted,
             progress: Arc::clone(&self.shared.progress),
             metrics: Arc::clone(&self.shared.metrics),
+            telemetry: Arc::clone(&self.shared.telemetry),
         };
         // Queued is published *before* the push: once the job is in the
         // queue a worker may stream Planned/Running/Done at any moment,
-        // and the lifecycle must never appear out of order. A rejected
-        // push hands the PendingJob back, and the error arm below closes
-        // the dangling lifecycle itself — a never-admitted job must not
-        // run the worker-side Drop guard's failure accounting.
-        self.shared.progress.publish(
-            fingerprint,
-            JobStage::Queued {
-                shard: self.shared.queue.shard_for(shard_key),
-            },
-        );
+        // and the lifecycle must never appear out of order (the Enqueue
+        // span event follows the same rule). A rejected push hands the
+        // PendingJob back, and the error arm below closes the dangling
+        // lifecycle itself — a never-admitted job must not run the
+        // worker-side Drop guard's failure accounting.
+        self.shared
+            .progress
+            .publish(fingerprint, JobStage::Queued { shard });
+        if self.shared.telemetry.traced() {
+            self.shared.telemetry.publish(TraceEvent {
+                seq: 0,
+                trace,
+                fingerprint,
+                class,
+                worker: None,
+                start_ns: self.shared.telemetry.ns_at(admitted),
+                dur_ns: 0,
+                kind: TraceEventKind::Enqueue { shard },
+            });
+        }
         let pushed = if blocking {
             self.shared.queue.push(shard_key, pending)
         } else {
@@ -260,7 +333,9 @@ impl DftService {
                 // Close the streamed lifecycle, then defuse the Drop
                 // guard by resolving the ticket first: this job was
                 // never admitted, so it counts as a rejection — not as
-                // a submitted-then-failed job.
+                // a submitted-then-failed job. (No end-to-end histogram
+                // record either, for the same reason; the trace chain
+                // still closes with a failed fulfill event.)
                 self.shared.progress.publish(
                     fingerprint,
                     JobStage::Done {
@@ -268,6 +343,21 @@ impl DftService {
                         cached: false,
                     },
                 );
+                if self.shared.telemetry.traced() {
+                    self.shared.telemetry.publish(TraceEvent {
+                        seq: 0,
+                        trace,
+                        fingerprint,
+                        class,
+                        worker: None,
+                        start_ns: self.shared.telemetry.now_ns(),
+                        dur_ns: 0,
+                        kind: TraceEventKind::TicketFulfill {
+                            ok: false,
+                            cached: false,
+                        },
+                    });
+                }
                 pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
                 drop(pending);
                 Err(e)
@@ -318,6 +408,28 @@ impl DftService {
         self.shared.cluster.snapshot()
     }
 
+    /// Consistent export of the per-stage latency histograms: one
+    /// [`crate::HistogramSnapshot`] per [`crate::Stage`] per
+    /// [`crate::WorkloadClass`] (execute additionally split by
+    /// [`crate::PlacementTarget`]), the span-ring counters, and the
+    /// queue's per-shard high-watermarks. Serializable with
+    /// [`TelemetrySnapshot::to_json`].
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        let mut snap = self.shared.telemetry.snapshot();
+        snap.queue_high_watermarks = self.shared.queue.shard_high_watermarks();
+        snap
+    }
+
+    /// Attaches a [`TraceCollector`] to the engine's span-event ring.
+    /// While any collector is alive, workers publish a
+    /// [`crate::TraceEvent`] at every job lifecycle transition; drain
+    /// them and render with [`crate::chrome_trace_json`]. With no
+    /// collector attached the engine buffers nothing and each would-be
+    /// event costs one relaxed atomic load.
+    pub fn trace(&self) -> TraceCollector {
+        TraceCollector::new(Arc::clone(&self.shared.telemetry))
+    }
+
     /// Live metrics snapshot, taken as one consistent pass.
     ///
     /// The report folds together counters (metrics), cache stats, and
@@ -329,24 +441,33 @@ impl DftService {
     /// same jobs). The snapshot is therefore taken seqlock-style:
     /// record the depths *and* the monotonic lifetime dispatch total,
     /// snapshot everything, re-read both, and retry if either moved.
-    /// The monotonic counter is the real witness — depths alone could
-    /// read equal across a drain + offsetting pushes, but the dispatch
-    /// total only ever grows, so equality proves no dispatch raced the
-    /// snapshot. A handful of attempts always suffices in practice; if
-    /// the engine churns faster than we can snapshot, the last
-    /// (possibly torn) attempt is returned rather than spinning
-    /// forever.
+    /// The monotonic counters are the real witnesses — depths alone
+    /// could read equal across a drain + offsetting pushes, but the
+    /// dispatch total only ever grows, so equality proves no dispatch
+    /// raced the snapshot — and the telemetry hub's end-to-end record
+    /// count joins it: a stable attempt additionally requires that
+    /// count to equal `completed + failed`, so the report's
+    /// histogram-derived `class_latency` rows can never describe more
+    /// (or fewer) jobs than its counters admit to. A handful of
+    /// attempts always suffices in practice; if the engine churns
+    /// faster than we can snapshot, the last (possibly torn) attempt
+    /// is returned rather than spinning forever.
     pub fn report(&self) -> ServeReport {
         let mut report = None;
         for _ in 0..8 {
             let depths = self.shared.queue.shard_depths();
             let dispatched = self.shared.metrics.total_dispatched();
+            let e2e = self.shared.telemetry.e2e_count();
             let r = self.shared.metrics.report(
                 self.shared.cache.stats(),
                 depths.clone(),
                 self.shared.progress.dropped(),
+                self.shared.telemetry.class_latency(),
+                self.shared.telemetry.trace_events_dropped(),
             );
             let stable = self.shared.metrics.total_dispatched() == dispatched
+                && self.shared.telemetry.e2e_count() == e2e
+                && r.completed + r.failed == e2e
                 && self.shared.queue.shard_depths() == depths;
             report = Some(r);
             if stable {
@@ -383,17 +504,11 @@ impl DftService {
         // Workers fulfill every ticket they dequeue (panics included) and
         // only exit once the closed queue is empty, so leftovers exist
         // only if a worker thread died outright. Sweep every shard and
-        // fail them explicitly rather than leaving waiters hanging.
+        // fail them explicitly rather than leaving waiters hanging. The
+        // shared failure protocol records the counters, the end-to-end
+        // latency, the closing Done, and the trace fulfill event.
         for pending in self.shared.queue.drain_all() {
-            self.shared.metrics.on_fail();
-            self.shared.progress.publish(
-                pending.fingerprint,
-                JobStage::Done {
-                    ok: false,
-                    cached: false,
-                },
-            );
-            pending.ticket.fulfill(Err(crate::job::JobError::ShutDown));
+            pending.fail(crate::job::JobError::ShutDown);
         }
         // (Entries failed above drop with their tickets already done, so
         // the PendingJob Drop guard publishes nothing extra.)

@@ -26,6 +26,7 @@
 
 use crate::fingerprint::Fingerprint;
 use crate::job::JobError;
+use crate::trace::TraceId;
 use crate::worker::JobOutcome;
 use std::future::{Future, IntoFuture};
 use std::pin::Pin;
@@ -58,6 +59,7 @@ struct TicketInner {
 #[derive(Clone)]
 pub struct JobTicket {
     fingerprint: Fingerprint,
+    trace: TraceId,
     inner: Arc<TicketInner>,
 }
 
@@ -65,16 +67,19 @@ impl std::fmt::Debug for JobTicket {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("JobTicket")
             .field("fingerprint", &self.fingerprint)
+            .field("trace", &self.trace)
             .field("done", &self.is_done())
             .finish()
     }
 }
 
 impl JobTicket {
-    /// Fresh unfulfilled ticket for a job with the given fingerprint.
-    pub(crate) fn pending(fingerprint: Fingerprint) -> Self {
+    /// Fresh unfulfilled ticket for a job with the given fingerprint,
+    /// tagged with its engine-assigned trace id.
+    pub(crate) fn pending(fingerprint: Fingerprint, trace: TraceId) -> Self {
         JobTicket {
             fingerprint,
+            trace,
             inner: Arc::new(TicketInner {
                 state: Mutex::new(TicketState {
                     result: None,
@@ -87,8 +92,12 @@ impl JobTicket {
     }
 
     /// Ticket already fulfilled (cache serve on the submission path).
-    pub(crate) fn ready(fingerprint: Fingerprint, outcome: Arc<JobOutcome>) -> Self {
-        let t = JobTicket::pending(fingerprint);
+    pub(crate) fn ready(
+        fingerprint: Fingerprint,
+        trace: TraceId,
+        outcome: Arc<JobOutcome>,
+    ) -> Self {
+        let t = JobTicket::pending(fingerprint, trace);
         t.fulfill(Ok(outcome));
         t
     }
@@ -96,9 +105,11 @@ impl JobTicket {
     /// Manual-resolution pair: a pending ticket plus the handle that
     /// fulfills it. This is how adapters, executors, and tests drive the
     /// completion state machine without a running [`crate::DftService`]
-    /// (the `serve_properties` lost-wakeup suite lives on it).
+    /// (the `serve_properties` lost-wakeup suite lives on it). The
+    /// ticket carries [`TraceId::DETACHED`] — trace ids belong to
+    /// engine admissions.
     pub fn promise(fingerprint: Fingerprint) -> (JobTicket, TicketResolver) {
-        let ticket = JobTicket::pending(fingerprint);
+        let ticket = JobTicket::pending(fingerprint, TraceId::DETACHED);
         let resolver = TicketResolver {
             ticket: Some(ticket.clone()),
         };
@@ -108,6 +119,13 @@ impl JobTicket {
     /// The job's content fingerprint (also the cache key).
     pub fn fingerprint(&self) -> Fingerprint {
         self.fingerprint
+    }
+
+    /// The engine-assigned trace id ([`TraceId::DETACHED`] for tickets
+    /// created outside an engine) — the key joining this submission to
+    /// its span events in a [`crate::TraceCollector`] drain.
+    pub fn trace_id(&self) -> TraceId {
+        self.trace
     }
 
     /// Delivers the result and wakes every waiter — condvar sleepers and
@@ -369,7 +387,7 @@ mod tests {
 
     #[test]
     fn wait_blocks_until_fulfilled() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         let waiter = {
             let t = t.clone();
             thread::spawn(move || t.wait())
@@ -382,7 +400,7 @@ mod tests {
 
     #[test]
     fn first_fulfillment_wins() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         t.fulfill(Err(JobError::ShutDown));
         t.fulfill(Err(JobError::Numerics("later".into())));
         assert_eq!(t.wait().unwrap_err(), JobError::ShutDown);
@@ -390,7 +408,7 @@ mod tests {
 
     #[test]
     fn wait_timeout_expires_cleanly() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         assert!(t.wait_timeout(Duration::from_millis(10)).is_none());
         t.fulfill(Err(JobError::ShutDown));
         assert!(t.wait_timeout(Duration::from_millis(10)).is_some());
@@ -398,7 +416,7 @@ mod tests {
 
     #[test]
     fn future_resolves_when_fulfilled_from_another_thread() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         let fulfiller = {
             let t = t.clone();
             thread::spawn(move || {
@@ -414,7 +432,7 @@ mod tests {
 
     #[test]
     fn registered_waker_is_woken_exactly_once() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         let counting = CountingWaker::new();
         let waker = Waker::from(Arc::clone(&counting));
         let mut cx = Context::from_waker(&waker);
@@ -434,7 +452,7 @@ mod tests {
 
     #[test]
     fn dropped_future_deregisters_and_is_never_woken() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         let counting = CountingWaker::new();
         let waker = Waker::from(Arc::clone(&counting));
         let mut cx = Context::from_waker(&waker);
@@ -449,7 +467,7 @@ mod tests {
 
     #[test]
     fn on_done_fires_immediately_for_ready_tickets() {
-        let t = JobTicket::pending(fp());
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
         t.fulfill(Err(JobError::ShutDown));
         let counting = CountingWaker::new();
         t.on_done(Waker::from(Arc::clone(&counting)));

@@ -1,0 +1,573 @@
+//! Per-job trace spans: the timeline behind the histograms.
+//!
+//! Every submission is assigned a [`TraceId`] at admission; workers
+//! emit a [`TraceEvent`] at each lifecycle transition — enqueue, steal,
+//! batch formation, planner consult, reservation hold, numerics, cache
+//! store/hit, ticket fulfill — into one bounded, drop-oldest,
+//! drop-counting ring shared by all [`TraceCollector`] handles.
+//!
+//! Publication reuses the subscriber-gated idiom from
+//! [`crate::progress`]: with no collector attached the publish path is
+//! **one relaxed atomic load** and the event is never constructed
+//! (workers check [`crate::telemetry::Telemetry::traced`] before
+//! assembling one), so unwatched engines pay nothing for the tracing
+//! machinery. Stage *histograms* ([`crate::telemetry`]) are always on;
+//! only the per-event timeline is gated.
+//!
+//! Unlike the progress bus, collectors poll ([`TraceCollector::drain`])
+//! rather than block: traces are consumed after a run (or periodically
+//! by an exporter), not awaited event-by-event, so the ring carries no
+//! condvar.
+//!
+//! # Timestamps and the Chrome export
+//!
+//! Event timestamps are nanoseconds since the engine's telemetry
+//! epoch, assigned from a single monotonic clock, so events from
+//! different workers order consistently. [`chrome_trace_json`] renders
+//! a batch of events in the Chrome trace-event format: open
+//! `chrome://tracing` (or <https://ui.perfetto.dev>) and load the file
+//! to see one lane per job (`tid` = trace id), with spans for
+//! queue-wait, planning, reservation hold, numerics, and fulfillment,
+//! and instants for cache hits and stores.
+
+use crate::batch::BatchOrigin;
+use crate::cache::HitTier;
+use crate::fingerprint::Fingerprint;
+use crate::job::WorkloadClass;
+use crate::telemetry::PlacementTarget;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Identity of one submission's trace, unique per engine instance
+/// (allocated from a counter at admission; `0` marks spans created
+/// outside an engine, e.g. [`crate::JobTicket::promise`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The id carried by tickets never admitted to an engine.
+    pub const DETACHED: TraceId = TraceId(0);
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What lifecycle transition a [`TraceEvent`] marks. Span kinds carry a
+/// duration; instant kinds have `dur_ns == 0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEventKind {
+    /// Admission accepted the job onto a queue shard (instant).
+    Enqueue {
+        /// The shard the submission routed to.
+        shard: usize,
+    },
+    /// The job travelled in a run stolen from a victim shard (instant,
+    /// emitted per stolen job at dequeue).
+    Steal {
+        /// The shard the run was taken from.
+        from_shard: usize,
+    },
+    /// The job's dequeued chunk was grouped into a class batch
+    /// (instant, one per member).
+    BatchForm {
+        /// Members in the batch.
+        size: usize,
+        /// Home drain or steal.
+        origin: BatchOrigin,
+    },
+    /// Planner consultation + modeled engine run (span; emitted for
+    /// the batch member that triggered planning — riders share the
+    /// resulting decision without a consult of their own).
+    PlannerConsult,
+    /// The batch's reservation on the shared cluster view, from grant
+    /// to release (span, emitted at release on the leader's lane).
+    ReservationHold,
+    /// The numeric kernels (span; `dur` = the outcome's wall-clock).
+    Numerics {
+        /// Where the plan put the work.
+        target: PlacementTarget,
+    },
+    /// The outcome was stored into the result cache (instant).
+    CacheStore,
+    /// The job was served without executing (instant).
+    CacheHit {
+        /// Which lookup tier produced the result.
+        tier: HitTier,
+    },
+    /// The submitter's ticket resolved (span: outcome-ready →
+    /// fulfilled). Every trace ends with exactly one of these, on
+    /// every path — executed, cache-served, rejected, failed, panic,
+    /// drop-guard.
+    TicketFulfill {
+        /// Whether the job succeeded.
+        ok: bool,
+        /// Whether the result came from a cache/dedup hit.
+        cached: bool,
+    },
+    /// The job waited in its queue shard (span: enqueue → its batch
+    /// started processing).
+    QueueWait,
+}
+
+impl TraceEventKind {
+    /// Short display name (the Chrome trace `name` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEventKind::Enqueue { .. } => "enqueue",
+            TraceEventKind::Steal { .. } => "steal",
+            TraceEventKind::BatchForm { .. } => "batch-form",
+            TraceEventKind::PlannerConsult => "plan",
+            TraceEventKind::ReservationHold => "reserve",
+            TraceEventKind::Numerics { .. } => "numerics",
+            TraceEventKind::CacheStore => "cache-store",
+            TraceEventKind::CacheHit { .. } => "cache-hit",
+            TraceEventKind::TicketFulfill { .. } => "fulfill",
+            TraceEventKind::QueueWait => "queue-wait",
+        }
+    }
+
+    /// True for kinds that mark a point in time rather than a span.
+    pub fn is_instant(&self) -> bool {
+        matches!(
+            self,
+            TraceEventKind::Enqueue { .. }
+                | TraceEventKind::Steal { .. }
+                | TraceEventKind::BatchForm { .. }
+                | TraceEventKind::CacheStore
+                | TraceEventKind::CacheHit { .. }
+        )
+    }
+}
+
+/// One timestamped lifecycle event of one traced job.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Ring-assigned publication sequence number (gapless per ring,
+    /// ties broken by publication order under the ring lock).
+    pub seq: u64,
+    /// The job's trace.
+    pub trace: TraceId,
+    /// The job's content fingerprint.
+    pub fingerprint: Fingerprint,
+    /// The job's workload class.
+    pub class: WorkloadClass,
+    /// Worker index that emitted the event (`None` for admission-path
+    /// events emitted by the submitting thread).
+    pub worker: Option<usize>,
+    /// Start of the span (or the instant), nanoseconds since the
+    /// engine's telemetry epoch.
+    pub start_ns: u64,
+    /// Span length in nanoseconds (0 for instants).
+    pub dur_ns: u64,
+    /// Which transition this is.
+    pub kind: TraceEventKind,
+}
+
+impl TraceEvent {
+    /// End of the span (== `start_ns` for instants).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+}
+
+struct RingState {
+    events: VecDeque<TraceEvent>,
+}
+
+/// The bounded MPSC-ish event ring every worker publishes into and
+/// every collector drains from. Mirrors [`crate::progress::ProgressBus`]:
+/// subscriber-gated publish, drop-oldest eviction with a counter, ring
+/// cleared when the last collector detaches.
+pub(crate) struct TraceRing {
+    state: Mutex<RingState>,
+    capacity: usize,
+    /// Attached collectors; publish is a no-op at zero. Relaxed load on
+    /// the fast path, re-checked under the lock (same reasoning as the
+    /// progress bus: the gate is an optimization, the lock decides).
+    subscribers: AtomicUsize,
+    /// Events evicted unread because the ring was full.
+    dropped: AtomicU64,
+    /// Events accepted into the ring over the engine's lifetime.
+    recorded: AtomicU64,
+    next_seq: AtomicU64,
+}
+
+impl TraceRing {
+    pub(crate) fn new(capacity: usize) -> Self {
+        TraceRing {
+            state: Mutex::new(RingState {
+                events: VecDeque::new(),
+            }),
+            capacity: capacity.max(1),
+            subscribers: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            recorded: AtomicU64::new(0),
+            next_seq: AtomicU64::new(0),
+        }
+    }
+
+    /// The one-relaxed-load gate unwatched engines pay.
+    #[inline]
+    pub(crate) fn has_subscribers(&self) -> bool {
+        self.subscribers.load(Ordering::Relaxed) > 0
+    }
+
+    /// Publishes `event` if any collector is attached; assigns its
+    /// sequence number under the lock so ring order and `seq` order
+    /// agree. Never blocks on a full ring: the oldest event is evicted
+    /// and counted.
+    pub(crate) fn publish(&self, mut event: TraceEvent) {
+        if !self.has_subscribers() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        // Re-check under the lock: the last collector may have detached
+        // (and cleared the ring) between the gate and here.
+        if self.subscribers.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        event.seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        if st.events.len() >= self.capacity {
+            st.events.pop_front();
+            self.dropped.fetch_add(1, Ordering::Release);
+        }
+        st.events.push_back(event);
+        self.recorded.fetch_add(1, Ordering::Release);
+    }
+
+    /// Publishes a run of events under ONE lock acquisition. The hot
+    /// paths emit several span events per job; batching them keeps the
+    /// traced engine's lock traffic per job constant instead of per
+    /// event, and the slice shape (events are `Copy`) lets the cached
+    /// submit path publish its two-event chain from the stack with no
+    /// allocation. Sequence numbers are assigned in slice order, so a
+    /// lane's chain order survives exactly as with per-event publishes.
+    pub(crate) fn publish_slice(&self, events: &[TraceEvent]) {
+        if events.is_empty() || !self.has_subscribers() {
+            return;
+        }
+        let mut st = self.state.lock().unwrap();
+        if self.subscribers.load(Ordering::Acquire) == 0 {
+            return;
+        }
+        // One atomic reserves the whole slice's sequence range (we hold
+        // the ring lock, so the range lands in ring order too).
+        let base = self
+            .next_seq
+            .fetch_add(events.len() as u64, Ordering::Relaxed);
+        for (i, &(mut event)) in events.iter().enumerate() {
+            event.seq = base + i as u64;
+            if st.events.len() >= self.capacity {
+                st.events.pop_front();
+                self.dropped.fetch_add(1, Ordering::Release);
+            }
+            st.events.push_back(event);
+        }
+        self.recorded
+            .fetch_add(events.len() as u64, Ordering::Release);
+    }
+
+    pub(crate) fn drain(&self) -> Vec<TraceEvent> {
+        self.state.lock().unwrap().events.drain(..).collect()
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.state.lock().unwrap().events.len()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Acquire)
+    }
+
+    pub(crate) fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Acquire)
+    }
+
+    fn subscribe(&self) {
+        if self.subscribers.fetch_add(1, Ordering::AcqRel) == 0 {
+            // First collector: pre-fault the ring's full backing store,
+            // so steady-state publishes never pay a realloc copy or a
+            // scattered fresh-page fault mid-serve. Resize-then-clear
+            // touches every slot once, sequentially (which the fault
+            // handler streams far better than one 4 KiB fault at a time
+            // from the hot path), and keeps the capacity.
+            let filler = TraceEvent {
+                seq: 0,
+                trace: TraceId(0),
+                fingerprint: Fingerprint(0),
+                class: WorkloadClass {
+                    kind: crate::job::JobKind::MdSegment,
+                    atoms: 0,
+                    iterations: 0,
+                },
+                worker: None,
+                start_ns: 0,
+                dur_ns: 0,
+                kind: TraceEventKind::CacheStore,
+            };
+            let mut st = self.state.lock().unwrap();
+            if st.events.capacity() < self.capacity {
+                st.events.resize(self.capacity, filler);
+                st.events.clear();
+            }
+        }
+    }
+
+    fn unsubscribe(&self) {
+        if self.subscribers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last collector gone: nobody can ever read the buffered
+            // events, so free them rather than letting them rot (same
+            // policy as the progress ring). Undelivered events count
+            // as dropped, keeping the counter honest.
+            let mut st = self.state.lock().unwrap();
+            if self.subscribers.load(Ordering::Acquire) == 0 {
+                let n = st.events.len() as u64;
+                if n > 0 {
+                    self.dropped.fetch_add(n, Ordering::Release);
+                    st.events.clear();
+                    st.events.shrink_to_fit();
+                }
+            }
+        }
+    }
+}
+
+/// A subscription to the engine's span-event ring
+/// ([`crate::DftService::trace`]).
+///
+/// While at least one collector is alive, workers publish span events;
+/// when the last one drops, publishing reverts to the one-relaxed-load
+/// no-op and the buffered events are discarded (counted as dropped).
+/// Collectors share the one ring destructively: an event drains to
+/// exactly one of them.
+pub struct TraceCollector {
+    ring: Arc<crate::telemetry::Telemetry>,
+}
+
+impl TraceCollector {
+    pub(crate) fn new(telemetry: Arc<crate::telemetry::Telemetry>) -> Self {
+        telemetry.ring().subscribe();
+        TraceCollector { ring: telemetry }
+    }
+
+    /// Takes every buffered event, oldest first.
+    pub fn drain(&self) -> Vec<TraceEvent> {
+        self.ring.ring().drain()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.ring.ring().len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events evicted unread over the engine's lifetime.
+    pub fn dropped(&self) -> u64 {
+        self.ring.ring().dropped()
+    }
+
+    /// Events accepted into the ring over the engine's lifetime.
+    pub fn recorded(&self) -> u64 {
+        self.ring.ring().recorded()
+    }
+}
+
+impl Clone for TraceCollector {
+    fn clone(&self) -> Self {
+        self.ring.ring().subscribe();
+        TraceCollector {
+            ring: Arc::clone(&self.ring),
+        }
+    }
+}
+
+impl Drop for TraceCollector {
+    fn drop(&mut self) {
+        self.ring.ring().unsubscribe();
+    }
+}
+
+/// Renders events in the Chrome trace-event JSON format (the "JSON
+/// array" flavour): spans become `"ph": "X"` complete events, instants
+/// become `"ph": "i"`, timestamps are microseconds, and each job's
+/// trace id is its `tid` so the viewer draws one lane per job. Load
+/// the output in `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 160 + 2);
+    out.push_str("[\n");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        let ts_us = e.start_ns as f64 / 1000.0;
+        let mut args = format!(
+            "\"class\": \"{}\", \"fingerprint\": \"{}\", \"seq\": {}",
+            e.class, e.fingerprint, e.seq
+        );
+        if let Some(w) = e.worker {
+            args.push_str(&format!(", \"worker\": {w}"));
+        }
+        match e.kind {
+            TraceEventKind::Enqueue { shard } => args.push_str(&format!(", \"shard\": {shard}")),
+            TraceEventKind::Steal { from_shard } => {
+                args.push_str(&format!(", \"from_shard\": {from_shard}"));
+            }
+            TraceEventKind::BatchForm { size, origin } => args.push_str(&format!(
+                ", \"size\": {size}, \"origin\": \"{}\"",
+                match origin {
+                    BatchOrigin::Home => "home",
+                    BatchOrigin::Stolen => "stolen",
+                }
+            )),
+            TraceEventKind::Numerics { target } => {
+                args.push_str(&format!(", \"target\": \"{target}\""));
+            }
+            TraceEventKind::CacheHit { tier } => {
+                args.push_str(&format!(", \"tier\": \"{}\"", tier.label()));
+            }
+            TraceEventKind::TicketFulfill { ok, cached } => {
+                args.push_str(&format!(", \"ok\": {ok}, \"cached\": {cached}"));
+            }
+            TraceEventKind::PlannerConsult
+            | TraceEventKind::ReservationHold
+            | TraceEventKind::CacheStore
+            | TraceEventKind::QueueWait => {}
+        }
+        if e.kind.is_instant() {
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"i\", \"s\": \"t\", \
+                 \"ts\": {ts_us:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{{args}}}}}",
+                e.kind.name(),
+                e.class,
+                e.trace.0,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"cat\": \"{}\", \"ph\": \"X\", \"ts\": {ts_us:.3}, \
+                 \"dur\": {:.3}, \"pid\": 1, \"tid\": {}, \"args\": {{{args}}}}}",
+                e.kind.name(),
+                e.class,
+                e.dur_ns as f64 / 1000.0,
+                e.trace.0,
+            ));
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobKind;
+    use crate::telemetry::Telemetry;
+
+    fn event(trace: u64, kind: TraceEventKind) -> TraceEvent {
+        TraceEvent {
+            seq: 0,
+            trace: TraceId(trace),
+            fingerprint: Fingerprint(0xabcd),
+            class: WorkloadClass {
+                kind: JobKind::MdSegment,
+                atoms: 64,
+                iterations: 10,
+            },
+            worker: Some(1),
+            start_ns: 1_000,
+            dur_ns: 500,
+            kind,
+        }
+    }
+
+    #[test]
+    fn unwatched_ring_drops_everything_for_one_load() {
+        let t = Telemetry::new(8);
+        assert!(!t.traced());
+        t.publish(event(1, TraceEventKind::PlannerConsult));
+        assert_eq!(t.ring().recorded(), 0, "no subscriber ⇒ no buffering");
+    }
+
+    #[test]
+    fn collector_receives_in_order_with_seq() {
+        let t = Arc::new(Telemetry::new(8));
+        let c = TraceCollector::new(Arc::clone(&t));
+        assert!(t.traced());
+        t.publish(event(1, TraceEventKind::PlannerConsult));
+        t.publish(event(2, TraceEventKind::CacheStore));
+        let got = c.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].seq, 0);
+        assert_eq!(got[1].seq, 1);
+        assert_eq!(got[0].trace, TraceId(1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn full_ring_evicts_oldest_and_counts() {
+        let t = Arc::new(Telemetry::new(2));
+        let c = TraceCollector::new(Arc::clone(&t));
+        for i in 0..5 {
+            t.publish(event(i, TraceEventKind::CacheStore));
+        }
+        assert_eq!(c.dropped(), 3);
+        assert_eq!(c.recorded(), 5);
+        let got = c.drain();
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].trace, TraceId(3), "oldest evicted first");
+    }
+
+    #[test]
+    fn last_collector_detaching_clears_and_regates() {
+        let t = Arc::new(Telemetry::new(8));
+        let c = TraceCollector::new(Arc::clone(&t));
+        let c2 = c.clone();
+        t.publish(event(1, TraceEventKind::CacheStore));
+        drop(c);
+        assert!(t.traced(), "second collector keeps the gate open");
+        drop(c2);
+        assert!(!t.traced());
+        assert_eq!(t.ring().len(), 0, "buffer freed with the last collector");
+        assert_eq!(t.trace_events_dropped(), 1, "undelivered counts dropped");
+        t.publish(event(2, TraceEventKind::CacheStore));
+        assert_eq!(t.ring().recorded(), 1, "publishing gated again");
+    }
+
+    #[test]
+    fn chrome_export_renders_spans_and_instants() {
+        let events = vec![
+            event(7, TraceEventKind::QueueWait),
+            TraceEvent {
+                dur_ns: 0,
+                kind: TraceEventKind::CacheHit {
+                    tier: HitTier::Memory,
+                },
+                ..event(7, TraceEventKind::CacheStore)
+            },
+            event(
+                7,
+                TraceEventKind::TicketFulfill {
+                    ok: true,
+                    cached: false,
+                },
+            ),
+        ];
+        let json = chrome_trace_json(&events);
+        assert!(json.trim_start().starts_with('['));
+        assert!(json.trim_end().ends_with(']'));
+        assert!(json.contains("\"ph\": \"X\""));
+        assert!(json.contains("\"ph\": \"i\""));
+        assert!(json.contains("\"tid\": 7"));
+        assert!(json.contains("\"tier\": \"memory\""));
+        assert!(json.contains("\"ok\": true"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

@@ -30,14 +30,17 @@
 //! between scanning the shards and going to sleep.
 
 use crate::batch::{form_batches_from, Batch, BatchOrigin};
+use crate::cache::HitTier;
 use crate::cluster::Reservation;
 use crate::fingerprint::Fingerprint;
-use crate::job::{DftJob, JobError, JobPayload};
+use crate::job::{DftJob, JobError, JobPayload, WorkloadClass};
 use crate::metrics::ExecutionSample;
 use crate::placement::{plan_placement, plan_placement_loaded, PlacementDecision};
 use crate::progress::JobStage;
 use crate::service::EngineShared;
+use crate::telemetry::{PlacementTarget, Stage};
 use crate::ticket::JobTicket;
+use crate::trace::{TraceEvent, TraceEventKind, TraceId};
 use ndft_core::{run_ndft_with, NdftOptions, RunReport};
 use ndft_dft::{run_casida, run_lr_tddft, run_md, run_scf};
 use std::collections::HashMap;
@@ -71,6 +74,11 @@ pub struct JobOutcome {
 pub(crate) struct PendingJob {
     pub(crate) job: DftJob,
     pub(crate) fingerprint: Fingerprint,
+    /// Resolved once at admission so workers and the Drop guard never
+    /// recompute it.
+    pub(crate) class: WorkloadClass,
+    /// The trace lane every span event of this job lands on.
+    pub(crate) trace: TraceId,
     pub(crate) ticket: JobTicket,
     pub(crate) enqueued: Instant,
     /// Progress ring handle, so even the last-resort Drop fulfillment
@@ -79,30 +87,63 @@ pub(crate) struct PendingJob {
     /// Metrics handle, so the guard's failure also lands in the
     /// counters (else `tickets_outstanding` would read > 0 forever).
     pub(crate) metrics: Arc<crate::metrics::Metrics>,
+    /// Telemetry handle, so every exit path — the Drop guard included —
+    /// records an end-to-end latency and closes the trace span chain.
+    pub(crate) telemetry: Arc<crate::telemetry::Telemetry>,
+}
+
+impl PendingJob {
+    /// The one failure protocol, shared by every losing exit path (a
+    /// solver error, a panic, the shutdown sweep, the Drop guard):
+    /// count the failure, record the end-to-end latency (keeping the
+    /// histogram totals paired with `completed + failed`), stream the
+    /// closing `Done`, close the trace chain with a failed fulfill
+    /// event, and resolve the ticket — in that order, so by the time a
+    /// waiter observes the error the whole story is already told.
+    pub(crate) fn fail(&self, err: JobError) {
+        self.metrics.on_fail();
+        self.telemetry
+            .record_end_to_end(self.class, self.enqueued.elapsed());
+        self.progress.publish(
+            self.fingerprint,
+            JobStage::Done {
+                ok: false,
+                cached: false,
+            },
+        );
+        if self.telemetry.traced() {
+            self.telemetry.publish(TraceEvent {
+                seq: 0,
+                trace: self.trace,
+                fingerprint: self.fingerprint,
+                class: self.class,
+                worker: None,
+                start_ns: self.telemetry.now_ns(),
+                dur_ns: 0,
+                kind: TraceEventKind::TicketFulfill {
+                    ok: false,
+                    cached: false,
+                },
+            });
+        }
+        self.ticket.fulfill(Err(err));
+    }
 }
 
 impl Drop for PendingJob {
     fn drop(&mut self) {
         // Last-resort guarantee that no waiter hangs: if this entry is
         // dropped on any path that never resolved it (a panic unwinding
-        // through a worker, a dropped batch), fail the ticket — and
-        // record the failure + stream the closing Done, so neither the
-        // counters nor a watched lifecycle are left dangling (a guard
-        // firing here means the job WAS admitted and counted submitted;
-        // the rejected-push path resolves its ticket before dropping).
-        // A no-op for the normal paths: the entry is only dropped
-        // unresolved by the owning thread, so the is_done check cannot
-        // race another fulfiller.
+        // through a worker, a dropped batch), run the failure protocol
+        // above, so neither the counters, the latency histograms, nor a
+        // watched lifecycle are left dangling (a guard firing here means
+        // the job WAS admitted and counted submitted; the rejected-push
+        // path resolves its ticket before dropping). A no-op for the
+        // normal paths: the entry is only dropped unresolved by the
+        // owning thread, so the is_done check cannot race another
+        // fulfiller.
         if !self.ticket.is_done() {
-            self.metrics.on_fail();
-            self.progress.publish(
-                self.fingerprint,
-                JobStage::Done {
-                    ok: false,
-                    cached: false,
-                },
-            );
-            self.ticket.fulfill(Err(JobError::ShutDown));
+            self.fail(JobError::ShutDown);
         }
     }
 }
@@ -198,7 +239,7 @@ pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
             shared
                 .metrics
                 .on_dispatch(worker, home, drained.len() as u64, false);
-            dispatch_chunk(shared, BatchOrigin::Home, home, drained);
+            dispatch_chunk(shared, BatchOrigin::Home, home, drained, worker);
             continue;
         }
         if let Some(run) = shared.queue.try_steal(home, shared.config.max_batch) {
@@ -206,7 +247,13 @@ pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
             shared
                 .metrics
                 .on_dispatch(worker, run.from_shard, run.items.len() as u64, true);
-            dispatch_chunk(shared, BatchOrigin::Stolen, run.from_shard, run.items);
+            dispatch_chunk(
+                shared,
+                BatchOrigin::Stolen,
+                run.from_shard,
+                run.items,
+                worker,
+            );
             continue;
         }
         if shared.queue.is_closed() {
@@ -224,19 +271,40 @@ pub(crate) fn worker_loop(shared: &EngineShared, worker: usize) {
 
 /// Groups one dequeued chunk into per-class batches and processes them.
 /// `shard` is the queue shard the chunk was dequeued from (home or
-/// victim), recorded on the cluster view's per-shard in-flight counts.
+/// victim), recorded on the cluster view's per-shard in-flight counts;
+/// `worker` is the dispatching worker's index, stamped on span events.
 fn dispatch_chunk(
     shared: &EngineShared,
     origin: BatchOrigin,
     shard: usize,
     chunk: Vec<PendingJob>,
+    worker: usize,
 ) {
+    // A stolen run's members each get a steal marker on their trace
+    // lane: the one transition that happens at dequeue, before batching.
+    if origin == BatchOrigin::Stolen && shared.telemetry.traced() {
+        let now_ns = shared.telemetry.now_ns();
+        let events: Vec<TraceEvent> = chunk
+            .iter()
+            .map(|pending| TraceEvent {
+                seq: 0,
+                trace: pending.trace,
+                fingerprint: pending.fingerprint,
+                class: pending.class,
+                worker: Some(worker),
+                start_ns: now_ns,
+                dur_ns: 0,
+                kind: TraceEventKind::Steal { from_shard: shard },
+            })
+            .collect();
+        shared.telemetry.publish_slice(&events);
+    }
     for batch in form_batches_from(origin, chunk, |p: &PendingJob| p.job.workload_class()) {
-        process_batch(shared, batch, shard);
+        process_batch(shared, batch, shard, worker);
     }
 }
 
-fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) {
+fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, worker: usize) {
     let origin = batch.origin;
     let batch_jobs = batch.entries.len();
     let graph = match batch.entries[0].job.task_graph() {
@@ -246,19 +314,62 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
             // practice — but a worker must never panic on a bad job.
             let err = JobError::InvalidSystem(e.to_string());
             for pending in &batch.entries {
-                shared.metrics.on_fail();
-                shared.progress.publish(
-                    pending.fingerprint,
-                    JobStage::Done {
-                        ok: false,
-                        cached: false,
-                    },
-                );
-                pending.ticket.fulfill(Err(err.clone()));
+                pending.fail(err.clone());
             }
             return;
         }
     };
+
+    // One registry lookup covers the whole batch (every member shares
+    // the class); after this, stage records are pure atomics.
+    let telemetry = &shared.telemetry;
+    let recorder = telemetry.class(batch.class);
+    let batch_start = Instant::now();
+
+    // Queue-wait ends for every member the moment its batch starts
+    // processing — recorded up front so the stage covers members the
+    // cache later serves without executing.
+    for pending in &batch.entries {
+        recorder.record(
+            Stage::QueueWait,
+            batch_start.saturating_duration_since(pending.enqueued),
+        );
+    }
+    // One reusable buffer batches each lock point's events into a
+    // single ring acquisition — the traced engine's lock traffic stays
+    // per job, not per event.
+    let mut span_buf: Vec<TraceEvent> = Vec::new();
+    if telemetry.traced() {
+        let batch_ns = telemetry.ns_at(batch_start);
+        for pending in &batch.entries {
+            let start_ns = telemetry.ns_at(pending.enqueued);
+            span_buf.push(TraceEvent {
+                seq: 0,
+                trace: pending.trace,
+                fingerprint: pending.fingerprint,
+                class: pending.class,
+                worker: Some(worker),
+                start_ns,
+                dur_ns: batch_ns.saturating_sub(start_ns),
+                kind: TraceEventKind::QueueWait,
+            });
+            span_buf.push(TraceEvent {
+                seq: 0,
+                trace: pending.trace,
+                fingerprint: pending.fingerprint,
+                class: pending.class,
+                worker: Some(worker),
+                start_ns: batch_ns,
+                dur_ns: 0,
+                kind: TraceEventKind::BatchForm {
+                    size: batch_jobs,
+                    origin,
+                },
+            });
+        }
+        telemetry.publish_slice(&span_buf);
+        span_buf.clear();
+    }
 
     // The planner consultation and modeled engine run are shared by the
     // whole class (every member has the same task-graph shape) and made
@@ -269,6 +380,10 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
     // path (including a panic unwinding through the catch below), so
     // the cluster view always returns to zero when the engine drains.
     let mut reservation: Option<Reservation<'_>> = None;
+    // The member whose consult created the plan — the reservation-hold
+    // span lands on its trace lane (set iff `reservation` is).
+    let mut leader: Option<(TraceId, Fingerprint)> = None;
+    let batch_class = batch.class;
     let mut executions = 0u64;
 
     // Identical fingerprints inside the batch execute once; later entries
@@ -277,12 +392,24 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
     for pending in batch.entries {
         let cached = local
             .get(&pending.fingerprint)
-            .cloned()
-            .or_else(|| shared.cache.peek_fetch(&pending.fingerprint));
-        if let Some(hit) = cached {
+            .map(|hit| (hit.clone(), HitTier::Batch))
+            .or_else(|| shared.cache.peek_fetch_tiered(&pending.fingerprint));
+        if let Some((hit, tier)) = cached {
             shared
                 .metrics
                 .on_dedup_complete(pending.enqueued.elapsed().as_secs_f64());
+            if telemetry.traced() {
+                span_buf.push(TraceEvent {
+                    seq: 0,
+                    trace: pending.trace,
+                    fingerprint: pending.fingerprint,
+                    class: pending.class,
+                    worker: Some(worker),
+                    start_ns: telemetry.now_ns(),
+                    dur_ns: 0,
+                    kind: TraceEventKind::CacheHit { tier },
+                });
+            }
             // Done is published before fulfillment on every path, so a
             // waiter that just resolved can already read the lifecycle.
             shared.progress.publish(
@@ -292,13 +419,38 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                     cached: true,
                 },
             );
+            // End-to-end lands *before* the fulfill on every path: the
+            // moment a waiter resolves, the histogram already counts its
+            // job, so the report's completed/failed-vs-histogram pairing
+            // holds for any caller that waited its tickets out.
+            telemetry.record_end_to_end(pending.class, pending.enqueued.elapsed());
+            let fulfill_start = Instant::now();
             pending.ticket.fulfill(Ok(hit));
+            recorder.record(Stage::Fulfill, fulfill_start.elapsed());
+            if telemetry.traced() {
+                span_buf.push(TraceEvent {
+                    seq: 0,
+                    trace: pending.trace,
+                    fingerprint: pending.fingerprint,
+                    class: pending.class,
+                    worker: Some(worker),
+                    start_ns: telemetry.ns_at(fulfill_start),
+                    dur_ns: fulfill_start.elapsed().as_nanos() as u64,
+                    kind: TraceEventKind::TicketFulfill {
+                        ok: true,
+                        cached: true,
+                    },
+                });
+                telemetry.publish_slice(&span_buf);
+                span_buf.clear();
+            }
             continue;
         }
         // A panicking planner or solver must not take the worker thread
         // (and every waiting ticket behind it) down with it.
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if planned.is_none() {
+                let plan_start = Instant::now();
                 let decision = if shared.config.load_aware {
                     // Consult the global utilization view: targets that
                     // concurrent batches have reserved look slower, so
@@ -308,11 +460,26 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                     plan_placement(&graph, shared.config.policy)
                 };
                 let modeled = run_ndft_with(&graph, NdftOptions::default());
-                // Metrics and reservation only after every fallible step
-                // above: if planning or the modeled run panics, the next
-                // member's retry must not find a half-recorded plan
-                // (double-counted on_plan, or a snapshot contending with
-                // this batch's own abandoned reservation).
+                // Metrics, telemetry, and reservation only after every
+                // fallible step above: if planning or the modeled run
+                // panics, the next member's retry must not find a
+                // half-recorded plan (double-counted on_plan, or a
+                // snapshot contending with this batch's own abandoned
+                // reservation).
+                let plan_wall = plan_start.elapsed();
+                recorder.record(Stage::Plan, plan_wall);
+                if telemetry.traced() {
+                    telemetry.publish(TraceEvent {
+                        seq: 0,
+                        trace: pending.trace,
+                        fingerprint: pending.fingerprint,
+                        class: pending.class,
+                        worker: Some(worker),
+                        start_ns: telemetry.ns_at(plan_start),
+                        dur_ns: plan_wall.as_nanos() as u64,
+                        kind: TraceEventKind::PlannerConsult,
+                    });
+                }
                 shared
                     .metrics
                     .on_plan(decision.cpu_load_s, decision.ndp_load_s, decision.shifted);
@@ -324,6 +491,7 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                     decision.cpu_busy * batch_jobs as f64,
                     decision.ndp_busy * batch_jobs as f64,
                 ));
+                leader = Some((pending.trace, pending.fingerprint));
                 planned = Some((decision, modeled));
             }
             let (placement, modeled) = planned.as_ref().expect("just planned");
@@ -350,6 +518,23 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
             Ok(Ok(outcome)) => {
                 executions += 1;
                 let outcome = Arc::new(outcome);
+                let target = PlacementTarget::of(&outcome.placement);
+                recorder.record(Stage::Execute, outcome.wall_numeric);
+                recorder.record_target(target, outcome.wall_numeric);
+                if telemetry.traced() {
+                    let wall_ns = outcome.wall_numeric.as_nanos().min(u64::MAX as u128) as u64;
+                    span_buf.push(TraceEvent {
+                        seq: 0,
+                        trace: pending.trace,
+                        fingerprint: pending.fingerprint,
+                        class: pending.class,
+                        worker: Some(worker),
+                        start_ns: telemetry.now_ns().saturating_sub(wall_ns),
+                        dur_ns: wall_ns,
+                        kind: TraceEventKind::Numerics { target },
+                    });
+                }
+                let fulfill_start = Instant::now();
                 // Write-through insert carrying the plan's modeled
                 // compute cost: the cost-weighted tier retains entries
                 // in proportion to what re-creating them would cost,
@@ -361,6 +546,18 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                     Arc::clone(&outcome),
                     outcome.placement.modeled_cost_s(outcome.modeled.iterations),
                 );
+                if telemetry.traced() {
+                    span_buf.push(TraceEvent {
+                        seq: 0,
+                        trace: pending.trace,
+                        fingerprint: pending.fingerprint,
+                        class: pending.class,
+                        worker: Some(worker),
+                        start_ns: telemetry.now_ns(),
+                        dur_ns: 0,
+                        kind: TraceEventKind::CacheStore,
+                    });
+                }
                 local.insert(pending.fingerprint, Arc::clone(&outcome));
                 shared
                     .metrics
@@ -372,36 +569,64 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize) 
                         cached: false,
                     },
                 );
+                // As on the dedup path: count end-to-end before the
+                // fulfill so resolved waiters are already in the
+                // histogram.
+                telemetry.record_end_to_end(pending.class, pending.enqueued.elapsed());
                 pending.ticket.fulfill(Ok(outcome));
+                let fulfill_wall = fulfill_start.elapsed();
+                recorder.record(Stage::Fulfill, fulfill_wall);
+                if telemetry.traced() {
+                    span_buf.push(TraceEvent {
+                        seq: 0,
+                        trace: pending.trace,
+                        fingerprint: pending.fingerprint,
+                        class: pending.class,
+                        worker: Some(worker),
+                        start_ns: telemetry.ns_at(fulfill_start),
+                        dur_ns: fulfill_wall.as_nanos() as u64,
+                        kind: TraceEventKind::TicketFulfill {
+                            ok: true,
+                            cached: false,
+                        },
+                    });
+                    telemetry.publish_slice(&span_buf);
+                    span_buf.clear();
+                }
             }
             Ok(Err(e)) => {
-                shared.metrics.on_fail();
-                shared.progress.publish(
-                    pending.fingerprint,
-                    JobStage::Done {
-                        ok: false,
-                        cached: false,
-                    },
-                );
-                pending.ticket.fulfill(Err(e));
+                pending.fail(e);
             }
             Err(panic) => {
+                // The panic path runs the same failure protocol as any
+                // other exit: a frontend watching the job sees it fail,
+                // not vanish.
                 let msg = panic_message(panic.as_ref());
-                shared.metrics.on_fail();
-                // The panic path streams Done like any other exit: a
-                // frontend watching the job sees it fail, not vanish.
-                shared.progress.publish(
-                    pending.fingerprint,
-                    JobStage::Done {
-                        ok: false,
-                        cached: false,
-                    },
-                );
-                pending
-                    .ticket
-                    .fulfill(Err(JobError::Numerics(format!("job panicked: {msg}"))));
+                pending.fail(JobError::Numerics(format!("job panicked: {msg}")));
             }
         }
+    }
+    // Record the reservation's full hold (grant → release) before
+    // letting the RAII guard release it; the span lands on the lane of
+    // the member that triggered planning.
+    if let Some(held) = reservation.take() {
+        let hold = held.held_for();
+        recorder.record(Stage::Reserve, hold);
+        if telemetry.traced() {
+            let (leader_trace, leader_fingerprint) =
+                leader.expect("a reservation implies a planning member");
+            telemetry.publish(TraceEvent {
+                seq: 0,
+                trace: leader_trace,
+                fingerprint: leader_fingerprint,
+                class: batch_class,
+                worker: Some(worker),
+                start_ns: telemetry.ns_at(held.granted_at()),
+                dur_ns: hold.as_nanos() as u64,
+                kind: TraceEventKind::ReservationHold,
+            });
+        }
+        drop(held);
     }
     shared
         .metrics
@@ -480,24 +705,37 @@ mod tests {
             temperature_k: 300.0,
             seed: 0,
         };
-        let ticket = crate::ticket::JobTicket::pending(job.fingerprint());
+        let ticket = crate::ticket::JobTicket::pending(job.fingerprint(), TraceId(1));
         let progress = Arc::new(crate::progress::ProgressBus::new(8));
         let stream = crate::progress::ProgressStream::new(Arc::clone(&progress));
         let metrics = Arc::new(crate::metrics::Metrics::new(1, 1));
+        let telemetry = Arc::new(crate::telemetry::Telemetry::new(8));
         let pending = PendingJob {
             fingerprint: job.fingerprint(),
+            class: job.workload_class(),
+            trace: TraceId(1),
             job,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
             progress,
             metrics: Arc::clone(&metrics),
+            telemetry: Arc::clone(&telemetry),
         };
         drop(pending);
         assert_eq!(ticket.wait().unwrap_err(), JobError::ShutDown);
         // The failure lands in the counters too — the in-flight gauge
-        // must return to zero even on the last-resort path.
-        let report = metrics.report(crate::cache::CacheStats::default(), vec![0], 0);
+        // must return to zero even on the last-resort path — and the
+        // guard records the end-to-end latency, keeping the histogram
+        // paired with the counters.
+        let report = metrics.report(
+            crate::cache::CacheStats::default(),
+            vec![0],
+            0,
+            telemetry.class_latency(),
+            0,
+        );
         assert_eq!(report.failed, 1);
+        assert_eq!(telemetry.e2e_count(), 1);
         // The lifecycle closes too: the Drop guard streams a failed Done.
         let events = stream.drain();
         assert_eq!(events.len(), 1);

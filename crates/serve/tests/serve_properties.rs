@@ -33,10 +33,23 @@
 //! flip of the write-ahead file leaves reopen panic-free, every record
 //! wholly before the damage still served intact, and the file usable
 //! for new appends.
+//!
+//! The telemetry layer adds three of its own: (a) *bounded rank error*
+//! — a [`LatencyHistogram`] quantile never undershoots the true order
+//! statistic and overshoots by at most one log-bucket's width (12.5%),
+//! while the recorded max is exact; (b) *shard-merge fidelity* — any
+//! concurrent interleaving of recordings across the histogram's
+//! thread-sharded banks merges to exactly the snapshot sequential
+//! recording produces; (c) *span-chain completeness* — every traced
+//! job's event chain opens with its admission, closes with exactly one
+//! ticket fulfillment, stays inside the [admission, fulfill] window,
+//! and orders its core stages enqueue ≤ plan ≤ execute ≤ fulfill, on
+//! the executed, in-batch-dedup, and cache-served paths alike.
 
 use ndft_serve::{
-    block_on, CachePolicy, ClusterView, DftJob, DiskTier, Fingerprint, JobError, JobTicket,
-    Reservation, ResultCache, ShardedQueue, TicketFuture, TicketResolver,
+    block_on, CachePolicy, ClusterView, DftJob, DftService, DiskTier, Fingerprint, JobError,
+    JobTicket, LatencyHistogram, Reservation, ResultCache, ServeConfig, ShardedQueue, TicketFuture,
+    TicketResolver, TraceEvent, TraceEventKind,
 };
 use proptest::prelude::*;
 use std::future::Future;
@@ -568,5 +581,204 @@ proptest! {
         let reopened = DiskTier::open(&dir).unwrap();
         prop_assert!(reopened.get(&Fingerprint(0xFFFF)).is_some());
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A histogram quantile never undershoots the true order statistic
+    /// and overshoots it by at most one sub-bucket (12.5%), whatever
+    /// the value stream and whatever quantile is asked for.
+    #[test]
+    fn histogram_quantiles_bound_rank_error(
+        values in prop::collection::vec(0u64..5_000_000_000, 1..400),
+        qs in prop::collection::vec(0.0f64..=1.0, 1..6),
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count(), values.len() as u64);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(s.max_ns(), *sorted.last().unwrap(), "max is exact");
+        prop_assert_eq!(s.quantile_ns(1.0), s.max_ns(), "top quantile is the max");
+        for &q in &qs {
+            let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            let truth = sorted[rank - 1];
+            let est = s.quantile_ns(q);
+            prop_assert!(est >= truth, "q={} estimate {} below true {}", q, est, truth);
+            prop_assert!(
+                est - truth <= truth / 8,
+                "q={} estimate {} more than 12.5% above true {}",
+                q, est, truth
+            );
+        }
+    }
+
+    /// Concurrent recording across thread-sharded banks merges to
+    /// exactly the snapshot sequential recording produces: no sample is
+    /// lost, duplicated, or rebucketed by the sharding.
+    #[test]
+    fn histogram_concurrent_recording_merges_to_sequential_reference(
+        chunks in prop::collection::vec(
+            prop::collection::vec(0u64..1_000_000_000, 1..64),
+            1..8,
+        ),
+    ) {
+        let concurrent = LatencyHistogram::new();
+        std::thread::scope(|scope| {
+            for chunk in &chunks {
+                let h = &concurrent;
+                scope.spawn(move || {
+                    for &v in chunk {
+                        h.record_ns(v);
+                    }
+                });
+            }
+        });
+        let reference = LatencyHistogram::new();
+        for chunk in &chunks {
+            for &v in chunk {
+                reference.record_ns(v);
+            }
+        }
+        prop_assert_eq!(concurrent.snapshot(), reference.snapshot());
+    }
+}
+
+/// The batch-scoped reservation-hold span is annotated on the planning
+/// member's lane *after* its ticket fulfills, so per-job chain checks
+/// exclude it.
+fn job_chain(events: &[&TraceEvent]) -> Vec<TraceEvent> {
+    events
+        .iter()
+        .filter(|e| !matches!(e.kind, TraceEventKind::ReservationHold))
+        .map(|e| **e)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every traced job's span chain is monotone and complete: it opens
+    /// with the admission event, every span lies inside
+    /// [admission, fulfill-end], the core stages order as
+    /// enqueue <= plan <= execute <= fulfill, and exactly one ticket
+    /// fulfillment closes the chain — on the executed, in-batch-dedup,
+    /// and submission-time cache-hit paths alike.
+    #[test]
+    fn trace_span_chains_are_monotone_and_complete(
+        seeds in prop::collection::vec(0u64..5, 2..20),
+        workers in 1usize..4,
+        shards in 1usize..3,
+    ) {
+        let svc = DftService::start(ServeConfig {
+            workers,
+            shards,
+            queue_capacity: 256,
+            ..ServeConfig::default()
+        });
+        let collector = svc.trace();
+        // Repeated seeds force the dedup and cache-hit paths.
+        let tickets: Vec<_> = seeds
+            .iter()
+            .map(|&s| {
+                svc.submit_blocking(DftJob::MdSegment {
+                    atoms: 64,
+                    steps: 2,
+                    temperature_k: 300.0,
+                    seed: s,
+                })
+                .unwrap()
+            })
+            .collect();
+        for t in &tickets {
+            prop_assert!(t.wait().is_ok());
+        }
+        let report = svc.shutdown();
+        prop_assert_eq!(report.completed, seeds.len() as u64);
+
+        let events = collector.drain();
+        let mut per_trace: std::collections::HashMap<u64, Vec<&TraceEvent>> =
+            std::collections::HashMap::new();
+        for e in &events {
+            per_trace.entry(e.trace.0).or_default().push(e);
+        }
+        // Every submission got its own trace lane, duplicates included.
+        prop_assert_eq!(per_trace.len(), seeds.len());
+
+        for (id, evs) in &per_trace {
+            // Ring order is seq order, per lane too.
+            for w in evs.windows(2) {
+                prop_assert!(w[0].seq < w[1].seq, "trace {} seq out of order", id);
+            }
+            let chain = job_chain(evs);
+            // Complete: exactly one terminal fulfill event.
+            let fulfills = chain
+                .iter()
+                .filter(|e| matches!(e.kind, TraceEventKind::TicketFulfill { .. }))
+                .count();
+            prop_assert_eq!(fulfills, 1, "trace {} must fulfill exactly once", id);
+            let last = chain.last().unwrap();
+            prop_assert!(
+                matches!(last.kind, TraceEventKind::TicketFulfill { ok: true, .. }),
+                "trace {} ends with its (successful) fulfill",
+                id
+            );
+            // Opens with admission: an Enqueue for queued jobs, a
+            // CacheHit for submission-time serves.
+            let first = chain.first().unwrap();
+            prop_assert!(
+                matches!(
+                    first.kind,
+                    TraceEventKind::Enqueue { .. } | TraceEventKind::CacheHit { .. }
+                ),
+                "trace {} opens with {:?}",
+                id,
+                first.kind
+            );
+            // Monotone: everything inside [admission, fulfill-end].
+            for e in &chain {
+                prop_assert!(e.start_ns >= first.start_ns, "trace {} starts early", id);
+                prop_assert!(e.end_ns() <= last.end_ns(), "trace {} ends late", id);
+            }
+            // Core stage ordering: enqueue <= plan <= execute <= fulfill.
+            let start_of = |want: fn(&TraceEventKind) -> bool| {
+                chain.iter().find(|e| want(&e.kind)).map(|e| e.start_ns)
+            };
+            let plan = start_of(|k| matches!(k, TraceEventKind::PlannerConsult));
+            let exec = start_of(|k| matches!(k, TraceEventKind::Numerics { .. }));
+            let mut order = vec![first.start_ns];
+            order.extend(plan);
+            order.extend(exec);
+            order.push(last.start_ns);
+            for w in order.windows(2) {
+                prop_assert!(w[0] <= w[1], "trace {} core stages out of order", id);
+            }
+            // Executed chains carry the numerics + store evidence;
+            // cached chains carry the hit instead.
+            match last.kind {
+                TraceEventKind::TicketFulfill { cached: false, .. } => {
+                    prop_assert!(exec.is_some(), "executed trace {} missing numerics", id);
+                    prop_assert!(
+                        chain.iter().any(|e| matches!(e.kind, TraceEventKind::CacheStore)),
+                        "executed trace {} missing cache store",
+                        id
+                    );
+                }
+                TraceEventKind::TicketFulfill { cached: true, .. } => {
+                    prop_assert!(
+                        chain.iter().any(|e| matches!(e.kind, TraceEventKind::CacheHit { .. })),
+                        "cached trace {} missing its hit",
+                        id
+                    );
+                    prop_assert!(exec.is_none(), "cached trace {} ran numerics", id);
+                }
+                _ => unreachable!(),
+            }
+        }
     }
 }

@@ -5,8 +5,8 @@
 //! `ClientSession`, and per-job progress streams.
 
 use ndft::serve::{
-    block_on, join_all, race, CachePolicy, DftJob, DftService, JobKind, JobPayload, JobStage,
-    PlacementPolicy, ServeConfig, SubmitError,
+    block_on, chrome_trace_json, join_all, race, CachePolicy, DftJob, DftService, JobKind,
+    JobPayload, JobStage, PlacementPolicy, ServeConfig, Stage, SubmitError, TraceEventKind,
 };
 use std::collections::HashSet;
 use std::time::Duration;
@@ -731,4 +731,267 @@ fn corrupt_cache_dir_recovers_and_engine_serves() {
     assert_eq!(report.failed, 0);
     assert_eq!(report.cache.disk_len, mixed_batch().len(), "log rebuilt");
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The telemetry surface over a mixed workload: every class that ran
+/// reports per-stage percentiles, the end-to-end histogram pairs with
+/// the completion counters, and the snapshot serializes.
+#[test]
+fn telemetry_reports_per_stage_percentiles_for_mixed_classes() {
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let jobs = mixed_batch();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit_blocking(j.clone()).unwrap())
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    // The fulfill-stage sample times the fulfill call itself, so it
+    // lands a hair *after* the waiter resolves; give it a moment.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    let mut snapshot = svc.telemetry();
+    while snapshot.stage_total(Stage::Fulfill).count() < jobs.len() as u64
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(Duration::from_millis(1));
+        snapshot = svc.telemetry();
+    }
+    // Every job's whole life landed in the end-to-end histogram.
+    assert_eq!(snapshot.jobs_recorded(), jobs.len() as u64);
+    assert_eq!(
+        snapshot.stage_total(Stage::EndToEnd).count(),
+        jobs.len() as u64
+    );
+    // Every queued job passes through queue-wait, execute, and fulfill
+    // exactly once, so those totals agree with the job count. Plan and
+    // reserve are batch-scoped — consulted once per batch, shared by
+    // riders — so they are present but bounded by the job count.
+    for stage in [Stage::QueueWait, Stage::Execute, Stage::Fulfill] {
+        assert_eq!(
+            snapshot.stage_total(stage).count(),
+            jobs.len() as u64,
+            "stage {stage} count"
+        );
+    }
+    for stage in [Stage::Plan, Stage::Reserve] {
+        let n = snapshot.stage_total(stage).count();
+        assert!(
+            n >= 1 && n <= jobs.len() as u64,
+            "batch-scoped stage {stage} count {n}"
+        );
+    }
+    let classes: HashSet<_> = jobs.iter().map(|j| j.workload_class()).collect();
+    assert_eq!(snapshot.classes.len(), classes.len());
+    for class in &classes {
+        let cs = snapshot.class(class).expect("class that ran is reported");
+        let e2e = cs.stage(Stage::EndToEnd);
+        assert!(e2e.count() > 0);
+        // Percentiles are ordered and bounded by the exact max.
+        assert!(e2e.p50_ns() <= e2e.p90_ns());
+        assert!(e2e.p90_ns() <= e2e.p99_ns());
+        assert!(e2e.p99_ns() <= e2e.max_ns());
+        assert!(e2e.max_ns() > 0, "a DFT job takes nonzero time");
+        // The execute stage is the dominant cost, so its tail cannot
+        // exceed the end-to-end tail.
+        assert!(cs.stage(Stage::Execute).max_ns() <= e2e.max_ns());
+    }
+    assert_eq!(snapshot.trace_events_dropped, 0, "nobody subscribed");
+    assert!(!snapshot.queue_high_watermarks.is_empty());
+    assert!(snapshot.queue_high_watermarks.iter().any(|&w| w > 0));
+    let json = snapshot.to_json();
+    assert!(json.contains("\"classes\""));
+    assert!(json.contains("\"end_to_end\""));
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "snapshot JSON is balanced"
+    );
+    let report = svc.shutdown();
+    assert_eq!(report.completed, jobs.len() as u64);
+}
+
+/// The seqlock'd report never lets the latency rows and the job
+/// counters disagree: on a quiescent engine the per-class job counts
+/// sum exactly to completed + failed, and cache serves are counted too.
+#[test]
+fn report_class_latency_rows_agree_with_job_counters() {
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let jobs = mixed_batch();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit_blocking(j.clone()).unwrap())
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    // Resubmit everything: cache serves count end-to-end too.
+    for job in &jobs {
+        svc.submit(job.clone()).unwrap().wait().unwrap();
+    }
+    let report = svc.report();
+    let row_jobs: u64 = report.class_latency.iter().map(|r| r.jobs).sum();
+    assert_eq!(
+        row_jobs,
+        report.completed + report.failed,
+        "latency rows and job counters must agree"
+    );
+    assert_eq!(report.trace_events_dropped, 0, "no subscriber, no drops");
+    for row in &report.class_latency {
+        assert!(row.jobs > 0);
+        assert!(row.p50_s <= row.p90_s + 1e-12);
+        assert!(row.p90_s <= row.p99_s + 1e-12);
+        assert!(row.p99_s <= row.max_s + 1e-12);
+    }
+    let final_report = svc.shutdown();
+    assert_eq!(final_report.completed, 2 * jobs.len() as u64);
+    let row_jobs: u64 = final_report.class_latency.iter().map(|r| r.jobs).sum();
+    assert_eq!(row_jobs, final_report.completed);
+}
+
+/// The Chrome trace export carries one complete span chain per
+/// submission — executed, deduplicated, and cache-served alike — and
+/// every event serializes as a well-formed trace-viewer record.
+#[test]
+fn chrome_trace_export_has_one_complete_chain_per_submission() {
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    });
+    let collector = svc.trace();
+    let jobs = mixed_batch();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|j| svc.submit_blocking(j.clone()).unwrap())
+        .collect();
+    for t in &tickets {
+        t.wait().unwrap();
+    }
+    // A duplicate wave: these resolve at submission, off the cache.
+    for job in &jobs {
+        svc.submit(job.clone()).unwrap().wait().unwrap();
+    }
+    svc.shutdown();
+    let events = collector.drain();
+    assert_eq!(collector.dropped(), 0, "default ring holds a small run");
+
+    let mut fulfills_per_trace = std::collections::HashMap::new();
+    for e in &events {
+        if matches!(e.kind, TraceEventKind::TicketFulfill { .. }) {
+            *fulfills_per_trace.entry(e.trace.0).or_insert(0u32) += 1;
+        }
+    }
+    assert_eq!(
+        fulfills_per_trace.len(),
+        2 * jobs.len(),
+        "one trace lane per submission, duplicates included"
+    );
+    assert!(
+        fulfills_per_trace.values().all(|&n| n == 1),
+        "every chain closes exactly once"
+    );
+    let cached = events
+        .iter()
+        .filter(|e| matches!(e.kind, TraceEventKind::TicketFulfill { cached: true, .. }))
+        .count();
+    assert!(
+        cached >= jobs.len(),
+        "the whole second wave was cache-served"
+    );
+
+    let json = chrome_trace_json(&events);
+    assert!(json.starts_with('['), "array-flavor Chrome trace");
+    assert!(json.trim_end().ends_with(']'));
+    assert_eq!(
+        json.matches("\"ph\"").count(),
+        events.len(),
+        "one trace-viewer record per event"
+    );
+    let complete_spans = events.iter().filter(|e| !e.kind.is_instant()).count();
+    assert_eq!(json.matches("\"ph\": \"X\"").count(), complete_spans);
+    assert_eq!(
+        json.matches("\"ph\": \"i\"").count(),
+        events.len() - complete_spans
+    );
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "trace JSON is balanced"
+    );
+}
+
+/// A rejected submission still closes its trace chain: the lane shows
+/// the admission and a failed fulfill, nothing else, and no end-to-end
+/// latency is recorded for a job that was never admitted.
+#[test]
+fn rejected_submission_closes_its_trace_chain_without_latency() {
+    // One slow worker against a 1-slot queue: a non-blocking burst is
+    // guaranteed to hit QueueFull.
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        queue_capacity: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let collector = svc.trace();
+    let mut accepted = Vec::new();
+    let mut rejected = 0u64;
+    let mut seed = 0u64;
+    while rejected == 0 {
+        let job = DftJob::MdSegment {
+            atoms: 64,
+            steps: 200,
+            temperature_k: 300.0,
+            seed,
+        };
+        seed += 1;
+        match svc.submit(job) {
+            Ok(t) => accepted.push(t),
+            Err(SubmitError::QueueFull) => rejected += 1,
+            Err(e) => panic!("unexpected submit error {e:?}"),
+        }
+    }
+    for t in &accepted {
+        t.wait().unwrap();
+    }
+    // The end-to-end histogram pairs with completed + failed — the
+    // rejected job is in neither, so it must not be in the histogram.
+    let snapshot = svc.telemetry();
+    assert_eq!(snapshot.jobs_recorded(), accepted.len() as u64);
+    let report = svc.shutdown();
+    assert_eq!(report.completed, accepted.len() as u64);
+    assert_eq!(report.rejected, rejected);
+    assert_eq!(report.failed, 0, "a rejection is not a failure");
+
+    let events = collector.drain();
+    let mut per_trace: std::collections::HashMap<u64, Vec<_>> = std::collections::HashMap::new();
+    for e in &events {
+        per_trace.entry(e.trace.0).or_default().push(e);
+    }
+    let rejected_lanes: Vec<_> = per_trace
+        .values()
+        .filter(|evs| {
+            evs.iter()
+                .any(|e| matches!(e.kind, TraceEventKind::TicketFulfill { ok: false, .. }))
+        })
+        .collect();
+    assert_eq!(rejected_lanes.len(), rejected as usize);
+    for lane in &rejected_lanes {
+        assert_eq!(lane.len(), 2, "a rejected lane is enqueue + failed fulfill");
+        assert!(matches!(lane[0].kind, TraceEventKind::Enqueue { .. }));
+        assert!(matches!(
+            lane[1].kind,
+            TraceEventKind::TicketFulfill {
+                ok: false,
+                cached: false
+            }
+        ));
+    }
 }
