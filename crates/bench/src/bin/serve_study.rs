@@ -37,6 +37,14 @@
 //! end-to-end histogram record, and the traced run's per-class
 //! per-stage percentile surface is printed and embedded in the JSON
 //! point under `"telemetry"`.
+//! Part 8 is the **QoS sweep** (gate #6): a flood of bulk-priority MD
+//! segments with a trickle of interactive jobs submitted behind it,
+//! A/B'd with QoS lanes on vs off (`ServeConfig { qos: false }` is the
+//! pre-QoS FIFO engine). With lanes on, interactive p99 latency must
+//! drop to at most `QOS_GATE_RATIO` of the FIFO engine's, every job in
+//! both legs must complete (no class starves under the aging escape
+//! hatch), and both reports must satisfy the conservation invariant
+//! `submitted == completed + failed + cancelled + deadline_dropped`.
 //!
 //! Run with `--help` for the part-by-part summary, `--json <path>` to
 //! redirect the JSON trajectory point.
@@ -44,8 +52,8 @@
 use ndft_bench::print_header;
 use ndft_dft::{build_task_graph, SiliconSystem};
 use ndft_serve::{
-    plan_placement, CachePolicy, DftJob, DftService, JobTicket, PlacementPolicy, ServeConfig,
-    ServeReport, Stage, TelemetrySnapshot,
+    plan_placement, CachePolicy, DftJob, DftService, JobRequest, JobTicket, PlacementPolicy,
+    Priority, ServeConfig, ServeReport, Stage, TelemetrySnapshot,
 };
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -124,6 +132,23 @@ const TELEMETRY_REPEATS: usize = 7;
 /// job pays its publishes into the trace ring, and that must stay
 /// within a few percent of the unwatched engine.
 const TELEMETRY_GATE_TOLERANCE: f64 = 0.05;
+
+/// Bulk-priority jobs in the QoS flood (distinct seeds, so the cache
+/// absorbs nothing and every job genuinely occupies a worker).
+const QOS_BULK_JOBS: u64 = 64;
+/// Interactive jobs trickled in behind the whole bulk flood.
+const QOS_INTERACTIVE_JOBS: u64 = 8;
+/// Wall-clock MD steps per bulk flood job — sized so one job runs for
+/// several milliseconds and the flood keeps both workers busy for a few
+/// hundred, long enough that queue position dominates interactive
+/// latency.
+const QOS_BULK_STEPS: usize = 10_000;
+/// Gate #6: in the best paired round, interactive p99 with QoS lanes on
+/// must be at most this fraction of the FIFO engine's. The structural
+/// effect is ~10x (lane 0 jumps a ~60-deep backlog to wait out only the
+/// in-flight batch), so 0.7 leaves wide headroom for runner jitter
+/// while still catching a broken lane order outright.
+const QOS_GATE_RATIO: f64 = 0.7;
 
 /// One measured engine run over a fixed job list.
 struct MixRun {
@@ -438,6 +463,147 @@ fn cache_config_json(label: &str, policy: CachePolicy, disk: bool, run: &MixRun)
     )
 }
 
+/// The p99 end-to-end latency one priority class saw, from the report's
+/// per-priority rows (0.0 when the class ran no jobs).
+fn priority_p99_s(report: &ServeReport, priority: Priority) -> f64 {
+    report
+        .priority_latency
+        .iter()
+        .find(|row| row.priority == priority)
+        .map_or(0.0, |row| row.p99_s)
+}
+
+/// One measured QoS A/B leg: the run plus the per-priority tail the
+/// gate compares.
+struct QosRun {
+    wall_s: f64,
+    interactive_p99_s: f64,
+    bulk_p99_s: f64,
+    report: ServeReport,
+}
+
+/// The QoS mix: the whole bulk flood is submitted first, then the
+/// interactive trickle lands behind it — the adversarial ordering for a
+/// FIFO engine, and exactly the case priority lanes exist for. Both
+/// legs run every job to completion (the shutdown drain finishes the
+/// flood), so the A/B also witnesses that no class starves.
+fn run_qos(qos: bool) -> QosRun {
+    let total = QOS_BULK_JOBS + QOS_INTERACTIVE_JOBS;
+    let start = Instant::now();
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        shards: 1,
+        // The whole mix fits the queue: latency separation comes from
+        // lane order, not backpressure.
+        queue_capacity: total as usize,
+        // Small batches keep dispatch decisions frequent, so lane
+        // selection (not batch residency) dominates interactive wait.
+        max_batch: 2,
+        qos,
+        ..ServeConfig::default()
+    });
+    for seed in 0..QOS_BULK_JOBS {
+        svc.submit_blocking(
+            JobRequest::new(DftJob::MdSegment {
+                atoms: 96,
+                steps: QOS_BULK_STEPS,
+                temperature_k: 300.0,
+                seed,
+            })
+            .priority(Priority::Bulk),
+        )
+        .expect("submit bulk");
+    }
+    let interactive: Vec<_> = (0..QOS_INTERACTIVE_JOBS)
+        .map(|seed| {
+            svc.submit_blocking(
+                JobRequest::new(DftJob::MdSegment {
+                    atoms: 16,
+                    steps: 8,
+                    temperature_k: 300.0,
+                    seed,
+                })
+                .priority(Priority::Interactive),
+            )
+            .expect("submit interactive")
+        })
+        .collect();
+    for t in &interactive {
+        t.wait().expect("interactive job completes");
+    }
+    let report = svc.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    // Zero starved jobs: the flood's tail drained to completion in both
+    // legs, nothing was cancelled, dropped, or denied...
+    assert_eq!(report.completed, total, "a job starved (qos={qos})");
+    assert_eq!(report.failed, 0);
+    // ...and the terminal accounting balances exactly.
+    assert!(
+        report.conservation_holds(),
+        "QOS GATE FAILED: conservation invariant broken (qos={qos}): \
+         submitted {} != completed {} + failed {} + cancelled {} + deadline_dropped {}",
+        report.submitted,
+        report.completed,
+        report.failed,
+        report.cancelled,
+        report.deadline_dropped
+    );
+    QosRun {
+        wall_s,
+        interactive_p99_s: priority_p99_s(&report, Priority::Interactive),
+        bulk_p99_s: priority_p99_s(&report, Priority::Bulk),
+        report,
+    }
+}
+
+/// `REPEATS` interleaved A/B rounds, FIFO leg then QoS leg, keeping the
+/// round with the **best (lowest) paired interactive-p99 ratio** as the
+/// witness — the same existence-witness estimator the telemetry gate
+/// uses, for the same reason: one round where lanes cut the interactive
+/// tail below the threshold is direct evidence the lane order works,
+/// while a broken lane order (interactive riding FIFO) pins every
+/// round's ratio near 1.0.
+fn best_of_qos_pair() -> (QosRun, QosRun, f64) {
+    let mut witness: Option<(QosRun, QosRun, f64)> = None;
+    for _ in 0..REPEATS {
+        let off = run_qos(false);
+        let on = run_qos(true);
+        let ratio = on.interactive_p99_s / off.interactive_p99_s.max(1e-12);
+        if witness.as_ref().is_none_or(|&(_, _, best)| ratio < best) {
+            witness = Some((on, off, ratio));
+        }
+    }
+    witness.expect("at least one repeat")
+}
+
+/// Renders one QoS-sweep leg's JSON object.
+fn qos_config_json(label: &str, qos: bool, r: &QosRun) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"qos\": {},\n",
+            "    \"workers\": 2,\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"completed\": {},\n",
+            "    \"cancelled\": {},\n",
+            "    \"deadline_dropped\": {},\n",
+            "    \"admission_denied\": {},\n",
+            "    \"interactive_p99_s\": {:.6},\n",
+            "    \"bulk_p99_s\": {:.6}\n",
+            "  }}"
+        ),
+        label,
+        qos,
+        r.wall_s,
+        r.report.completed,
+        r.report.cancelled,
+        r.report.deadline_dropped,
+        r.report.admission_denied,
+        r.interactive_p99_s,
+        r.bulk_p99_s,
+    )
+}
+
 /// `--help` text: the part-by-part contract of this binary, including
 /// every CI gate it enforces.
 const HELP: &str = "\
@@ -484,6 +650,16 @@ PARTS (all run, in order):
                          end-to-end histogram, and the per-class
                          per-stage percentile table (p50/p90/p99/max)
                          is printed and embedded in the JSON point.
+    8  qos sweep        CI gate #6 — a 64-job bulk-priority MD flood
+                         with 8 interactive jobs submitted behind it,
+                         QoS lanes on vs off (FIFO). Interactive p99
+                         latency with lanes on must be at most 0.7x the
+                         FIFO engine's in the best paired round, every
+                         job in both legs must complete (no priority
+                         class starves), and both reports must satisfy
+                         the conservation invariant submitted ==
+                         completed + failed + cancelled +
+                         deadline_dropped.
 
 All sweeps append to the JSON trajectory point (schema documented in
 crates/serve/src/README.md); the process exits non-zero when any gate
@@ -984,6 +1160,25 @@ fn main() {
         }
     }
 
+    // --- Part 8: QoS sweep, priority lanes on vs off (gate #6). ---
+    println!(
+        "\nqos sweep: {QOS_BULK_JOBS} bulk-priority MD jobs flooding 2 workers, \
+         {QOS_INTERACTIVE_JOBS} interactive jobs behind them, lanes on vs off, \
+         best paired round of {REPEATS}\n"
+    );
+    let (qos_on, qos_off, qos_ratio) = best_of_qos_pair();
+    println!(
+        "{:>14} {:>10} {:>18} {:>12} {:>10}",
+        "config", "wall s", "interactive p99 s", "bulk p99 s", "completed"
+    );
+    for (label, r) in [("fifo (qos off)", &qos_off), ("qos lanes", &qos_on)] {
+        println!(
+            "{:>14} {:>10.4} {:>18.6} {:>12.6} {:>10}",
+            label, r.wall_s, r.interactive_p99_s, r.bulk_p99_s, r.report.completed,
+        );
+    }
+    println!("\ninteractive p99, qos/fifo (best paired round): {qos_ratio:.3}x");
+
     let json = format!(
         concat!(
             "{{\n",
@@ -1012,6 +1207,11 @@ fn main() {
             "{},\n",
             "{},\n",
             "  \"traced_over_unwatched\": {:.4},\n",
+            "  \"qos_bulk_jobs\": {},\n",
+            "  \"qos_interactive_jobs\": {},\n",
+            "{},\n",
+            "{},\n",
+            "  \"qos_interactive_p99_on_over_off\": {:.4},\n",
             "  \"telemetry\": {}\n",
             "}}\n"
         ),
@@ -1049,6 +1249,11 @@ fn main() {
         telemetry_config_json("telemetry_unwatched", false, &untraced),
         telemetry_config_json("telemetry_traced", true, &traced),
         traced_ratio,
+        QOS_BULK_JOBS,
+        QOS_INTERACTIVE_JOBS,
+        qos_config_json("qos_off", false, &qos_off),
+        qos_config_json("qos_on", true, &qos_on),
+        qos_ratio,
         traced.snapshot.to_json(),
     );
     std::fs::write(&json_path, json).expect("write bench json");
@@ -1131,5 +1336,18 @@ fn main() {
          (traced {} events, unwatched {})",
         traced.trace_events,
         untraced.trace_events
+    );
+    // Gate #6: priority lanes must actually buy interactive latency —
+    // behind a bulk flood, the interactive tail with QoS on must be a
+    // fraction of the FIFO engine's. (Starvation-freedom and the
+    // conservation invariant are asserted inside every run_qos leg.)
+    assert!(
+        qos_ratio <= QOS_GATE_RATIO,
+        "PERF GATE FAILED: qos interactive p99 {:.4}s is {:.3}x the fifo engine's \
+         {:.4}s (gate: <= {:.2}x) — priority lanes are not cutting interactive latency",
+        qos_on.interactive_p99_s,
+        qos_ratio,
+        qos_off.interactive_p99_s,
+        QOS_GATE_RATIO
     );
 }

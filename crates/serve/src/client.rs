@@ -24,7 +24,7 @@
 //! with [`crate::exec::join_all`] / [`crate::exec::race`].
 
 use crate::fingerprint::Fingerprint;
-use crate::job::{DftJob, JobError};
+use crate::job::{JobError, JobRequest};
 use crate::queue::SubmitError;
 use crate::service::{DftService, Issued};
 use crate::ticket::{JobTicket, TicketFuture};
@@ -139,14 +139,16 @@ impl<'a> ClientSession<'a> {
 
     /// Non-blocking submission; the completion will arrive on this
     /// session's [`CompletionStream`]. Cache-served jobs complete before
-    /// this returns.
+    /// this returns. Accepts a bare [`crate::DftJob`] or a full
+    /// [`JobRequest`] with priority/deadline/tenant.
     ///
     /// # Errors
     ///
     /// Exactly [`DftService::submit`]'s errors: [`SubmitError::InvalidJob`],
-    /// [`SubmitError::QueueFull`], [`SubmitError::Closed`].
-    pub fn submit(&self, job: DftJob) -> Result<JobId, SubmitError> {
-        self.attach(self.service.issue(job, false)?)
+    /// [`SubmitError::QueueFull`], [`SubmitError::AdmissionDenied`],
+    /// [`SubmitError::QuotaExceeded`], [`SubmitError::Closed`].
+    pub fn submit(&self, request: impl Into<JobRequest>) -> Result<JobId, SubmitError> {
+        self.attach(self.service.issue(request.into(), false)?)
     }
 
     /// Like [`ClientSession::submit`] but blocks for queue space instead
@@ -154,9 +156,24 @@ impl<'a> ClientSession<'a> {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::InvalidJob`] or [`SubmitError::Closed`].
-    pub fn submit_blocking(&self, job: DftJob) -> Result<JobId, SubmitError> {
-        self.attach(self.service.issue(job, true)?)
+    /// [`SubmitError::InvalidJob`], [`SubmitError::AdmissionDenied`],
+    /// [`SubmitError::QuotaExceeded`], or [`SubmitError::Closed`].
+    pub fn submit_blocking(&self, request: impl Into<JobRequest>) -> Result<JobId, SubmitError> {
+        self.attach(self.service.issue(request.into(), true)?)
+    }
+
+    /// Cancels an in-flight job by id. `true` when this call resolved
+    /// the ticket with [`JobError::Cancelled`] — a still-queued job
+    /// becomes a tombstone the workers sweep past without executing;
+    /// a job already executing completes, but its result is discarded.
+    /// `false` when the job already finished (or the id is unknown) —
+    /// its completion was, or will be, delivered normally.
+    pub fn cancel(&self, id: JobId) -> bool {
+        // Clone the ticket out of the lock first: cancelling fires the
+        // completion forwarder on this thread, and the forwarder takes
+        // the same lock to prune its entry.
+        let ticket = self.ticket(id);
+        ticket.is_some_and(|t| t.cancel())
     }
 
     /// Wires a submission into the session: allocate an id and either
@@ -242,6 +259,28 @@ impl<'a> ClientSession<'a> {
     /// The engine this session multiplexes over.
     pub fn service(&self) -> &'a DftService {
         self.service
+    }
+}
+
+impl Drop for ClientSession<'_> {
+    fn drop(&mut self) {
+        // A session owns its in-flight jobs: dropping it cancels every
+        // one still queued (an already-executing job finishes, but its
+        // result is discarded). Tickets are cloned out of the lock
+        // first — each cancel fires the completion forwarder on this
+        // very thread, and the forwarder re-takes the lock to prune
+        // its entry.
+        let tickets: Vec<JobTicket> = self
+            .shared
+            .inflight_tickets
+            .lock()
+            .unwrap()
+            .values()
+            .cloned()
+            .collect();
+        for ticket in tickets {
+            ticket.cancel();
+        }
     }
 }
 

@@ -12,6 +12,7 @@ use ndft_dft::{
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::time::Duration;
 
 use crate::fingerprint::{Fingerprint, Hasher};
 
@@ -317,6 +318,147 @@ impl fmt::Display for WorkloadClass {
     }
 }
 
+/// Scheduling priority class carried by every [`JobRequest`].
+///
+/// Priorities order shard dispatch: each queue shard keeps one lane per
+/// priority, workers serve the highest-priority nonempty lane first, and
+/// an aging counter guarantees a passed-over lane is served within a
+/// bounded number of dispatches (no class can starve). The declaration
+/// order is the service order and the stable row order of per-priority
+/// latency tables.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub enum Priority {
+    /// Latency-sensitive work (a person is waiting on the answer).
+    Interactive,
+    /// The default class for unannotated submissions.
+    #[default]
+    Standard,
+    /// Throughput work (parameter sweeps, MD floods) that should yield
+    /// to everything else.
+    Bulk,
+}
+
+impl Priority {
+    /// All priorities in service order (highest first).
+    pub const ALL: [Priority; 3] = [Priority::Interactive, Priority::Standard, Priority::Bulk];
+
+    /// Dense index into per-priority tables and queue lanes.
+    pub fn index(&self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Standard => 1,
+            Priority::Bulk => 2,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Standard => "standard",
+            Priority::Bulk => "bulk",
+        }
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Opaque tenant identity used for fair-share accounting.
+///
+/// Jobs submitted without an explicit tenant all share the default
+/// tenant `TenantId(0)`. When [`crate::ServeConfig::tenant_quota`] is
+/// set, each tenant may hold at most that many jobs in flight (queued or
+/// executing) at once.
+#[derive(
+    Debug, Clone, Copy, Default, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tenant#{}", self.0)
+    }
+}
+
+/// A submission: the job plus its quality-of-service envelope.
+///
+/// This is the argument every submit entry point accepts. A bare
+/// [`DftJob`] converts into a plain-default request (standard priority,
+/// no deadline, default tenant), so pre-QoS call sites keep compiling:
+///
+/// ```
+/// use std::time::Duration;
+/// use ndft_serve::{DftJob, JobRequest, Priority, TenantId};
+///
+/// let job = DftJob::Spectrum { atoms: 8, full_casida: false };
+/// let request = JobRequest::new(job)
+///     .priority(Priority::Interactive)
+///     .deadline(Duration::from_secs(30))
+///     .tenant(TenantId(7));
+/// assert_eq!(request.priority, Priority::Interactive);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRequest {
+    /// The calculation to run.
+    pub job: DftJob,
+    /// Scheduling class (defaults to [`Priority::Standard`]).
+    pub priority: Priority,
+    /// Wall-clock budget measured from submission. Admission control
+    /// rejects the request up front when the modeled queue wait plus
+    /// modeled run time already overruns it, and workers drop the job
+    /// (resolving its ticket with [`JobError::DeadlineExceeded`]) if the
+    /// budget expires while it is still queued.
+    pub deadline: Option<Duration>,
+    /// Fair-share accounting identity (defaults to `TenantId(0)`).
+    pub tenant: TenantId,
+}
+
+impl JobRequest {
+    /// A plain-default request: standard priority, no deadline, default
+    /// tenant.
+    pub fn new(job: DftJob) -> Self {
+        JobRequest {
+            job,
+            priority: Priority::Standard,
+            deadline: None,
+            tenant: TenantId::default(),
+        }
+    }
+
+    /// Sets the scheduling priority.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the wall-clock deadline, measured from submission.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the tenant the job is accounted against.
+    #[must_use]
+    pub fn tenant(mut self, tenant: TenantId) -> Self {
+        self.tenant = tenant;
+        self
+    }
+}
+
+impl From<DftJob> for JobRequest {
+    fn from(job: DftJob) -> Self {
+        JobRequest::new(job)
+    }
+}
+
 /// The physics payload a completed job carries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobPayload {
@@ -353,6 +495,11 @@ pub enum JobError {
     Numerics(String),
     /// The engine shut down before the job ran.
     ShutDown,
+    /// The job was cancelled while it was still queued.
+    Cancelled,
+    /// The job's wall-clock deadline passed while it waited in the
+    /// queue, so the worker dropped it instead of running it.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for JobError {
@@ -361,6 +508,8 @@ impl fmt::Display for JobError {
             JobError::InvalidSystem(m) => write!(f, "invalid system: {m}"),
             JobError::Numerics(m) => write!(f, "numerics failure: {m}"),
             JobError::ShutDown => f.write_str("engine shut down before execution"),
+            JobError::Cancelled => f.write_str("job cancelled before execution"),
+            JobError::DeadlineExceeded => f.write_str("deadline passed while the job was queued"),
         }
     }
 }
@@ -460,6 +609,35 @@ mod tests {
             a.workload_class().shard_key(),
             other.workload_class().shard_key()
         );
+    }
+
+    #[test]
+    fn job_request_builder_defaults_and_overrides() {
+        let job = DftJob::Spectrum {
+            atoms: 8,
+            full_casida: false,
+        };
+        let plain: JobRequest = job.clone().into();
+        assert_eq!(plain.priority, Priority::Standard);
+        assert_eq!(plain.deadline, None);
+        assert_eq!(plain.tenant, TenantId(0));
+
+        let tuned = JobRequest::new(job)
+            .priority(Priority::Bulk)
+            .deadline(Duration::from_millis(250))
+            .tenant(TenantId(3));
+        assert_eq!(tuned.priority, Priority::Bulk);
+        assert_eq!(tuned.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(tuned.tenant, TenantId(3));
+    }
+
+    #[test]
+    fn priority_order_is_service_order() {
+        assert!(Priority::Interactive < Priority::Standard);
+        assert!(Priority::Standard < Priority::Bulk);
+        for (i, p) in Priority::ALL.iter().enumerate() {
+            assert_eq!(p.index(), i);
+        }
     }
 
     #[test]

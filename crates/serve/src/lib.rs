@@ -60,9 +60,23 @@
 //!   paths included) into a bounded drop-oldest ring; subscribe with
 //!   [`DftService::progress`] ([`ProgressStream`]) to watch live
 //!   placement decisions without touching the aggregate report.
+//! * **Multi-tenant QoS** — submissions carry a [`JobRequest`] (built
+//!   from any [`DftJob`] via `JobRequest::new(job).priority(..)
+//!   .deadline(..).tenant(..)`): three [`Priority`] classes map onto
+//!   per-shard lanes served highest-first with an aging escape hatch
+//!   (no class starves); [`JobTicket::cancel`] /
+//!   [`ClientSession::cancel`] pull still-queued jobs back out as
+//!   tombstones; deadlines are enforced twice — at submission by
+//!   modeled admission control ([`SubmitError::AdmissionDenied`]) and
+//!   at dispatch by dropping expired entries — and an optional
+//!   per-[`TenantId`] in-flight quota ([`ServeConfig::tenant_quota`])
+//!   keeps one tenant from monopolizing the engine.
+//!   `ServeConfig { qos: false, .. }` reproduces the FIFO engine.
 //! * **Metrics** — per-job latency, throughput, steal counters,
-//!   per-shard depth/occupancy, in-flight ticket gauge, and modeled
-//!   per-target utilization, aggregated into a [`ServeReport`].
+//!   per-shard depth/occupancy, in-flight ticket gauge, cancellation /
+//!   deadline-drop / admission accounting, per-priority latency
+//!   percentiles, and modeled per-target utilization, aggregated into
+//!   a [`ServeReport`].
 //!
 //! ## Example
 //!
@@ -97,6 +111,7 @@ pub mod progress;
 pub mod queue;
 pub mod service;
 pub mod telemetry;
+mod tenant;
 pub mod ticket;
 pub mod trace;
 pub mod worker;
@@ -107,7 +122,9 @@ pub use client::{ClientSession, CompletionStream, JobId, SessionCompletion};
 pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
 pub use exec::{block_on, join_all, race, JoinAll, Race};
 pub use fingerprint::{Fingerprint, Hasher};
-pub use job::{DftJob, JobError, JobKind, JobPayload, WorkloadClass};
+pub use job::{
+    DftJob, JobError, JobKind, JobPayload, JobRequest, Priority, TenantId, WorkloadClass,
+};
 pub use metrics::{ExecutionSample, Metrics, ServeReport};
 pub use persist::{Dec, DiskTier, Enc, PersistValue};
 pub use placement::{
@@ -119,7 +136,7 @@ pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
 pub use service::{DftService, ServeConfig};
 pub use telemetry::{
     ClassLatencySummary, ClassSnapshot, HistogramSnapshot, LatencyHistogram, PlacementTarget,
-    Stage, Telemetry, TelemetrySnapshot,
+    PriorityLatencySummary, Stage, Telemetry, TelemetrySnapshot,
 };
 pub use ticket::{JobTicket, TicketFuture, TicketResolver};
 pub use trace::{chrome_trace_json, TraceCollector, TraceEvent, TraceEventKind, TraceId};

@@ -7,7 +7,7 @@
 
 use crate::batch::BatchOrigin;
 use crate::cache::CacheStats;
-use crate::telemetry::ClassLatencySummary;
+use crate::telemetry::{ClassLatencySummary, PriorityLatencySummary};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -58,6 +58,9 @@ pub struct Metrics {
     rejected: AtomicU64,
     completed: AtomicU64,
     failed: AtomicU64,
+    cancelled: AtomicU64,
+    deadline_dropped: AtomicU64,
+    admission_denied: AtomicU64,
     served_from_cache: AtomicU64,
     batches: AtomicU64,
     planner_calls: AtomicU64,
@@ -83,6 +86,9 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            deadline_dropped: AtomicU64::new(0),
+            admission_denied: AtomicU64::new(0),
             served_from_cache: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             planner_calls: AtomicU64::new(0),
@@ -192,6 +198,25 @@ impl Metrics {
         self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one queued job whose ticket was cancelled before a
+    /// worker executed it (the tombstone sweep).
+    pub fn on_cancel(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one queued job dropped because its deadline expired
+    /// before a worker reached it.
+    pub fn on_deadline_drop(&self) {
+        self.deadline_dropped.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a submission refused by admission control — either a
+    /// modeled deadline overrun or a tenant quota breach. These jobs
+    /// never enter the queue and never count as submitted.
+    pub fn on_admission_denied(&self) {
+        self.admission_denied.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Records a worker thread that died by panic (seen at join time).
     pub fn on_worker_panic(&self) {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
@@ -209,26 +234,31 @@ impl Metrics {
     }
 
     /// Live in-flight ticket gauge: submissions whose tickets are not
-    /// yet fulfilled (submitted − completed − failed). Cache-served
+    /// yet fulfilled (submitted minus the four terminal counters:
+    /// completed, failed, cancelled, deadline-dropped). Cache-served
     /// submissions count as instantly fulfilled, so a drained engine
     /// reads zero. Saturating: concurrent counter updates can
     /// transiently observe completions before their submissions.
     pub fn tickets_outstanding(&self) -> u64 {
         let submitted = self.submitted.load(Ordering::Relaxed);
-        let fulfilled =
-            self.completed.load(Ordering::Relaxed) + self.failed.load(Ordering::Relaxed);
+        let fulfilled = self.completed.load(Ordering::Relaxed)
+            + self.failed.load(Ordering::Relaxed)
+            + self.cancelled.load(Ordering::Relaxed)
+            + self.deadline_dropped.load(Ordering::Relaxed);
         submitted.saturating_sub(fulfilled)
     }
 
     /// Snapshot folded together with cache counters, the queue's live
     /// per-shard depths, the progress and trace rings' drop counters,
-    /// and the telemetry hub's per-class latency percentile rows.
+    /// and the telemetry hub's per-class and per-priority latency
+    /// percentile rows.
     pub fn report(
         &self,
         cache: CacheStats,
         shard_depths: Vec<usize>,
         progress_events_dropped: u64,
         class_latency: Vec<ClassLatencySummary>,
+        priority_latency: Vec<PriorityLatencySummary>,
         trace_events_dropped: u64,
     ) -> ServeReport {
         let a = *self.accum.lock().unwrap();
@@ -238,6 +268,7 @@ impl Metrics {
             progress_events_dropped,
             trace_events_dropped,
             class_latency,
+            priority_latency,
             steals: self.steals.load(Ordering::Relaxed),
             stolen_jobs: self.stolen_jobs.load(Ordering::Relaxed),
             stolen_batches: self.stolen_batches.load(Ordering::Relaxed),
@@ -260,6 +291,9 @@ impl Metrics {
             rejected: self.rejected.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            deadline_dropped: self.deadline_dropped.load(Ordering::Relaxed),
+            admission_denied: self.admission_denied.load(Ordering::Relaxed),
             served_from_cache: self.served_from_cache.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             planner_calls: self.planner_calls.load(Ordering::Relaxed),
@@ -294,6 +328,18 @@ pub struct ServeReport {
     pub completed: u64,
     /// Jobs failed.
     pub failed: u64,
+    /// Queued jobs whose tickets were cancelled before execution and
+    /// swept out of the queue as tombstones. A job cancelled after a
+    /// worker started executing it still counts as completed here —
+    /// only its ticket keeps the `Cancelled` resolution.
+    pub cancelled: u64,
+    /// Queued jobs dropped because their deadline expired before a
+    /// worker reached them.
+    pub deadline_dropped: u64,
+    /// Submissions refused by admission control (modeled deadline
+    /// overrun or tenant quota breach). Never queued, never counted
+    /// as submitted.
+    pub admission_denied: u64,
     /// Jobs answered from the result cache (submit-path or worker dedup).
     pub served_from_cache: u64,
     /// Batches dispatched to workers.
@@ -319,6 +365,11 @@ pub struct ServeReport {
     /// and sorted by class. The mean/max fields below remain for
     /// continuity; these rows carry the tail.
     pub class_latency: Vec<ClassLatencySummary>,
+    /// Per-priority end-to-end latency percentiles in
+    /// [`crate::Priority`] order (always three rows; unused priorities
+    /// report zero jobs). The QoS view: compare the interactive row's
+    /// tail against bulk under load.
+    pub priority_latency: Vec<PriorityLatencySummary>,
     /// Worker threads that died by panic (0 in a healthy engine).
     pub worker_panics: u64,
     /// Work-stealing dispatches (one per stolen run).
@@ -367,6 +418,16 @@ pub struct ServeReport {
 }
 
 impl ServeReport {
+    /// Job-conservation invariant on a quiescent engine: every
+    /// accepted submission reached exactly one terminal state —
+    /// `submitted == completed + failed + cancelled + deadline_dropped`.
+    /// Only meaningful once the engine has drained (zero outstanding
+    /// tickets); mid-flight snapshots legitimately have submissions
+    /// that reached no terminal yet.
+    pub fn conservation_holds(&self) -> bool {
+        self.submitted == self.completed + self.failed + self.cancelled + self.deadline_dropped
+    }
+
     /// Completed jobs per wall-clock second of engine uptime.
     pub fn throughput_jobs_per_s(&self) -> f64 {
         if self.uptime_s == 0.0 {
@@ -456,6 +517,13 @@ impl fmt::Display for ServeReport {
             "  jobs        submitted {:>6}  completed {:>6}  failed {:>4}  rejected {:>4}",
             self.submitted, self.completed, self.failed, self.rejected
         )?;
+        if self.cancelled > 0 || self.deadline_dropped > 0 || self.admission_denied > 0 {
+            writeln!(
+                f,
+                "  qos         cancelled {:>6}  deadline dropped {:>6}  admission denied {:>6}",
+                self.cancelled, self.deadline_dropped, self.admission_denied
+            )?;
+        }
         if self.worker_panics > 0 {
             writeln!(
                 f,
@@ -533,6 +601,21 @@ impl fmt::Display for ServeReport {
                 row.max_s * 1e3
             )?;
         }
+        for row in &self.priority_latency {
+            if row.jobs == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "    {:<14} jobs {:>6}  p50 {:>9.3} ms  p90 {:>9.3} ms  p99 {:>9.3} ms  max {:>9.3} ms",
+                row.priority.to_string(),
+                row.jobs,
+                row.p50_s * 1e3,
+                row.p90_s * 1e3,
+                row.p99_s * 1e3,
+                row.max_s * 1e3
+            )?;
+        }
         writeln!(
             f,
             "  placement   cpu busy {:>9.3}s ({:>4.1}%)  ndp busy {:>9.3}s ({:>4.1}%)",
@@ -571,7 +654,14 @@ mod tests {
         m.on_submit();
         m.on_executed(0.5, sample(1.0, 3.0, 4.2, 6.0));
         m.on_serve_from_cache();
-        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![0, 0],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert_eq!(r.submitted, 2);
         assert_eq!(r.completed, 2);
         assert_eq!(r.served_from_cache, 1);
@@ -581,7 +671,14 @@ mod tests {
     fn utilization_fractions_sum_to_one_when_busy() {
         let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 3.0, 4.1, 5.0));
-        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![0, 0],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert!((r.cpu_utilization() + r.ndp_utilization() - 1.0).abs() < 1e-12);
         assert!((r.cpu_utilization() - 0.25).abs() < 1e-12);
     }
@@ -591,7 +688,14 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_batch(true, 3, BatchOrigin::Home); // planner consulted once, 3 riders
         m.on_batch(false, 0, BatchOrigin::Stolen); // fully cache-served: no plan at all
-        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![0, 0],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert_eq!(r.batches, 2);
         assert_eq!(r.planner_calls, 1);
         assert_eq!(r.plans_reused, 3);
@@ -603,7 +707,14 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_executed(0.2, ExecutionSample::default());
         m.on_dedup_complete(0.4);
-        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![0, 0],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert!((r.mean_latency_s - 0.3).abs() < 1e-12);
         assert!((r.max_latency_s - 0.4).abs() < 1e-12);
         assert_eq!(r.served_from_cache, 1);
@@ -614,7 +725,14 @@ mod tests {
         let m = Metrics::new(2, 2);
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 6.0));
         m.on_executed(0.1, sample(1.0, 1.0, 2.0, 2.0));
-        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![0, 0],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert!((r.modeled_speedup_vs_cpu() - 2.0).abs() < 1e-12);
     }
 
@@ -624,7 +742,14 @@ mod tests {
         m.on_dispatch(0, 0, 4, false); // worker 0 drains its home shard
         m.on_dispatch(1, 0, 2, true); // worker 1 steals from shard 0
         m.on_dispatch(1, 1, 2, false);
-        let r = m.report(CacheStats::default(), vec![3, 1], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![3, 1],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert_eq!(r.steals, 1);
         assert_eq!(r.stolen_jobs, 2);
         assert_eq!(r.shard_dispatched, vec![6, 2]);
@@ -646,7 +771,14 @@ mod tests {
         m.on_batch(true, 0, BatchOrigin::Home);
         m.on_batch(true, 0, BatchOrigin::Home);
         m.on_batch(true, 0, BatchOrigin::Home);
-        let r = m.report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0);
+        let r = m.report(
+            CacheStats::default(),
+            vec![0, 0],
+            0,
+            Vec::new(),
+            Vec::new(),
+            0,
+        );
         assert_eq!(r.plans_contended, 2);
         assert_eq!(r.plans_shifted, 1);
         assert!((r.cpu_contention_s - 1.5).abs() < 1e-12);
@@ -657,8 +789,30 @@ mod tests {
     #[test]
     fn shift_fraction_is_zero_without_plans() {
         let m = Metrics::new(1, 1);
-        let r = m.report(CacheStats::default(), vec![0], 0, Vec::new(), 0);
+        let r = m.report(CacheStats::default(), vec![0], 0, Vec::new(), Vec::new(), 0);
         assert_eq!(r.shift_fraction(), 0.0);
+    }
+
+    #[test]
+    fn qos_terminals_settle_the_conservation_invariant() {
+        let m = Metrics::new(1, 1);
+        for _ in 0..4 {
+            m.on_submit();
+        }
+        m.on_executed(0.1, ExecutionSample::default());
+        m.on_fail();
+        m.on_cancel();
+        m.on_deadline_drop();
+        m.on_admission_denied(); // refused pre-queue: not part of submitted
+        assert_eq!(m.tickets_outstanding(), 0);
+        let r = m.report(CacheStats::default(), vec![0], 0, Vec::new(), Vec::new(), 0);
+        assert_eq!(r.cancelled, 1);
+        assert_eq!(r.deadline_dropped, 1);
+        assert_eq!(r.admission_denied, 1);
+        assert!(r.conservation_holds());
+        let text = r.to_string();
+        assert!(text.contains("cancelled"));
+        assert!(text.contains("admission denied"));
     }
 
     #[test]
@@ -667,7 +821,14 @@ mod tests {
         m.on_submit();
         m.on_executed(0.01, sample(0.5, 1.5, 2.1, 3.0));
         let text = m
-            .report(CacheStats::default(), vec![0, 0], 0, Vec::new(), 0)
+            .report(
+                CacheStats::default(),
+                vec![0, 0],
+                0,
+                Vec::new(),
+                Vec::new(),
+                0,
+            )
             .to_string();
         assert!(text.contains("ndft-serve report"));
         assert!(text.contains("speedup"));

@@ -62,6 +62,9 @@ pub enum JobStage {
         /// rather than a fresh execution.
         cached: bool,
     },
+    /// The job was cancelled while queued; a dispatcher consumed its
+    /// tombstone instead of executing it. Terminal, like `Done`.
+    Cancelled,
 }
 
 impl JobStage {
@@ -72,6 +75,7 @@ impl JobStage {
             JobStage::Planned { .. } => "planned",
             JobStage::Running => "running",
             JobStage::Done { .. } => "done",
+            JobStage::Cancelled => "cancelled",
         }
     }
 }

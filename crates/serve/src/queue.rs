@@ -10,6 +10,12 @@
 //!   *home* shard and, when it is empty, steal the largest batchable run
 //!   (the most common key) from the most-loaded victim shard.
 //!
+//! Each shard holds one FIFO *lane* per [`crate::Priority`]. Both home
+//! drains and steals pick the highest-priority nonempty lane, with an
+//! aging escape hatch: a nonempty lane passed over [`LANE_AGING_LIMIT`]
+//! times is served next regardless of priority, so interactive work
+//! preempts bulk without ever starving it.
+//!
 //! Producers see [`SubmitError::QueueFull`] from the `try_push` entry
 //! points when the service is saturated (the backpressure signal), or
 //! block in `push`; consumers drain up to a batch-sized chunk at a time
@@ -20,8 +26,26 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
+use crate::job::TenantId;
+
+/// Number of priority lanes per shard — one per [`crate::Priority`].
+pub const PRIORITY_LANES: usize = 3;
+
+/// Lane index `try_push`/`push` route to (the standard-priority lane).
+pub const DEFAULT_LANE: usize = 1;
+
+/// How many times a nonempty lane may be passed over by lane selection
+/// before it is served unconditionally. Bounds the service gap of any
+/// queued item: a nonempty lane is drained from at least once in every
+/// `LANE_AGING_LIMIT + PRIORITY_LANES` dispatches against its shard.
+pub const LANE_AGING_LIMIT: u32 = 4;
+
 /// Why a submission was rejected.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: the QoS layer grows admission verdicts
+/// over time, so downstream matches need a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum SubmitError {
     /// The bounded queue is at capacity — back off and retry.
     QueueFull,
@@ -30,14 +54,50 @@ pub enum SubmitError {
     /// The job can never run (e.g. an impossible atom count); rejected
     /// before queueing.
     InvalidJob(String),
+    /// Admission control rejected the request: the modeled queue wait
+    /// plus modeled run time already overruns the requested deadline, so
+    /// queueing the job would only waste a slot.
+    AdmissionDenied {
+        /// Modeled completion time from now, seconds (queue wait + run).
+        modeled_finish_s: f64,
+        /// The deadline the request asked for, seconds.
+        deadline_s: f64,
+    },
+    /// The tenant is at its in-flight quota; the job was not queued.
+    QuotaExceeded {
+        /// The tenant whose quota is exhausted.
+        tenant: TenantId,
+    },
 }
 
 impl std::fmt::Display for SubmitError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SubmitError::QueueFull => f.write_str("submission queue is full"),
-            SubmitError::Closed => f.write_str("engine is shut down"),
-            SubmitError::InvalidJob(why) => write!(f, "invalid job: {why}"),
+            SubmitError::QueueFull => {
+                f.write_str("submission queue is full — back off and retry, or use submit_blocking")
+            }
+            SubmitError::Closed => {
+                f.write_str("engine is shut down — no further submissions will be accepted")
+            }
+            SubmitError::InvalidJob(why) => {
+                write!(
+                    f,
+                    "invalid job: {why} — fix the request; retrying cannot succeed"
+                )
+            }
+            SubmitError::AdmissionDenied {
+                modeled_finish_s,
+                deadline_s,
+            } => write!(
+                f,
+                "admission denied: modeled finish {modeled_finish_s:.3}s overruns the \
+                 {deadline_s:.3}s deadline — relax the deadline, or resubmit when load drops"
+            ),
+            SubmitError::QuotaExceeded { tenant } => write!(
+                f,
+                "{tenant} is at its in-flight quota — wait for its queued jobs to finish, \
+                 or raise ServeConfig::tenant_quota"
+            ),
         }
     }
 }
@@ -194,7 +254,36 @@ pub struct StolenRun<T> {
 }
 
 struct ShardInner<T> {
-    items: VecDeque<(u64, T)>,
+    /// One FIFO per priority, indexed by [`crate::Priority::index`].
+    lanes: [VecDeque<(u64, T)>; PRIORITY_LANES],
+    /// Times each nonempty lane has been passed over by lane selection
+    /// since it was last served; at [`LANE_AGING_LIMIT`] the lane jumps
+    /// the priority order (the anti-starvation clock).
+    passed: [u32; PRIORITY_LANES],
+}
+
+impl<T> ShardInner<T> {
+    /// Total items across every lane (the depth the mirror publishes).
+    fn total(&self) -> usize {
+        self.lanes.iter().map(VecDeque::len).sum()
+    }
+
+    /// Picks the lane the next dispatch serves and advances the aging
+    /// clocks: an aged nonempty lane wins outright, otherwise the
+    /// highest-priority nonempty lane does; every other nonempty lane
+    /// records one more pass-over. `None` when the shard is empty.
+    fn choose_lane(&mut self) -> Option<usize> {
+        let aged = (0..PRIORITY_LANES)
+            .find(|&l| !self.lanes[l].is_empty() && self.passed[l] >= LANE_AGING_LIMIT);
+        let chosen = aged.or_else(|| (0..PRIORITY_LANES).find(|&l| !self.lanes[l].is_empty()))?;
+        for l in 0..PRIORITY_LANES {
+            if l != chosen && !self.lanes[l].is_empty() {
+                self.passed[l] = self.passed[l].saturating_add(1);
+            }
+        }
+        self.passed[chosen] = 0;
+        Some(chosen)
+    }
 }
 
 struct Shard<T> {
@@ -211,7 +300,8 @@ impl<T> Shard<T> {
     fn new(capacity: usize) -> Self {
         Shard {
             state: Mutex::new(ShardInner {
-                items: VecDeque::with_capacity(capacity),
+                lanes: std::array::from_fn(|_| VecDeque::with_capacity(capacity)),
+                passed: [0; PRIORITY_LANES],
             }),
             not_full: Condvar::new(),
             depth: AtomicUsize::new(0),
@@ -230,11 +320,14 @@ impl<T> Shard<T> {
 ///
 /// Producers route by a caller-supplied shard key (the engine hashes the
 /// [`crate::WorkloadClass`], so one class — hence one planner
-/// consultation — lands on one shard). Consumers own a home shard,
-/// drain it in batches with [`ShardedQueue::try_pop_home`], and fall
-/// back to [`ShardedQueue::try_steal`]: pick the most-loaded victim
-/// shard and take its largest same-key run, so a stolen chunk is still
-/// batchable under a single plan.
+/// consultation — lands on one shard) and by priority lane (the `_at`
+/// entry points; the plain ones use [`DEFAULT_LANE`]). Consumers own a
+/// home shard, drain it in batches with [`ShardedQueue::try_pop_home`],
+/// and fall back to [`ShardedQueue::try_steal`]: pick the most-loaded
+/// victim shard and take its largest same-key run, so a stolen chunk is
+/// still batchable under a single plan. Both dispatch paths serve the
+/// highest-priority nonempty lane, subject to the shared aging clock
+/// (see [`LANE_AGING_LIMIT`]).
 ///
 /// Consumers never block inside the queue; they poll the two `try_*`
 /// entry points and park in [`ShardedQueue::wait_for_work`] between
@@ -355,7 +448,8 @@ impl<T> ShardedQueue<T> {
         true
     }
 
-    /// Non-blocking keyed push; the backpressure-aware entry point.
+    /// Non-blocking keyed push to the [`DEFAULT_LANE`]; the
+    /// backpressure-aware entry point.
     ///
     /// # Errors
     ///
@@ -365,6 +459,23 @@ impl<T> ShardedQueue<T> {
     /// its fate (retry, fail its ticket, drop) instead of the queue
     /// silently destroying it.
     pub fn try_push(&self, key: u64, item: T) -> Result<(), (T, SubmitError)> {
+        self.try_push_at(key, DEFAULT_LANE, item)
+    }
+
+    /// Non-blocking keyed push into priority lane `lane` (a
+    /// [`crate::Priority::index`]). Capacity is shared across every lane
+    /// of the shard, so a bulk flood exerts backpressure on everyone —
+    /// admission, not the queue, is where priorities buy headroom.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedQueue::try_push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= PRIORITY_LANES`.
+    pub fn try_push_at(&self, key: u64, lane: usize, item: T) -> Result<(), (T, SubmitError)> {
+        assert!(lane < PRIORITY_LANES, "lane out of range");
         if self.closed.load(Ordering::Acquire) {
             return Err((item, SubmitError::Closed));
         }
@@ -374,24 +485,39 @@ impl<T> ShardedQueue<T> {
             drop(st);
             return Err((item, SubmitError::Closed));
         }
-        if st.items.len() >= self.capacity_per_shard {
+        if st.total() >= self.capacity_per_shard {
             drop(st);
             return Err((item, SubmitError::QueueFull));
         }
-        st.items.push_back((key, item));
-        shard.set_depth(st.items.len());
+        st.lanes[lane].push_back((key, item));
+        shard.set_depth(st.total());
         drop(st);
         self.bump_work_generation();
         Ok(())
     }
 
-    /// Blocking keyed push: waits for space on the target shard.
+    /// Blocking keyed push to the [`DEFAULT_LANE`]: waits for space on
+    /// the target shard.
     ///
     /// # Errors
     ///
     /// [`SubmitError::Closed`] if the queue closes while waiting (the
     /// rejected item rides back with the error).
     pub fn push(&self, key: u64, item: T) -> Result<(), (T, SubmitError)> {
+        self.push_at(key, DEFAULT_LANE, item)
+    }
+
+    /// Blocking keyed push into priority lane `lane`.
+    ///
+    /// # Errors
+    ///
+    /// As [`ShardedQueue::push`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane >= PRIORITY_LANES`.
+    pub fn push_at(&self, key: u64, lane: usize, item: T) -> Result<(), (T, SubmitError)> {
+        assert!(lane < PRIORITY_LANES, "lane out of range");
         let shard = &self.shards[self.shard_for(key)];
         let mut st = shard.state.lock().unwrap();
         loop {
@@ -399,9 +525,9 @@ impl<T> ShardedQueue<T> {
                 drop(st);
                 return Err((item, SubmitError::Closed));
             }
-            if st.items.len() < self.capacity_per_shard {
-                st.items.push_back((key, item));
-                shard.set_depth(st.items.len());
+            if st.total() < self.capacity_per_shard {
+                st.lanes[lane].push_back((key, item));
+                shard.set_depth(st.total());
                 drop(st);
                 self.bump_work_generation();
                 return Ok(());
@@ -412,15 +538,17 @@ impl<T> ShardedQueue<T> {
 
     /// Drains up to `max` items from `home` without blocking. `None`
     /// when the home shard is empty (then try [`ShardedQueue::try_steal`]).
+    ///
+    /// The drain comes from a single lane — the one the aging-aware
+    /// selection picks — so a chunk never interleaves priorities.
     pub fn try_pop_home(&self, home: usize, max: usize) -> Option<Vec<T>> {
         let shard = &self.shards[home];
         let mut st = shard.state.lock().unwrap();
-        if st.items.is_empty() {
-            return None;
-        }
-        let n = st.items.len().min(max.max(1));
-        let batch: Vec<T> = st.items.drain(..n).map(|(_, item)| item).collect();
-        shard.set_depth(st.items.len());
+        let lane = st.choose_lane()?;
+        let items = &mut st.lanes[lane];
+        let n = items.len().min(max.max(1));
+        let batch: Vec<T> = items.drain(..n).map(|(_, item)| item).collect();
+        shard.set_depth(st.total());
         drop(st);
         shard.not_full.notify_all();
         Some(batch)
@@ -430,6 +558,10 @@ impl<T> ShardedQueue<T> {
     /// key, capped at `max` — from the most-loaded shard other than
     /// `thief_home`. Victims are tried in decreasing-depth order, so a
     /// race with another thief falls through to the next candidate.
+    ///
+    /// The run comes from one lane of the victim, picked by the same
+    /// aging-aware selection home drains use, so stealing respects both
+    /// the priority order and the starvation bound.
     pub fn try_steal(&self, thief_home: usize, max: usize) -> Option<StolenRun<T>> {
         let mut candidates: Vec<(usize, usize)> = self
             .shards
@@ -442,15 +574,16 @@ impl<T> ShardedQueue<T> {
         for (victim, _) in candidates {
             let shard = &self.shards[victim];
             let mut st = shard.state.lock().unwrap();
-            if st.items.is_empty() {
+            let Some(lane) = st.choose_lane() else {
                 continue; // lost the race to another consumer
-            }
+            };
+            let items = &mut st.lanes[lane];
             // Find the key with the longest run (ties → first seen, which
             // keeps the steal deterministic for a given queue state).
-            let mut best_key = st.items[0].0;
+            let mut best_key = items[0].0;
             let mut best_count = 0usize;
             let mut counts: Vec<(u64, usize)> = Vec::new();
-            for &(key, _) in st.items.iter() {
+            for &(key, _) in items.iter() {
                 match counts.iter_mut().find(|(k, _)| *k == key) {
                     Some((_, c)) => *c += 1,
                     None => counts.push((key, 1)),
@@ -463,34 +596,37 @@ impl<T> ShardedQueue<T> {
                 }
             }
             let take = best_count.min(max.max(1));
-            let mut items = Vec::with_capacity(take);
-            let mut kept = VecDeque::with_capacity(st.items.len() - take);
-            for (key, item) in st.items.drain(..) {
-                if key == best_key && items.len() < take {
-                    items.push(item);
+            let mut stolen = Vec::with_capacity(take);
+            let mut kept = VecDeque::with_capacity(items.len() - take);
+            for (key, item) in items.drain(..) {
+                if key == best_key && stolen.len() < take {
+                    stolen.push(item);
                 } else {
                     kept.push_back((key, item));
                 }
             }
-            st.items = kept;
-            shard.set_depth(st.items.len());
+            st.lanes[lane] = kept;
+            shard.set_depth(st.total());
             drop(st);
             shard.not_full.notify_all();
             return Some(StolenRun {
                 from_shard: victim,
                 key: best_key,
-                items,
+                items: stolen,
             });
         }
         None
     }
 
-    /// Empties every shard (shutdown sweep for orphaned entries).
+    /// Empties every shard (shutdown sweep for orphaned entries), lanes
+    /// in priority order within each shard.
     pub fn drain_all(&self) -> Vec<T> {
         let mut all = Vec::new();
         for shard in &self.shards {
             let mut st = shard.state.lock().unwrap();
-            all.extend(st.items.drain(..).map(|(_, item)| item));
+            for lane in 0..PRIORITY_LANES {
+                all.extend(st.lanes[lane].drain(..).map(|(_, item)| item));
+            }
             shard.set_depth(0);
             drop(st);
             shard.not_full.notify_all();
@@ -738,5 +874,62 @@ mod tests {
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 10, 11, 20, 21]);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn higher_priority_lane_preempts_lower() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(1, 16);
+        q.try_push_at(0, 2, 200).unwrap(); // bulk arrives first
+        q.try_push_at(0, 1, 100).unwrap();
+        q.try_push_at(0, 0, 1).unwrap(); // interactive arrives last
+        assert_eq!(q.try_pop_home(0, 8), Some(vec![1]));
+        assert_eq!(q.try_pop_home(0, 8), Some(vec![100]));
+        assert_eq!(q.try_pop_home(0, 8), Some(vec![200]));
+    }
+
+    #[test]
+    fn aging_bounds_the_service_gap_of_a_starved_lane() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(1, 256);
+        q.try_push_at(0, 2, 999).unwrap(); // the one bulk item
+        for i in 0..32 {
+            q.try_push_at(0, 0, i).unwrap(); // interactive flood
+        }
+        // With an interactive lane that never empties, the bulk item must
+        // still be served within LANE_AGING_LIMIT + 1 dispatches.
+        let mut pops = 0;
+        loop {
+            let got = q.try_pop_home(0, 1).unwrap();
+            pops += 1;
+            if got == vec![999] {
+                break;
+            }
+            assert!(
+                pops <= LANE_AGING_LIMIT as usize + 1,
+                "bulk item starved for {pops} dispatches"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_serves_the_victims_priority_lanes_in_order() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(2, 16);
+        q.try_push_at(0, 2, 20).unwrap();
+        q.try_push_at(0, 2, 21).unwrap();
+        q.try_push_at(0, 0, 5).unwrap();
+        // Thief homed on shard 1: the victim's interactive lane wins even
+        // though the bulk lane holds the larger run.
+        let run = q.try_steal(1, 8).unwrap();
+        assert_eq!(run.from_shard, 0);
+        assert_eq!(run.items, vec![5]);
+        let run = q.try_steal(1, 8).unwrap();
+        assert_eq!(run.items, vec![20, 21]);
+    }
+
+    #[test]
+    fn lanes_share_one_capacity_budget() {
+        let q: ShardedQueue<u32> = ShardedQueue::new(1, 2);
+        q.try_push_at(0, 0, 1).unwrap();
+        q.try_push_at(0, 2, 2).unwrap();
+        assert_eq!(q.try_push_at(0, 1, 3), Err((3, SubmitError::QueueFull)));
     }
 }

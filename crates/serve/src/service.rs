@@ -8,12 +8,13 @@
 use crate::cache::{CachePolicy, CacheStats, ResultCache};
 use crate::client::{ClientSession, CompletionStream};
 use crate::cluster::{ClusterSnapshot, ClusterView};
-use crate::job::DftJob;
+use crate::job::{DftJob, JobRequest, Priority};
 use crate::metrics::{Metrics, ServeReport};
-use crate::placement::PlacementPolicy;
+use crate::placement::{plan_placement_loaded, PlacementPolicy};
 use crate::progress::{JobStage, ProgressBus, ProgressStream};
 use crate::queue::{ShardedQueue, SubmitError};
 use crate::telemetry::{Telemetry, TelemetrySnapshot};
+use crate::tenant::TenantTable;
 use crate::ticket::JobTicket;
 use crate::trace::{TraceCollector, TraceEvent, TraceEventKind, TraceId};
 use crate::worker::{worker_loop, JobOutcome, PendingJob};
@@ -71,6 +72,19 @@ pub struct ServeConfig {
     /// ⇒ the oldest undelivered event is evicted and counted
     /// ([`ServeReport::trace_events_dropped`]).
     pub trace_capacity: usize,
+    /// Quality-of-service dispatch: when `true` (the default) each
+    /// shard serves its [`Priority`] lanes highest-first with an aging
+    /// escape hatch, so interactive jobs overtake queued bulk work.
+    /// `false` routes every push to the standard lane — exactly the
+    /// pre-QoS FIFO engine — while per-priority latency histograms
+    /// still record each job's declared priority (the A/B knob the
+    /// `serve_study` QoS sweep flips).
+    pub qos: bool,
+    /// Fair-share admission: `Some(n)` caps each [`crate::TenantId`]
+    /// at `n` in-flight jobs — submissions over the cap fail with
+    /// [`SubmitError::QuotaExceeded`] instead of queueing. `None`
+    /// (the default) disables per-tenant accounting.
+    pub tenant_quota: Option<u64>,
 }
 
 impl Default for ServeConfig {
@@ -87,6 +101,8 @@ impl Default for ServeConfig {
             cache_dir: None,
             progress_capacity: 1024,
             trace_capacity: 65_536,
+            qos: true,
+            tenant_quota: None,
         }
     }
 }
@@ -116,6 +132,7 @@ pub(crate) struct EngineShared {
     pub(crate) metrics: Arc<Metrics>,
     pub(crate) progress: Arc<ProgressBus>,
     pub(crate) telemetry: Arc<Telemetry>,
+    pub(crate) tenants: Arc<TenantTable>,
     pub(crate) config: ServeConfig,
 }
 
@@ -151,6 +168,7 @@ impl DftService {
             metrics: Arc::new(Metrics::new(config.shards, config.workers)),
             progress: Arc::new(ProgressBus::new(config.progress_capacity)),
             telemetry: Arc::new(Telemetry::new(config.trace_capacity)),
+            tenants: Arc::new(TenantTable::new(config.tenant_quota)),
             config,
         });
         let workers = (0..worker_count)
@@ -173,13 +191,22 @@ impl DftService {
     /// Backpressure-aware submission: serves from the result cache when
     /// possible, otherwise enqueues without blocking.
     ///
+    /// Accepts anything convertible into a [`JobRequest`]: a bare
+    /// [`DftJob`] submits with default QoS (standard priority, no
+    /// deadline, default tenant); use the builder for more:
+    /// `JobRequest::new(job).priority(Priority::Interactive)
+    /// .deadline(d).tenant(t)`.
+    ///
     /// # Errors
     ///
     /// [`SubmitError::InvalidJob`] for impossible systems,
     /// [`SubmitError::QueueFull`] when saturated (back off and retry),
+    /// [`SubmitError::AdmissionDenied`] when the modeled finish time
+    /// overruns the request's deadline, [`SubmitError::QuotaExceeded`]
+    /// when the tenant is at its in-flight quota, and
     /// [`SubmitError::Closed`] after shutdown began.
-    pub fn submit(&self, job: DftJob) -> Result<JobTicket, SubmitError> {
-        self.submit_inner(job, false)
+    pub fn submit(&self, request: impl Into<JobRequest>) -> Result<JobTicket, SubmitError> {
+        self.submit_inner(request.into(), false)
     }
 
     /// Like [`DftService::submit`] but blocks for queue space instead of
@@ -187,13 +214,17 @@ impl DftService {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::InvalidJob`] or [`SubmitError::Closed`].
-    pub fn submit_blocking(&self, job: DftJob) -> Result<JobTicket, SubmitError> {
-        self.submit_inner(job, true)
+    /// [`SubmitError::InvalidJob`], [`SubmitError::AdmissionDenied`],
+    /// [`SubmitError::QuotaExceeded`], or [`SubmitError::Closed`].
+    pub fn submit_blocking(
+        &self,
+        request: impl Into<JobRequest>,
+    ) -> Result<JobTicket, SubmitError> {
+        self.submit_inner(request.into(), true)
     }
 
-    fn submit_inner(&self, job: DftJob, blocking: bool) -> Result<JobTicket, SubmitError> {
-        match self.issue(job, blocking)? {
+    fn submit_inner(&self, request: JobRequest, blocking: bool) -> Result<JobTicket, SubmitError> {
+        match self.issue(request, blocking)? {
             Issued::Cached {
                 fingerprint,
                 trace,
@@ -208,7 +239,13 @@ impl DftService {
     /// an already-fulfilled ticket, so the session forwards it straight
     /// into its completion channel — no ticket allocation and two fewer
     /// lock round-trips per warm submission.
-    pub(crate) fn issue(&self, job: DftJob, blocking: bool) -> Result<Issued, SubmitError> {
+    pub(crate) fn issue(&self, request: JobRequest, blocking: bool) -> Result<Issued, SubmitError> {
+        let JobRequest {
+            job,
+            priority,
+            deadline,
+            tenant,
+        } = request;
         if let Err(e) = job.system() {
             return Err(SubmitError::InvalidJob(e.to_string()));
         }
@@ -224,7 +261,9 @@ impl DftService {
             // The serve still counts end-to-end: the job's whole life is
             // this lookup, so the pairing with `completed` holds.
             let e2e = admitted.elapsed();
-            self.shared.telemetry.record_end_to_end(class, e2e);
+            self.shared
+                .telemetry
+                .record_end_to_end(class, priority, e2e);
             if self.shared.telemetry.traced() {
                 let start_ns = self.shared.telemetry.ns_at(admitted);
                 // One ring acquisition for the whole two-event chain,
@@ -276,6 +315,31 @@ impl DftService {
                 outcome: hit,
             });
         }
+        // Deadline admission: the modeled finish (queue pressure plus
+        // this job's modeled run) must fit the deadline, or the job is
+        // refused up front rather than queued to die. Checked after the
+        // cache lookup — a warm serve beats any deadline.
+        if let Some(d) = deadline {
+            let deadline_s = d.as_secs_f64();
+            let modeled_finish_s = self.modeled_finish_s(&job);
+            if modeled_finish_s > deadline_s {
+                self.shared.metrics.on_admission_denied();
+                return Err(SubmitError::AdmissionDenied {
+                    modeled_finish_s,
+                    deadline_s,
+                });
+            }
+        }
+        // Fair share: claim the tenant's in-flight slot last so a
+        // denied deadline never charges the quota. The slot rides the
+        // PendingJob and releases on every exit path by RAII.
+        let tenant_slot = match self.shared.tenants.try_acquire(tenant) {
+            Ok(slot) => slot,
+            Err(e) => {
+                self.shared.metrics.on_admission_denied();
+                return Err(e);
+            }
+        };
         let trace = self.shared.telemetry.next_trace_id();
         let ticket = JobTicket::pending(fingerprint, trace);
         // Class-keyed routing: a wave of same-class jobs lands on one
@@ -283,11 +347,22 @@ impl DftService {
         // a single planner consultation.
         let shard_key = class.shard_key();
         let shard = self.shared.queue.shard_for(shard_key);
+        // QoS off routes everything through the standard lane — the
+        // exact pre-QoS FIFO — while the job keeps its declared
+        // priority for the latency histograms.
+        let lane = if self.shared.config.qos {
+            priority.index()
+        } else {
+            Priority::Standard.index()
+        };
         let pending = PendingJob {
             job,
             fingerprint,
             class,
             trace,
+            priority,
+            deadline,
+            _tenant_slot: tenant_slot,
             ticket: ticket.clone(),
             enqueued: admitted,
             progress: Arc::clone(&self.shared.progress),
@@ -317,9 +392,9 @@ impl DftService {
             });
         }
         let pushed = if blocking {
-            self.shared.queue.push(shard_key, pending)
+            self.shared.queue.push_at(shard_key, lane, pending)
         } else {
-            self.shared.queue.try_push(shard_key, pending)
+            self.shared.queue.try_push_at(shard_key, lane, pending)
         };
         match pushed {
             Ok(()) => {
@@ -363,6 +438,31 @@ impl DftService {
                 Err(e)
             }
         }
+    }
+
+    /// Modeled seconds until a job submitted *now* would finish:
+    /// current reservation pressure plus the backlog's modeled drain
+    /// (approximated as the queue depth times this job's own modeled
+    /// run — a deliberate worst-case stand-in, since queued jobs'
+    /// graphs aren't re-planned here), spread across the worker pool,
+    /// plus the job's own modeled run. The admission-control estimate
+    /// behind [`SubmitError::AdmissionDenied`].
+    fn modeled_finish_s(&self, job: &DftJob) -> f64 {
+        let Ok(graph) = job.task_graph() else {
+            // Invalid systems are rejected before admission; an
+            // unreachable fallback that admits rather than lies.
+            return 0.0;
+        };
+        let snap = self.shared.cluster.snapshot();
+        let decision = if self.shared.config.load_aware {
+            plan_placement_loaded(&graph, self.shared.config.policy, &snap)
+        } else {
+            plan_placement_loaded(&graph, self.shared.config.policy, &ClusterSnapshot::idle())
+        };
+        let run_s = decision.modeled_cost_s(job.modeled_iterations());
+        let backlog_s =
+            snap.cpu_reserved_s + snap.ndp_reserved_s + self.shared.queue.len() as f64 * run_s;
+        backlog_s / self.shared.config.workers.max(1) as f64 + run_s
     }
 
     /// Opens a multiplexing [`ClientSession`] over this engine, paired
@@ -446,8 +546,9 @@ impl DftService {
     /// dispatch total only ever grows, so equality proves no dispatch
     /// raced the snapshot — and the telemetry hub's end-to-end record
     /// count joins it: a stable attempt additionally requires that
-    /// count to equal `completed + failed`, so the report's
-    /// histogram-derived `class_latency` rows can never describe more
+    /// count to equal the sum of the four terminal counters
+    /// (`completed`, `failed`, `cancelled`, `deadline_dropped`), so the
+    /// report's histogram-derived `class_latency` rows can never describe more
     /// (or fewer) jobs than its counters admit to. A handful of
     /// attempts always suffices in practice; if the engine churns
     /// faster than we can snapshot, the last (possibly torn) attempt
@@ -463,11 +564,12 @@ impl DftService {
                 depths.clone(),
                 self.shared.progress.dropped(),
                 self.shared.telemetry.class_latency(),
+                self.shared.telemetry.priority_latency(),
                 self.shared.telemetry.trace_events_dropped(),
             );
             let stable = self.shared.metrics.total_dispatched() == dispatched
                 && self.shared.telemetry.e2e_count() == e2e
-                && r.completed + r.failed == e2e
+                && r.completed + r.failed + r.cancelled + r.deadline_dropped == e2e
                 && self.shared.queue.shard_depths() == depths;
             report = Some(r);
             if stable {
@@ -507,8 +609,15 @@ impl DftService {
         // fail them explicitly rather than leaving waiters hanging. The
         // shared failure protocol records the counters, the end-to-end
         // latency, the closing Done, and the trace fulfill event.
+        // Cancelled tombstones (ticket already resolved) take the
+        // cancellation exit instead, so they count once as cancelled
+        // rather than as shutdown failures.
         for pending in self.shared.queue.drain_all() {
-            pending.fail(crate::job::JobError::ShutDown);
+            if pending.ticket.is_done() {
+                pending.consume_cancelled();
+            } else {
+                pending.fail(crate::job::JobError::ShutDown);
+            }
         }
         // (Entries failed above drop with their tickets already done, so
         // the PendingJob Drop guard publishes nothing extra.)
@@ -531,6 +640,7 @@ impl Drop for DftService {
 mod tests {
     use super::*;
     use crate::job::JobPayload;
+    use std::time::Duration;
 
     fn md(atoms: usize, seed: u64) -> DftJob {
         DftJob::MdSegment {
@@ -597,5 +707,68 @@ mod tests {
         let mut svc = DftService::start_default();
         svc.shutdown_in_place();
         assert!(matches!(svc.submit(md(64, 0)), Err(SubmitError::Closed)));
+    }
+
+    /// A queued entry whose deadline has already passed is dropped by
+    /// the worker that reaches it: counted, ticket resolved with
+    /// `DeadlineExceeded`, and the conservation invariant still holds.
+    ///
+    /// Modeled time runs ~1000x wall time here, so any deadline loose
+    /// enough to pass modeled admission can never expire during a
+    /// millisecond-scale real queue wait — the expired entry is built
+    /// directly to exercise the worker-side path deterministically.
+    #[test]
+    fn workers_drop_deadline_expired_queued_jobs() {
+        use crate::job::JobError;
+
+        let svc = DftService::start(ServeConfig {
+            workers: 1,
+            shards: 1,
+            max_batch: 1,
+            ..ServeConfig::default()
+        });
+        // Wedge the single worker with real wall-clock work so the
+        // hand-built entry sits queued until its deadline check.
+        let blocker = svc
+            .submit(DftJob::MdSegment {
+                atoms: 64,
+                steps: 50_000,
+                temperature_k: 300.0,
+                seed: 1,
+            })
+            .unwrap();
+        let job = md(64, 2);
+        let fingerprint = job.fingerprint();
+        let class = job.workload_class();
+        let trace = svc.shared.telemetry.next_trace_id();
+        let ticket = JobTicket::pending(fingerprint, trace);
+        let pending = PendingJob {
+            job,
+            fingerprint,
+            class,
+            trace,
+            priority: Priority::Standard,
+            deadline: Some(Duration::from_nanos(1)),
+            _tenant_slot: None,
+            ticket: ticket.clone(),
+            enqueued: Instant::now(),
+            progress: Arc::clone(&svc.shared.progress),
+            metrics: Arc::clone(&svc.shared.metrics),
+            telemetry: Arc::clone(&svc.shared.telemetry),
+        };
+        assert!(svc
+            .shared
+            .queue
+            .try_push_at(class.shard_key(), Priority::Standard.index(), pending)
+            .is_ok());
+        // Keep the books paired with the push, exactly as issue() does.
+        svc.shared.metrics.on_submit();
+        assert_eq!(ticket.wait().unwrap_err(), JobError::DeadlineExceeded);
+        blocker.wait().unwrap();
+        let report = svc.shutdown();
+        assert_eq!(report.deadline_dropped, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.tickets_outstanding, 0);
+        assert!(report.conservation_holds());
     }
 }

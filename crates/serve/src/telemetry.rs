@@ -47,7 +47,7 @@
 //! live in [`crate::trace`]; [`Telemetry`] owns the ring so one handle
 //! reaches both.
 
-use crate::job::WorkloadClass;
+use crate::job::{Priority, WorkloadClass};
 use crate::placement::PlacementDecision;
 use crate::trace::{TraceEvent, TraceRing};
 use std::collections::HashMap;
@@ -496,6 +496,10 @@ impl ClassRecorder {
 pub struct Telemetry {
     epoch: Instant,
     classes: RwLock<HashMap<WorkloadClass, Arc<ClassTelemetry>>>,
+    /// End-to-end latency split by scheduling priority (fixed 3-slot
+    /// bank, indexed by [`Priority::index`]) — the substrate the QoS
+    /// sweep's "interactive p99 under a bulk flood" gate reads.
+    priority_e2e: [LatencyHistogram; 3],
     /// Monotone count of end-to-end records — the seqlock witness
     /// [`crate::DftService::report`] pairs with the job counters.
     e2e_recorded: AtomicU64,
@@ -510,6 +514,7 @@ impl Telemetry {
         Telemetry {
             epoch: Instant::now(),
             classes: RwLock::new(HashMap::new()),
+            priority_e2e: std::array::from_fn(|_| LatencyHistogram::new()),
             e2e_recorded: AtomicU64::new(0),
             next_trace: AtomicU64::new(1),
             ring: TraceRing::new(trace_capacity),
@@ -587,11 +592,13 @@ impl Telemetry {
 
     /// Records a job's end-to-end latency and bumps the monotone
     /// witness counter. Exactly one call per fulfilled ticket —
-    /// executed, deduped, cache-served, failed, or drop-guarded — so
-    /// `e2e_count` always equals `completed + failed` in a quiescent
-    /// engine.
-    pub fn record_end_to_end(&self, class: WorkloadClass, d: Duration) {
+    /// executed, deduped, cache-served, failed, cancelled,
+    /// deadline-dropped, or drop-guarded — so `e2e_count` always equals
+    /// `completed + failed + cancelled + deadline_dropped` in a
+    /// quiescent engine.
+    pub fn record_end_to_end(&self, class: WorkloadClass, priority: Priority, d: Duration) {
         self.class(class).record(Stage::EndToEnd, d);
+        self.priority_e2e[priority.index()].record(d);
         self.e2e_recorded.fetch_add(1, Ordering::Release);
     }
 
@@ -655,6 +662,48 @@ impl Telemetry {
         rows.sort_by_key(|r| r.class);
         rows
     }
+
+    /// Per-priority end-to-end percentile summaries, one row per
+    /// [`Priority`] in service order (rows for unused priorities report
+    /// zero jobs) — what [`crate::ServeReport`] embeds next to the
+    /// per-class rows.
+    pub fn priority_latency(&self) -> Vec<PriorityLatencySummary> {
+        Priority::ALL
+            .iter()
+            .map(|&priority| {
+                let s = self.priority_e2e[priority.index()].snapshot();
+                PriorityLatencySummary {
+                    priority,
+                    jobs: s.count(),
+                    p50_s: s.quantile_s(0.50),
+                    p90_s: s.quantile_s(0.90),
+                    p99_s: s.quantile_s(0.99),
+                    p999_s: s.quantile_s(0.999),
+                    max_s: s.max_ns() as f64 * 1e-9,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-priority end-to-end latency percentiles, embedded in
+/// [`crate::ServeReport`] alongside the per-class rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PriorityLatencySummary {
+    /// The scheduling priority.
+    pub priority: Priority,
+    /// Jobs of this priority with a recorded end-to-end latency.
+    pub jobs: u64,
+    /// Median end-to-end latency, seconds.
+    pub p50_s: f64,
+    /// 90th percentile, seconds.
+    pub p90_s: f64,
+    /// 99th percentile, seconds.
+    pub p99_s: f64,
+    /// 99.9th percentile, seconds.
+    pub p999_s: f64,
+    /// Worst observed, seconds (exact).
+    pub max_s: f64,
 }
 
 /// Per-class end-to-end latency percentiles, embedded in
@@ -880,8 +929,8 @@ mod tests {
             iterations: 4,
         };
         t.record(md, Stage::QueueWait, Duration::from_micros(3));
-        t.record_end_to_end(md, Duration::from_micros(9));
-        t.record_end_to_end(scf, Duration::from_micros(2));
+        t.record_end_to_end(md, Priority::Bulk, Duration::from_micros(9));
+        t.record_end_to_end(scf, Priority::Interactive, Duration::from_micros(2));
         assert_eq!(t.e2e_count(), 2);
         let snap = t.snapshot();
         assert_eq!(snap.classes.len(), 2);
@@ -893,6 +942,13 @@ mod tests {
         let rows = t.class_latency();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.jobs == 1 && r.p50_s > 0.0));
+        let prio = t.priority_latency();
+        assert_eq!(prio.len(), 3, "one row per priority, always");
+        assert_eq!(prio[0].priority, Priority::Interactive);
+        assert_eq!(prio[0].jobs, 1);
+        assert_eq!(prio[1].jobs, 0, "standard unused");
+        assert_eq!(prio[2].jobs, 1);
+        assert!(prio[2].p99_s >= prio[0].p99_s);
     }
 
     #[test]
@@ -904,7 +960,7 @@ mod tests {
             iterations: 1,
         };
         t.record(class, Stage::Execute, Duration::from_millis(2));
-        t.record_end_to_end(class, Duration::from_millis(3));
+        t.record_end_to_end(class, Priority::Standard, Duration::from_millis(3));
         let mut snap = t.snapshot();
         snap.queue_high_watermarks = vec![4, 7];
         let json = snap.to_json();

@@ -1,0 +1,120 @@
+//! Per-tenant in-flight accounting for fair-share admission control.
+//!
+//! A [`TenantTable`] hangs off the engine and counts in-flight jobs per
+//! [`TenantId`]. Admission takes a [`TenantSlot`] (RAII: dropping it
+//! releases the count), so every exit path — completion, failure,
+//! cancellation, deadline drop, shutdown sweep — frees the slot without
+//! bespoke bookkeeping. With no quota configured the table is inert and
+//! acquisition is free.
+
+use crate::job::TenantId;
+use crate::queue::SubmitError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Shared per-tenant in-flight counters, bounded by an optional quota.
+pub(crate) struct TenantTable {
+    quota: Option<u64>,
+    inflight: Mutex<HashMap<TenantId, u64>>,
+}
+
+impl TenantTable {
+    /// A table enforcing `quota` in-flight jobs per tenant, or nothing
+    /// when `None`.
+    pub(crate) fn new(quota: Option<u64>) -> Self {
+        TenantTable {
+            quota,
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Claims one in-flight slot for `tenant`. `Ok(None)` when quotas
+    /// are disabled (nothing to release); `Ok(Some(slot))` pins the
+    /// count until the slot drops.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QuotaExceeded`] when the tenant is already at its
+    /// quota.
+    pub(crate) fn try_acquire(
+        self: &Arc<Self>,
+        tenant: TenantId,
+    ) -> Result<Option<TenantSlot>, SubmitError> {
+        let Some(quota) = self.quota else {
+            return Ok(None);
+        };
+        let mut map = self.inflight.lock().unwrap();
+        let count = map.entry(tenant).or_insert(0);
+        if *count >= quota {
+            return Err(SubmitError::QuotaExceeded { tenant });
+        }
+        *count += 1;
+        Ok(Some(TenantSlot {
+            table: Arc::clone(self),
+            tenant,
+        }))
+    }
+
+    /// Current in-flight count for `tenant` (0 when unknown).
+    #[cfg(test)]
+    pub(crate) fn inflight(&self, tenant: TenantId) -> u64 {
+        self.inflight
+            .lock()
+            .unwrap()
+            .get(&tenant)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// One claimed in-flight slot; dropping it releases the tenant's count.
+pub(crate) struct TenantSlot {
+    table: Arc<TenantTable>,
+    tenant: TenantId,
+}
+
+impl Drop for TenantSlot {
+    fn drop(&mut self) {
+        let mut map = self.table.inflight.lock().unwrap();
+        if let Some(count) = map.get_mut(&self.tenant) {
+            *count = count.saturating_sub(1);
+            if *count == 0 {
+                map.remove(&self.tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quota_disabled_always_admits() {
+        let table = Arc::new(TenantTable::new(None));
+        for _ in 0..1000 {
+            assert!(table.try_acquire(TenantId(1)).unwrap().is_none());
+        }
+        assert_eq!(table.inflight(TenantId(1)), 0);
+    }
+
+    #[test]
+    fn quota_bounds_each_tenant_independently() {
+        let table = Arc::new(TenantTable::new(Some(2)));
+        let a1 = table.try_acquire(TenantId(1)).unwrap();
+        let _a2 = table.try_acquire(TenantId(1)).unwrap();
+        assert!(matches!(
+            table.try_acquire(TenantId(1)),
+            Err(SubmitError::QuotaExceeded {
+                tenant: TenantId(1)
+            })
+        ));
+        // Another tenant is unaffected.
+        let _b1 = table.try_acquire(TenantId(2)).unwrap();
+        assert_eq!(table.inflight(TenantId(1)), 2);
+        // Dropping a slot reopens the quota.
+        drop(a1);
+        assert_eq!(table.inflight(TenantId(1)), 1);
+        assert!(table.try_acquire(TenantId(1)).is_ok());
+    }
+}

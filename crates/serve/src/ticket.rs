@@ -136,10 +136,18 @@ impl JobTicket {
     /// immediately re-polls (or forwards into a session channel) can
     /// never deadlock against the registry.
     pub(crate) fn fulfill(&self, result: JobResult) {
+        let _ = self.fulfill_first(result);
+    }
+
+    /// [`JobTicket::fulfill`] that reports whether *this* call performed
+    /// the pending→done transition. Cancellation rides on the return
+    /// value: only the caller that wins the race may treat the job as
+    /// cancelled.
+    pub(crate) fn fulfill_first(&self, result: JobResult) -> bool {
         let wakers = {
             let mut st = self.inner.state.lock().unwrap();
             if st.result.is_some() {
-                return;
+                return false;
             }
             st.result = Some(result);
             self.inner.done.notify_all();
@@ -148,6 +156,23 @@ impl JobTicket {
         for (_, waker) in wakers {
             waker.wake();
         }
+        true
+    }
+
+    /// Cancels the job if it has not resolved yet, fulfilling the ticket
+    /// with [`JobError::Cancelled`]. Returns whether the cancellation
+    /// won the race (`false` means the job already completed, failed, or
+    /// was cancelled by someone else — the existing result stands).
+    ///
+    /// A still-queued job becomes a tombstone: the worker (or the
+    /// shutdown sweep) that later dequeues it observes the resolved
+    /// ticket, counts the job as cancelled, and emits its progress and
+    /// trace exit events instead of executing it. A job that a worker
+    /// has already started executes to completion, but its result is
+    /// discarded — the ticket keeps the `Cancelled` outcome. Nothing is
+    /// released from [`crate::ClusterView`]: queued jobs reserve nothing.
+    pub fn cancel(&self) -> bool {
+        self.fulfill_first(Err(JobError::Cancelled))
     }
 
     /// Registers an external completion waker: woken exactly once when
@@ -487,6 +512,35 @@ mod tests {
             t.wait().unwrap_err(),
             JobError::ShutDown,
             "abandoned promise fails instead of hanging"
+        );
+    }
+
+    #[test]
+    fn cancel_wins_only_while_pending_and_wakes_once() {
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
+        let counting = CountingWaker::new();
+        t.on_done(Waker::from(Arc::clone(&counting)));
+        assert!(t.cancel(), "pending ticket cancels");
+        assert_eq!(t.wait().unwrap_err(), JobError::Cancelled);
+        assert_eq!(counting.count(), 1);
+        assert!(!t.cancel(), "second cancel loses");
+        t.fulfill(Err(JobError::ShutDown));
+        assert_eq!(
+            t.wait().unwrap_err(),
+            JobError::Cancelled,
+            "cancellation outcome stands against a late fulfill"
+        );
+        assert_eq!(counting.count(), 1, "no waker fires twice");
+    }
+
+    #[test]
+    fn cancel_loses_to_a_completed_ticket() {
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
+        t.fulfill(Err(JobError::Numerics("done first".into())));
+        assert!(!t.cancel());
+        assert_eq!(
+            t.wait().unwrap_err(),
+            JobError::Numerics("done first".into())
         );
     }
 

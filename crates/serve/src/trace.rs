@@ -112,6 +112,13 @@ pub enum TraceEventKind {
     /// The job waited in its queue shard (span: enqueue → its batch
     /// started processing).
     QueueWait,
+    /// A dispatcher consumed the job's cancellation tombstone instead of
+    /// executing it (instant; the lane still ends with a `TicketFulfill`).
+    Cancelled,
+    /// The job's wall-clock deadline had passed by the time a worker
+    /// dequeued it, so it was dropped unexecuted (instant; the lane
+    /// still ends with a `TicketFulfill`).
+    DeadlineDrop,
 }
 
 impl TraceEventKind {
@@ -128,6 +135,8 @@ impl TraceEventKind {
             TraceEventKind::CacheHit { .. } => "cache-hit",
             TraceEventKind::TicketFulfill { .. } => "fulfill",
             TraceEventKind::QueueWait => "queue-wait",
+            TraceEventKind::Cancelled => "cancelled",
+            TraceEventKind::DeadlineDrop => "deadline-drop",
         }
     }
 
@@ -140,6 +149,8 @@ impl TraceEventKind {
                 | TraceEventKind::BatchForm { .. }
                 | TraceEventKind::CacheStore
                 | TraceEventKind::CacheHit { .. }
+                | TraceEventKind::Cancelled
+                | TraceEventKind::DeadlineDrop
         )
     }
 }
@@ -440,7 +451,9 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
             TraceEventKind::PlannerConsult
             | TraceEventKind::ReservationHold
             | TraceEventKind::CacheStore
-            | TraceEventKind::QueueWait => {}
+            | TraceEventKind::QueueWait
+            | TraceEventKind::Cancelled
+            | TraceEventKind::DeadlineDrop => {}
         }
         if e.kind.is_instant() {
             out.push_str(&format!(

@@ -33,12 +33,13 @@ use crate::batch::{form_batches_from, Batch, BatchOrigin};
 use crate::cache::HitTier;
 use crate::cluster::Reservation;
 use crate::fingerprint::Fingerprint;
-use crate::job::{DftJob, JobError, JobPayload, WorkloadClass};
+use crate::job::{DftJob, JobError, JobPayload, Priority, WorkloadClass};
 use crate::metrics::ExecutionSample;
 use crate::placement::{plan_placement, plan_placement_loaded, PlacementDecision};
 use crate::progress::JobStage;
 use crate::service::EngineShared;
 use crate::telemetry::{PlacementTarget, Stage};
+use crate::tenant::TenantSlot;
 use crate::ticket::JobTicket;
 use crate::trace::{TraceEvent, TraceEventKind, TraceId};
 use ndft_core::{run_ndft_with, NdftOptions, RunReport};
@@ -79,6 +80,15 @@ pub(crate) struct PendingJob {
     pub(crate) class: WorkloadClass,
     /// The trace lane every span event of this job lands on.
     pub(crate) trace: TraceId,
+    /// QoS class declared at submission; selects the shard lane and the
+    /// per-priority latency histogram bank.
+    pub(crate) priority: Priority,
+    /// Optional queued-life budget: a worker reaching this entry after
+    /// `enqueued + deadline` drops it instead of executing.
+    pub(crate) deadline: Option<Duration>,
+    /// The tenant's claimed in-flight quota slot (None when quotas are
+    /// disabled); held purely for its RAII release on every exit path.
+    pub(crate) _tenant_slot: Option<TenantSlot>,
     pub(crate) ticket: JobTicket,
     pub(crate) enqueued: Instant,
     /// Progress ring handle, so even the last-resort Drop fulfillment
@@ -103,7 +113,7 @@ impl PendingJob {
     pub(crate) fn fail(&self, err: JobError) {
         self.metrics.on_fail();
         self.telemetry
-            .record_end_to_end(self.class, self.enqueued.elapsed());
+            .record_end_to_end(self.class, self.priority, self.enqueued.elapsed());
         self.progress.publish(
             self.fingerprint,
             JobStage::Done {
@@ -111,22 +121,78 @@ impl PendingJob {
                 cached: false,
             },
         );
-        if self.telemetry.traced() {
-            self.telemetry.publish(TraceEvent {
-                seq: 0,
-                trace: self.trace,
-                fingerprint: self.fingerprint,
-                class: self.class,
-                worker: None,
-                start_ns: self.telemetry.now_ns(),
-                dur_ns: 0,
-                kind: TraceEventKind::TicketFulfill {
-                    ok: false,
-                    cached: false,
-                },
-            });
-        }
+        self.close_trace_chain(&[]);
         self.ticket.fulfill(Err(err));
+    }
+
+    /// Consumes a cancelled tombstone: the ticket was already resolved
+    /// with [`JobError::Cancelled`] by [`JobTicket::cancel`], so this
+    /// exit only settles the books — count the cancellation, record the
+    /// end-to-end latency (keeping the histogram paired with the four
+    /// terminal counters), stream the terminal `Cancelled` stage, and
+    /// close the trace chain. Called by whoever dequeues the entry: a
+    /// worker's batch loop or the shutdown sweep.
+    pub(crate) fn consume_cancelled(&self) {
+        self.metrics.on_cancel();
+        self.telemetry
+            .record_end_to_end(self.class, self.priority, self.enqueued.elapsed());
+        self.progress.publish(self.fingerprint, JobStage::Cancelled);
+        self.close_trace_chain(&[TraceEventKind::Cancelled]);
+    }
+
+    /// Whether this entry's queued-life budget has run out.
+    pub(crate) fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| self.enqueued.elapsed() > d)
+    }
+
+    /// Drops a queued job whose deadline expired before a worker
+    /// reached it: count the drop, record the end-to-end latency,
+    /// stream a failed `Done`, close the trace chain with a
+    /// deadline-drop marker, and resolve the ticket with
+    /// [`JobError::DeadlineExceeded`] — fulfill last, as everywhere.
+    pub(crate) fn drop_deadline(&self) {
+        self.metrics.on_deadline_drop();
+        self.telemetry
+            .record_end_to_end(self.class, self.priority, self.enqueued.elapsed());
+        self.progress.publish(
+            self.fingerprint,
+            JobStage::Done {
+                ok: false,
+                cached: false,
+            },
+        );
+        self.close_trace_chain(&[TraceEventKind::DeadlineDrop]);
+        self.ticket.fulfill(Err(JobError::DeadlineExceeded));
+    }
+
+    /// Publishes `markers` (instant events) followed by the failed
+    /// fulfill event that ends every trace chain — one ring acquisition
+    /// for the lot, nothing when untraced.
+    fn close_trace_chain(&self, markers: &[TraceEventKind]) {
+        if !self.telemetry.traced() {
+            return;
+        }
+        let now_ns = self.telemetry.now_ns();
+        let event = |kind: TraceEventKind| TraceEvent {
+            seq: 0,
+            trace: self.trace,
+            fingerprint: self.fingerprint,
+            class: self.class,
+            worker: None,
+            start_ns: now_ns,
+            dur_ns: 0,
+            kind,
+        };
+        let events: Vec<TraceEvent> = markers
+            .iter()
+            .cloned()
+            .chain(std::iter::once(TraceEventKind::TicketFulfill {
+                ok: false,
+                cached: false,
+            }))
+            .map(event)
+            .collect();
+        self.telemetry.publish_slice(&events);
     }
 }
 
@@ -390,6 +456,18 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
     // share the Arc'd outcome, as do cross-batch repeats via the cache.
     let mut local: HashMap<Fingerprint, Arc<JobOutcome>> = HashMap::new();
     for pending in batch.entries {
+        // QoS exits come before any cache or planner work: a cancelled
+        // tombstone (ticket already resolved by `JobTicket::cancel`)
+        // and a deadline-expired member each settle their books and
+        // free the slot without executing.
+        if pending.ticket.is_done() {
+            pending.consume_cancelled();
+            continue;
+        }
+        if pending.deadline_expired() {
+            pending.drop_deadline();
+            continue;
+        }
         let cached = local
             .get(&pending.fingerprint)
             .map(|hit| (hit.clone(), HitTier::Batch))
@@ -423,7 +501,11 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
             // moment a waiter resolves, the histogram already counts its
             // job, so the report's completed/failed-vs-histogram pairing
             // holds for any caller that waited its tickets out.
-            telemetry.record_end_to_end(pending.class, pending.enqueued.elapsed());
+            telemetry.record_end_to_end(
+                pending.class,
+                pending.priority,
+                pending.enqueued.elapsed(),
+            );
             let fulfill_start = Instant::now();
             pending.ticket.fulfill(Ok(hit));
             recorder.record(Stage::Fulfill, fulfill_start.elapsed());
@@ -572,7 +654,11 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
                 // As on the dedup path: count end-to-end before the
                 // fulfill so resolved waiters are already in the
                 // histogram.
-                telemetry.record_end_to_end(pending.class, pending.enqueued.elapsed());
+                telemetry.record_end_to_end(
+                    pending.class,
+                    pending.priority,
+                    pending.enqueued.elapsed(),
+                );
                 pending.ticket.fulfill(Ok(outcome));
                 let fulfill_wall = fulfill_start.elapsed();
                 recorder.record(Stage::Fulfill, fulfill_wall);
@@ -714,6 +800,9 @@ mod tests {
             fingerprint: job.fingerprint(),
             class: job.workload_class(),
             trace: TraceId(1),
+            priority: Priority::Standard,
+            deadline: None,
+            _tenant_slot: None,
             job,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
@@ -732,6 +821,7 @@ mod tests {
             vec![0],
             0,
             telemetry.class_latency(),
+            telemetry.priority_latency(),
             0,
         );
         assert_eq!(report.failed, 1);

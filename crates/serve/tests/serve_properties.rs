@@ -45,6 +45,15 @@
 //! ticket fulfillment, stays inside the [admission, fulfill] window,
 //! and orders its core stages enqueue ≤ plan ≤ execute ≤ fulfill, on
 //! the executed, in-batch-dedup, and cache-served paths alike.
+//!
+//! The QoS layer adds two more: (a) *cancel/fulfill races resolve
+//! exactly once* — under any interleaving of racing cancellers and the
+//! worker's resolver, precisely one side wins the ticket state machine,
+//! `cancel()` reports the winner truthfully, every waiter observes the
+//! winner's result, and a registered waker fires exactly once; (b) *no
+//! priority lane starves* — under any push/pop schedule, the aging
+//! escape hatch serves every nonempty lane within a bounded number of
+//! dispatches, while delivery stays exactly-once and per-lane FIFO.
 
 use ndft_serve::{
     block_on, CachePolicy, ClusterView, DftJob, DftService, DiskTier, Fingerprint, JobError,
@@ -646,6 +655,130 @@ proptest! {
             }
         }
         prop_assert_eq!(concurrent.snapshot(), reference.snapshot());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// QoS property (a): a cancellation racing the worker's resolver
+    /// never loses a resolution and never double-wakes. Exactly one
+    /// side wins the ticket state machine — `cancel()` returns `true`
+    /// for at most one canceller, and only when the ticket actually
+    /// resolved `Cancelled`; otherwise every waiter sees the resolver's
+    /// result. A waker registered before the race fires exactly once
+    /// whichever side wins, and the future is never left pending.
+    #[test]
+    fn cancel_racing_the_resolver_resolves_exactly_once(
+        cancellers in 1usize..4,
+        pre_poll in any::<bool>(),
+    ) {
+        let (ticket, resolver) = JobTicket::promise(Fingerprint(0x0C));
+        let wake = CountingWake::new();
+        let mut future = ticket.future();
+        if pre_poll {
+            let waker = Waker::from(Arc::clone(&wake));
+            let mut cx = Context::from_waker(&waker);
+            prop_assert!(Pin::new(&mut future).poll(&mut cx).is_pending());
+        }
+        // No synchronization on purpose: the fulfill and every cancel
+        // race through `fulfill_first`'s single compare-and-settle.
+        let cancel_wins = std::thread::scope(|scope| {
+            let fulfiller = scope.spawn(move || resolver.fulfill(Err(JobError::ShutDown)));
+            let handles: Vec<_> = (0..cancellers)
+                .map(|_| {
+                    let t = ticket.clone();
+                    scope.spawn(move || t.cancel())
+                })
+                .collect();
+            fulfiller.join().unwrap();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&won| won)
+                .count()
+        });
+        prop_assert!(cancel_wins <= 1, "{cancel_wins} cancellers claimed the resolution");
+        let err = ticket.wait().unwrap_err();
+        if cancel_wins == 1 {
+            prop_assert_eq!(err, JobError::Cancelled);
+        } else {
+            prop_assert_eq!(err, JobError::ShutDown);
+        }
+        // The pre-registered waker fired exactly once; with no
+        // registration nothing ever fires.
+        prop_assert_eq!(wake.count(), u64::from(pre_poll));
+        // And the future resolves with the winner's result — no lost
+        // wakeup, no stale pending state.
+        let waker = Waker::from(Arc::clone(&wake));
+        let mut cx = Context::from_waker(&waker);
+        match Pin::new(&mut future).poll(&mut cx) {
+            Poll::Ready(result) => prop_assert_eq!(result.unwrap_err(), err),
+            Poll::Pending => prop_assert!(false, "future pending after resolution"),
+        }
+    }
+
+    /// QoS property (b): no priority lane starves. Whatever push/pop
+    /// schedule the dispatcher runs, a lane with queued work is served
+    /// within `LANE_AGING_LIMIT + PRIORITY_LANES` dispatches of its
+    /// last service (age to the limit, then wait out at most one serve
+    /// of each other aged lane), every item is delivered exactly once,
+    /// and each lane drains in FIFO order.
+    #[test]
+    fn no_priority_lane_starves_under_any_push_pop_schedule(
+        ops in prop::collection::vec((0usize..5, 0usize..3), 1..200),
+    ) {
+        use ndft_serve::queue::{LANE_AGING_LIMIT, PRIORITY_LANES};
+
+        let q: ShardedQueue<u64> = ShardedQueue::new(1, 1024);
+        let mut model: [std::collections::VecDeque<u64>; 3] = Default::default();
+        let mut next_id = 0u64;
+        let mut pushed: Vec<u64> = Vec::new();
+        let mut collected: Vec<u64> = Vec::new();
+        let bound = LANE_AGING_LIMIT + PRIORITY_LANES as u32;
+        // Dispatches each nonempty lane has been passed over since its
+        // last service — the model's shadow of the shard's aging clock.
+        let mut waits = [0u32; 3];
+        for &(op, lane) in &ops {
+            if op < 3 {
+                // Ops 0-2 push into `lane`; the id encodes the lane so
+                // each pop reveals which lane the queue actually served.
+                let id = next_id * 10 + lane as u64;
+                next_id += 1;
+                q.try_push_at(0, lane, id).unwrap();
+                model[lane].push_back(id);
+                pushed.push(id);
+            } else if let Some(batch) = q.try_pop_home(0, 1) {
+                prop_assert_eq!(batch.len(), 1);
+                let got = batch[0];
+                let served = (got % 10) as usize;
+                prop_assert_eq!(
+                    model[served].pop_front(),
+                    Some(got),
+                    "lane {} served out of FIFO order",
+                    served
+                );
+                waits[served] = 0;
+                for (l, w) in waits.iter_mut().enumerate() {
+                    if l != served && !model[l].is_empty() {
+                        *w += 1;
+                        prop_assert!(
+                            *w <= bound,
+                            "lane {} starved: {} dispatches without service",
+                            l,
+                            *w
+                        );
+                    }
+                }
+                collected.push(got);
+            }
+        }
+        // Whatever the schedule left queued is the shutdown sweep's.
+        q.close();
+        collected.extend(q.drain_all());
+        pushed.sort_unstable();
+        collected.sort_unstable();
+        prop_assert_eq!(collected, pushed, "every item delivered exactly once");
     }
 }
 

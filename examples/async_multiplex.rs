@@ -15,7 +15,9 @@
 //!
 //! Run with: `cargo run --release --example async_multiplex`
 
-use ndft::serve::{block_on, join_all, DftJob, DftService, JobStage, ServeConfig};
+use ndft::serve::{
+    block_on, join_all, DftJob, DftService, JobRequest, JobStage, Priority, ServeConfig,
+};
 use std::time::{Duration, Instant};
 
 const FRONTENDS: usize = 4;
@@ -98,9 +100,16 @@ fn main() {
 
     // Layer 2: the same tickets are futures — drive a handful with the
     // built-in executor and the join_all combinator (results arrive in
-    // submission order, no extra threads).
+    // submission order, no extra threads). These ride the interactive
+    // priority lane via the JobRequest builder — a bare DftJob converts
+    // implicitly and lands in the Standard lane, which is what the
+    // frontend threads above did.
     let futures: Vec<_> = (0..4)
-        .map(|k| svc.submit(job(0, k)).expect("submit").future())
+        .map(|k| {
+            svc.submit(JobRequest::new(job(0, k)).priority(Priority::Interactive))
+                .expect("submit")
+                .future()
+        })
         .collect();
     let results = block_on(join_all(futures));
     println!(

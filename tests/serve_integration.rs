@@ -5,8 +5,9 @@
 //! `ClientSession`, and per-job progress streams.
 
 use ndft::serve::{
-    block_on, chrome_trace_json, join_all, race, CachePolicy, DftJob, DftService, JobKind,
-    JobPayload, JobStage, PlacementPolicy, ServeConfig, Stage, SubmitError, TraceEventKind,
+    block_on, chrome_trace_json, join_all, race, CachePolicy, DftJob, DftService, JobError,
+    JobKind, JobPayload, JobRequest, JobStage, PlacementPolicy, Priority, ServeConfig, Stage,
+    SubmitError, TenantId, TraceEventKind,
 };
 use std::collections::HashSet;
 use std::time::Duration;
@@ -839,9 +840,13 @@ fn report_class_latency_rows_agree_with_job_counters() {
     let row_jobs: u64 = report.class_latency.iter().map(|r| r.jobs).sum();
     assert_eq!(
         row_jobs,
-        report.completed + report.failed,
+        report.completed + report.failed + report.cancelled + report.deadline_dropped,
         "latency rows and job counters must agree"
     );
+    // The per-priority rows cover the same jobs, partitioned by QoS
+    // class instead of workload class.
+    let prio_jobs: u64 = report.priority_latency.iter().map(|r| r.jobs).sum();
+    assert_eq!(prio_jobs, row_jobs, "priority rows partition the same jobs");
     assert_eq!(report.trace_events_dropped, 0, "no subscriber, no drops");
     for row in &report.class_latency {
         assert!(row.jobs > 0);
@@ -994,4 +999,269 @@ fn rejected_submission_closes_its_trace_chain_without_latency() {
             }
         ));
     }
+}
+
+/// A long job wedges the single worker; everything cancelled behind it
+/// resolves `Cancelled` immediately, never executes, streams a terminal
+/// `cancelled` stage, closes its trace chain with a cancellation
+/// marker, and the report's conservation invariant still balances.
+#[test]
+fn cancelled_jobs_resolve_cancelled_and_never_execute() {
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let stream = svc.progress();
+    let collector = svc.trace();
+    // ~100 ms of wall-clock MD keeps the worker busy while the
+    // cancellations land on still-queued jobs.
+    let blocker = svc
+        .submit(DftJob::MdSegment {
+            atoms: 64,
+            steps: 100_000,
+            temperature_k: 300.0,
+            seed: 1000,
+        })
+        .unwrap();
+    let victims: Vec<_> = (0..4)
+        .map(|seed| {
+            svc.submit(DftJob::MdSegment {
+                atoms: 64,
+                steps: 2,
+                temperature_k: 300.0,
+                seed,
+            })
+            .unwrap()
+        })
+        .collect();
+    for v in &victims {
+        assert!(v.cancel(), "first cancel resolves the ticket");
+        assert!(!v.cancel(), "second cancel is a no-op");
+        assert_eq!(v.wait().unwrap_err(), JobError::Cancelled);
+    }
+    blocker.wait().unwrap();
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 1, "only the blocker executed");
+    assert_eq!(report.cancelled, 4);
+    assert_eq!(report.failed, 0, "a cancellation is not a failure");
+    assert_eq!(report.tickets_outstanding, 0);
+    assert!(
+        report.conservation_holds(),
+        "submitted {} != completed {} + failed {} + cancelled {} + deadline_dropped {}",
+        report.submitted,
+        report.completed,
+        report.failed,
+        report.cancelled,
+        report.deadline_dropped
+    );
+    // Each victim's streamed lifecycle is queued → cancelled.
+    let events = stream.drain();
+    for v in &victims {
+        let labels: Vec<&str> = events
+            .iter()
+            .filter(|e| e.fingerprint == v.fingerprint())
+            .map(|e| e.stage.label())
+            .collect();
+        assert_eq!(labels, ["queued", "cancelled"]);
+    }
+    // Each victim's trace lane opens with its enqueue and closes with
+    // the cancellation marker and a failed fulfill; it may also carry
+    // queue-wait/batch-form spans (the entry did wait and was popped),
+    // but never any execution events.
+    let traces = collector.drain();
+    for v in &victims {
+        let kinds: Vec<_> = traces
+            .iter()
+            .filter(|e| e.fingerprint == v.fingerprint())
+            .map(|e| &e.kind)
+            .collect();
+        assert!(matches!(kinds[0], TraceEventKind::Enqueue { .. }));
+        assert!(matches!(kinds[kinds.len() - 2], TraceEventKind::Cancelled));
+        assert!(matches!(
+            kinds[kinds.len() - 1],
+            TraceEventKind::TicketFulfill {
+                ok: false,
+                cached: false
+            }
+        ));
+        assert!(
+            kinds.iter().all(|k| !matches!(
+                k,
+                TraceEventKind::PlannerConsult
+                    | TraceEventKind::Numerics { .. }
+                    | TraceEventKind::CacheHit { .. }
+                    | TraceEventKind::CacheStore
+            )),
+            "a cancelled job must never execute: {kinds:?}"
+        );
+    }
+}
+
+/// Deadline admission control refuses a job whose modeled finish time
+/// cannot fit its deadline — before a ticket, a trace lane, or a queue
+/// slot is ever allocated.
+#[test]
+fn impossible_deadline_is_denied_at_admission() {
+    let svc = DftService::start_default();
+    let job = DftJob::MdSegment {
+        atoms: 64,
+        steps: 10,
+        temperature_k: 300.0,
+        seed: 1,
+    };
+    // No modeled run fits a nanosecond, so the denial is deterministic.
+    let request = JobRequest::new(job).deadline(Duration::from_nanos(1));
+    match svc.submit(request) {
+        Err(SubmitError::AdmissionDenied {
+            modeled_finish_s,
+            deadline_s,
+        }) => {
+            assert!(modeled_finish_s > deadline_s);
+            assert!(modeled_finish_s > 0.0);
+            assert!(deadline_s > 0.0 && deadline_s < 1e-6);
+        }
+        other => panic!("expected AdmissionDenied, got {other:?}"),
+    }
+    let report = svc.shutdown();
+    assert_eq!(report.admission_denied, 1);
+    assert_eq!(report.submitted, 0, "denied jobs are never submitted");
+    assert!(report.conservation_holds());
+}
+
+/// The per-tenant in-flight quota: a tenant at its cap is refused with
+/// `QuotaExceeded` while other tenants keep submitting, and completed
+/// jobs release their slots.
+#[test]
+fn tenant_quota_bounds_in_flight_jobs_per_tenant() {
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        max_batch: 1,
+        tenant_quota: Some(2),
+        ..ServeConfig::default()
+    });
+    let greedy = TenantId(7);
+    let long_md = |seed| DftJob::MdSegment {
+        atoms: 64,
+        steps: 50_000,
+        temperature_k: 300.0,
+        seed,
+    };
+    let first = svc
+        .submit(JobRequest::new(long_md(1)).tenant(greedy))
+        .unwrap();
+    let second = svc
+        .submit(JobRequest::new(long_md(2)).tenant(greedy))
+        .unwrap();
+    match svc.submit(JobRequest::new(long_md(3)).tenant(greedy)) {
+        Err(SubmitError::QuotaExceeded { tenant }) => assert_eq!(tenant, greedy),
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // Another tenant is unaffected by the greedy one's cap.
+    let other = svc
+        .submit(JobRequest::new(long_md(4)).tenant(TenantId(8)))
+        .unwrap();
+    first.wait().unwrap();
+    second.wait().unwrap();
+    // Completion releases the slots; the slot frees when the worker
+    // drops the queue entry, a hair after the ticket resolves.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let readmitted = loop {
+        match svc.submit(JobRequest::new(long_md(5)).tenant(greedy)) {
+            Ok(t) => break t,
+            Err(SubmitError::QuotaExceeded { .. }) => {
+                assert!(std::time::Instant::now() < deadline, "slots never released");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) => panic!("unexpected submit error {e:?}"),
+        }
+    };
+    readmitted.wait().unwrap();
+    other.wait().unwrap();
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 4);
+    assert_eq!(report.admission_denied, 1, "one quota refusal");
+    assert!(report.conservation_holds());
+}
+
+/// Interactive work overtakes a queued bulk backlog: with QoS on, an
+/// interactive job submitted behind a wall of bulk MD jobs is served
+/// before the backlog drains; with QoS off the same submission order is
+/// strict FIFO. Also proves the bulk lane is never starved.
+#[test]
+fn interactive_jobs_overtake_bulk_backlog_under_qos() {
+    let svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        max_batch: 1,
+        queue_capacity: 64,
+        ..ServeConfig::default()
+    });
+    // A wall-clock blocker so the backlog below queues before any of it
+    // is dispatched.
+    let blocker = svc
+        .submit(DftJob::MdSegment {
+            atoms: 64,
+            steps: 100_000,
+            temperature_k: 300.0,
+            seed: 999,
+        })
+        .unwrap();
+    let bulk: Vec<_> = (0..8)
+        .map(|seed| {
+            svc.submit(
+                JobRequest::new(DftJob::MdSegment {
+                    atoms: 64,
+                    steps: 5_000,
+                    temperature_k: 300.0,
+                    seed,
+                })
+                .priority(Priority::Bulk),
+            )
+            .unwrap()
+        })
+        .collect();
+    let interactive = svc
+        .submit(
+            JobRequest::new(DftJob::MdSegment {
+                atoms: 64,
+                steps: 5_000,
+                temperature_k: 300.0,
+                seed: 100,
+            })
+            .priority(Priority::Interactive),
+        )
+        .unwrap();
+    interactive.wait().unwrap();
+    // The moment the interactive job finished, the 8-deep bulk backlog
+    // cannot all have run on the single worker: it jumped the line.
+    let bulk_done = bulk.iter().filter(|t| t.is_done()).count();
+    assert!(
+        bulk_done < 8,
+        "interactive waited out the whole bulk backlog: {bulk_done}/8 done first"
+    );
+    for t in &bulk {
+        t.wait().unwrap();
+    }
+    blocker.wait().unwrap();
+    let report = svc.shutdown();
+    assert_eq!(report.completed, 10);
+    assert_eq!(report.failed, 0);
+    assert!(report.conservation_holds());
+    // Every class shows up in the per-priority latency rows.
+    let jobs_by_priority: Vec<(Priority, u64)> = report
+        .priority_latency
+        .iter()
+        .map(|r| (r.priority, r.jobs))
+        .collect();
+    assert_eq!(
+        jobs_by_priority,
+        vec![
+            (Priority::Interactive, 1),
+            (Priority::Standard, 1),
+            (Priority::Bulk, 8)
+        ]
+    );
 }
