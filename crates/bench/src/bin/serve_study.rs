@@ -45,6 +45,15 @@
 //! both legs must complete (no class starves under the aging escape
 //! hatch), and both reports must satisfy the conservation invariant
 //! `submitted == completed + failed + cancelled + deadline_dropped`.
+//! Part 9 is the **federated sweep** (gate #7): the same 160-job mixes
+//! through one 4-worker engine and through a `FederatedService` of four
+//! 1-worker replicas behind the consistent-hash ring — uniform (the
+//! ring must hold ≥ `FED_GATE_RATIO` of single-engine throughput) and
+//! skewed fingerprint-repeat (the locality case) — plus a failover leg
+//! where a seeded `FaultPlan` kills one replica mid-flood with jobs
+//! wedged on it: the kill must replay them onto the survivors, every
+//! client ticket must resolve exactly once, and the replayed jobs'
+//! client-observed p99 latency is reported.
 //!
 //! Run with `--help` for the part-by-part summary, `--json <path>` to
 //! redirect the JSON trajectory point.
@@ -52,8 +61,9 @@
 use ndft_bench::print_header;
 use ndft_dft::{build_task_graph, SiliconSystem};
 use ndft_serve::{
-    plan_placement, CachePolicy, DftJob, DftService, JobRequest, JobTicket, PlacementPolicy,
-    Priority, ServeConfig, ServeReport, Stage, TelemetrySnapshot,
+    plan_placement, CachePolicy, DftJob, DftService, FaultPlan, FederatedService, FederationConfig,
+    FederationReport, Fingerprint, JobRequest, JobTicket, PlacementPolicy, Priority, ServeConfig,
+    ServeReport, Stage, TelemetrySnapshot,
 };
 use std::path::PathBuf;
 use std::sync::Mutex;
@@ -149,6 +159,23 @@ const QOS_BULK_STEPS: usize = 10_000;
 /// in-flight batch), so 0.7 leaves wide headroom for runner jitter
 /// while still catching a broken lane order outright.
 const QOS_GATE_RATIO: f64 = 0.7;
+
+/// Jobs per leg in the federated sweep's uniform and skewed mixes.
+const FED_JOBS: usize = 160;
+/// Distinct hot fingerprints in the skewed federated mix; every other
+/// submission is one of these, so each is resubmitted ~10 times.
+const FED_HOT: u64 = 8;
+/// Gate #7: on the uniform mix, a 4-replica federation (1 worker each)
+/// must hold at least this fraction of a single 4-worker engine's
+/// throughput. Routing adds one fingerprint hash and a read-locked ring
+/// walk per submission — a real regression (a write-locked router, a
+/// convoyed routing log, forwarder overhead per completion) costs far
+/// more than the 10% this leaves for runner jitter.
+const FED_GATE_RATIO: f64 = 0.9;
+/// Submission tick at which the failover leg's seeded fault plan kills
+/// replica 0 — mid-flood by construction (the flood occupies ticks
+/// 2..=61; tick 1 is the wedge blocker).
+const FED_KILL_TICK: u64 = 30;
 
 /// One measured engine run over a fixed job list.
 struct MixRun {
@@ -604,6 +631,263 @@ fn qos_config_json(label: &str, qos: bool, r: &QosRun) -> String {
     )
 }
 
+/// One measured federated run over a fixed job list.
+struct FedRun {
+    wall_s: f64,
+    throughput: f64,
+    report: FederationReport,
+}
+
+/// The per-replica engine template every federated leg shares. One
+/// shard per replica: the federation's ring *is* the sharding layer.
+fn fed_engine_template(workers: usize) -> ServeConfig {
+    ServeConfig {
+        workers,
+        shards: 1,
+        queue_capacity: 512,
+        max_batch: 8,
+        ..ServeConfig::default()
+    }
+}
+
+/// Pushes `jobs` through a fresh federation and times it end-to-end.
+/// Total worker count is held fixed across leg shapes (1×4 vs 4×1), so
+/// the A/B isolates routing + forwarding overhead, not parallelism.
+fn run_federated(replicas: usize, workers_per_replica: usize, jobs: Vec<DftJob>) -> FedRun {
+    let n = jobs.len();
+    let start = Instant::now();
+    let fed = FederatedService::start(FederationConfig {
+        replicas,
+        engine: fed_engine_template(workers_per_replica),
+        ..FederationConfig::default()
+    });
+    let tickets: Vec<_> = jobs
+        .into_iter()
+        .map(|job| fed.submit_blocking(job).expect("submit"))
+        .collect();
+    for t in &tickets {
+        t.wait().expect("job completes");
+    }
+    let report = fed.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert_eq!(report.completed, n as u64);
+    assert!(report.conservation_holds(), "federated conservation");
+    FedRun {
+        wall_s,
+        throughput: n as f64 / wall_s,
+        report,
+    }
+}
+
+/// `REPEATS` interleaved A/B rounds of single-engine vs 4-replica
+/// federation over the same mix, keeping the round with the best
+/// federated/single throughput ratio (the paired best-of estimator the
+/// QoS and telemetry sweeps use).
+fn best_of_fed_pair(mix: fn() -> Vec<DftJob>) -> (FedRun, FedRun, f64) {
+    let mut best: Option<(FedRun, FedRun, f64)> = None;
+    for _ in 0..REPEATS {
+        let single = run_federated(1, 4, mix());
+        let ring = run_federated(4, 1, mix());
+        let ratio = ring.throughput / single.throughput;
+        if best.as_ref().is_none_or(|&(_, _, b)| ratio > b) {
+            best = Some((single, ring, ratio));
+        }
+    }
+    best.expect("at least one repeat")
+}
+
+/// The uniform federated mix: the canonical demo stream (the shard
+/// sweep's mix), uniformly spread over the ring — the apples-to-apples
+/// throughput leg gate #7 compares against a single engine.
+fn fed_uniform_mix() -> Vec<DftJob> {
+    DftJob::demo_mix(FED_JOBS)
+}
+
+/// The skewed fingerprint-repeat mix: every other submission is one of
+/// `FED_HOT` hot segments (each resubmitted ~10×), interleaved through
+/// unique cheap segments. Consistent-hash routing sends every repeat
+/// back to the replica whose cache already holds it, so the federation
+/// serves the hot half without re-execution — the locality story the
+/// ring exists for.
+fn fed_skew_mix() -> Vec<DftJob> {
+    (0..FED_JOBS)
+        .map(|i| {
+            if i % 2 == 0 {
+                DftJob::MdSegment {
+                    atoms: 64,
+                    steps: 400,
+                    temperature_k: 300.0,
+                    seed: (i as u64 / 2) % FED_HOT,
+                }
+            } else {
+                DftJob::MdSegment {
+                    atoms: 64,
+                    steps: 50,
+                    temperature_k: 300.0,
+                    seed: 1_000_000 + i as u64,
+                }
+            }
+        })
+        .collect()
+}
+
+/// One measured failover leg: the federation report after a seeded
+/// mid-flood replica kill, plus the client-observed p99 latency of the
+/// jobs that were replayed onto the surviving ring.
+struct FailoverRun {
+    wall_s: f64,
+    replayed_p99_s: f64,
+    report: FederationReport,
+}
+
+/// The failover leg (the deterministic wedge the integration harness
+/// proves out): replica 0's single worker is pinned by a long blocker,
+/// ten victim-homed jobs queue behind it, and the seeded [`FaultPlan`]
+/// kills the replica mid-flood — so those jobs *must* fail over. Every
+/// client ticket still resolves Ok; the replayed jobs' end-to-end
+/// latency (submission → result, across both queues) is the number a
+/// capacity planner wants from this leg.
+fn run_federated_failover() -> FailoverRun {
+    let victim = 0usize;
+    let fed = FederatedService::start(FederationConfig {
+        replicas: 4,
+        engine: fed_engine_template(1),
+        fault_plan: FaultPlan::new().kill_at(FED_KILL_TICK, victim),
+        ..FederationConfig::default()
+    });
+    let homed = |steps: usize, seed0: u64| -> DftJob {
+        (seed0..)
+            .map(|seed| DftJob::MdSegment {
+                atoms: 64,
+                steps,
+                temperature_k: 300.0,
+                seed,
+            })
+            .find(|j| fed.home_of(j) == Some(victim))
+            .expect("some fingerprint homes on the victim")
+    };
+    let start = Instant::now();
+    // Tick 1: the wedge — ~600 ms on the victim's only worker.
+    let blocker = fed
+        .submit_blocking(homed(400_000, 1 << 40))
+        .expect("submit");
+    while fed.replica_queue_depth(victim) != Some(0) {
+        std::thread::yield_now();
+    }
+    // Ticks 2..=11: victim-homed jobs that will die queued and replay.
+    // Ticks 12..=61: a mixed flood; the kill fires at tick FED_KILL_TICK.
+    let mut tickets: Vec<(Fingerprint, Instant, JobTicket)> = Vec::new();
+    for i in 0..10u64 {
+        let job = homed(50, (1 << 41) + i * (1 << 20));
+        let fp = job.fingerprint();
+        tickets.push((
+            fp,
+            Instant::now(),
+            fed.submit_blocking(job).expect("submit"),
+        ));
+    }
+    for seed in 0..50u64 {
+        let job = DftJob::MdSegment {
+            atoms: 64,
+            steps: 50,
+            temperature_k: 300.0,
+            seed,
+        };
+        let fp = job.fingerprint();
+        tickets.push((
+            fp,
+            Instant::now(),
+            fed.submit_blocking(job).expect("submit"),
+        ));
+    }
+    let latencies: Vec<(Fingerprint, f64)> = tickets
+        .iter()
+        .map(|(fp, submitted, ticket)| {
+            ticket.wait().expect("every flooded job completes");
+            (*fp, submitted.elapsed().as_secs_f64())
+        })
+        .collect();
+    blocker
+        .wait()
+        .expect("in-flight blocker finishes during kill");
+    let replayed: std::collections::HashSet<Fingerprint> =
+        fed.replayed_fingerprints().into_iter().collect();
+    let mut replayed_lat: Vec<f64> = latencies
+        .iter()
+        .filter(|(fp, _)| replayed.contains(fp))
+        .map(|&(_, s)| s)
+        .collect();
+    replayed_lat.sort_by(f64::total_cmp);
+    let replayed_p99_s = if replayed_lat.is_empty() {
+        0.0
+    } else {
+        let rank = ((replayed_lat.len() as f64 * 0.99).ceil() as usize).max(1) - 1;
+        replayed_lat[rank]
+    };
+    let report = fed.shutdown();
+    let wall_s = start.elapsed().as_secs_f64();
+    assert!(report.conservation_holds(), "failover conservation");
+    FailoverRun {
+        wall_s,
+        replayed_p99_s,
+        report,
+    }
+}
+
+/// Renders one federated-sweep configuration's JSON object.
+fn fed_config_json(label: &str, replicas: usize, workers: usize, run: &FedRun) -> String {
+    format!(
+        concat!(
+            "  \"{}\": {{\n",
+            "    \"replicas\": {},\n",
+            "    \"workers_per_replica\": {},\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"throughput_jobs_per_s\": {:.3},\n",
+            "    \"completed\": {},\n",
+            "    \"served_from_cache\": {},\n",
+            "    \"conservation_holds\": {}\n",
+            "  }}"
+        ),
+        label,
+        replicas,
+        workers,
+        run.wall_s,
+        run.throughput,
+        run.report.completed,
+        run.report.engines.served_from_cache,
+        run.report.conservation_holds(),
+    )
+}
+
+/// Renders the failover leg's JSON object.
+fn fed_failover_json(r: &FailoverRun) -> String {
+    format!(
+        concat!(
+            "  \"federated_failover\": {{\n",
+            "    \"replicas\": 4,\n",
+            "    \"kill_tick\": {},\n",
+            "    \"kills\": {},\n",
+            "    \"submitted\": {},\n",
+            "    \"completed\": {},\n",
+            "    \"replayed\": {},\n",
+            "    \"tombstoned_replays\": {},\n",
+            "    \"replayed_p99_s\": {:.6},\n",
+            "    \"wall_s\": {:.6},\n",
+            "    \"conservation_holds\": {}\n",
+            "  }}"
+        ),
+        FED_KILL_TICK,
+        r.report.kills,
+        r.report.submitted,
+        r.report.completed,
+        r.report.replayed,
+        r.report.tombstoned_replays,
+        r.replayed_p99_s,
+        r.wall_s,
+        r.report.conservation_holds(),
+    )
+}
+
 /// `--help` text: the part-by-part contract of this binary, including
 /// every CI gate it enforces.
 const HELP: &str = "\
@@ -660,6 +944,19 @@ PARTS (all run, in order):
                          the conservation invariant submitted ==
                          completed + failed + cancelled +
                          deadline_dropped.
+    9  federated sweep  CI gate #7 — 160-job mixes through one 4-worker
+                         engine vs a 4-replica consistent-hash ring
+                         (1 worker each): uniform (pure routing
+                         overhead; ring throughput must stay >= 0.9x
+                         single-engine) and a skewed fingerprint-repeat
+                         mix (ring locality). Then a failover leg: a
+                         seeded FaultPlan kills one replica mid-flood
+                         with ten jobs wedged on it; they must replay
+                         onto the survivors (replayed >= 1, kills == 1),
+                         every client ticket must resolve exactly once
+                         (federated conservation), and the replayed
+                         jobs' client-observed p99 latency lands in the
+                         JSON point.
 
 All sweeps append to the JSON trajectory point (schema documented in
 crates/serve/src/README.md); the process exits non-zero when any gate
@@ -1179,6 +1476,40 @@ fn main() {
     }
     println!("\ninteractive p99, qos/fifo (best paired round): {qos_ratio:.3}x");
 
+    // --- Part 9: federated sweep — routing overhead, locality, and a
+    // ---         seeded mid-flood replica kill (gate #7). ---
+    println!(
+        "\nfederated sweep: {FED_JOBS}-job mixes, one 4-worker engine vs a 4-replica \
+         ring (1 worker each), best paired round of {REPEATS}\n"
+    );
+    let (fed_single, fed_ring, fed_ratio) = best_of_fed_pair(fed_uniform_mix);
+    let (fed_skew_single, fed_skew_ring, _) = best_of_fed_pair(fed_skew_mix);
+    println!(
+        "{:>22} {:>10} {:>10} {:>12} {:>12}",
+        "config", "wall s", "jobs/s", "completed", "cache serves"
+    );
+    for (label, r) in [
+        ("uniform single", &fed_single),
+        ("uniform ring4", &fed_ring),
+        ("skewed single", &fed_skew_single),
+        ("skewed ring4", &fed_skew_ring),
+    ] {
+        println!(
+            "{:>22} {:>10.4} {:>10.1} {:>12} {:>12}",
+            label, r.wall_s, r.throughput, r.report.completed, r.report.engines.served_from_cache,
+        );
+    }
+    println!("\nuniform throughput, ring4/single (best paired round): {fed_ratio:.3}x");
+    let failover = run_federated_failover();
+    println!(
+        "failover leg: killed 1 of 4 replicas at tick {FED_KILL_TICK}; {} of {} jobs \
+         replayed, all resolved exactly once (replayed p99 {:.4}s, wall {:.3}s)",
+        failover.report.replayed,
+        failover.report.submitted,
+        failover.replayed_p99_s,
+        failover.wall_s,
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -1212,6 +1543,13 @@ fn main() {
             "{},\n",
             "{},\n",
             "  \"qos_interactive_p99_on_over_off\": {:.4},\n",
+            "  \"fed_jobs\": {},\n",
+            "{},\n",
+            "{},\n",
+            "  \"fed4_over_single\": {:.4},\n",
+            "{},\n",
+            "{},\n",
+            "{},\n",
             "  \"telemetry\": {}\n",
             "}}\n"
         ),
@@ -1254,6 +1592,13 @@ fn main() {
         qos_config_json("qos_off", false, &qos_off),
         qos_config_json("qos_on", true, &qos_on),
         qos_ratio,
+        FED_JOBS,
+        fed_config_json("federated_single", 1, 4, &fed_single),
+        fed_config_json("federated_ring4", 4, 1, &fed_ring),
+        fed_ratio,
+        fed_config_json("federated_skew_single", 1, 4, &fed_skew_single),
+        fed_config_json("federated_skew_ring4", 4, 1, &fed_skew_ring),
+        fed_failover_json(&failover),
         traced.snapshot.to_json(),
     );
     std::fs::write(&json_path, json).expect("write bench json");
@@ -1349,5 +1694,39 @@ fn main() {
         qos_ratio,
         qos_off.interactive_p99_s,
         QOS_GATE_RATIO
+    );
+    // Gate #7a: federation overhead. On a uniform mix with the same
+    // total worker count, the 4-replica ring must hold ≥ 90% of the
+    // single engine's throughput — routing and replay bookkeeping must
+    // stay cheap.
+    assert!(
+        fed_ratio >= FED_GATE_RATIO,
+        "PERF GATE FAILED: 4-replica federation {:.1} jobs/s is {:.3}x the single \
+         engine's {:.1} jobs/s (gate: >= {:.2}x) — routing overhead is eating throughput",
+        fed_ring.throughput,
+        fed_ratio,
+        fed_single.throughput,
+        FED_GATE_RATIO
+    );
+    // Gate #7b: the failover leg must actually fail over — the seeded
+    // kill must replay the wedged jobs onto the surviving ring, and the
+    // client-level books must close exactly (every submission reached
+    // exactly one terminal, across the kill).
+    assert!(
+        failover.report.kills == 1 && failover.report.replayed >= 1,
+        "FAILOVER GATE FAILED: {} kills, {} jobs replayed — the seeded fault plan \
+         did not exercise replay",
+        failover.report.kills,
+        failover.report.replayed
+    );
+    assert!(
+        failover.report.conservation_holds(),
+        "FAILOVER GATE FAILED: conservation violated across the kill \
+         ({} submitted vs {} completed + {} failed + {} cancelled + {} deadline-dropped)",
+        failover.report.submitted,
+        failover.report.completed,
+        failover.report.failed,
+        failover.report.cancelled,
+        failover.report.deadline_dropped
     );
 }

@@ -139,6 +139,26 @@ pub struct CacheStats {
     pub cost_retained_s: f64,
 }
 
+impl CacheStats {
+    /// Field-wise accumulation of `other` into `self` — how
+    /// [`crate::FederationReport`] rolls per-replica cache counters into
+    /// one federation-wide view. Every field is a sum: counters add, and
+    /// the gauges (`len`, `disk_len`, `bytes_persisted`,
+    /// `cost_retained_s`) add too, because federated replicas hold
+    /// disjoint cache populations (each fingerprint homes on one
+    /// replica).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.len += other.len;
+        self.disk_hits += other.disk_hits;
+        self.disk_len += other.disk_len;
+        self.bytes_persisted += other.bytes_persisted;
+        self.cost_retained_s += other.cost_retained_s;
+    }
+}
+
 /// Which lookup path served a result without executing it — carried on
 /// [`crate::trace::TraceEventKind::CacheHit`] span events so traces
 /// distinguish a warm memory hit from a disk promotion or an in-batch

@@ -23,6 +23,7 @@
 //! [`crate::TicketFuture`] for any still-in-flight id; combine futures
 //! with [`crate::exec::join_all`] / [`crate::exec::race`].
 
+use crate::federation::FederatedService;
 use crate::fingerprint::Fingerprint;
 use crate::job::{JobError, JobRequest};
 use crate::queue::SubmitError;
@@ -108,13 +109,38 @@ impl Wake for CompletionForwarder {
     }
 }
 
-/// A multiplexing client handle over one [`DftService`].
+/// What a session submits through: a single engine or a federated
+/// router. Both expose the same `issue` admission shape, so the whole
+/// forwarder machinery is backend-agnostic.
+pub(crate) enum SessionBackend<'a> {
+    /// One in-process engine ([`DftService::session`]).
+    Engine(&'a DftService),
+    /// A consistent-hash federation of engines
+    /// ([`FederatedService::session`]).
+    Federation(&'a FederatedService),
+}
+
+impl SessionBackend<'_> {
+    fn issue(&self, request: JobRequest, blocking: bool) -> Result<Issued, SubmitError> {
+        match self {
+            SessionBackend::Engine(svc) => svc.issue(request, blocking),
+            SessionBackend::Federation(fed) => fed.issue(request, blocking),
+        }
+    }
+}
+
+/// A multiplexing client handle over one [`DftService`] — or one
+/// [`FederatedService`] fronting several.
 ///
 /// Created (paired with its [`CompletionStream`]) by
-/// [`DftService::session`]. Borrows the service, so the engine is
-/// guaranteed alive for the session's lifetime.
+/// [`DftService::session`] or [`FederatedService::session`]. Borrows
+/// the backend, so the engine(s) are guaranteed alive for the session's
+/// lifetime. Federated sessions behave identically, with one addition:
+/// a job whose home replica is killed mid-flight is transparently
+/// replayed onto a surviving replica, and its completion arrives on
+/// this stream exactly once either way.
 pub struct ClientSession<'a> {
-    service: &'a DftService,
+    backend: SessionBackend<'a>,
     shared: Arc<SessionShared>,
     /// Completion channel; used directly for instantly-resolved tickets
     /// and cloned into each forwarder for in-flight ones.
@@ -123,9 +149,17 @@ pub struct ClientSession<'a> {
 
 impl<'a> ClientSession<'a> {
     pub(crate) fn new(service: &'a DftService) -> (Self, CompletionStream) {
+        ClientSession::over(SessionBackend::Engine(service))
+    }
+
+    pub(crate) fn federated(fed: &'a FederatedService) -> (Self, CompletionStream) {
+        ClientSession::over(SessionBackend::Federation(fed))
+    }
+
+    fn over(backend: SessionBackend<'a>) -> (Self, CompletionStream) {
         let (tx, rx) = std::sync::mpsc::channel();
         let session = ClientSession {
-            service,
+            backend,
             shared: Arc::new(SessionShared {
                 inflight_tickets: Mutex::new(HashMap::new()),
                 next_id: AtomicU64::new(0),
@@ -148,7 +182,7 @@ impl<'a> ClientSession<'a> {
     /// [`SubmitError::QueueFull`], [`SubmitError::AdmissionDenied`],
     /// [`SubmitError::QuotaExceeded`], [`SubmitError::Closed`].
     pub fn submit(&self, request: impl Into<JobRequest>) -> Result<JobId, SubmitError> {
-        self.attach(self.service.issue(request.into(), false)?)
+        self.attach(self.backend.issue(request.into(), false)?)
     }
 
     /// Like [`ClientSession::submit`] but blocks for queue space instead
@@ -159,7 +193,7 @@ impl<'a> ClientSession<'a> {
     /// [`SubmitError::InvalidJob`], [`SubmitError::AdmissionDenied`],
     /// [`SubmitError::QuotaExceeded`], or [`SubmitError::Closed`].
     pub fn submit_blocking(&self, request: impl Into<JobRequest>) -> Result<JobId, SubmitError> {
-        self.attach(self.service.issue(request.into(), true)?)
+        self.attach(self.backend.issue(request.into(), true)?)
     }
 
     /// Cancels an in-flight job by id. `true` when this call resolved
@@ -256,9 +290,14 @@ impl<'a> ClientSession<'a> {
         self.submitted().saturating_sub(self.completed())
     }
 
-    /// The engine this session multiplexes over.
-    pub fn service(&self) -> &'a DftService {
-        self.service
+    /// The engine this session multiplexes over, when the backend is a
+    /// single engine; `None` for a federated session (use
+    /// [`FederatedService`]'s own observability surface there).
+    pub fn engine(&self) -> Option<&'a DftService> {
+        match self.backend {
+            SessionBackend::Engine(svc) => Some(svc),
+            SessionBackend::Federation(_) => None,
+        }
     }
 }
 

@@ -72,6 +72,17 @@
 //!   per-[`TenantId`] in-flight quota ([`ServeConfig::tenant_quota`])
 //!   keeps one tenant from monopolizing the engine.
 //!   `ServeConfig { qos: false, .. }` reproduces the FIFO engine.
+//! * **Federated serving** — a [`FederatedService`] fronts N engine
+//!   replicas behind the same submission API: fingerprints
+//!   consistent-hash onto a virtual-node [`HashRing`] ([`router`]) so
+//!   repeated jobs always land where their result is cached, every
+//!   accepted job is recorded in a [`RoutingLog`], and killing a
+//!   replica (ad hoc or via a deterministic [`FaultPlan`]) replays its
+//!   un-resolved jobs onto the survivors with QoS metadata intact —
+//!   each client ticket still resolves **exactly once**
+//!   ([`FederationReport::conservation_holds`]). Revived replicas
+//!   rejoin with their per-replica disk tier
+//!   ([`persist::replica_cache_dir`]) warm.
 //! * **Metrics** — per-job latency, throughput, steal counters,
 //!   per-shard depth/occupancy, in-flight ticket gauge, cancellation /
 //!   deadline-drop / admission accounting, per-priority latency
@@ -102,6 +113,7 @@ pub mod cache;
 pub mod client;
 pub mod cluster;
 pub mod exec;
+pub mod federation;
 pub mod fingerprint;
 pub mod job;
 pub mod metrics;
@@ -109,6 +121,7 @@ pub mod persist;
 pub mod placement;
 pub mod progress;
 pub mod queue;
+pub mod router;
 pub mod service;
 pub mod telemetry;
 mod tenant;
@@ -121,6 +134,7 @@ pub use cache::{CachePolicy, CacheStats, HitTier, ResultCache};
 pub use client::{ClientSession, CompletionStream, JobId, SessionCompletion};
 pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
 pub use exec::{block_on, join_all, race, JoinAll, Race};
+pub use federation::{FederatedService, FederationConfig, FederationReport};
 pub use fingerprint::{Fingerprint, Hasher};
 pub use job::{
     DftJob, JobError, JobKind, JobPayload, JobRequest, Priority, TenantId, WorkloadClass,
@@ -133,11 +147,15 @@ pub use placement::{
 };
 pub use progress::{JobStage, ProgressEvent, ProgressStream};
 pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
+pub use router::{FaultAction, FaultEvent, FaultPlan, HashRing, RouteInfo, RoutingLog};
 pub use service::{DftService, ServeConfig};
 pub use telemetry::{
     ClassLatencySummary, ClassSnapshot, HistogramSnapshot, LatencyHistogram, PlacementTarget,
     PriorityLatencySummary, Stage, Telemetry, TelemetrySnapshot,
 };
 pub use ticket::{JobTicket, TicketFuture, TicketResolver};
-pub use trace::{chrome_trace_json, TraceCollector, TraceEvent, TraceEventKind, TraceId};
+pub use trace::{
+    chrome_trace_json, federated_chrome_trace_json, TraceCollector, TraceEvent, TraceEventKind,
+    TraceId,
+};
 pub use worker::{execute_job, execute_payload, JobOutcome};

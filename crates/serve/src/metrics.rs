@@ -507,6 +507,116 @@ impl ServeReport {
             self.modeled_cpu_pinned_s / self.modeled_total_s
         }
     }
+
+    /// Rolls `other` (another engine's report) into `self`, producing a
+    /// federation-wide view. The merge rules, field class by field
+    /// class:
+    ///
+    /// * **Counters** (submissions, terminals, batches, steals, cache
+    ///   via [`CacheStats::absorb`], …) — sum. The conservation
+    ///   invariant survives: each replica conserves its own jobs, so
+    ///   the sums conserve too.
+    /// * **Uptime** — max (replicas run concurrently; summing would
+    ///   count the same wall-clock N times, wrecking
+    ///   [`ServeReport::throughput_jobs_per_s`]).
+    /// * **Per-shard / per-worker vectors** — concatenated in absorb
+    ///   order (replica-major), so no replica's topology is lost.
+    /// * **Latency** — `mean_latency_s` re-weighted by each side's
+    ///   `completed + failed` population; `max_latency_s` is a true
+    ///   max. The per-class / per-priority percentile rows merge by
+    ///   key: `jobs` sums, and each percentile takes the **max** of the
+    ///   two sides — a deliberately conservative upper bound (the true
+    ///   federated pXX needs the underlying histograms; for those,
+    ///   merge [`crate::TelemetrySnapshot`]s instead).
+    /// * **Modeled / wall seconds** — sum (they are work integrals, not
+    ///   wall-clock).
+    pub fn absorb(&mut self, other: &ServeReport) {
+        let self_weight = (self.completed + self.failed) as f64;
+        let other_weight = (other.completed + other.failed) as f64;
+        if self_weight + other_weight > 0.0 {
+            self.mean_latency_s = (self.mean_latency_s * self_weight
+                + other.mean_latency_s * other_weight)
+                / (self_weight + other_weight);
+        }
+        self.uptime_s = self.uptime_s.max(other.uptime_s);
+        self.submitted += other.submitted;
+        self.rejected += other.rejected;
+        self.completed += other.completed;
+        self.failed += other.failed;
+        self.cancelled += other.cancelled;
+        self.deadline_dropped += other.deadline_dropped;
+        self.admission_denied += other.admission_denied;
+        self.served_from_cache += other.served_from_cache;
+        self.batches += other.batches;
+        self.planner_calls += other.planner_calls;
+        self.plans_reused += other.plans_reused;
+        self.tickets_outstanding += other.tickets_outstanding;
+        self.progress_events_dropped += other.progress_events_dropped;
+        self.trace_events_dropped += other.trace_events_dropped;
+        for row in &other.class_latency {
+            match self.class_latency.iter_mut().find(|r| r.class == row.class) {
+                Some(mine) => {
+                    mine.jobs += row.jobs;
+                    mine.p50_s = mine.p50_s.max(row.p50_s);
+                    mine.p90_s = mine.p90_s.max(row.p90_s);
+                    mine.p99_s = mine.p99_s.max(row.p99_s);
+                    mine.p999_s = mine.p999_s.max(row.p999_s);
+                    mine.max_s = mine.max_s.max(row.max_s);
+                }
+                None => self.class_latency.push(row.clone()),
+            }
+        }
+        self.class_latency.sort_by_key(|r| r.class);
+        for row in &other.priority_latency {
+            match self
+                .priority_latency
+                .iter_mut()
+                .find(|r| r.priority == row.priority)
+            {
+                Some(mine) => {
+                    mine.jobs += row.jobs;
+                    mine.p50_s = mine.p50_s.max(row.p50_s);
+                    mine.p90_s = mine.p90_s.max(row.p90_s);
+                    mine.p99_s = mine.p99_s.max(row.p99_s);
+                    mine.p999_s = mine.p999_s.max(row.p999_s);
+                    mine.max_s = mine.max_s.max(row.max_s);
+                }
+                None => self.priority_latency.push(row.clone()),
+            }
+        }
+        self.priority_latency.sort_by_key(|r| r.priority.index());
+        self.worker_panics += other.worker_panics;
+        self.steals += other.steals;
+        self.stolen_jobs += other.stolen_jobs;
+        self.stolen_batches += other.stolen_batches;
+        self.plans_contended += other.plans_contended;
+        self.plans_shifted += other.plans_shifted;
+        self.cpu_contention_s += other.cpu_contention_s;
+        self.ndp_contention_s += other.ndp_contention_s;
+        self.shard_depths.extend_from_slice(&other.shard_depths);
+        self.shard_dispatched
+            .extend_from_slice(&other.shard_dispatched);
+        self.worker_dispatched
+            .extend_from_slice(&other.worker_dispatched);
+        self.max_latency_s = self.max_latency_s.max(other.max_latency_s);
+        self.wall_numeric_s += other.wall_numeric_s;
+        self.modeled_cpu_busy_s += other.modeled_cpu_busy_s;
+        self.modeled_ndp_busy_s += other.modeled_ndp_busy_s;
+        self.modeled_total_s += other.modeled_total_s;
+        self.modeled_cpu_pinned_s += other.modeled_cpu_pinned_s;
+        self.cache.absorb(&other.cache);
+    }
+
+    /// [`ServeReport::absorb`] over an iterator: the federation-wide
+    /// report for any set of per-replica reports (`None` when empty).
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a ServeReport>) -> Option<ServeReport> {
+        let mut iter = reports.into_iter();
+        let mut total = iter.next()?.clone();
+        for r in iter {
+            total.absorb(r);
+        }
+        Some(total)
+    }
 }
 
 impl fmt::Display for ServeReport {

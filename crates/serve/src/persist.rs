@@ -70,6 +70,20 @@ use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+/// The per-replica cache directory a federated deployment gives replica
+/// `replica` under a shared root: `<root>/replica-<replica>`.
+///
+/// The disk tier's single-writer rule (see the [module docs](self))
+/// survives federation because each replica owns a distinct
+/// subdirectory — N engines never share a WAL. The mapping is **stable
+/// across kill/revive**: a revived replica reopens the same
+/// subdirectory, scans its WAL, and rejoins the ring with every result
+/// it persisted before dying already warm — the federated failover
+/// test's warm-rejoin leg rides on exactly this.
+pub fn replica_cache_dir(root: impl AsRef<Path>, replica: usize) -> PathBuf {
+    root.as_ref().join(format!("replica-{replica}"))
+}
+
 /// File-format magic + version. Bump the trailing digit on any codec
 /// change: an old file then fails the header check and is reset rather
 /// than misdecoded.

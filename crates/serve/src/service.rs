@@ -596,6 +596,34 @@ impl DftService {
         self.report()
     }
 
+    /// Abrupt stop — the fault-injection counterpart to
+    /// [`DftService::shutdown`]. Where `shutdown` lets the closed queue
+    /// drain (workers exit only once it is empty, so every queued job
+    /// still executes), `kill` closes the queue and **sweeps the backlog
+    /// first**: still-queued jobs fail fast with
+    /// [`crate::JobError::ShutDown`] instead of running. Jobs a worker
+    /// already started finish normally and resolve their tickets. This
+    /// is what a federated replica loss looks like from the inside —
+    /// the queued jobs' failures are what [`crate::FederatedService`]
+    /// replays onto the surviving ring.
+    pub fn kill(mut self) -> ServeReport {
+        self.shared.queue.close();
+        // Same sweep protocol as shutdown_in_place, but run *before*
+        // joining, so the backlog dies instead of draining. Workers
+        // racing the sweep may still pop a few jobs; those execute and
+        // count as completed — the exactly-once ticket layer makes both
+        // outcomes equivalent to a caller.
+        for pending in self.shared.queue.drain_all() {
+            if pending.ticket.is_done() {
+                pending.consume_cancelled();
+            } else {
+                pending.fail(crate::job::JobError::ShutDown);
+            }
+        }
+        self.shutdown_in_place();
+        self.report()
+    }
+
     fn shutdown_in_place(&mut self) {
         self.shared.queue.close();
         for w in self.workers.drain(..) {

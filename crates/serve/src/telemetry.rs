@@ -790,6 +790,38 @@ impl TelemetrySnapshot {
         self.stage_total(Stage::EndToEnd).count()
     }
 
+    /// Rolls another engine's snapshot into `self` — the
+    /// federation-wide telemetry view. Unlike the percentile rows in a
+    /// merged [`crate::ServeReport`] (which can only take conservative
+    /// maxima), this merges the **underlying histograms** bucket-wise
+    /// ([`HistogramSnapshot::merge`]), so quantiles of the result are
+    /// true federated quantiles. Uptime takes the max (replicas run
+    /// concurrently), counters sum, and queue high-watermarks
+    /// concatenate in absorb order (replica-major), matching the merged
+    /// report's shard vectors.
+    pub fn absorb(&mut self, other: &TelemetrySnapshot) {
+        self.uptime_s = self.uptime_s.max(other.uptime_s);
+        for theirs in &other.classes {
+            match self.classes.iter_mut().find(|c| c.class == theirs.class) {
+                Some(mine) => {
+                    for (a, b) in mine.stages.iter_mut().zip(&theirs.stages) {
+                        a.merge(b);
+                    }
+                    for (a, b) in mine.targets.iter_mut().zip(&theirs.targets) {
+                        a.merge(b);
+                    }
+                }
+                None => self.classes.push(theirs.clone()),
+            }
+        }
+        self.classes.sort_by_key(|c| c.class);
+        self.e2e_count += other.e2e_count;
+        self.trace_events_recorded += other.trace_events_recorded;
+        self.trace_events_dropped += other.trace_events_dropped;
+        self.queue_high_watermarks
+            .extend_from_slice(&other.queue_high_watermarks);
+    }
+
     /// Serializes the snapshot to a JSON object (hand-rolled — every
     /// key and class label is machine-generated, so no escaping is
     /// needed).

@@ -48,6 +48,12 @@ struct TicketState {
     /// Allocator for waker-registry keys; key allocation is serialized
     /// by the state lock, like every other registry access.
     next_waker_key: u64,
+    /// Owner-installed hook that runs iff a [`JobTicket::cancel`] call
+    /// wins the resolution race — the federated router tombstones the
+    /// routing log through it so a replayed replica can never resurrect
+    /// a cancelled job. Dropped (never run) when any other resolution
+    /// wins. Runs outside the state lock.
+    cancel_hook: Option<Box<dyn FnOnce() + Send>>,
 }
 
 struct TicketInner {
@@ -85,6 +91,7 @@ impl JobTicket {
                     result: None,
                     wakers: Vec::new(),
                     next_waker_key: 0,
+                    cancel_hook: None,
                 }),
                 done: Condvar::new(),
             }),
@@ -144,19 +151,45 @@ impl JobTicket {
     /// value: only the caller that wins the race may treat the job as
     /// cancelled.
     pub(crate) fn fulfill_first(&self, result: JobResult) -> bool {
-        let wakers = {
+        self.resolve(result, false)
+    }
+
+    /// The single pending→done transition. Takes the waker registry
+    /// *and* the cancel hook under the state lock; the hook runs (on
+    /// the cancellation path) or drops (any other resolution) before
+    /// the wakers fire, so a cancel's side effects — e.g. tombstoning a
+    /// federated routing log — are visible to every woken observer.
+    /// Both run outside the lock: neither can deadlock back into the
+    /// registry.
+    fn resolve(&self, result: JobResult, is_cancel: bool) -> bool {
+        let (wakers, hook) = {
             let mut st = self.inner.state.lock().unwrap();
             if st.result.is_some() {
                 return false;
             }
             st.result = Some(result);
             self.inner.done.notify_all();
-            std::mem::take(&mut st.wakers)
+            (std::mem::take(&mut st.wakers), st.cancel_hook.take())
         };
+        match hook {
+            Some(hook) if is_cancel => hook(),
+            other => drop(other),
+        }
         for (_, waker) in wakers {
             waker.wake();
         }
         true
+    }
+
+    /// Installs the hook [`JobTicket::cancel`] runs if (and only if) it
+    /// wins the resolution race. At most one hook per ticket (a second
+    /// install replaces the first); ignored once the ticket is done —
+    /// the race it guards is already decided.
+    pub(crate) fn set_cancel_hook(&self, hook: Box<dyn FnOnce() + Send>) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.result.is_none() {
+            st.cancel_hook = Some(hook);
+        }
     }
 
     /// Cancels the job if it has not resolved yet, fulfilling the ticket
@@ -172,7 +205,7 @@ impl JobTicket {
     /// discarded — the ticket keeps the `Cancelled` outcome. Nothing is
     /// released from [`crate::ClusterView`]: queued jobs reserve nothing.
     pub fn cancel(&self) -> bool {
-        self.fulfill_first(Err(JobError::Cancelled))
+        self.resolve(Err(JobError::Cancelled), true)
     }
 
     /// Registers an external completion waker: woken exactly once when
@@ -542,6 +575,72 @@ mod tests {
             t.wait().unwrap_err(),
             JobError::Numerics("done first".into())
         );
+    }
+
+    #[test]
+    fn cancel_hook_runs_only_when_cancel_wins() {
+        // Winning cancel runs the hook exactly once.
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook_fired = Arc::clone(&fired);
+        t.set_cancel_hook(Box::new(move || {
+            hook_fired.fetch_add(1, AtomicOrdering::SeqCst);
+        }));
+        assert!(t.cancel());
+        assert_eq!(fired.load(AtomicOrdering::SeqCst), 1);
+        assert!(!t.cancel(), "second cancel loses");
+        assert_eq!(fired.load(AtomicOrdering::SeqCst), 1, "hook never reruns");
+
+        // A completion beats the cancel: the hook is dropped unrun.
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook_fired = Arc::clone(&fired);
+        t.set_cancel_hook(Box::new(move || {
+            hook_fired.fetch_add(1, AtomicOrdering::SeqCst);
+        }));
+        t.fulfill(Err(JobError::ShutDown));
+        assert!(!t.cancel());
+        assert_eq!(
+            fired.load(AtomicOrdering::SeqCst),
+            0,
+            "losing cancel must not run the hook"
+        );
+
+        // Installing on a done ticket is a no-op.
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
+        t.fulfill(Err(JobError::ShutDown));
+        let fired = Arc::new(AtomicUsize::new(0));
+        let hook_fired = Arc::clone(&fired);
+        t.set_cancel_hook(Box::new(move || {
+            hook_fired.fetch_add(1, AtomicOrdering::SeqCst);
+        }));
+        assert!(!t.cancel());
+        assert_eq!(fired.load(AtomicOrdering::SeqCst), 0);
+    }
+
+    #[test]
+    fn cancel_hook_side_effects_precede_waker_delivery() {
+        // The federation's tombstone ordering: when the hook fires, its
+        // effect must be observable from every waker the cancel wakes.
+        let t = JobTicket::pending(fp(), TraceId::DETACHED);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        struct OrderWaker {
+            order: Arc<Mutex<Vec<&'static str>>>,
+        }
+        impl Wake for OrderWaker {
+            fn wake(self: Arc<Self>) {
+                self.order.lock().unwrap().push("waker");
+            }
+        }
+        t.on_done(Waker::from(Arc::new(OrderWaker {
+            order: Arc::clone(&order),
+        })));
+        let hook_order = Arc::clone(&order);
+        t.set_cancel_hook(Box::new(move || {
+            hook_order.lock().unwrap().push("hook");
+        }));
+        assert!(t.cancel());
+        assert_eq!(*order.lock().unwrap(), vec!["hook", "waker"]);
     }
 
     #[test]

@@ -54,11 +54,19 @@
 //! priority lane starves* — under any push/pop schedule, the aging
 //! escape hatch serves every nonempty lane within a bounded number of
 //! dispatches, while delivery stays exactly-once and per-lane FIFO.
+//!
+//! The federation's consistent-hash router adds the last two: (a)
+//! *bounded imbalance* — with ≥ 64 virtual nodes per replica, any ring
+//! of ≥ 4 replicas keeps the busiest replica's key share within 1.35×
+//! the mean over any drawn fingerprint population; (b) *minimal
+//! disruption* — removing one replica remaps exactly the keys it
+//! owned (every other key keeps its home), the churn guarantee replica
+//! failover leans on to keep surviving caches warm.
 
 use ndft_serve::{
-    block_on, CachePolicy, ClusterView, DftJob, DftService, DiskTier, Fingerprint, JobError,
-    JobTicket, LatencyHistogram, Reservation, ResultCache, ServeConfig, ShardedQueue, TicketFuture,
-    TicketResolver, TraceEvent, TraceEventKind,
+    block_on, CachePolicy, ClusterView, DftJob, DftService, DiskTier, Fingerprint, HashRing,
+    JobError, JobTicket, LatencyHistogram, Reservation, ResultCache, ServeConfig, ShardedQueue,
+    TicketFuture, TicketResolver, TraceEvent, TraceEventKind,
 };
 use proptest::prelude::*;
 use std::future::Future;
@@ -911,6 +919,76 @@ proptest! {
                     prop_assert!(exec.is_none(), "cached trace {} ran numerics", id);
                 }
                 _ => unreachable!(),
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Bounded imbalance: with at least 64 vnodes per replica, the
+    /// busiest replica of a ≥4-replica ring owns at most 1.35× the
+    /// mean key share of any fingerprint population — the balance
+    /// budget the federated bench gate assumes.
+    #[test]
+    fn ring_balance_stays_within_budget(
+        replicas in 4usize..9,
+        vnodes in 64usize..129,
+        keys in prop::collection::vec((any::<u64>(), any::<u64>()), 512..2048),
+    ) {
+        let mut ring = HashRing::new(vnodes);
+        for r in 0..replicas {
+            ring.add_replica(r);
+        }
+        let fingerprints: Vec<Fingerprint> = keys
+            .iter()
+            .map(|&(hi, lo)| Fingerprint(((hi as u128) << 64) | lo as u128))
+            .collect();
+        let shares = ring.shares(&fingerprints);
+        let mean = fingerprints.len() as f64 / replicas as f64;
+        for r in 0..replicas {
+            let share = shares.get(&r).copied().unwrap_or(0) as f64;
+            prop_assert!(
+                share <= mean * 1.35,
+                "replica {} owns {} of {} keys (mean {:.1}, budget {:.1})",
+                r, share, fingerprints.len(), mean, mean * 1.35
+            );
+        }
+    }
+
+    /// Minimal disruption: removing one replica remaps exactly the
+    /// keys it owned. Every key homed elsewhere keeps its home — the
+    /// guarantee that a replica kill never cools a survivor's cache.
+    #[test]
+    fn ring_removal_remaps_only_the_dead_replicas_keys(
+        replicas in 2usize..8,
+        vnodes in 16usize..97,
+        keys in prop::collection::vec((any::<u64>(), any::<u64>()), 256..1024),
+        dead_pick in any::<usize>(),
+    ) {
+        let mut ring = HashRing::new(vnodes);
+        for r in 0..replicas {
+            ring.add_replica(r);
+        }
+        let dead = dead_pick % replicas;
+        let before: Vec<(Fingerprint, usize)> = keys
+            .iter()
+            .map(|&(hi, lo)| {
+                let fp = Fingerprint(((hi as u128) << 64) | lo as u128);
+                (fp, ring.primary(fp).unwrap())
+            })
+            .collect();
+        ring.remove_replica(dead);
+        for (fp, home) in before {
+            let after = ring.primary(fp).unwrap();
+            if home == dead {
+                prop_assert_ne!(after, dead, "key still routed to the dead replica");
+            } else {
+                prop_assert_eq!(
+                    after, home,
+                    "key homed on live replica {} was remapped to {}", home, after
+                );
             }
         }
     }

@@ -5,9 +5,9 @@
 //! `ClientSession`, and per-job progress streams.
 
 use ndft::serve::{
-    block_on, chrome_trace_json, join_all, race, CachePolicy, DftJob, DftService, JobError,
-    JobKind, JobPayload, JobRequest, JobStage, PlacementPolicy, Priority, ServeConfig, Stage,
-    SubmitError, TenantId, TraceEventKind,
+    block_on, chrome_trace_json, join_all, race, CachePolicy, DftJob, DftService, FaultPlan,
+    FederatedService, FederationConfig, JobError, JobKind, JobPayload, JobRequest, JobStage,
+    PlacementPolicy, Priority, ServeConfig, Stage, SubmitError, TenantId, TraceEventKind,
 };
 use std::collections::HashSet;
 use std::time::Duration;
@@ -1264,4 +1264,225 @@ fn interactive_jobs_overtake_bulk_backlog_under_qos() {
             (Priority::Bulk, 8)
         ]
     );
+}
+
+// ---------------------------------------------------------------------
+// Federated serving: consistent-hash routing + fault-injected failover.
+// ---------------------------------------------------------------------
+
+fn fed_config(replicas: usize) -> FederationConfig {
+    FederationConfig {
+        replicas,
+        engine: ServeConfig {
+            workers: 1,
+            shards: 1,
+            ..ServeConfig::default()
+        },
+        ..FederationConfig::default()
+    }
+}
+
+/// A `steps`-step MD job whose fingerprint homes on `replica` under the
+/// federation's current ring (probed via `home_of`, which never ticks
+/// the fault plan).
+fn homed_md(fed: &FederatedService, replica: usize, steps: usize, seed0: u64) -> DftJob {
+    (seed0..)
+        .map(|seed| DftJob::MdSegment {
+            atoms: 64,
+            steps,
+            temperature_k: 300.0,
+            seed,
+        })
+        .find(|j| fed.home_of(j).unwrap() == replica)
+        .unwrap()
+}
+
+/// The headline failover scenario: a seeded [`FaultPlan`] kills one of
+/// four replicas in the middle of a submission flood, and every job
+/// still resolves exactly once — the killed replica's queued jobs are
+/// replayed onto the surviving ring (with their QoS metadata intact,
+/// observable as interactive-priority executions on the survivors) and
+/// the federated conservation invariant closes the books.
+#[test]
+fn federated_kill_mid_flood_resolves_every_job_exactly_once() {
+    let mut config = fed_config(4);
+    // Tick 1 is the wedge blocker; the flood occupies ticks 2..=61. The
+    // kill fires on the victim at tick 30 — mid-flood by construction.
+    config.fault_plan = FaultPlan::new().kill_at(30, 0);
+    let fed = FederatedService::start(config);
+    let victim = 0;
+
+    // Wedge the victim: a ~600 ms blocker pins its single worker, so
+    // every victim-homed flood job is still queued when the kill lands.
+    let blocker = fed
+        .submit_blocking(homed_md(&fed, victim, 400_000, 1 << 40))
+        .unwrap();
+    while fed.replica_queue_depth(victim) != Some(0) {
+        std::thread::yield_now();
+    }
+
+    // Ten victim-homed interactive jobs go in first (ticks 2..=11, all
+    // wedged behind the blocker), then a mixed flood of fast jobs.
+    let mut tickets = Vec::new();
+    for i in 0..10u64 {
+        let job = homed_md(&fed, victim, 50, (1 << 41) + i * (1 << 20));
+        let request = JobRequest::new(job)
+            .priority(Priority::Interactive)
+            .deadline(Duration::from_secs(1_000_000))
+            .tenant(TenantId(9));
+        tickets.push(fed.submit_blocking(request).unwrap());
+    }
+    for seed in 0..50u64 {
+        let job = DftJob::MdSegment {
+            atoms: 64,
+            steps: 50,
+            temperature_k: 300.0,
+            seed,
+        };
+        tickets.push(fed.submit_blocking(job).unwrap());
+    }
+    assert!(!fed.is_live(victim), "fault plan fired mid-flood");
+
+    // Exactly-once at the result layer: every client ticket resolves Ok,
+    // including the ten jobs that died with the victim's queue.
+    blocker
+        .wait()
+        .expect("in-flight blocker finishes during kill");
+    for t in &tickets {
+        t.wait().expect("every flooded job completes");
+    }
+
+    let report = fed.shutdown();
+    assert_eq!(report.kills, 1);
+    assert_eq!(report.live, 3);
+    assert_eq!(report.submitted, 61);
+    assert_eq!(report.completed, 61);
+    assert!(report.conservation_holds(), "federated conservation");
+    assert!(
+        report.engines.conservation_holds(),
+        "engine-level conservation"
+    );
+    assert!(
+        report.replayed >= 10,
+        "all ten wedged interactive jobs replayed (got {})",
+        report.replayed
+    );
+    // Replay preserved the QoS metadata: the interactive jobs died
+    // queued on the victim, yet the survivors' engine reports show all
+    // ten accounted at interactive priority — the replayed submissions
+    // carried their priority class across the failover.
+    let survivor_interactive: u64 = report
+        .per_replica
+        .iter()
+        .enumerate()
+        .filter(|&(replica, _)| replica != victim)
+        .flat_map(|(_, r)| r.priority_latency.iter())
+        .filter(|row| row.priority == Priority::Interactive)
+        .map(|row| row.jobs)
+        .sum();
+    assert_eq!(
+        survivor_interactive, 10,
+        "replayed jobs kept their priority"
+    );
+}
+
+/// Regression: cancelling a job that a replica kill would otherwise
+/// replay must tombstone it in the routing log — replay can never
+/// resurrect a cancelled job.
+#[test]
+fn federated_cancel_tombstones_the_routing_entry_against_replay() {
+    let fed = FederatedService::start(fed_config(2));
+    let victim = fed
+        .home_of(&DftJob::MdSegment {
+            atoms: 64,
+            steps: 1,
+            temperature_k: 300.0,
+            seed: 0,
+        })
+        .unwrap();
+    let blocker = fed
+        .submit_blocking(homed_md(&fed, victim, 300_000, 1 << 50))
+        .unwrap();
+    while fed.replica_queue_depth(victim) != Some(0) {
+        std::thread::yield_now();
+    }
+    // Queued behind the blocker, then cancelled before the kill.
+    let doomed = fed
+        .submit_blocking(homed_md(&fed, victim, 60, 1 << 51))
+        .unwrap();
+    assert!(!doomed.is_done());
+    assert!(doomed.cancel(), "cancel wins while the job is queued");
+    assert!(matches!(doomed.wait(), Err(JobError::Cancelled)));
+
+    fed.kill_replica(victim).unwrap();
+    assert_eq!(
+        fed.tombstoned_replays(),
+        1,
+        "the cancelled entry was dropped at replay time"
+    );
+    assert!(
+        fed.replayed_fingerprints().is_empty(),
+        "nothing was resurrected"
+    );
+    assert!(matches!(doomed.wait(), Err(JobError::Cancelled)));
+
+    blocker.wait().unwrap();
+    let report = fed.shutdown();
+    assert_eq!(report.submitted, 2);
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.cancelled, 1);
+    assert_eq!(report.replayed, 0);
+    assert_eq!(report.tombstoned_replays, 1);
+    assert!(report.conservation_holds());
+}
+
+/// A revived replica rejoins the ring with its disk tier warm: it
+/// reopens the same per-replica cache directory, so results it
+/// persisted before dying are served from disk — not re-executed —
+/// after the restart.
+#[test]
+fn federated_revive_rejoins_with_warm_disk_tier() {
+    let dir = scratch_cache_dir("fed-warm");
+    let mut config = fed_config(2);
+    config.engine.cache_dir = Some(dir.clone());
+    let fed = FederatedService::start(config);
+    let victim = fed
+        .home_of(&DftJob::MdSegment {
+            atoms: 64,
+            steps: 1,
+            temperature_k: 300.0,
+            seed: 0,
+        })
+        .unwrap();
+    let jobs: Vec<DftJob> = (0..4)
+        .map(|i| homed_md(&fed, victim, 40 + i, (1 << 52) + i as u64 * (1 << 20)))
+        .collect();
+    for job in &jobs {
+        fed.submit_blocking(job.clone()).unwrap().wait().unwrap();
+    }
+
+    fed.kill_replica(victim).unwrap();
+    assert!(fed.revive_replica(victim));
+    assert!(fed.is_live(victim));
+
+    // Same ring membership ⇒ same homes: the resubmissions route back to
+    // the revived victim and are served from its write-ahead log at
+    // admission, without touching the numerics.
+    for job in &jobs {
+        assert_eq!(fed.home_of(job), Some(victim));
+        let ticket = fed.submit_blocking(job.clone()).unwrap();
+        assert!(ticket.is_done(), "warm disk tier serves at admission");
+        ticket.wait().unwrap();
+    }
+
+    let report = fed.shutdown();
+    assert_eq!(report.submitted, 8);
+    assert_eq!(report.completed, 8);
+    assert!(report.conservation_holds());
+    assert!(
+        report.per_replica[victim].cache.disk_hits >= 4,
+        "revived incarnation served the resubmissions from disk (got {})",
+        report.per_replica[victim].cache.disk_hits
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
