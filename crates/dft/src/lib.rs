@@ -54,8 +54,8 @@ pub use pseudo::{
     AtomPseudo, PseudoLayout,
 };
 pub use scf::{
-    charge_density, hartree_potential, run_scf, run_scf_in, run_scf_selfconsistent, GroundState,
-    KsHamiltonian, ScfOptions, SelfConsistentResult,
+    charge_density, hartree_potential, run_scf, run_scf_in, run_scf_selfconsistent,
+    run_scf_selfconsistent_seeded, GroundState, KsHamiltonian, ScfOptions, SelfConsistentResult,
 };
 pub use spectra::{model_oscillator_spectrum, oscillator_spectrum, OscillatorSpectrum};
 pub use system::{SiliconSystem, SystemError};

@@ -230,6 +230,37 @@ pub fn run_scf_selfconsistent(
     cycles: usize,
     alpha: f64,
 ) -> Result<SelfConsistentResult, EigError> {
+    run_scf_selfconsistent_seeded(system, opts, occupied, cycles, alpha, None)
+}
+
+/// [`run_scf_selfconsistent`] with an optional warm start.
+///
+/// When `initial` is `Some`, it replaces the first bare-Hamiltonian
+/// [`run_scf_in`] solve — the cycle loop starts directly from the given
+/// ground state. Seeding with the ground state that `run_scf(system,
+/// opts)` produces (same system, same options) is bit-identical to the
+/// unseeded path, because that solve *is* the first step: the bare
+/// Hamiltonian depends only on `(system, opts)`. This is what lets a
+/// workflow inject a parent's converged ground state into a
+/// self-consistent child without perturbing content-addressed caching.
+///
+/// # Errors
+///
+/// Propagates [`EigError`] from the inner solver.
+///
+/// # Panics
+///
+/// Panics if `occupied > opts.bands`, `alpha` is not in (0, 1], or the
+/// seed's orbital matrix does not have `opts.bands` rows on the system
+/// grid.
+pub fn run_scf_selfconsistent_seeded(
+    system: &SiliconSystem,
+    opts: &ScfOptions,
+    occupied: usize,
+    cycles: usize,
+    alpha: f64,
+    initial: Option<GroundState>,
+) -> Result<SelfConsistentResult, EigError> {
     assert!(
         occupied <= opts.bands,
         "cannot occupy more bands than solved"
@@ -248,7 +279,22 @@ pub fn run_scf_selfconsistent(
     let bare_vloc = h.vloc.clone();
     let mut rho = vec![0.0f64; nr];
     let mut residuals = Vec::with_capacity(cycles);
-    let mut gs = run_scf_in(system, opts, &h)?;
+    let mut gs = match initial {
+        Some(seed) => {
+            assert_eq!(
+                seed.orbitals.rows(),
+                opts.bands,
+                "seed must carry one orbital per solved band"
+            );
+            assert_eq!(
+                seed.orbitals.cols(),
+                nr,
+                "seed orbitals must live on the system grid"
+            );
+            seed
+        }
+        None => run_scf_in(system, opts, &h)?,
+    };
     for _cycle in 0..cycles {
         let rho_new = charge_density(&gs.orbitals, &occupations, dv);
         let norm_old: f64 = rho.iter().map(|x| x.abs()).sum::<f64>().max(1e-30);
@@ -535,6 +581,28 @@ mod tests {
             assert!(w[0] <= w[1] + 1e-9);
         }
         assert!(r.density.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn seeding_with_the_bare_solve_is_bit_identical() {
+        // The warm-start contract: injecting the ground state that
+        // `run_scf` produces for the same (system, opts) must reproduce
+        // the unseeded self-consistent result exactly — same floats,
+        // same residual history — because that solve IS the first step.
+        let sys = SiliconSystem::new(16).unwrap();
+        let opts = small_opts(4, 2);
+        let cold = run_scf_selfconsistent(&sys, &opts, 4, 3, 0.5).unwrap();
+        let seed = run_scf(&sys, &opts).unwrap();
+        let warm = run_scf_selfconsistent_seeded(&sys, &opts, 4, 3, 0.5, Some(seed)).unwrap();
+        assert_eq!(cold, warm);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed must carry one orbital per solved band")]
+    fn seed_with_wrong_band_count_is_rejected() {
+        let sys = SiliconSystem::new(16).unwrap();
+        let seed = run_scf(&sys, &small_opts(3, 2)).unwrap();
+        let _ = run_scf_selfconsistent_seeded(&sys, &small_opts(4, 2), 4, 2, 0.5, Some(seed));
     }
 
     #[test]

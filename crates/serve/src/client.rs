@@ -23,6 +23,7 @@
 //! [`crate::TicketFuture`] for any still-in-flight id; combine futures
 //! with [`crate::exec::join_all`] / [`crate::exec::race`].
 
+use crate::dag::{WorkflowError, WorkflowSpec, WorkflowTicket};
 use crate::federation::FederatedService;
 use crate::fingerprint::Fingerprint;
 use crate::job::{JobError, JobRequest};
@@ -196,6 +197,44 @@ impl<'a> ClientSession<'a> {
         self.attach(self.backend.issue(request.into(), true)?)
     }
 
+    /// Submits a dependency graph of jobs
+    /// ([`DftService::submit_workflow`] /
+    /// [`FederatedService::submit_workflow`]) and multiplexes every
+    /// node's completion onto this session's [`CompletionStream`].
+    /// Returns the graph-level [`WorkflowTicket`] plus one [`JobId`]
+    /// per node, indexed by the node's position in the spec.
+    ///
+    /// Node completions obey the graph: a child's
+    /// [`SessionCompletion`] never precedes all of its parents' on the
+    /// stream. (Internally the session attaches forwarders in
+    /// topological order — computed *before* submission consumes the
+    /// spec — so the guarantee holds even when every node was already
+    /// cache-served by the time the forwarders attach.) Cancelling a
+    /// node id orphans its unreleased descendants, each of which still
+    /// delivers exactly one completion
+    /// ([`JobError::DependencyFailed`]).
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`DftService::submit_workflow`]'s errors — the spec is
+    /// empty, has a dangling or self edge, contains a cycle, or a
+    /// member job is invalid; nothing is submitted or tracked on error.
+    pub fn submit_workflow(
+        &self,
+        spec: WorkflowSpec,
+    ) -> Result<(WorkflowTicket, Vec<JobId>), WorkflowError> {
+        let order = spec.topological_order()?;
+        let workflow = match &self.backend {
+            SessionBackend::Engine(svc) => svc.submit_workflow(spec)?,
+            SessionBackend::Federation(fed) => fed.submit_workflow(spec)?,
+        };
+        let mut ids = vec![JobId(u64::MAX); workflow.len()];
+        for node in order {
+            ids[node] = self.attach_ticket(workflow.tickets()[node].clone());
+        }
+        Ok((workflow, ids))
+    }
+
     /// Cancels an in-flight job by id. `true` when this call resolved
     /// the ticket with [`JobError::Cancelled`] — a still-queued job
     /// becomes a tombstone the workers sweep past without executing;
@@ -235,6 +274,23 @@ impl<'a> ClientSession<'a> {
             }
             Issued::Queued(ticket) => ticket,
         };
+        self.track(id, ticket);
+        Ok(id)
+    }
+
+    /// Wires an already-created ticket (a workflow node's) into the
+    /// session: allocates an id and registers the completion forwarder.
+    /// Already-resolved tickets deliver their completion synchronously,
+    /// on this thread, before this returns — which is why workflow
+    /// attach order is completion order for cache-served graphs.
+    fn attach_ticket(&self, ticket: JobTicket) -> JobId {
+        let id = JobId(self.shared.next_id.fetch_add(1, Ordering::Relaxed));
+        self.shared.submitted.fetch_add(1, Ordering::AcqRel);
+        self.track(id, ticket);
+        id
+    }
+
+    fn track(&self, id: JobId, ticket: JobTicket) {
         // Insert before registering: a ticket resolving mid-attach fires
         // the forwarder on this very thread, and the prune must find its
         // entry.
@@ -250,7 +306,6 @@ impl<'a> ClientSession<'a> {
             session: Arc::downgrade(&self.shared),
         });
         ticket.on_done(Waker::from(forwarder));
-        Ok(id)
     }
 
     /// The ticket behind an id, while the job is still in flight.

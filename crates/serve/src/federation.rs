@@ -52,6 +52,7 @@
 //! against a concurrent kill holding the state lock.
 
 use crate::client::{ClientSession, CompletionStream};
+use crate::dag::{self, WorkflowRegistry, WorkflowSpec, WorkflowTicket};
 use crate::fingerprint::Fingerprint;
 use crate::job::{DftJob, JobError, JobRequest};
 use crate::metrics::ServeReport;
@@ -123,6 +124,14 @@ struct FedCounters {
     deadline_dropped: AtomicU64,
     kills: AtomicU64,
     revives: AtomicU64,
+    /// Workflow nodes that died before reaching any replica (upstream
+    /// failure, shutdown sweep, or pre-release cancel). Paired with a
+    /// `submitted` bump — the one way into the books without routing.
+    orphaned: AtomicU64,
+    /// Workflow DAGs accepted by [`FederatedService::submit_workflow`].
+    workflows: AtomicU64,
+    /// Workflow nodes released into the routed submission path.
+    workflow_released: AtomicU64,
     /// Accepted submissions routed to each replica slot.
     routed: Vec<AtomicU64>,
 }
@@ -138,6 +147,9 @@ impl FedCounters {
             deadline_dropped: AtomicU64::new(0),
             kills: AtomicU64::new(0),
             revives: AtomicU64::new(0),
+            orphaned: AtomicU64::new(0),
+            workflows: AtomicU64::new(0),
+            workflow_released: AtomicU64::new(0),
             routed: (0..replicas).map(|_| AtomicU64::new(0)).collect(),
         }
     }
@@ -175,12 +187,23 @@ struct FederationState {
 
 /// N in-process [`DftService`] replicas behind one submission API. See
 /// the [module docs](self) for the routing, failover, and exactly-once
-/// story.
+/// story. A thin handle over the `Arc`'d `FedCore`: the workflow
+/// coordinator ([`crate::dag`]) holds the core with `'static` ownership
+/// so dependency releases can route from completion wakers and spawned
+/// threads, while this façade keeps the public lifecycle (its drop
+/// still tears the federation down).
 pub struct FederatedService {
+    core: Arc<FedCore>,
+}
+
+/// The federation's shared innards: replica state, routing log,
+/// client-level counters, fault schedule, and the workflow registry.
+pub(crate) struct FedCore {
     state: RwLock<FederationState>,
     log: Arc<RoutingLog>,
     counters: Arc<FedCounters>,
     fault_plan: Mutex<FaultPlan>,
+    workflows: WorkflowRegistry,
     config: FederationConfig,
 }
 
@@ -248,17 +271,41 @@ impl FederatedService {
             })
             .collect();
         FederatedService {
-            state: RwLock::new(FederationState { slots, ring }),
-            log: Arc::new(RoutingLog::new()),
-            counters: Arc::new(FedCounters::new(config.replicas)),
-            fault_plan: Mutex::new(config.fault_plan.clone()),
-            config,
+            core: Arc::new(FedCore {
+                state: RwLock::new(FederationState { slots, ring }),
+                log: Arc::new(RoutingLog::new()),
+                counters: Arc::new(FedCounters::new(config.replicas)),
+                fault_plan: Mutex::new(config.fault_plan.clone()),
+                workflows: WorkflowRegistry::new(),
+                config,
+            }),
         }
     }
 
     /// Starts with defaults (two replicas).
     pub fn start_default() -> Self {
         FederatedService::start(FederationConfig::default())
+    }
+
+    /// Submits a workflow DAG over the federation: released nodes route
+    /// through the ring like any submission (home-replica affinity,
+    /// replay-on-failover — a killed replica's unfinished workflow
+    /// nodes replay with their dependency state intact, because the
+    /// coordinator watches the *client* ticket, which survives the
+    /// failover). Parent outcomes warm-seed compatible children on
+    /// their **first** routed attempt; a replayed node re-executes cold
+    /// on the survivor, which is result-identical (warm starts are
+    /// bit-exact).
+    ///
+    /// # Errors
+    ///
+    /// [`crate::WorkflowError`] for an empty/cyclic/dangling/invalid
+    /// spec, before any ticket or routing state is created.
+    pub fn submit_workflow(
+        &self,
+        spec: WorkflowSpec,
+    ) -> Result<WorkflowTicket, crate::WorkflowError> {
+        dag::submit(dag::Backend::Federation(Arc::clone(&self.core)), spec)
     }
 
     /// Routed, non-blocking submission. The returned ticket is the
@@ -272,7 +319,7 @@ impl FederatedService {
     /// Exactly [`DftService::submit`]'s errors, raised by the chosen
     /// replica; plus [`SubmitError::Closed`] when no replica is live.
     pub fn submit(&self, request: impl Into<JobRequest>) -> Result<JobTicket, SubmitError> {
-        self.submit_inner(request.into(), false)
+        self.core.submit_inner(request.into(), false)
     }
 
     /// Like [`FederatedService::submit`] but blocks for queue space on
@@ -286,11 +333,160 @@ impl FederatedService {
         &self,
         request: impl Into<JobRequest>,
     ) -> Result<JobTicket, SubmitError> {
-        self.submit_inner(request.into(), true)
+        self.core.submit_inner(request.into(), true)
     }
 
+    /// Raw admission for the session layer (the routed twin of
+    /// [`DftService::issue`]).
+    pub(crate) fn issue(&self, request: JobRequest, blocking: bool) -> Result<Issued, SubmitError> {
+        self.core.issue_with(request, blocking, None)
+    }
+
+    /// Abruptly kills a replica and replays its un-resolved jobs onto
+    /// the surviving ring. Returns the dead incarnation's final
+    /// [`ServeReport`] (`None` when the slot is unknown or already
+    /// dead).
+    ///
+    /// The sequence, under the state write lock:
+    ///
+    /// 1. Remove the replica from the ring (no new routes land on it).
+    /// 2. Flag its live log entries as replaying
+    ///    (`RoutingLog::mark_replaying`) so forwarders absorb the
+    ///    sweep's `ShutDown`s instead of delivering them.
+    /// 3. [`DftService::kill`] — queued jobs fail fast; in-flight jobs
+    ///    finish and deliver normally.
+    /// 4. Replay (`RoutingLog::take_replayable`) each survivor-bound
+    ///    job with its original request — priority, deadline, and
+    ///    tenant intact. Tombstoned (cancelled) entries are dropped,
+    ///    never resubmitted. With no survivors left, clients fail with
+    ///    [`JobError::ShutDown`]; a replay the target's admission
+    ///    control refuses on deadline fails with
+    ///    [`JobError::DeadlineExceeded`].
+    pub fn kill_replica(&self, replica: usize) -> Option<ServeReport> {
+        self.core.kill_replica(replica)
+    }
+
+    /// Restarts a killed replica and re-adds it to the ring. The new
+    /// incarnation reopens the **same** per-replica cache directory, so
+    /// it rejoins with every result it persisted before dying already
+    /// warm in its disk tier. Returns `false` when the slot is unknown
+    /// or already live.
+    pub fn revive_replica(&self, replica: usize) -> bool {
+        self.core.revive_replica(replica)
+    }
+
+    /// Opens a multiplexing [`ClientSession`] over the federation,
+    /// paired with its finish-order [`CompletionStream`] — the same API
+    /// shape as [`DftService::session`], plus transparent failover.
+    pub fn session(&self) -> (ClientSession<'_>, CompletionStream) {
+        ClientSession::federated(self)
+    }
+
+    /// Closes every live replica's submission queue: new submissions
+    /// fail with [`SubmitError::Closed`], queued work still drains.
+    pub fn close(&self) {
+        self.core.close();
+    }
+
+    /// Gracefully shuts down every live replica (queues drain fully, so
+    /// every in-flight client ticket resolves through its forwarder),
+    /// orphans coordinator-held workflow nodes, sweeps any stragglers
+    /// in the routing log, and returns the final federation-wide report
+    /// — on which [`FederationReport::conservation_holds`] is
+    /// guaranteed.
+    pub fn shutdown(self) -> FederationReport {
+        self.core.shutdown_core()
+    }
+
+    /// Live federation-wide report: client-level counters plus every
+    /// replica's engine report (dead incarnations included) merged via
+    /// [`ServeReport::absorb`].
+    pub fn report(&self) -> FederationReport {
+        self.core.report()
+    }
+
+    /// Federation-wide telemetry: every replica's snapshot (dead
+    /// incarnations included) merged bucket-wise via
+    /// [`TelemetrySnapshot::absorb`], so its quantiles are true
+    /// federated quantiles.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        self.core.telemetry()
+    }
+
+    /// Per-slot telemetry snapshots (each slot's incarnations merged;
+    /// index = replica).
+    pub fn telemetry_per_replica(&self) -> Vec<TelemetrySnapshot> {
+        self.core.telemetry_per_replica()
+    }
+
+    /// Attaches a [`TraceCollector`] to every **live** replica,
+    /// replica-tagged. Render the drains with
+    /// [`crate::federated_chrome_trace_json`] to get one process lane
+    /// per replica. (A killed replica's collector dies with it; attach
+    /// before injecting faults to capture a failover timeline.)
+    pub fn trace(&self) -> Vec<(usize, TraceCollector)> {
+        self.core.trace()
+    }
+
+    /// The home replica the ring currently assigns `fingerprint`
+    /// (`None` when no replica is live). Probe-friendly: tests and
+    /// benches use it to construct jobs that home on a chosen victim.
+    pub fn home_replica(&self, fingerprint: Fingerprint) -> Option<usize> {
+        self.core.state.read().unwrap().ring.primary(fingerprint)
+    }
+
+    /// [`FederatedService::home_replica`] for a job value.
+    pub fn home_of(&self, job: &DftJob) -> Option<usize> {
+        self.home_replica(job.fingerprint())
+    }
+
+    /// Replica indices currently on the ring, ascending.
+    pub fn live_replicas(&self) -> Vec<usize> {
+        self.core.state.read().unwrap().ring.replicas().to_vec()
+    }
+
+    /// True when the slot has a live engine.
+    pub fn is_live(&self, replica: usize) -> bool {
+        self.core.state.read().unwrap().ring.contains(replica)
+    }
+
+    /// A live replica's current queue depth (`None` when dead).
+    pub fn replica_queue_depth(&self, replica: usize) -> Option<usize> {
+        let state = self.core.state.read().unwrap();
+        state
+            .slots
+            .get(replica)
+            .and_then(|s| s.engine.as_ref())
+            .map(|e| e.queue_depth())
+    }
+
+    /// Snapshot of every tracked routing-log entry (un-resolved jobs
+    /// and cancellation tombstones), sorted by route id.
+    pub fn routes(&self) -> Vec<RouteInfo> {
+        self.core.log.snapshot()
+    }
+
+    /// Fingerprints replayed onto a surviving replica so far, in replay
+    /// order.
+    pub fn replayed_fingerprints(&self) -> Vec<Fingerprint> {
+        self.core.log.replayed()
+    }
+
+    /// Replay candidates skipped because a cancellation had tombstoned
+    /// them (see [`RoutingLog::tombstoned_replays`]).
+    pub fn tombstoned_replays(&self) -> u64 {
+        self.core.log.tombstoned_replays()
+    }
+
+    /// The configuration the federation was started with.
+    pub fn config(&self) -> &FederationConfig {
+        &self.core.config
+    }
+}
+
+impl FedCore {
     fn submit_inner(&self, request: JobRequest, blocking: bool) -> Result<JobTicket, SubmitError> {
-        match self.issue(request, blocking)? {
+        match self.issue_with(request, blocking, None)? {
             Issued::Cached {
                 fingerprint,
                 trace,
@@ -300,14 +496,27 @@ impl FederatedService {
         }
     }
 
-    /// The shared admission path ([`ClientSession`] calls it raw, like
-    /// [`DftService::issue`]): tick the fault plan, route, submit to
-    /// the chosen replica, and — for queued jobs — wire up the client
-    /// ticket, the routing-log entry, the cancel hook, and the replay
-    /// forwarder, all under the state read guard so a concurrent kill
-    /// cannot slip between acceptance and recording.
-    pub(crate) fn issue(&self, request: JobRequest, blocking: bool) -> Result<Issued, SubmitError> {
+    /// The shared admission path (the session layer and the workflow
+    /// coordinator call it raw, like [`DftService::issue`]): tick the
+    /// fault plan, compact the routing log, route, submit to the chosen
+    /// replica, and — for queued jobs — wire up the client ticket, the
+    /// routing-log entry, the cancel hook, and the replay forwarder,
+    /// all under the state read guard so a concurrent kill cannot slip
+    /// between acceptance and recording.
+    ///
+    /// `warm` is a workflow parent's outcome, handed to the routed
+    /// replica's admission for injection. It rides only this first
+    /// attempt: a replayed job re-executes cold on the survivor, which
+    /// is result-identical (warm starts are bit-exact) — the
+    /// [`ReplayItem`] deliberately carries no outcome payload.
+    pub(crate) fn issue_with(
+        &self,
+        request: JobRequest,
+        blocking: bool,
+        warm: Option<Arc<JobOutcome>>,
+    ) -> Result<Issued, SubmitError> {
         self.tick_faults();
+        self.log.maybe_compact();
         let state = self.state.read().unwrap();
         let fingerprint = request.job.fingerprint();
         let Some(replica) = pick_replica(&state, &self.config, fingerprint) else {
@@ -317,7 +526,7 @@ impl FederatedService {
             .engine
             .as_ref()
             .expect("ring members are live");
-        match engine.issue(request.clone(), blocking)? {
+        match engine.issue_with(request.clone(), blocking, warm)? {
             Issued::Cached {
                 fingerprint,
                 trace,
@@ -391,27 +600,14 @@ impl FederatedService {
         }
     }
 
-    /// Abruptly kills a replica and replays its un-resolved jobs onto
-    /// the surviving ring. Returns the dead incarnation's final
-    /// [`ServeReport`] (`None` when the slot is unknown or already
-    /// dead).
-    ///
-    /// The sequence, under the state write lock:
-    ///
-    /// 1. Remove the replica from the ring (no new routes land on it).
-    /// 2. Flag its live log entries as replaying
-    ///    (`RoutingLog::mark_replaying`) so forwarders absorb the
-    ///    sweep's `ShutDown`s instead of delivering them.
-    /// 3. [`DftService::kill`] — queued jobs fail fast; in-flight jobs
-    ///    finish and deliver normally.
-    /// 4. Replay (`RoutingLog::take_replayable`) each survivor-bound
-    ///    job with its original request — priority, deadline, and
-    ///    tenant intact. Tombstoned (cancelled) entries are dropped,
-    ///    never resubmitted. With no survivors left, clients fail with
-    ///    [`JobError::ShutDown`]; a replay the target's admission
-    ///    control refuses on deadline fails with
-    ///    [`JobError::DeadlineExceeded`].
-    pub fn kill_replica(&self, replica: usize) -> Option<ServeReport> {
+    /// The kill sequence (documented on
+    /// [`FederatedService::kill_replica`]), under the state write lock.
+    /// Unfinished **workflow nodes** on the victim replay like any
+    /// logged job: the coordinator's forwarder watches the client
+    /// ticket, which outlives the replica, so dependency state (held
+    /// children, remaining-parent counts) rides through the failover
+    /// untouched.
+    fn kill_replica(&self, replica: usize) -> Option<ServeReport> {
         let mut state = self.state.write().unwrap();
         let slot = state.slots.get_mut(replica)?;
         let engine = slot.engine.take()?;
@@ -495,12 +691,8 @@ impl FederatedService {
         }
     }
 
-    /// Restarts a killed replica and re-adds it to the ring. The new
-    /// incarnation reopens the **same** per-replica cache directory, so
-    /// it rejoins with every result it persisted before dying already
-    /// warm in its disk tier. Returns `false` when the slot is unknown
-    /// or already live.
-    pub fn revive_replica(&self, replica: usize) -> bool {
+    /// Restart half of [`FederatedService::revive_replica`].
+    fn revive_replica(&self, replica: usize) -> bool {
         let mut state = self.state.write().unwrap();
         if replica >= state.slots.len() || state.slots[replica].engine.is_some() {
             return false;
@@ -514,16 +706,7 @@ impl FederatedService {
         true
     }
 
-    /// Opens a multiplexing [`ClientSession`] over the federation,
-    /// paired with its finish-order [`CompletionStream`] — the same API
-    /// shape as [`DftService::session`], plus transparent failover.
-    pub fn session(&self) -> (ClientSession<'_>, CompletionStream) {
-        ClientSession::federated(self)
-    }
-
-    /// Closes every live replica's submission queue: new submissions
-    /// fail with [`SubmitError::Closed`], queued work still drains.
-    pub fn close(&self) {
+    fn close(&self) {
         let state = self.state.read().unwrap();
         for slot in &state.slots {
             if let Some(engine) = &slot.engine {
@@ -532,12 +715,8 @@ impl FederatedService {
         }
     }
 
-    /// Gracefully shuts down every live replica (queues drain fully, so
-    /// every in-flight client ticket resolves through its forwarder),
-    /// sweeps any stragglers in the routing log, and returns the final
-    /// federation-wide report — on which
-    /// [`FederationReport::conservation_holds`] is guaranteed.
-    pub fn shutdown(self) -> FederationReport {
+    /// Drain half of [`FederatedService::shutdown`].
+    fn shutdown_core(&self) -> FederationReport {
         {
             let mut state = self.state.write().unwrap();
             for slot in state.slots.iter_mut() {
@@ -547,6 +726,11 @@ impl FederatedService {
                 }
             }
         }
+        // Replica drains resolved every routed engine ticket, which
+        // settled (or orphan-cascaded) every *released* workflow node;
+        // the sweep now orphans nodes the coordinator still holds,
+        // exactly once each, closing the extended invariant's books.
+        self.workflows.sweep();
         // Graceful drains resolve every engine ticket, so the only
         // entries left are cancellation tombstones (client already
         // resolved — fulfilling again loses, counting nothing twice).
@@ -558,10 +742,7 @@ impl FederatedService {
         self.report()
     }
 
-    /// Live federation-wide report: client-level counters plus every
-    /// replica's engine report (dead incarnations included) merged via
-    /// [`ServeReport::absorb`].
-    pub fn report(&self) -> FederationReport {
+    fn report(&self) -> FederationReport {
         let state = self.state.read().unwrap();
         let per_replica: Vec<ServeReport> = state
             .slots
@@ -584,7 +765,10 @@ impl FederatedService {
             failed: self.counters.failed.load(Ordering::Relaxed),
             cancelled: self.counters.cancelled.load(Ordering::Relaxed),
             deadline_dropped: self.counters.deadline_dropped.load(Ordering::Relaxed),
-            replayed: self.log.replayed().len() as u64,
+            orphaned: self.counters.orphaned.load(Ordering::Relaxed),
+            workflows: self.counters.workflows.load(Ordering::Relaxed),
+            workflow_released: self.counters.workflow_released.load(Ordering::Relaxed),
+            replayed: self.log.replayed_total(),
             tombstoned_replays: self.log.tombstoned_replays(),
             routed: self
                 .counters
@@ -597,11 +781,7 @@ impl FederatedService {
         }
     }
 
-    /// Federation-wide telemetry: every replica's snapshot (dead
-    /// incarnations included) merged bucket-wise via
-    /// [`TelemetrySnapshot::absorb`], so its quantiles are true
-    /// federated quantiles.
-    pub fn telemetry(&self) -> TelemetrySnapshot {
+    fn telemetry(&self) -> TelemetrySnapshot {
         let mut merged: Option<TelemetrySnapshot> = None;
         for snap in self.telemetry_per_replica() {
             match &mut merged {
@@ -612,9 +792,7 @@ impl FederatedService {
         merged.expect("federation has at least one replica")
     }
 
-    /// Per-slot telemetry snapshots (each slot's incarnations merged;
-    /// index = replica).
-    pub fn telemetry_per_replica(&self) -> Vec<TelemetrySnapshot> {
+    fn telemetry_per_replica(&self) -> Vec<TelemetrySnapshot> {
         let state = self.state.read().unwrap();
         state
             .slots
@@ -633,12 +811,7 @@ impl FederatedService {
             .collect()
     }
 
-    /// Attaches a [`TraceCollector`] to every **live** replica,
-    /// replica-tagged. Render the drains with
-    /// [`crate::federated_chrome_trace_json`] to get one process lane
-    /// per replica. (A killed replica's collector dies with it; attach
-    /// before injecting faults to capture a failover timeline.)
-    pub fn trace(&self) -> Vec<(usize, TraceCollector)> {
+    fn trace(&self) -> Vec<(usize, TraceCollector)> {
         let state = self.state.read().unwrap();
         state
             .slots
@@ -648,77 +821,58 @@ impl FederatedService {
             .collect()
     }
 
-    /// The home replica the ring currently assigns `fingerprint`
-    /// (`None` when no replica is live). Probe-friendly: tests and
-    /// benches use it to construct jobs that home on a chosen victim.
-    pub fn home_replica(&self, fingerprint: Fingerprint) -> Option<usize> {
-        self.state.read().unwrap().ring.primary(fingerprint)
+    /// The workflow registry the coordinator registers runtimes in.
+    pub(crate) fn workflows(&self) -> &WorkflowRegistry {
+        &self.workflows
     }
 
-    /// [`FederatedService::home_replica`] for a job value.
-    pub fn home_of(&self, job: &DftJob) -> Option<usize> {
-        self.home_replica(job.fingerprint())
+    /// A workflow DAG was accepted.
+    pub(crate) fn on_workflow(&self) {
+        self.counters.workflows.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Replica indices currently on the ring, ascending.
-    pub fn live_replicas(&self) -> Vec<usize> {
-        self.state.read().unwrap().ring.replicas().to_vec()
+    /// A workflow node entered the routed submission path (it also runs
+    /// the normal `submitted`/`routed` accounting in
+    /// [`FedCore::issue_with`] — this is the workflow-shaped view, not
+    /// a terminal).
+    pub(crate) fn on_workflow_released(&self) {
+        self.counters
+            .workflow_released
+            .fetch_add(1, Ordering::Relaxed);
     }
 
-    /// True when the slot has a live engine.
-    pub fn is_live(&self, replica: usize) -> bool {
-        self.state.read().unwrap().ring.contains(replica)
+    /// A workflow node died before reaching any replica. Bumps
+    /// `submitted` and `orphaned` together so the client-level
+    /// conservation invariant closes over coordinator-held nodes.
+    pub(crate) fn on_orphaned(&self) {
+        self.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        self.counters.orphaned.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// A live replica's current queue depth (`None` when dead).
-    pub fn replica_queue_depth(&self, replica: usize) -> Option<usize> {
-        let state = self.state.read().unwrap();
-        state
-            .slots
-            .get(replica)
-            .and_then(|s| s.engine.as_ref())
-            .map(|e| e.queue_depth())
-    }
-
-    /// Snapshot of every tracked routing-log entry (un-resolved jobs
-    /// and cancellation tombstones), sorted by route id.
-    pub fn routes(&self) -> Vec<RouteInfo> {
-        self.log.snapshot()
-    }
-
-    /// Fingerprints replayed onto a surviving replica so far, in replay
-    /// order.
-    pub fn replayed_fingerprints(&self) -> Vec<Fingerprint> {
-        self.log.replayed()
-    }
-
-    /// Replay candidates skipped because a cancellation had tombstoned
-    /// them (see [`RoutingLog::tombstoned_replays`]).
-    pub fn tombstoned_replays(&self) -> u64 {
-        self.log.tombstoned_replays()
-    }
-
-    /// The configuration the federation was started with.
-    pub fn config(&self) -> &FederationConfig {
-        &self.config
-    }
-}
-
-impl Drop for FederatedService {
-    fn drop(&mut self) {
-        // Engines shut down via their own Drop; fail any log stragglers
-        // so no client waiter hangs on a dropped federation.
+    /// Teardown on façade drop: kill engines, orphan held workflow
+    /// nodes, fail log stragglers.
+    fn abandon(&self) {
         {
             let mut state = self.state.write().unwrap();
             for slot in state.slots.iter_mut() {
                 slot.engine.take();
             }
         }
+        self.workflows.sweep();
         for (_route, client) in self.log.drain_all() {
             if client.fulfill_first(Err(JobError::ShutDown)) {
                 self.counters.failed.fetch_add(1, Ordering::Relaxed);
             }
         }
+    }
+}
+
+impl Drop for FederatedService {
+    fn drop(&mut self) {
+        // Engines shut down via their own Drop; fail any log stragglers
+        // (and orphan coordinator-held workflow nodes) so no client
+        // waiter hangs on a dropped federation.
+        self.core.abandon();
     }
 }
 
@@ -797,6 +951,16 @@ pub struct FederationReport {
     pub cancelled: u64,
     /// Client tickets resolved [`JobError::DeadlineExceeded`].
     pub deadline_dropped: u64,
+    /// Workflow nodes that died before reaching any replica (upstream
+    /// failure, shutdown, or pre-release cancel); resolved with
+    /// [`JobError::DependencyFailed`] (or the sweeping error) exactly
+    /// once, and counted into `submitted` alongside.
+    pub orphaned: u64,
+    /// Workflow DAGs accepted by
+    /// [`FederatedService::submit_workflow`].
+    pub workflows: u64,
+    /// Workflow nodes released into the routed submission path.
+    pub workflow_released: u64,
     /// Jobs replayed onto a surviving replica after a kill.
     pub replayed: u64,
     /// Replay candidates dropped because a cancellation had tombstoned
@@ -817,13 +981,21 @@ pub struct FederationReport {
 
 impl FederationReport {
     /// Client-level job conservation on a quiescent federation: every
-    /// accepted submission reached exactly one terminal —
-    /// `submitted == completed + failed + cancelled + deadline_dropped`.
+    /// accepted submission — workflow nodes included — reached exactly
+    /// one terminal:
+    ///
+    /// ```text
+    /// submitted == completed + failed + cancelled
+    ///            + deadline_dropped + orphaned
+    /// ```
+    ///
     /// This is the federated exactly-once invariant: it holds across
-    /// replica kills, replays, and cancellations, because each client
-    /// ticket resolves (and is counted) exactly once.
+    /// replica kills, replays, cancellations, and workflow orphan
+    /// cascades, because each client ticket resolves (and is counted)
+    /// exactly once.
     pub fn conservation_holds(&self) -> bool {
-        self.submitted == self.completed + self.failed + self.cancelled + self.deadline_dropped
+        self.submitted
+            == self.completed + self.failed + self.cancelled + self.deadline_dropped + self.orphaned
     }
 
     /// Client-level completed jobs per second of federation uptime

@@ -1,14 +1,15 @@
 //! Job descriptions and results.
 //!
 //! A [`DftJob`] is one calculation request: a ground-state SCF solve, a
-//! short MD segment, or an excitation spectrum (TDA or full Casida).
-//! Jobs are pure values — everything the engine needs (fingerprint,
+//! short MD segment, an excitation spectrum (TDA or full Casida), a
+//! band structure along a k-path, or a density-mixing self-consistent
+//! SCF. Jobs are pure values — everything the engine needs (fingerprint,
 //! workload class, task graph) derives from the job alone, which is what
 //! makes result caching and batch formation sound.
 
 use ndft_dft::{
-    build_task_graph, CasidaResult, GroundState, MdOptions, MdTrajectory, ScfOptions,
-    SiliconSystem, Spectrum, SystemError, TaskGraph,
+    build_task_graph, BandStructure, CasidaResult, GroundState, MdOptions, MdTrajectory,
+    ScfOptions, SelfConsistentResult, SiliconSystem, Spectrum, SystemError, TaskGraph,
 };
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -31,6 +32,12 @@ pub enum JobKind {
     TdaSpectrum,
     /// Full Casida spectrum ([`ndft_dft::run_casida`]).
     CasidaSpectrum,
+    /// Empty-lattice band structure over a high-symmetry k-path
+    /// ([`ndft_dft::band_structure`]).
+    BandStructure,
+    /// Density-mixing self-consistent SCF
+    /// ([`ndft_dft::run_scf_selfconsistent`]).
+    ScfSelfConsistent,
 }
 
 impl JobKind {
@@ -41,6 +48,8 @@ impl JobKind {
             JobKind::MdSegment => "md",
             JobKind::TdaSpectrum => "tda",
             JobKind::CasidaSpectrum => "casida",
+            JobKind::BandStructure => "bands",
+            JobKind::ScfSelfConsistent => "scf-sc",
         }
     }
 }
@@ -81,6 +90,37 @@ pub enum DftJob {
         /// Solve the full Casida problem instead of TDA.
         full_casida: bool,
     },
+    /// Band structure along the silicon L–Γ–X–W–Γ path
+    /// ([`ndft_dft::si_path`] with `segments` points per leg).
+    BandStructure {
+        /// Atom count (multiple of 8); sizes the modeled workload the
+        /// planner sees (the k-path itself is cell-independent).
+        atoms: usize,
+        /// Sample points per path leg (≥ 1).
+        segments: usize,
+        /// Bands per k-point (2 ..= 343 — the empty-lattice G-shell cap,
+        /// and at least one conduction band so the gap is defined).
+        n_bands: usize,
+        /// Rigid conduction-band shift, eV (bit pattern is part of the
+        /// fingerprint).
+        scissor_ev: f64,
+    },
+    /// Density-mixing self-consistent SCF on Si_`atoms`.
+    ScfSelfConsistent {
+        /// Atom count (multiple of 8).
+        atoms: usize,
+        /// Bands to converge.
+        bands: usize,
+        /// Subspace-iteration cap per cycle.
+        max_iterations: usize,
+        /// Spin-paired occupied bands (1 ..= `bands`).
+        occupied: usize,
+        /// Density-mixing outer cycles (≥ 1).
+        cycles: usize,
+        /// Linear mixing factor in (0, 1] (bit pattern is part of the
+        /// fingerprint).
+        alpha: f64,
+    },
 }
 
 impl DftJob {
@@ -95,6 +135,8 @@ impl DftJob {
             DftJob::Spectrum {
                 full_casida: true, ..
             } => JobKind::CasidaSpectrum,
+            DftJob::BandStructure { .. } => JobKind::BandStructure,
+            DftJob::ScfSelfConsistent { .. } => JobKind::ScfSelfConsistent,
         }
     }
 
@@ -103,7 +145,9 @@ impl DftJob {
         match *self {
             DftJob::GroundState { atoms, .. }
             | DftJob::MdSegment { atoms, .. }
-            | DftJob::Spectrum { atoms, .. } => atoms,
+            | DftJob::Spectrum { atoms, .. }
+            | DftJob::BandStructure { atoms, .. }
+            | DftJob::ScfSelfConsistent { atoms, .. } => atoms,
         }
     }
 
@@ -117,13 +161,86 @@ impl DftJob {
         SiliconSystem::new(self.atoms())
     }
 
+    /// Full admission validation: the system check plus the parameter
+    /// bounds the numeric entry points would otherwise panic on
+    /// (band-count caps, occupation vs solved bands, mixing range).
+    /// Every submit path runs this so a worker never sees a job its
+    /// driver asserts reject.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`JobError::InvalidSystem`] describing the first
+    /// violated bound.
+    pub fn validate(&self) -> Result<(), JobError> {
+        self.system()
+            .map_err(|e| JobError::InvalidSystem(e.to_string()))?;
+        match *self {
+            DftJob::BandStructure {
+                segments,
+                n_bands,
+                scissor_ev,
+                ..
+            } => {
+                if segments == 0 {
+                    return Err(JobError::InvalidSystem(
+                        "band path needs at least one point per leg".into(),
+                    ));
+                }
+                if !(2..=343).contains(&n_bands) {
+                    return Err(JobError::InvalidSystem(format!(
+                        "n_bands must be in 2..=343, got {n_bands}"
+                    )));
+                }
+                if !scissor_ev.is_finite() {
+                    return Err(JobError::InvalidSystem(
+                        "scissor shift must be finite".into(),
+                    ));
+                }
+            }
+            DftJob::ScfSelfConsistent {
+                bands,
+                occupied,
+                cycles,
+                alpha,
+                ..
+            } => {
+                if occupied == 0 || occupied > bands {
+                    return Err(JobError::InvalidSystem(format!(
+                        "occupied must be in 1..={bands}, got {occupied}"
+                    )));
+                }
+                if cycles == 0 {
+                    return Err(JobError::InvalidSystem(
+                        "self-consistency needs at least one cycle".into(),
+                    ));
+                }
+                if !(alpha.is_finite() && alpha > 0.0 && alpha <= 1.0) {
+                    return Err(JobError::InvalidSystem(format!(
+                        "mixing factor must be in (0, 1], got {alpha}"
+                    )));
+                }
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
     /// Iteration count used for the modeled task graph: SCF iterations,
-    /// MD steps, or one response solve for spectra.
+    /// MD steps, one response solve for spectra, k-points for a band
+    /// structure, or inner solves for self-consistency.
     pub fn modeled_iterations(&self) -> usize {
         match *self {
             DftJob::GroundState { max_iterations, .. } => max_iterations.max(1),
             DftJob::MdSegment { steps, .. } => steps.max(1),
             DftJob::Spectrum { .. } => 1,
+            // The si_path has 4 legs of `segments` points plus the
+            // closing vertex — one plane-wave diagonalization each.
+            DftJob::BandStructure { segments, .. } => 4 * segments.max(1) + 1,
+            DftJob::ScfSelfConsistent {
+                max_iterations,
+                cycles,
+                ..
+            } => max_iterations.max(1) * (cycles.max(1) + 1),
         }
     }
 
@@ -169,6 +286,34 @@ impl DftJob {
                 h.write_u64(atoms as u64);
                 h.write_u64(full_casida as u64);
             }
+            DftJob::BandStructure {
+                atoms,
+                segments,
+                n_bands,
+                scissor_ev,
+            } => {
+                h.write_u64(0x04);
+                h.write_u64(atoms as u64);
+                h.write_u64(segments as u64);
+                h.write_u64(n_bands as u64);
+                h.write_u64(scissor_ev.to_bits());
+            }
+            DftJob::ScfSelfConsistent {
+                atoms,
+                bands,
+                max_iterations,
+                occupied,
+                cycles,
+                alpha,
+            } => {
+                h.write_u64(0x05);
+                h.write_u64(atoms as u64);
+                h.write_u64(bands as u64);
+                h.write_u64(max_iterations as u64);
+                h.write_u64(occupied as u64);
+                h.write_u64(cycles as u64);
+                h.write_u64(alpha.to_bits());
+            }
         }
         h.finish()
     }
@@ -184,10 +329,16 @@ impl DftJob {
         }
     }
 
-    /// SCF options encoded by a [`DftJob::GroundState`] job.
+    /// SCF options encoded by a [`DftJob::GroundState`] or
+    /// [`DftJob::ScfSelfConsistent`] job.
     pub fn scf_options(&self) -> Option<ScfOptions> {
         match *self {
             DftJob::GroundState {
+                bands,
+                max_iterations,
+                ..
+            }
+            | DftJob::ScfSelfConsistent {
                 bands,
                 max_iterations,
                 ..
@@ -197,6 +348,34 @@ impl DftJob {
                 ..ScfOptions::default()
             }),
             _ => None,
+        }
+    }
+
+    /// Whether a parent's completed job can warm-start this one without
+    /// changing its result.
+    ///
+    /// True only for a [`DftJob::ScfSelfConsistent`] child whose system
+    /// and SCF options exactly match a [`DftJob::GroundState`] parent:
+    /// that parent's converged state *is* the child's first inner solve
+    /// (see [`ndft_dft::run_scf_selfconsistent_seeded`]), so injecting
+    /// it skips redundant work bit-identically — which is what keeps
+    /// content-addressed caching sound for seeded executions.
+    pub fn accepts_warm_seed(&self, parent: &DftJob) -> bool {
+        match (self, parent) {
+            (
+                DftJob::ScfSelfConsistent {
+                    atoms,
+                    bands,
+                    max_iterations,
+                    ..
+                },
+                DftJob::GroundState {
+                    atoms: p_atoms,
+                    bands: p_bands,
+                    max_iterations: p_max,
+                },
+            ) => atoms == p_atoms && bands == p_bands && max_iterations == p_max,
+            _ => false,
         }
     }
 
@@ -304,6 +483,8 @@ impl WorkloadClass {
             JobKind::MdSegment => 0x12,
             JobKind::TdaSpectrum => 0x13,
             JobKind::CasidaSpectrum => 0x14,
+            JobKind::BandStructure => 0x15,
+            JobKind::ScfSelfConsistent => 0x16,
         });
         h.write_u64(self.atoms as u64);
         h.write_u64(self.iterations as u64);
@@ -470,18 +651,29 @@ pub enum JobPayload {
     Tda(Spectrum),
     /// Full Casida + TDA spectra.
     Casida(CasidaResult),
+    /// Band energies along a k-path.
+    Bands(BandStructure),
+    /// Self-consistent ground state with its density history.
+    SelfConsistent(SelfConsistentResult),
 }
 
 impl JobPayload {
     /// A scalar "headline" observable per payload, used by examples and
-    /// smoke tests: lowest band energy, equilibrium temperature, or
-    /// optical gap.
+    /// smoke tests: lowest band energy, equilibrium temperature,
+    /// optical gap, or direct band gap.
     pub fn headline(&self) -> f64 {
         match self {
             JobPayload::GroundState(gs) => gs.energies_ev.first().copied().unwrap_or(f64::NAN),
             JobPayload::Md(t) => t.equilibrium_temperature(),
             JobPayload::Tda(s) => s.optical_gap(),
             JobPayload::Casida(c) => c.optical_gap(),
+            JobPayload::Bands(b) => b.direct_gap(),
+            JobPayload::SelfConsistent(sc) => sc
+                .ground_state
+                .energies_ev
+                .first()
+                .copied()
+                .unwrap_or(f64::NAN),
         }
     }
 }
@@ -500,6 +692,11 @@ pub enum JobError {
     /// The job's wall-clock deadline passed while it waited in the
     /// queue, so the worker dropped it instead of running it.
     DeadlineExceeded,
+    /// A workflow node was orphaned before release: an upstream node in
+    /// its DAG failed (or could not be submitted), so this node's
+    /// dependencies can never be satisfied. The message names the
+    /// upstream failure.
+    DependencyFailed(String),
 }
 
 impl fmt::Display for JobError {
@@ -510,6 +707,7 @@ impl fmt::Display for JobError {
             JobError::ShutDown => f.write_str("engine shut down before execution"),
             JobError::Cancelled => f.write_str("job cancelled before execution"),
             JobError::DeadlineExceeded => f.write_str("deadline passed while the job was queued"),
+            JobError::DependencyFailed(m) => write!(f, "workflow dependency failed: {m}"),
         }
     }
 }
@@ -647,5 +845,121 @@ mod tests {
             full_casida: false,
         };
         assert!(job.system().is_err());
+        assert!(matches!(job.validate(), Err(JobError::InvalidSystem(_))));
+    }
+
+    #[test]
+    fn new_kinds_have_distinct_identities() {
+        let bands = DftJob::BandStructure {
+            atoms: 8,
+            segments: 3,
+            n_bands: 8,
+            scissor_ev: 0.7,
+        };
+        let sc = DftJob::ScfSelfConsistent {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 4,
+            occupied: 4,
+            cycles: 2,
+            alpha: 0.5,
+        };
+        assert_eq!(bands.kind(), JobKind::BandStructure);
+        assert_eq!(sc.kind(), JobKind::ScfSelfConsistent);
+        assert_ne!(bands.fingerprint(), sc.fingerprint());
+        assert_ne!(
+            bands.workload_class().shard_key(),
+            sc.workload_class().shard_key()
+        );
+        // Parameter changes (incl. float bit patterns) change identity.
+        let shifted = DftJob::BandStructure {
+            atoms: 8,
+            segments: 3,
+            n_bands: 8,
+            scissor_ev: 0.8,
+        };
+        assert_ne!(bands.fingerprint(), shifted.fingerprint());
+        let remixed = DftJob::ScfSelfConsistent {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 4,
+            occupied: 4,
+            cycles: 2,
+            alpha: 0.6,
+        };
+        assert_ne!(sc.fingerprint(), remixed.fingerprint());
+        assert!(bands.validate().is_ok());
+        assert!(sc.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_driver_panicking_parameters() {
+        let too_many_bands = DftJob::BandStructure {
+            atoms: 8,
+            segments: 2,
+            n_bands: 400,
+            scissor_ev: 0.0,
+        };
+        assert!(matches!(
+            too_many_bands.validate(),
+            Err(JobError::InvalidSystem(_))
+        ));
+        let over_occupied = DftJob::ScfSelfConsistent {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 4,
+            occupied: 5,
+            cycles: 2,
+            alpha: 0.5,
+        };
+        assert!(matches!(
+            over_occupied.validate(),
+            Err(JobError::InvalidSystem(_))
+        ));
+        let bad_alpha = DftJob::ScfSelfConsistent {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 4,
+            occupied: 4,
+            cycles: 2,
+            alpha: 1.5,
+        };
+        assert!(matches!(
+            bad_alpha.validate(),
+            Err(JobError::InvalidSystem(_))
+        ));
+    }
+
+    #[test]
+    fn warm_seed_requires_exactly_matching_scf_options() {
+        let child = DftJob::ScfSelfConsistent {
+            atoms: 16,
+            bands: 4,
+            max_iterations: 4,
+            occupied: 4,
+            cycles: 2,
+            alpha: 0.5,
+        };
+        let parent = DftJob::GroundState {
+            atoms: 16,
+            bands: 4,
+            max_iterations: 4,
+        };
+        assert!(child.accepts_warm_seed(&parent));
+        let other_bands = DftJob::GroundState {
+            atoms: 16,
+            bands: 5,
+            max_iterations: 4,
+        };
+        assert!(!child.accepts_warm_seed(&other_bands));
+        let md = DftJob::MdSegment {
+            atoms: 16,
+            steps: 3,
+            temperature_k: 300.0,
+            seed: 0,
+        };
+        assert!(!child.accepts_warm_seed(&md));
+        // Only self-consistent children are seedable at all.
+        assert!(!parent.accepts_warm_seed(&parent));
     }
 }

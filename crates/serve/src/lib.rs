@@ -83,6 +83,21 @@
 //!   ([`FederationReport::conservation_holds`]). Revived replicas
 //!   rejoin with their per-replica disk tier
 //!   ([`persist::replica_cache_dir`]) warm.
+//! * **Workflow DAGs** — [`dag`] serves *pipelines*, not just jobs: a
+//!   [`WorkflowSpec`] declares jobs as nodes and data-flow dependencies
+//!   as edges (band-structure sweeps reducing into one result, MD
+//!   trajectories fanning into per-frame spectra, SCF chains seeding
+//!   each other), validation rejects cycles and dangling edges before
+//!   any state is created, and a coordinator holds each node *outside*
+//!   the queue shards until its last parent fulfills — release rides
+//!   the ticket-waker registry, so there is no polling thread, and a
+//!   parent's outcome is injected into compatible children as a warm
+//!   input ([`DftJob::accepts_warm_seed`]). Submit via
+//!   [`DftService::submit_workflow`] (or the federated twin) and watch
+//!   the whole graph through a [`WorkflowTicket`]. Nodes whose upstream
+//!   fails are **orphaned** exactly once, extending conservation to
+//!   `submitted == completed + failed + cancelled + deadline_dropped +
+//!   orphaned`.
 //! * **Metrics** — per-job latency, throughput, steal counters,
 //!   per-shard depth/occupancy, in-flight ticket gauge, cancellation /
 //!   deadline-drop / admission accounting, per-priority latency
@@ -112,6 +127,7 @@ pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod cluster;
+pub mod dag;
 pub mod exec;
 pub mod federation;
 pub mod fingerprint;
@@ -133,6 +149,7 @@ pub use batch::{form_batches, form_batches_from, Batch, BatchOrigin};
 pub use cache::{CachePolicy, CacheStats, HitTier, ResultCache};
 pub use client::{ClientSession, CompletionStream, JobId, SessionCompletion};
 pub use cluster::{ClusterSnapshot, ClusterView, Reservation};
+pub use dag::{NodeId, WorkflowError, WorkflowSpec, WorkflowTicket};
 pub use exec::{block_on, join_all, race, JoinAll, Race};
 pub use federation::{FederatedService, FederationConfig, FederationReport};
 pub use fingerprint::{Fingerprint, Hasher};

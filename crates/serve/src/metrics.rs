@@ -71,6 +71,10 @@ pub struct Metrics {
     stolen_batches: AtomicU64,
     plans_contended: AtomicU64,
     plans_shifted: AtomicU64,
+    workflows: AtomicU64,
+    workflow_released: AtomicU64,
+    orphaned: AtomicU64,
+    warm_injected: AtomicU64,
     shard_dispatched: Vec<AtomicU64>,
     worker_dispatched: Vec<AtomicU64>,
     accum: Mutex<Accum>,
@@ -99,6 +103,10 @@ impl Metrics {
             stolen_batches: AtomicU64::new(0),
             plans_contended: AtomicU64::new(0),
             plans_shifted: AtomicU64::new(0),
+            workflows: AtomicU64::new(0),
+            workflow_released: AtomicU64::new(0),
+            orphaned: AtomicU64::new(0),
+            warm_injected: AtomicU64::new(0),
             shard_dispatched: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             worker_dispatched: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             accum: Mutex::new(Accum::default()),
@@ -222,6 +230,38 @@ impl Metrics {
         self.worker_panics.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts an accepted workflow submission (the graph, not its
+    /// nodes; nodes count individually as they release or orphan).
+    pub fn on_workflow(&self) {
+        self.workflows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a workflow node released into the submit path after its
+    /// last parent fulfilled. The release itself also runs the normal
+    /// submission accounting ([`Metrics::on_submit`] or a cache serve),
+    /// so this is a workflow-shaped view, not a fifth terminal.
+    pub fn on_workflow_released(&self) {
+        self.workflow_released.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a workflow node orphaned before release — a parent failed
+    /// or the engine shut down while the node still waited on
+    /// dependencies. Orphans never enter the queue, so this is the one
+    /// place they join `submitted`; pairing both increments here keeps
+    /// the extended conservation invariant (`submitted == completed +
+    /// failed + cancelled + deadline_dropped + orphaned`) exact at
+    /// every instant.
+    pub fn on_orphaned(&self) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.orphaned.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts an executed job that consumed a warm input injected from
+    /// a workflow parent (result-preserving seeding).
+    pub fn on_warm_inject(&self) {
+        self.warm_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Lifetime total of jobs dispatched out of all shards. Monotonic,
     /// so [`crate::DftService::report`] uses it as the seqlock
     /// stability witness: equal before/after a snapshot ⇒ no dispatch
@@ -234,17 +274,20 @@ impl Metrics {
     }
 
     /// Live in-flight ticket gauge: submissions whose tickets are not
-    /// yet fulfilled (submitted minus the four terminal counters:
-    /// completed, failed, cancelled, deadline-dropped). Cache-served
-    /// submissions count as instantly fulfilled, so a drained engine
-    /// reads zero. Saturating: concurrent counter updates can
-    /// transiently observe completions before their submissions.
+    /// yet fulfilled (submitted minus the five terminal counters:
+    /// completed, failed, cancelled, deadline-dropped, orphaned).
+    /// Cache-served submissions count as instantly fulfilled, and
+    /// orphaned workflow nodes join `submitted` only at orphan time, so
+    /// a drained engine reads zero. Saturating: concurrent counter
+    /// updates can transiently observe completions before their
+    /// submissions.
     pub fn tickets_outstanding(&self) -> u64 {
         let submitted = self.submitted.load(Ordering::Relaxed);
         let fulfilled = self.completed.load(Ordering::Relaxed)
             + self.failed.load(Ordering::Relaxed)
             + self.cancelled.load(Ordering::Relaxed)
-            + self.deadline_dropped.load(Ordering::Relaxed);
+            + self.deadline_dropped.load(Ordering::Relaxed)
+            + self.orphaned.load(Ordering::Relaxed);
         submitted.saturating_sub(fulfilled)
     }
 
@@ -299,6 +342,10 @@ impl Metrics {
             planner_calls: self.planner_calls.load(Ordering::Relaxed),
             plans_reused: self.plans_reused.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            workflows: self.workflows.load(Ordering::Relaxed),
+            workflow_released: self.workflow_released.load(Ordering::Relaxed),
+            orphaned: self.orphaned.load(Ordering::Relaxed),
+            warm_injected: self.warm_injected.load(Ordering::Relaxed),
             mean_latency_s: if a.latency_count == 0 {
                 0.0
             } else {
@@ -336,6 +383,20 @@ pub struct ServeReport {
     /// Queued jobs dropped because their deadline expired before a
     /// worker reached them.
     pub deadline_dropped: u64,
+    /// Workflow nodes orphaned before release: a parent failed, or the
+    /// engine shut down while the node still waited on dependencies.
+    /// Orphans never enter the queue; they join `submitted` at orphan
+    /// time, making this the fifth terminal of the conservation
+    /// invariant.
+    pub orphaned: u64,
+    /// Workflow graphs accepted by `submit_workflow`.
+    pub workflows: u64,
+    /// Workflow nodes released into the normal submit path after their
+    /// last parent fulfilled.
+    pub workflow_released: u64,
+    /// Executed jobs that consumed a warm input injected from a
+    /// workflow parent.
+    pub warm_injected: u64,
     /// Submissions refused by admission control (modeled deadline
     /// overrun or tenant quota breach). Never queued, never counted
     /// as submitted.
@@ -420,12 +481,15 @@ pub struct ServeReport {
 impl ServeReport {
     /// Job-conservation invariant on a quiescent engine: every
     /// accepted submission reached exactly one terminal state —
-    /// `submitted == completed + failed + cancelled + deadline_dropped`.
-    /// Only meaningful once the engine has drained (zero outstanding
-    /// tickets); mid-flight snapshots legitimately have submissions
-    /// that reached no terminal yet.
+    /// `submitted == completed + failed + cancelled +
+    /// deadline_dropped + orphaned` (orphaned workflow nodes are submissions that
+    /// terminated without ever entering the queue). Only meaningful
+    /// once the engine has drained (zero outstanding tickets);
+    /// mid-flight snapshots legitimately have submissions that reached
+    /// no terminal yet.
     pub fn conservation_holds(&self) -> bool {
-        self.submitted == self.completed + self.failed + self.cancelled + self.deadline_dropped
+        self.submitted
+            == self.completed + self.failed + self.cancelled + self.deadline_dropped + self.orphaned
     }
 
     /// Completed jobs per wall-clock second of engine uptime.
@@ -545,6 +609,10 @@ impl ServeReport {
         self.failed += other.failed;
         self.cancelled += other.cancelled;
         self.deadline_dropped += other.deadline_dropped;
+        self.orphaned += other.orphaned;
+        self.workflows += other.workflows;
+        self.workflow_released += other.workflow_released;
+        self.warm_injected += other.warm_injected;
         self.admission_denied += other.admission_denied;
         self.served_from_cache += other.served_from_cache;
         self.batches += other.batches;
@@ -632,6 +700,13 @@ impl fmt::Display for ServeReport {
                 f,
                 "  qos         cancelled {:>6}  deadline dropped {:>6}  admission denied {:>6}",
                 self.cancelled, self.deadline_dropped, self.admission_denied
+            )?;
+        }
+        if self.workflows > 0 || self.orphaned > 0 {
+            writeln!(
+                f,
+                "  workflows   graphs {:>6}  nodes released {:>6}  orphaned {:>6}  warm injected {:>6}",
+                self.workflows, self.workflow_released, self.orphaned, self.warm_injected
             )?;
         }
         if self.worker_panics > 0 {
@@ -923,6 +998,37 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("cancelled"));
         assert!(text.contains("admission denied"));
+    }
+
+    #[test]
+    fn orphaned_nodes_are_a_fifth_terminal() {
+        let m = Metrics::new(1, 1);
+        m.on_workflow();
+        // Two nodes released and completed, one orphaned before release.
+        m.on_submit();
+        m.on_workflow_released();
+        m.on_executed(0.1, ExecutionSample::default());
+        m.on_submit();
+        m.on_workflow_released();
+        m.on_warm_inject();
+        m.on_executed(0.1, ExecutionSample::default());
+        m.on_orphaned();
+        assert_eq!(m.tickets_outstanding(), 0);
+        let r = m.report(CacheStats::default(), vec![0], 0, Vec::new(), Vec::new(), 0);
+        assert_eq!(r.submitted, 3);
+        assert_eq!(r.orphaned, 1);
+        assert_eq!(r.workflows, 1);
+        assert_eq!(r.workflow_released, 2);
+        assert_eq!(r.warm_injected, 1);
+        assert!(r.conservation_holds());
+        // The merge keeps the extended invariant.
+        let mut merged = r.clone();
+        merged.absorb(&r);
+        assert_eq!(merged.orphaned, 2);
+        assert!(merged.conservation_holds());
+        let text = r.to_string();
+        assert!(text.contains("workflows"));
+        assert!(text.contains("orphaned"));
     }
 
     #[test]

@@ -60,7 +60,10 @@ use crate::job::{DftJob, JobPayload};
 use crate::placement::{PlacementDecision, PlacementPolicy};
 use crate::worker::JobOutcome;
 use ndft_core::{RunReport, StageReport, StageTime};
-use ndft_dft::{CasidaResult, GroundState, MdSample, MdTrajectory, Spectrum};
+use ndft_dft::{
+    BandPathPoint, BandStructure, CasidaResult, GroundState, MdSample, MdTrajectory,
+    SelfConsistentResult, Spectrum,
+};
 use ndft_numerics::{CMat, Complex64};
 use ndft_sched::{Plan, Target};
 use std::collections::HashMap;
@@ -324,6 +327,34 @@ impl PersistValue for DftJob {
                 enc.count(atoms);
                 enc.boolean(full_casida);
             }
+            DftJob::BandStructure {
+                atoms,
+                segments,
+                n_bands,
+                scissor_ev,
+            } => {
+                enc.u8(4);
+                enc.count(atoms);
+                enc.count(segments);
+                enc.count(n_bands);
+                enc.f64(scissor_ev);
+            }
+            DftJob::ScfSelfConsistent {
+                atoms,
+                bands,
+                max_iterations,
+                occupied,
+                cycles,
+                alpha,
+            } => {
+                enc.u8(5);
+                enc.count(atoms);
+                enc.count(bands);
+                enc.count(max_iterations);
+                enc.count(occupied);
+                enc.count(cycles);
+                enc.f64(alpha);
+            }
         }
     }
 
@@ -344,9 +375,60 @@ impl PersistValue for DftJob {
                 atoms: usize::try_from(dec.u64()?).ok()?,
                 full_casida: dec.boolean()?,
             }),
+            4 => Some(DftJob::BandStructure {
+                atoms: usize::try_from(dec.u64()?).ok()?,
+                segments: usize::try_from(dec.u64()?).ok()?,
+                n_bands: usize::try_from(dec.u64()?).ok()?,
+                scissor_ev: dec.f64()?,
+            }),
+            5 => Some(DftJob::ScfSelfConsistent {
+                atoms: usize::try_from(dec.u64()?).ok()?,
+                bands: usize::try_from(dec.u64()?).ok()?,
+                max_iterations: usize::try_from(dec.u64()?).ok()?,
+                occupied: usize::try_from(dec.u64()?).ok()?,
+                cycles: usize::try_from(dec.u64()?).ok()?,
+                alpha: dec.f64()?,
+            }),
             _ => None,
         }
     }
+}
+
+fn encode_ground_state(enc: &mut Enc, gs: &GroundState) {
+    enc.f64s(&gs.energies_ev);
+    enc.count(gs.orbitals.rows());
+    enc.count(gs.orbitals.cols());
+    for c in gs.orbitals.as_slice() {
+        enc.f64(c.re);
+        enc.f64(c.im);
+    }
+    enc.f64s(&gs.residuals);
+    enc.count(gs.iterations);
+}
+
+fn decode_ground_state(dec: &mut Dec<'_>) -> Option<GroundState> {
+    let energies_ev = dec.f64s()?;
+    let rows = dec.count(0)?;
+    let cols = dec.count(0)?;
+    let n = rows.checked_mul(cols)?;
+    // 16 bytes per complex element must still fit.
+    if n.checked_mul(16)? > dec.remaining() {
+        return None;
+    }
+    let data = (0..n)
+        .map(|_| {
+            Some(Complex64 {
+                re: dec.f64()?,
+                im: dec.f64()?,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    Some(GroundState {
+        energies_ev,
+        orbitals: CMat::from_vec(rows, cols, data),
+        residuals: dec.f64s()?,
+        iterations: usize::try_from(dec.u64()?).ok()?,
+    })
 }
 
 impl PersistValue for JobPayload {
@@ -354,15 +436,7 @@ impl PersistValue for JobPayload {
         match self {
             JobPayload::GroundState(gs) => {
                 enc.u8(1);
-                enc.f64s(&gs.energies_ev);
-                enc.count(gs.orbitals.rows());
-                enc.count(gs.orbitals.cols());
-                for c in gs.orbitals.as_slice() {
-                    enc.f64(c.re);
-                    enc.f64(c.im);
-                }
-                enc.f64s(&gs.residuals);
-                enc.count(gs.iterations);
+                encode_ground_state(enc, gs);
             }
             JobPayload::Md(t) => {
                 enc.u8(2);
@@ -388,35 +462,34 @@ impl PersistValue for JobPayload {
                 enc.f64s(&c.tda_energies_ev);
                 enc.count(c.dim);
             }
+            JobPayload::Bands(b) => {
+                enc.u8(5);
+                enc.count(b.path.len());
+                for p in &b.path {
+                    enc.f64(p.frac[0]);
+                    enc.f64(p.frac[1]);
+                    enc.f64(p.frac[2]);
+                    enc.f64(p.distance);
+                    enc.str(&p.label);
+                }
+                enc.count(b.energies.len());
+                for band in &b.energies {
+                    enc.f64s(band);
+                }
+                enc.count(b.occupied);
+            }
+            JobPayload::SelfConsistent(sc) => {
+                enc.u8(6);
+                encode_ground_state(enc, &sc.ground_state);
+                enc.f64s(&sc.density_residuals);
+                enc.f64s(&sc.density);
+            }
         }
     }
 
     fn decode(dec: &mut Dec<'_>) -> Option<Self> {
         match dec.u8()? {
-            1 => {
-                let energies_ev = dec.f64s()?;
-                let rows = dec.count(0)?;
-                let cols = dec.count(0)?;
-                let n = rows.checked_mul(cols)?;
-                // 16 bytes per complex element must still fit.
-                if n.checked_mul(16)? > dec.remaining() {
-                    return None;
-                }
-                let data = (0..n)
-                    .map(|_| {
-                        Some(Complex64 {
-                            re: dec.f64()?,
-                            im: dec.f64()?,
-                        })
-                    })
-                    .collect::<Option<Vec<_>>>()?;
-                Some(JobPayload::GroundState(GroundState {
-                    energies_ev,
-                    orbitals: CMat::from_vec(rows, cols, data),
-                    residuals: dec.f64s()?,
-                    iterations: usize::try_from(dec.u64()?).ok()?,
-                }))
-            }
+            1 => Some(JobPayload::GroundState(decode_ground_state(dec)?)),
             2 => {
                 let n = dec.count(24)?;
                 let samples = (0..n)
@@ -444,6 +517,31 @@ impl PersistValue for JobPayload {
                 energies_ev: dec.f64s()?,
                 tda_energies_ev: dec.f64s()?,
                 dim: usize::try_from(dec.u64()?).ok()?,
+            })),
+            5 => {
+                // Each path point carries at least 4 f64s plus a length byte.
+                let np = dec.count(33)?;
+                let path = (0..np)
+                    .map(|_| {
+                        Some(BandPathPoint {
+                            frac: [dec.f64()?, dec.f64()?, dec.f64()?],
+                            distance: dec.f64()?,
+                            label: dec.str()?,
+                        })
+                    })
+                    .collect::<Option<Vec<_>>>()?;
+                let nb = dec.count(8)?;
+                let energies = (0..nb).map(|_| dec.f64s()).collect::<Option<Vec<_>>>()?;
+                Some(JobPayload::Bands(BandStructure {
+                    path,
+                    energies,
+                    occupied: usize::try_from(dec.u64()?).ok()?,
+                }))
+            }
+            6 => Some(JobPayload::SelfConsistent(SelfConsistentResult {
+                ground_state: decode_ground_state(dec)?,
+                density_residuals: dec.f64s()?,
+                density: dec.f64s()?,
             })),
             _ => None,
         }
@@ -937,6 +1035,20 @@ mod tests {
             DftJob::Spectrum {
                 atoms: 16,
                 full_casida: true,
+            },
+            DftJob::BandStructure {
+                atoms: 8,
+                segments: 2,
+                n_bands: 4,
+                scissor_ev: 0.65,
+            },
+            DftJob::ScfSelfConsistent {
+                atoms: 8,
+                bands: 4,
+                max_iterations: 4,
+                occupied: 2,
+                cycles: 2,
+                alpha: 0.5,
             },
         ];
         for job in jobs {

@@ -32,6 +32,14 @@
 //! cancel hook), so the replay path can never resurrect a cancelled
 //! job — the regression `serve_integration` guards.
 //!
+//! The log is **self-compacting**: resolved cancellation tombstones and
+//! the replay-fingerprint history are both bounded
+//! ([`TOMBSTONE_CAP`] / [`REPLAY_HISTORY_CAP`]), with
+//! [`RoutingLog::compact`] run amortized from the submission path —
+//! a long-lived federation's memory footprint tracks its *in-flight*
+//! work, not its lifetime cancel/failover history. Totals survive
+//! compaction ([`RoutingLog::replayed_total`]).
+//!
 //! # The fault plan
 //!
 //! [`FaultPlan`] is the deterministic fault-injection hook: a list of
@@ -332,12 +340,29 @@ pub(crate) struct ReplayItem {
 pub struct RoutingLog {
     entries: Mutex<HashMap<u64, RouteEntry>>,
     next_route: AtomicU64,
-    /// Fingerprints re-routed after a replica death, in replay order.
+    /// Fingerprints re-routed after a replica death, in replay order
+    /// (bounded: compaction keeps the most recent
+    /// [`REPLAY_HISTORY_CAP`]).
     replayed: Mutex<Vec<Fingerprint>>,
+    /// Total replays ever performed — survives history compaction.
+    replayed_total: AtomicU64,
     /// Replay candidates skipped because a cancellation had tombstoned
     /// them — the count the cancel-vs-replay regression test reads.
     tombstoned_replays: AtomicU64,
+    /// Amortization tick for [`RoutingLog::maybe_compact`].
+    compact_ticks: AtomicU64,
 }
+
+/// Most recent replay-history fingerprints [`RoutingLog::compact`]
+/// retains.
+pub const REPLAY_HISTORY_CAP: usize = 1024;
+
+/// Resolved cancellation tombstones [`RoutingLog::compact`] retains
+/// (newest first by route id).
+pub const TOMBSTONE_CAP: usize = 1024;
+
+/// Submissions between amortized compaction passes.
+const COMPACT_INTERVAL: u64 = 64;
 
 impl RoutingLog {
     /// An empty log.
@@ -346,7 +371,54 @@ impl RoutingLog {
             entries: Mutex::new(HashMap::new()),
             next_route: AtomicU64::new(1),
             replayed: Mutex::new(Vec::new()),
+            replayed_total: AtomicU64::new(0),
             tombstoned_replays: AtomicU64::new(0),
+            compact_ticks: AtomicU64::new(0),
+        }
+    }
+
+    /// Amortized [`RoutingLog::compact`]: a cheap counter bump on most
+    /// calls, a real compaction pass every [`COMPACT_INTERVAL`]-th. The
+    /// federated submission path calls this on every accepted issue.
+    pub(crate) fn maybe_compact(&self) {
+        if self
+            .compact_ticks
+            .fetch_add(1, Ordering::Relaxed)
+            .is_multiple_of(COMPACT_INTERVAL)
+        {
+            self.compact();
+        }
+    }
+
+    /// Bounds the log's retained history: trims the replay-fingerprint
+    /// list to its newest [`REPLAY_HISTORY_CAP`] entries and drops the
+    /// oldest **resolved** cancellation tombstones beyond
+    /// [`TOMBSTONE_CAP`]. Live (unresolved, un-cancelled) entries are
+    /// never touched — they are the replay manifest. Dropping an old
+    /// tombstone is safe: its client ticket already resolved
+    /// `Cancelled`, and an entry absent from the log can never be
+    /// replayed, so the cancel-vs-replay guarantee is preserved (the
+    /// job is *forgotten*, not resurrected).
+    pub fn compact(&self) {
+        {
+            let mut replayed = self.replayed.lock().unwrap();
+            if replayed.len() > REPLAY_HISTORY_CAP {
+                let excess = replayed.len() - REPLAY_HISTORY_CAP;
+                replayed.drain(..excess);
+            }
+        }
+        let mut entries = self.entries.lock().unwrap();
+        let mut tombstones: Vec<u64> = entries
+            .iter()
+            .filter(|(_, e)| e.cancelled && e.client.is_done())
+            .map(|(&route, _)| route)
+            .collect();
+        if tombstones.len() > TOMBSTONE_CAP {
+            tombstones.sort_unstable();
+            let drop_n = tombstones.len() - TOMBSTONE_CAP;
+            for route in tombstones.into_iter().take(drop_n) {
+                entries.remove(&route);
+            }
         }
     }
 
@@ -468,6 +540,7 @@ impl RoutingLog {
             entry.replays += 1;
             entry.replaying = false;
             self.replayed.lock().unwrap().push(entry.fingerprint);
+            self.replayed_total.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -496,8 +569,17 @@ impl RoutingLog {
 
     /// Fingerprints replayed onto a surviving replica so far, in replay
     /// order (the failover bench's "which jobs were replayed" key).
+    /// Bounded: [`RoutingLog::compact`] keeps only the newest
+    /// [`REPLAY_HISTORY_CAP`]; use [`RoutingLog::replayed_total`] for
+    /// the lifetime count.
     pub fn replayed(&self) -> Vec<Fingerprint> {
         self.replayed.lock().unwrap().clone()
+    }
+
+    /// Lifetime count of replays performed — unlike
+    /// [`RoutingLog::replayed`], this survives history compaction.
+    pub fn replayed_total(&self) -> u64 {
+        self.replayed_total.load(Ordering::Relaxed)
     }
 
     /// Replay candidates skipped because they were tombstoned by a
@@ -668,6 +750,63 @@ mod tests {
         assert_eq!(snap[0].replica, 1);
         assert_eq!(snap[0].replays, 1);
         assert_eq!(log.replayed(), vec![fp(9)]);
+        assert_eq!(log.replayed_total(), 1);
         assert!(!log.is_replaying(route));
+    }
+
+    #[test]
+    fn compaction_bounds_tombstones_and_replay_history() {
+        let log = RoutingLog::new();
+        // A long-lived federation's worth of cancellations: every entry
+        // is tombstoned with its client resolved, far past the bound.
+        let total = TOMBSTONE_CAP + 300;
+        for i in 0..total {
+            let (client, _r) = JobTicket::promise(fp(i as u128));
+            let (engine, _e) = JobTicket::promise(fp(i as u128));
+            let route = log.record(request(i as u64), 0, client.clone(), engine);
+            client.cancel();
+            log.cancel_route(route);
+        }
+        assert_eq!(log.len(), total, "tombstones retained until compaction");
+        log.compact();
+        assert_eq!(log.len(), TOMBSTONE_CAP, "resolved tombstones bounded");
+        // The newest tombstones survive (route ids are monotonic).
+        let snap = log.snapshot();
+        assert!(snap.iter().all(|r| r.cancelled));
+        assert_eq!(
+            snap.first().unwrap().route,
+            (total - TOMBSTONE_CAP) as u64 + 1
+        );
+
+        // Replay history: the bounded list trims to the newest entries
+        // while the lifetime total survives.
+        let (client, _r) = JobTicket::promise(fp(0));
+        let (engine, _e) = JobTicket::promise(fp(0));
+        let route = log.record(request(1), 0, client, engine);
+        let replays = REPLAY_HISTORY_CAP + 50;
+        for _ in 0..replays {
+            let (engine2, _e2) = JobTicket::promise(fp(0));
+            log.reroute(route, 1, engine2);
+        }
+        log.compact();
+        assert_eq!(log.replayed().len(), REPLAY_HISTORY_CAP);
+        assert_eq!(log.replayed_total(), replays as u64);
+    }
+
+    #[test]
+    fn compaction_never_touches_live_entries() {
+        let log = RoutingLog::new();
+        let mut live = Vec::new();
+        for i in 0..8u64 {
+            let (client, r) = JobTicket::promise(fp(i as u128));
+            let (engine, _e) = JobTicket::promise(fp(i as u128));
+            log.record(request(i), 0, client, engine);
+            live.push(r);
+        }
+        for _ in 0..4 {
+            log.compact();
+        }
+        assert_eq!(log.len(), 8, "live entries are the replay manifest");
+        drop(live);
     }
 }

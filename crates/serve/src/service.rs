@@ -8,6 +8,7 @@
 use crate::cache::{CachePolicy, CacheStats, ResultCache};
 use crate::client::{ClientSession, CompletionStream};
 use crate::cluster::{ClusterSnapshot, ClusterView};
+use crate::dag::{WorkflowRegistry, WorkflowSpec, WorkflowTicket};
 use crate::job::{DftJob, JobRequest, Priority};
 use crate::metrics::{Metrics, ServeReport};
 use crate::placement::{plan_placement_loaded, PlacementPolicy};
@@ -125,6 +126,12 @@ pub(crate) enum Issued {
 }
 
 /// State shared between the façade and the worker pool.
+///
+/// The admission path ([`EngineShared::issue`]) lives here rather than
+/// on [`DftService`] so owned `Arc<EngineShared>` handles — the
+/// workflow coordinator's [`crate::dag`] release path, which must be
+/// `'static` to ride the ticket-waker registry — can submit without
+/// borrowing the façade.
 pub(crate) struct EngineShared {
     pub(crate) queue: ShardedQueue<PendingJob>,
     pub(crate) cache: ResultCache<Arc<JobOutcome>>,
@@ -133,6 +140,7 @@ pub(crate) struct EngineShared {
     pub(crate) progress: Arc<ProgressBus>,
     pub(crate) telemetry: Arc<Telemetry>,
     pub(crate) tenants: Arc<TenantTable>,
+    pub(crate) workflows: WorkflowRegistry,
     pub(crate) config: ServeConfig,
 }
 
@@ -169,6 +177,7 @@ impl DftService {
             progress: Arc::new(ProgressBus::new(config.progress_capacity)),
             telemetry: Arc::new(Telemetry::new(config.trace_capacity)),
             tenants: Arc::new(TenantTable::new(config.tenant_quota)),
+            workflows: WorkflowRegistry::new(),
             config,
         });
         let workers = (0..worker_count)
@@ -240,13 +249,67 @@ impl DftService {
     /// into its completion channel — no ticket allocation and two fewer
     /// lock round-trips per warm submission.
     pub(crate) fn issue(&self, request: JobRequest, blocking: bool) -> Result<Issued, SubmitError> {
+        self.shared.issue(request, blocking)
+    }
+
+    /// [`DftService::issue`] with an optional warm input from a
+    /// workflow parent — the hop the federation's release path takes
+    /// so a parent outcome reaches the executing replica.
+    pub(crate) fn issue_with(
+        &self,
+        request: JobRequest,
+        blocking: bool,
+        warm: Option<Arc<JobOutcome>>,
+    ) -> Result<Issued, SubmitError> {
+        self.shared.issue_with(request, blocking, warm)
+    }
+
+    /// Submits a dependency graph of jobs. Nodes with no parents enter
+    /// the normal submit path immediately; every other node is held by
+    /// the workflow coordinator and released the moment its last parent
+    /// fulfills — riding the ticket-waker registry, so readiness costs
+    /// no polling thread. A parent's output is injected into each child
+    /// that [`DftJob::accepts_warm_seed`]s it, and a parent served from
+    /// the result cache releases its children instantly. A failed
+    /// parent (or engine shutdown) fails every unreleased descendant
+    /// exactly once, counted as `orphaned` in the [`ServeReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`crate::WorkflowError`] when the spec is empty, has a dangling
+    /// or self edge, contains a cycle, or a node's job fails
+    /// [`DftJob::validate`] — all checked before any node ticket or
+    /// engine state is created, so a rejected spec leaks nothing.
+    pub fn submit_workflow(
+        &self,
+        spec: WorkflowSpec,
+    ) -> Result<WorkflowTicket, crate::dag::WorkflowError> {
+        crate::dag::submit(crate::dag::Backend::Engine(Arc::clone(&self.shared)), spec)
+    }
+}
+
+impl EngineShared {
+    pub(crate) fn issue(&self, request: JobRequest, blocking: bool) -> Result<Issued, SubmitError> {
+        self.issue_with(request, blocking, None)
+    }
+
+    /// [`EngineShared::issue`] with an optional warm input from a
+    /// workflow parent, carried on the [`PendingJob`] into execution.
+    /// Never part of the fingerprint: seeding is result-preserving, so
+    /// cache identity is untouched.
+    pub(crate) fn issue_with(
+        &self,
+        request: JobRequest,
+        blocking: bool,
+        warm: Option<Arc<JobOutcome>>,
+    ) -> Result<Issued, SubmitError> {
         let JobRequest {
             job,
             priority,
             deadline,
             tenant,
         } = request;
-        if let Err(e) = job.system() {
+        if let Err(e) = job.validate() {
             return Err(SubmitError::InvalidJob(e.to_string()));
         }
         let admitted = Instant::now();
@@ -255,17 +318,15 @@ impl DftService {
         // Two-tier lookup: memory, then (when configured) the
         // persistent tier — a disk hit decodes the record, promotes it
         // into memory, and serves without ever touching the queue.
-        if let Some((hit, tier)) = self.shared.cache.fetch_tiered(&fingerprint) {
-            self.shared.metrics.on_serve_from_cache();
-            let trace = self.shared.telemetry.next_trace_id();
+        if let Some((hit, tier)) = self.cache.fetch_tiered(&fingerprint) {
+            self.metrics.on_serve_from_cache();
+            let trace = self.telemetry.next_trace_id();
             // The serve still counts end-to-end: the job's whole life is
             // this lookup, so the pairing with `completed` holds.
             let e2e = admitted.elapsed();
-            self.shared
-                .telemetry
-                .record_end_to_end(class, priority, e2e);
-            if self.shared.telemetry.traced() {
-                let start_ns = self.shared.telemetry.ns_at(admitted);
+            self.telemetry.record_end_to_end(class, priority, e2e);
+            if self.telemetry.traced() {
+                let start_ns = self.telemetry.ns_at(admitted);
                 // One ring acquisition for the whole two-event chain,
                 // straight from the stack — this is the hottest traced
                 // path on a warm cache.
@@ -297,12 +358,12 @@ impl DftService {
                         },
                     },
                 ];
-                self.shared.telemetry.publish_slice(&events);
+                self.telemetry.publish_slice(&events);
             }
             // Done is published before the caller can observe the
             // result, so by the time any waiter resolves, the lifecycle
             // stream already tells the whole story.
-            self.shared.progress.publish(
+            self.progress.publish(
                 fingerprint,
                 JobStage::Done {
                     ok: true,
@@ -323,7 +384,7 @@ impl DftService {
             let deadline_s = d.as_secs_f64();
             let modeled_finish_s = self.modeled_finish_s(&job);
             if modeled_finish_s > deadline_s {
-                self.shared.metrics.on_admission_denied();
+                self.metrics.on_admission_denied();
                 return Err(SubmitError::AdmissionDenied {
                     modeled_finish_s,
                     deadline_s,
@@ -333,24 +394,24 @@ impl DftService {
         // Fair share: claim the tenant's in-flight slot last so a
         // denied deadline never charges the quota. The slot rides the
         // PendingJob and releases on every exit path by RAII.
-        let tenant_slot = match self.shared.tenants.try_acquire(tenant) {
+        let tenant_slot = match self.tenants.try_acquire(tenant) {
             Ok(slot) => slot,
             Err(e) => {
-                self.shared.metrics.on_admission_denied();
+                self.metrics.on_admission_denied();
                 return Err(e);
             }
         };
-        let trace = self.shared.telemetry.next_trace_id();
+        let trace = self.telemetry.next_trace_id();
         let ticket = JobTicket::pending(fingerprint, trace);
         // Class-keyed routing: a wave of same-class jobs lands on one
         // shard, so a home drain (or a stolen run) stays batchable under
         // a single planner consultation.
         let shard_key = class.shard_key();
-        let shard = self.shared.queue.shard_for(shard_key);
+        let shard = self.queue.shard_for(shard_key);
         // QoS off routes everything through the standard lane — the
         // exact pre-QoS FIFO — while the job keeps its declared
         // priority for the latency histograms.
-        let lane = if self.shared.config.qos {
+        let lane = if self.config.qos {
             priority.index()
         } else {
             Priority::Standard.index()
@@ -365,9 +426,10 @@ impl DftService {
             _tenant_slot: tenant_slot,
             ticket: ticket.clone(),
             enqueued: admitted,
-            progress: Arc::clone(&self.shared.progress),
-            metrics: Arc::clone(&self.shared.metrics),
-            telemetry: Arc::clone(&self.shared.telemetry),
+            warm,
+            progress: Arc::clone(&self.progress),
+            metrics: Arc::clone(&self.metrics),
+            telemetry: Arc::clone(&self.telemetry),
         };
         // Queued is published *before* the push: once the job is in the
         // queue a worker may stream Planned/Running/Done at any moment,
@@ -376,34 +438,33 @@ impl DftService {
         // PendingJob back, and the error arm below closes the dangling
         // lifecycle itself — a never-admitted job must not run the
         // worker-side Drop guard's failure accounting.
-        self.shared
-            .progress
+        self.progress
             .publish(fingerprint, JobStage::Queued { shard });
-        if self.shared.telemetry.traced() {
-            self.shared.telemetry.publish(TraceEvent {
+        if self.telemetry.traced() {
+            self.telemetry.publish(TraceEvent {
                 seq: 0,
                 trace,
                 fingerprint,
                 class,
                 worker: None,
-                start_ns: self.shared.telemetry.ns_at(admitted),
+                start_ns: self.telemetry.ns_at(admitted),
                 dur_ns: 0,
                 kind: TraceEventKind::Enqueue { shard },
             });
         }
         let pushed = if blocking {
-            self.shared.queue.push_at(shard_key, lane, pending)
+            self.queue.push_at(shard_key, lane, pending)
         } else {
-            self.shared.queue.try_push_at(shard_key, lane, pending)
+            self.queue.try_push_at(shard_key, lane, pending)
         };
         match pushed {
             Ok(()) => {
-                self.shared.metrics.on_submit();
+                self.metrics.on_submit();
                 Ok(Issued::Queued(ticket))
             }
             Err((pending, e)) => {
                 if e == SubmitError::QueueFull {
-                    self.shared.metrics.on_reject();
+                    self.metrics.on_reject();
                 }
                 // Close the streamed lifecycle, then defuse the Drop
                 // guard by resolving the ticket first: this job was
@@ -411,21 +472,21 @@ impl DftService {
                 // a submitted-then-failed job. (No end-to-end histogram
                 // record either, for the same reason; the trace chain
                 // still closes with a failed fulfill event.)
-                self.shared.progress.publish(
+                self.progress.publish(
                     fingerprint,
                     JobStage::Done {
                         ok: false,
                         cached: false,
                     },
                 );
-                if self.shared.telemetry.traced() {
-                    self.shared.telemetry.publish(TraceEvent {
+                if self.telemetry.traced() {
+                    self.telemetry.publish(TraceEvent {
                         seq: 0,
                         trace,
                         fingerprint,
                         class,
                         worker: None,
-                        start_ns: self.shared.telemetry.now_ns(),
+                        start_ns: self.telemetry.now_ns(),
                         dur_ns: 0,
                         kind: TraceEventKind::TicketFulfill {
                             ok: false,
@@ -453,18 +514,19 @@ impl DftService {
             // unreachable fallback that admits rather than lies.
             return 0.0;
         };
-        let snap = self.shared.cluster.snapshot();
-        let decision = if self.shared.config.load_aware {
-            plan_placement_loaded(&graph, self.shared.config.policy, &snap)
+        let snap = self.cluster.snapshot();
+        let decision = if self.config.load_aware {
+            plan_placement_loaded(&graph, self.config.policy, &snap)
         } else {
-            plan_placement_loaded(&graph, self.shared.config.policy, &ClusterSnapshot::idle())
+            plan_placement_loaded(&graph, self.config.policy, &ClusterSnapshot::idle())
         };
         let run_s = decision.modeled_cost_s(job.modeled_iterations());
-        let backlog_s =
-            snap.cpu_reserved_s + snap.ndp_reserved_s + self.shared.queue.len() as f64 * run_s;
-        backlog_s / self.shared.config.workers.max(1) as f64 + run_s
+        let backlog_s = snap.cpu_reserved_s + snap.ndp_reserved_s + self.queue.len() as f64 * run_s;
+        backlog_s / self.config.workers.max(1) as f64 + run_s
     }
+}
 
+impl DftService {
     /// Opens a multiplexing [`ClientSession`] over this engine, paired
     /// with the [`CompletionStream`] its finished jobs drain through in
     /// finish order. Any number of sessions can coexist; each sees only
@@ -649,6 +711,15 @@ impl DftService {
         }
         // (Entries failed above drop with their tickets already done, so
         // the PendingJob Drop guard publishes nothing extra.)
+        // Workflow sweep: released nodes were handled above (their
+        // engine tickets live in the queue), but nodes still *held* by
+        // the coordinator — waiting on parents that will now never
+        // fulfill — have no queue entry to sweep. Orphan them here,
+        // exactly once per node (the coordinator's per-node phase flag
+        // makes a racing parent-failure cascade and this sweep
+        // idempotent), so every workflow ticket resolves and the
+        // extended conservation invariant closes its books.
+        self.shared.workflows.sweep();
         // Close the lifecycle stream last: buffered events still drain,
         // then blocking consumers observe end-of-stream instead of
         // parking forever on a dead engine.
@@ -780,6 +851,7 @@ mod tests {
             _tenant_slot: None,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
+            warm: None,
             progress: Arc::clone(&svc.shared.progress),
             metrics: Arc::clone(&svc.shared.metrics),
             telemetry: Arc::clone(&svc.shared.telemetry),

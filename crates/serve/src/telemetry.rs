@@ -75,10 +75,15 @@ pub enum Stage {
     /// Submission → ticket fulfilled, every path: executed, deduped,
     /// cache-served at submission, failed, drop-guard.
     EndToEnd,
+    /// Workflow-node submission → DAG release (the time a node spent
+    /// held by the workflow coordinator ([`crate::dag`]) waiting for its last
+    /// parent to fulfill; recorded at release, zero for roots released
+    /// at submit).
+    DagWait,
 }
 
 /// Number of [`Stage`] variants (array dimension for per-stage banks).
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
 impl Stage {
     /// Every stage, in reporting order.
@@ -89,6 +94,7 @@ impl Stage {
         Stage::Execute,
         Stage::Fulfill,
         Stage::EndToEnd,
+        Stage::DagWait,
     ];
 
     /// Snake-case label used in JSON exports and tables.
@@ -100,6 +106,7 @@ impl Stage {
             Stage::Execute => "execute",
             Stage::Fulfill => "fulfill",
             Stage::EndToEnd => "end_to_end",
+            Stage::DagWait => "dag_wait",
         }
     }
 
@@ -111,6 +118,7 @@ impl Stage {
             Stage::Execute => 3,
             Stage::Fulfill => 4,
             Stage::EndToEnd => 5,
+            Stage::DagWait => 6,
         }
     }
 }

@@ -119,6 +119,25 @@ pub enum TraceEventKind {
     /// dequeued it, so it was dropped unexecuted (instant; the lane
     /// still ends with a `TicketFulfill`).
     DeadlineDrop,
+    /// A workflow node's dependency wait, from workflow submission to
+    /// DAG release into the submit path (span, emitted at release on
+    /// the released job's trace lane — the workflow id it carries is
+    /// what stitches node lanes into one graph).
+    DagWait {
+        /// Engine-unique workflow id the node belongs to.
+        workflow: u64,
+        /// Node index inside its [`crate::WorkflowSpec`].
+        node: usize,
+    },
+    /// A workflow node orphaned before release: a parent failed or the
+    /// engine shut down first (instant; orphaned nodes never reach a
+    /// queue, so this is the only event their ticket ever emits).
+    DagOrphan {
+        /// Engine-unique workflow id the node belongs to.
+        workflow: u64,
+        /// Node index inside its [`crate::WorkflowSpec`].
+        node: usize,
+    },
 }
 
 impl TraceEventKind {
@@ -137,6 +156,8 @@ impl TraceEventKind {
             TraceEventKind::QueueWait => "queue-wait",
             TraceEventKind::Cancelled => "cancelled",
             TraceEventKind::DeadlineDrop => "deadline-drop",
+            TraceEventKind::DagWait { .. } => "dag-wait",
+            TraceEventKind::DagOrphan { .. } => "dag-orphan",
         }
     }
 
@@ -151,6 +172,7 @@ impl TraceEventKind {
                 | TraceEventKind::CacheHit { .. }
                 | TraceEventKind::Cancelled
                 | TraceEventKind::DeadlineDrop
+                | TraceEventKind::DagOrphan { .. }
         )
     }
 }
@@ -485,6 +507,10 @@ fn render_event(out: &mut String, e: &TraceEvent, pid: usize) {
             }
             TraceEventKind::TicketFulfill { ok, cached } => {
                 args.push_str(&format!(", \"ok\": {ok}, \"cached\": {cached}"));
+            }
+            TraceEventKind::DagWait { workflow, node }
+            | TraceEventKind::DagOrphan { workflow, node } => {
+                args.push_str(&format!(", \"workflow\": {workflow}, \"node\": {node}"));
             }
             TraceEventKind::PlannerConsult
             | TraceEventKind::ReservationHold

@@ -43,7 +43,10 @@ use crate::tenant::TenantSlot;
 use crate::ticket::JobTicket;
 use crate::trace::{TraceEvent, TraceEventKind, TraceId};
 use ndft_core::{run_ndft_with, NdftOptions, RunReport};
-use ndft_dft::{run_casida, run_lr_tddft, run_md, run_scf};
+use ndft_dft::{
+    band_structure, run_casida, run_lr_tddft, run_md, run_scf, run_scf_selfconsistent_seeded,
+    si_path, GroundState,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -91,6 +94,11 @@ pub(crate) struct PendingJob {
     pub(crate) _tenant_slot: Option<TenantSlot>,
     pub(crate) ticket: JobTicket,
     pub(crate) enqueued: Instant,
+    /// A workflow parent's completed outcome, injected at DAG release
+    /// as a warm input. Only consulted when the job kind supports
+    /// result-preserving seeding ([`DftJob::accepts_warm_seed`]);
+    /// never part of the fingerprint, so caching stays content-pure.
+    pub(crate) warm: Option<Arc<JobOutcome>>,
     /// Progress ring handle, so even the last-resort Drop fulfillment
     /// below closes the job's streamed lifecycle with a `Done`.
     pub(crate) progress: Arc<crate::progress::ProgressBus>,
@@ -218,12 +226,28 @@ impl Drop for PendingJob {
 ///
 /// # Errors
 ///
-/// [`JobError::InvalidSystem`] for bad atom counts,
-/// [`JobError::Numerics`] when a solver fails.
+/// [`JobError::InvalidSystem`] for bad atom counts or out-of-bounds
+/// parameters, [`JobError::Numerics`] when a solver fails.
 pub fn execute_payload(job: &DftJob) -> Result<(JobPayload, Duration), JobError> {
-    let system = job
-        .system()
-        .map_err(|e| JobError::InvalidSystem(e.to_string()))?;
+    execute_payload_seeded(job, None)
+}
+
+/// [`execute_payload`] with an optional warm input from a workflow
+/// parent. The seed is consulted only when
+/// [`DftJob::accepts_warm_seed`] approves the pairing (exactly-matching
+/// SCF options), so passing an unrelated outcome is harmless — the job
+/// just runs cold. Seeded and cold executions of the same job are
+/// bit-identical by construction.
+///
+/// # Errors
+///
+/// As [`execute_payload`].
+pub fn execute_payload_seeded(
+    job: &DftJob,
+    warm: Option<&JobOutcome>,
+) -> Result<(JobPayload, Duration), JobError> {
+    job.validate()?;
+    let system = job.system().expect("validated above");
     let start = Instant::now();
     let payload = match job {
         DftJob::GroundState { .. } => {
@@ -245,8 +269,46 @@ pub fn execute_payload(job: &DftJob) -> Result<(JobPayload, Duration), JobError>
         } => JobPayload::Casida(
             run_casida(&system).map_err(|e| JobError::Numerics(format!("{e:?}")))?,
         ),
+        DftJob::BandStructure {
+            segments,
+            n_bands,
+            scissor_ev,
+            ..
+        } => {
+            let path = si_path(*segments);
+            JobPayload::Bands(band_structure(&path, *n_bands, *scissor_ev))
+        }
+        DftJob::ScfSelfConsistent {
+            occupied,
+            cycles,
+            alpha,
+            ..
+        } => {
+            let opts = job.scf_options().expect("self-consistent job");
+            let initial = warm_seed_for(job, warm).cloned();
+            let sc =
+                run_scf_selfconsistent_seeded(&system, &opts, *occupied, *cycles, *alpha, initial)
+                    .map_err(|e| JobError::Numerics(format!("{e:?}")))?;
+            JobPayload::SelfConsistent(sc)
+        }
     };
     Ok((payload, start.elapsed()))
+}
+
+/// The ground state a warm outcome contributes to `job`, if the pairing
+/// is result-preserving.
+pub(crate) fn warm_seed_for<'a>(
+    job: &DftJob,
+    warm: Option<&'a JobOutcome>,
+) -> Option<&'a GroundState> {
+    let outcome = warm?;
+    if !job.accepts_warm_seed(&outcome.job) {
+        return None;
+    }
+    match &outcome.payload {
+        JobPayload::GroundState(gs) => Some(gs),
+        _ => None,
+    }
 }
 
 /// Executes one job under an already-made placement decision, producing
@@ -261,7 +323,22 @@ pub fn execute_job(
     placement: &PlacementDecision,
     modeled: &RunReport,
 ) -> Result<JobOutcome, JobError> {
-    let (payload, wall_numeric) = execute_payload(job)?;
+    execute_job_seeded(job, placement, modeled, None)
+}
+
+/// [`execute_job`] with an optional warm input (see
+/// [`execute_payload_seeded`]).
+///
+/// # Errors
+///
+/// Propagates [`execute_payload`] failures.
+pub fn execute_job_seeded(
+    job: &DftJob,
+    placement: &PlacementDecision,
+    modeled: &RunReport,
+    warm: Option<&JobOutcome>,
+) -> Result<JobOutcome, JobError> {
+    let (payload, wall_numeric) = execute_payload_seeded(job, warm)?;
     Ok(JobOutcome {
         job: job.clone(),
         fingerprint: job.fingerprint(),
@@ -594,7 +671,11 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
             shared
                 .progress
                 .publish(pending.fingerprint, JobStage::Running);
-            execute_job(&pending.job, placement, modeled)
+            let warm = pending.warm.as_deref();
+            if warm_seed_for(&pending.job, warm).is_some() {
+                shared.metrics.on_warm_inject();
+            }
+            execute_job_seeded(&pending.job, placement, modeled, warm)
         }));
         match result {
             Ok(Ok(outcome)) => {
@@ -754,12 +835,64 @@ mod tests {
                 atoms: 16,
                 full_casida: true,
             },
+            DftJob::BandStructure {
+                atoms: 8,
+                segments: 2,
+                n_bands: 6,
+                scissor_ev: 0.7,
+            },
+            DftJob::ScfSelfConsistent {
+                atoms: 16,
+                bands: 4,
+                max_iterations: 3,
+                occupied: 4,
+                cycles: 2,
+                alpha: 0.5,
+            },
         ];
         for job in &jobs {
             let (payload, wall) = execute_payload(job).unwrap();
             assert!(payload.headline().is_finite(), "{job}");
             assert!(wall > Duration::ZERO);
         }
+    }
+
+    #[test]
+    fn warm_seeded_execution_is_bit_identical_to_cold() {
+        // The workflow injection contract at the worker level: executing
+        // a self-consistent child seeded with its matching ground-state
+        // parent produces exactly the payload a cold run produces.
+        let parent = DftJob::GroundState {
+            atoms: 16,
+            bands: 4,
+            max_iterations: 3,
+        };
+        let child = DftJob::ScfSelfConsistent {
+            atoms: 16,
+            bands: 4,
+            max_iterations: 3,
+            occupied: 4,
+            cycles: 2,
+            alpha: 0.5,
+        };
+        let graph = parent.task_graph().unwrap();
+        let placement = plan_placement(&graph, PlacementPolicy::CostAware);
+        let modeled = run_ndft_with(&graph, NdftOptions::default());
+        let parent_outcome = execute_job(&parent, &placement, &modeled).unwrap();
+        assert!(warm_seed_for(&child, Some(&parent_outcome)).is_some());
+        let (cold, _) = execute_payload(&child).unwrap();
+        let (warm, _) = execute_payload_seeded(&child, Some(&parent_outcome)).unwrap();
+        assert_eq!(cold, warm);
+        // A non-matching seed is ignored, not misapplied.
+        let mismatched = DftJob::ScfSelfConsistent {
+            atoms: 16,
+            bands: 5,
+            max_iterations: 3,
+            occupied: 4,
+            cycles: 2,
+            alpha: 0.5,
+        };
+        assert!(warm_seed_for(&mismatched, Some(&parent_outcome)).is_none());
     }
 
     #[test]
@@ -806,6 +939,7 @@ mod tests {
             job,
             ticket: ticket.clone(),
             enqueued: Instant::now(),
+            warm: None,
             progress,
             metrics: Arc::clone(&metrics),
             telemetry: Arc::clone(&telemetry),

@@ -55,6 +55,18 @@
 //! escape hatch serves every nonempty lane within a bounded number of
 //! dispatches, while delivery stays exactly-once and per-lane FIFO.
 //!
+//! The workflow DAG coordinator adds three: (a) *dependency-release
+//! ordering* — on any random DAG, the session completion stream never
+//! delivers a node before all of its parents, because a node is only
+//! released into the queues once its last parent's ticket fulfilled;
+//! (b) *rejected specs leak nothing* — any cyclic, dangling-edge, or
+//! self-edge spec is refused before a single ticket, counter, or
+//! registry entry exists; (c) *mid-flood teardown resolves every node
+//! exactly once* — under any mix of node cancellations and an engine
+//! shutdown racing a flood of workflows, every node ticket resolves,
+//! and the extended conservation invariant (`submitted == completed +
+//! failed + cancelled + deadline_dropped + orphaned`) closes the books.
+//!
 //! The federation's consistent-hash router adds the last two: (a)
 //! *bounded imbalance* — with ≥ 64 virtual nodes per replica, any ring
 //! of ≥ 4 replicas keeps the busiest replica's key share within 1.35×
@@ -65,8 +77,8 @@
 
 use ndft_serve::{
     block_on, CachePolicy, ClusterView, DftJob, DftService, DiskTier, Fingerprint, HashRing,
-    JobError, JobTicket, LatencyHistogram, Reservation, ResultCache, ServeConfig, ShardedQueue,
-    TicketFuture, TicketResolver, TraceEvent, TraceEventKind,
+    JobError, JobTicket, LatencyHistogram, NodeId, Reservation, ResultCache, ServeConfig,
+    ShardedQueue, TicketFuture, TicketResolver, TraceEvent, TraceEventKind, WorkflowSpec,
 };
 use proptest::prelude::*;
 use std::future::Future;
@@ -991,5 +1003,190 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+/// Random DAG over `n` nodes: every forward pair `(i, j)` with `i < j`
+/// gets an edge when its bit of `edge_bits` is set, so the graph is
+/// acyclic by construction while its shape (chains, diamonds, fan-out,
+/// disconnected islands) is fully randomized. Returns the spec plus
+/// each node's parent list for the oracle.
+fn random_dag(
+    n: usize,
+    edge_bits: u64,
+    steps: usize,
+    seed_base: u64,
+) -> (WorkflowSpec, Vec<Vec<usize>>) {
+    let mut spec = WorkflowSpec::new();
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| {
+            spec.add_node(DftJob::MdSegment {
+                atoms: 8,
+                steps,
+                temperature_k: 300.0,
+                seed: seed_base + i as u64,
+            })
+        })
+        .collect();
+    let mut parents: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut bit = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if (edge_bits >> (bit % 64)) & 1 == 1 {
+                spec.add_edge(ids[i], ids[j]);
+                parents[j].push(i);
+            }
+            bit += 1;
+        }
+    }
+    (spec, parents)
+}
+
+fn small_engine() -> DftService {
+    DftService::start(ServeConfig {
+        workers: 2,
+        shards: 2,
+        queue_capacity: 256,
+        ..ServeConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dependency-release ordering: whatever random DAG is submitted,
+    /// the session's completion stream never delivers a node before
+    /// every one of its parents — the coordinator holds each node
+    /// outside the queues until its last parent's ticket fulfills, and
+    /// fulfillment order is delivery order.
+    #[test]
+    fn workflow_nodes_complete_only_after_all_parents(
+        n in 2usize..9,
+        edge_bits in any::<u64>(),
+        steps in 1usize..3,
+    ) {
+        let svc = small_engine();
+        let (spec, parents) = random_dag(n, edge_bits, steps, 9000);
+        let (session, completions) = svc.session();
+        let (workflow, job_ids) =
+            session.submit_workflow(spec).expect("forward-edge DAGs are valid");
+        let mut finished: Vec<usize> = Vec::new();
+        for _ in 0..n {
+            let done = completions.next().expect("stream yields every node");
+            prop_assert!(done.result.is_ok(), "node failed: {:?}", done.result);
+            let node = job_ids
+                .iter()
+                .position(|&id| id == done.id)
+                .expect("completion for a known node id");
+            for &p in &parents[node] {
+                prop_assert!(
+                    finished.contains(&p),
+                    "node {} completed before its parent {}",
+                    node,
+                    p
+                );
+            }
+            finished.push(node);
+        }
+        prop_assert!(workflow.is_done());
+        drop(session);
+        let report = svc.shutdown();
+        prop_assert!(report.conservation_holds(), "conservation: {report}");
+        prop_assert_eq!(report.workflows, 1);
+        prop_assert_eq!(report.workflow_released, n as u64);
+        prop_assert_eq!(report.orphaned, 0);
+    }
+
+    /// Rejected specs leak nothing: a cycle, a dangling edge, or a
+    /// self edge is refused during validation — before any node
+    /// ticket, metrics counter, or registry entry exists — so the
+    /// engine's books stay at zero.
+    #[test]
+    fn invalid_workflow_specs_leak_no_tickets_or_state(
+        n in 1usize..7,
+        defect in 0usize..3,
+        salt in any::<u64>(),
+    ) {
+        let svc = small_engine();
+        let mut spec = WorkflowSpec::new();
+        let ids: Vec<NodeId> = (0..n)
+            .map(|i| {
+                spec.add_node(DftJob::MdSegment {
+                    atoms: 8,
+                    steps: 1,
+                    temperature_k: 300.0,
+                    seed: i as u64,
+                })
+            })
+            .collect();
+        match defect {
+            0 => {
+                let v = (salt as usize) % n;
+                spec.add_edge(ids[v], ids[v]);
+            }
+            1 => {
+                spec.add_edge(ids[0], NodeId(n + (salt as usize % 4)));
+            }
+            _ => {
+                // A chain with a back edge; degenerates to a self edge
+                // for n == 1, which is rejected just the same.
+                for w in ids.windows(2) {
+                    spec.add_edge(w[0], w[1]);
+                }
+                spec.add_edge(ids[n - 1], ids[0]);
+            }
+        }
+        prop_assert!(svc.submit_workflow(spec).is_err());
+        let report = svc.shutdown();
+        prop_assert_eq!(report.submitted, 0);
+        prop_assert_eq!(report.workflows, 0);
+        prop_assert_eq!(report.orphaned, 0);
+        prop_assert_eq!(report.tickets_outstanding, 0);
+        prop_assert!(report.conservation_holds(), "conservation: {report}");
+    }
+
+    /// Mid-flood teardown: a flood of workflows races a drawn set of
+    /// node cancellations and then an engine shutdown. Every node
+    /// ticket must resolve exactly once — completed, failed,
+    /// cancelled, or orphaned — and the extended conservation
+    /// invariant closes the engine's books.
+    #[test]
+    fn midflood_cancel_and_shutdown_resolve_every_node_exactly_once(
+        n in 3usize..8,
+        flood in 1usize..4,
+        edge_bits in any::<u64>(),
+        cancel_bits in any::<u64>(),
+    ) {
+        let svc = small_engine();
+        let mut workflows = Vec::new();
+        for w in 0..flood {
+            // Rotate the edge mask per workflow so the flood carries
+            // different shapes; distinct seeds dodge the result cache.
+            let (spec, _) = random_dag(
+                n,
+                edge_bits.rotate_left(w as u32 * 7),
+                2,
+                (w * n) as u64,
+            );
+            workflows.push(svc.submit_workflow(spec).expect("valid DAG"));
+        }
+        // Cancel a drawn subset of nodes while the flood is in flight:
+        // released nodes propagate into the engine's tombstone path,
+        // pending nodes orphan themselves and their descendants.
+        for (w, workflow) in workflows.iter().enumerate() {
+            for i in 0..n {
+                if (cancel_bits >> ((w * n + i) % 64)) & 1 == 1 {
+                    workflow.node(NodeId(i)).cancel();
+                }
+            }
+        }
+        let report = svc.shutdown();
+        for workflow in &workflows {
+            prop_assert!(workflow.is_done(), "unresolved node after shutdown");
+            prop_assert_eq!(workflow.wait_all().len(), n);
+        }
+        prop_assert_eq!(report.workflows, flood as u64);
+        prop_assert_eq!(report.tickets_outstanding, 0);
+        prop_assert!(report.conservation_holds(), "conservation: {report}");
     }
 }

@@ -7,7 +7,8 @@
 use ndft::serve::{
     block_on, chrome_trace_json, join_all, race, CachePolicy, DftJob, DftService, FaultPlan,
     FederatedService, FederationConfig, JobError, JobKind, JobPayload, JobRequest, JobStage,
-    PlacementPolicy, Priority, ServeConfig, Stage, SubmitError, TenantId, TraceEventKind,
+    NodeId, PlacementPolicy, Priority, ServeConfig, Stage, SubmitError, TenantId, TraceEventKind,
+    WorkflowSpec,
 };
 use std::collections::HashSet;
 use std::time::Duration;
@@ -1485,4 +1486,165 @@ fn federated_revive_rejoins_with_warm_disk_tier() {
         report.per_replica[victim].cache.disk_hits
     );
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The headline workflow scenario: one SCF ground state fans out into
+/// three self-consistent refinements — each warm-seeded with the
+/// parent's outcome — which reduce into a single band structure. The
+/// whole graph goes through `submit_workflow` as one spec; the
+/// coordinator releases each node the moment its last parent fulfills,
+/// and the extended conservation invariant closes the engine's books.
+#[test]
+fn workflow_fan_out_reduce_completes_with_warm_seeding() {
+    let svc = DftService::start(ServeConfig {
+        workers: 2,
+        shards: 2,
+        ..ServeConfig::default()
+    });
+    let mut spec = WorkflowSpec::new();
+    let scf = spec.add_node(DftJob::GroundState {
+        atoms: 8,
+        bands: 4,
+        max_iterations: 6,
+    });
+    let sweeps: Vec<NodeId> = (0..3)
+        .map(|k| {
+            spec.add_node(DftJob::ScfSelfConsistent {
+                atoms: 8,
+                bands: 4,
+                max_iterations: 6,
+                occupied: 2,
+                cycles: 2 + k,
+                alpha: 0.4,
+            })
+        })
+        .collect();
+    let band = spec.add_node(DftJob::BandStructure {
+        atoms: 8,
+        segments: 3,
+        n_bands: 4,
+        scissor_ev: 0.9,
+    });
+    for &sweep in &sweeps {
+        spec.add_edge(scf, sweep);
+        spec.add_edge(sweep, band);
+    }
+
+    let workflow = svc.submit_workflow(spec).unwrap();
+    let results = workflow.wait_all();
+    assert_eq!(results.len(), 5);
+    for result in &results {
+        result.as_ref().expect("every node completes");
+    }
+    let sweep_headline = results[sweeps[0].index()]
+        .as_ref()
+        .unwrap()
+        .payload
+        .headline();
+
+    let report = svc.shutdown();
+    assert_eq!(report.workflows, 1);
+    assert_eq!(report.workflow_released, 5);
+    assert_eq!(report.orphaned, 0);
+    assert_eq!(
+        report.warm_injected, 3,
+        "every sweep was seeded with the SCF parent's outcome"
+    );
+    assert!(report.conservation_holds(), "extended conservation");
+
+    // Warm seeding is result-preserving: the same refinement run cold
+    // on a fresh engine produces the bit-identical headline.
+    let cold_svc = DftService::start(ServeConfig {
+        workers: 1,
+        shards: 1,
+        ..ServeConfig::default()
+    });
+    let cold = cold_svc
+        .submit(DftJob::ScfSelfConsistent {
+            atoms: 8,
+            bands: 4,
+            max_iterations: 6,
+            occupied: 2,
+            cycles: 2,
+            alpha: 0.4,
+        })
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert_eq!(
+        cold.payload.headline().to_bits(),
+        sweep_headline.to_bits(),
+        "warm-seeded refinement is bit-identical to the cold path"
+    );
+    assert!(cold_svc.shutdown().conservation_holds());
+}
+
+/// A replica kill mid-workflow must not break dependency state: the
+/// root of a chain dies queued on the victim, is replayed onto the
+/// survivor, and its children — still held by the coordinator — are
+/// released only after the replayed root completes. Every node ticket
+/// resolves exactly once and federated conservation closes the books.
+#[test]
+fn federated_workflow_survives_replica_kill_with_dependencies_intact() {
+    let fed = FederatedService::start(fed_config(2));
+
+    // Wedge one replica with a long blocker, then build a chain whose
+    // root homes on it: root → mid → leaf. The root dies queued.
+    let root_job = homed_md(&fed, 0, 60, 1 << 44);
+    let victim = 0;
+    let blocker = fed
+        .submit_blocking(homed_md(&fed, victim, 300_000, 1 << 45))
+        .unwrap();
+    while fed.replica_queue_depth(victim) != Some(0) {
+        std::thread::yield_now();
+    }
+
+    let mut spec = WorkflowSpec::new();
+    let root = spec.add_node(root_job);
+    let mid = spec.add_node(DftJob::MdSegment {
+        atoms: 64,
+        steps: 30,
+        temperature_k: 300.0,
+        seed: 1 << 46,
+    });
+    let leaf = spec.add_node(DftJob::Spectrum {
+        atoms: 16,
+        full_casida: false,
+    });
+    spec.add_edge(root, mid);
+    spec.add_edge(mid, leaf);
+    let workflow = fed.submit_workflow(spec).unwrap();
+    assert!(
+        !workflow.node(root).is_done(),
+        "root is wedged behind the blocker"
+    );
+    assert!(!workflow.node(mid).is_done(), "mid is coordinator-held");
+
+    // Federated releases hop to a detached thread; wait until the root
+    // has actually landed in the victim's queue before killing it, so
+    // the kill provably strands a queued workflow node.
+    while fed.replica_queue_depth(victim) != Some(1) {
+        std::thread::yield_now();
+    }
+
+    fed.kill_replica(victim).unwrap();
+    blocker.wait().expect("in-flight blocker drains on kill");
+
+    let results = workflow.wait_all();
+    for result in &results {
+        result
+            .as_ref()
+            .expect("every node completes after failover");
+    }
+
+    let report = fed.shutdown();
+    assert!(report.replayed >= 1, "the wedged root was replayed");
+    assert_eq!(report.workflows, 1);
+    assert_eq!(report.workflow_released, 3);
+    assert_eq!(report.orphaned, 0);
+    assert!(report.conservation_holds(), "federated conservation");
+    assert!(
+        report.engines.conservation_holds(),
+        "engine-level conservation"
+    );
 }
