@@ -219,11 +219,23 @@ fn forces(
 ///
 /// See the [module documentation](self).
 pub fn run_md(system: &SiliconSystem, opts: &MdOptions) -> MdTrajectory {
+    run_md_prepared(system, opts, &bond_list(system))
+}
+
+/// [`run_md`] with the `O(n²)` neighbor search hoisted out: runs on a
+/// pre-built `bonds` list (from [`bond_list`]). The bond list depends only
+/// on the system geometry, so fused batch execution builds it once and
+/// shares it across every same-system segment — with results bit-identical
+/// to [`run_md`], which is a thin wrapper over this function.
+pub fn run_md_prepared(
+    system: &SiliconSystem,
+    opts: &MdOptions,
+    bonds: &[(usize, usize)],
+) -> MdTrajectory {
     let lengths = system.lengths();
     let mut pos = system.atom_positions();
     let start = pos.clone();
     let n = pos.len();
-    let bonds = bond_list(system);
     let dt = opts.timestep_fs;
     let mut rng = StdRng::seed_from_u64(opts.seed);
 
@@ -252,7 +264,7 @@ pub fn run_md(system: &SiliconSystem, opts: &MdOptions) -> MdTrajectory {
 
     // Reference geometry of the last pseudopotential rebuild, per atom.
     let mut reference = pos.clone();
-    let (mut f, _) = forces(&pos, &bonds, lengths);
+    let (mut f, _) = forces(&pos, bonds, lengths);
     let mut samples = Vec::with_capacity(opts.steps);
     let mut total_rebuilds = 0u64;
 
@@ -264,7 +276,7 @@ pub fn run_md(system: &SiliconSystem, opts: &MdOptions) -> MdTrajectory {
                 pos[i][k] += dt * vel[i][k];
             }
         }
-        let (new_f, potential) = forces(&pos, &bonds, lengths);
+        let (new_f, potential) = forces(&pos, bonds, lengths);
         f = new_f;
         let mut kinetic = 0.0;
         for i in 0..n {
@@ -310,6 +322,17 @@ pub fn run_md(system: &SiliconSystem, opts: &MdOptions) -> MdTrajectory {
     }
 }
 
+/// Runs `K` same-system MD segments through the fused path: one shared
+/// [`bond_list`] amortized across every member. Each trajectory is
+/// bit-identical to a solo [`run_md`] call with the same options (the
+/// members differ only in seed/temperature/step count, never geometry).
+pub fn run_md_batch(system: &SiliconSystem, opts: &[MdOptions]) -> Vec<MdTrajectory> {
+    let bonds = bond_list(system);
+    opts.iter()
+        .map(|o| run_md_prepared(system, o, &bonds))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +360,34 @@ mod tests {
                 degree.iter().all(|&d| d == 4),
                 "Si_{atoms} degrees {degree:?}"
             );
+        }
+    }
+
+    #[test]
+    fn batch_trajectories_bit_identical_to_solo_runs() {
+        let sys = si16();
+        let opts: Vec<MdOptions> = (0..4)
+            .map(|i| MdOptions {
+                seed: 100 + i,
+                temperature_k: 250.0 + 25.0 * i as f64,
+                steps: 12,
+                ..MdOptions::default()
+            })
+            .collect();
+        let fused = run_md_batch(&sys, &opts);
+        for (o, traj) in opts.iter().zip(&fused) {
+            let solo = run_md(&sys, o);
+            assert_eq!(traj.atoms, solo.atoms);
+            assert_eq!(traj.total_rebuilds, solo.total_rebuilds);
+            assert_eq!(
+                traj.final_mean_displacement.to_bits(),
+                solo.final_mean_displacement.to_bits()
+            );
+            assert_eq!(traj.samples.len(), solo.samples.len());
+            for (a, b) in traj.samples.iter().zip(&solo.samples) {
+                assert_eq!(a.kinetic_ev.to_bits(), b.kinetic_ev.to_bits());
+                assert_eq!(a.potential_ev.to_bits(), b.potential_ev.to_bits());
+            }
         }
     }
 

@@ -142,6 +142,35 @@ impl TaskGraph {
 /// assert!(fs.arithmetic_intensity() < 0.5);
 /// ```
 pub fn build_task_graph(system: &SiliconSystem, iterations: usize) -> TaskGraph {
+    build_task_graph_fused(system, iterations, 1)
+}
+
+/// The per-member task graph of a `members`-way fused same-class batch.
+///
+/// Cross-job fusion executes K jobs that share the *system-resident*
+/// operands, so each member's descriptor charges those operands' DRAM
+/// traffic at `1/K` share (ceiling division — never undercounting):
+///
+/// * the pseudopotential **projector tables** (the dominant shared
+///   operand — geometry-only, identical for every member; cf.
+///   `gemm_cost_*_batched` in `ndft-numerics`), and
+/// * the FFT **plan/twiddle tables** re-read per grid when each member
+///   transforms alone but resident across a [`Fft3Plan::forward_batch`]
+///   style plan-reuse sweep (cf. `Fft3Plan::fused_cost`).
+///
+/// Per-member operands (orbitals, transition densities, the GEMM's `P`
+/// and `fP`, the eigenproblem) are **not** amortized — fusion saves
+/// traffic only where members genuinely share bytes. FLOPs are never
+/// amortized. `build_task_graph_fused(s, it, 1)` equals
+/// [`build_task_graph`] exactly.
+///
+/// [`Fft3Plan::forward_batch`]: ndft_numerics::Fft3Plan::forward_batch
+pub fn build_task_graph_fused(
+    system: &SiliconSystem,
+    iterations: usize,
+    members: usize,
+) -> TaskGraph {
+    let members = members.max(1) as u64;
     let nr = system.grid().len() as u64;
     let ng = system.gsphere_len() as u64;
     let nv = system.valence_window() as u64;
@@ -159,8 +188,9 @@ pub fn build_task_graph(system: &SiliconSystem, iterations: usize) -> TaskGraph 
     let sphere_pts = crate::pseudo::SPHERE_PTS as u64;
     let nproj = crate::pseudo::N_PROJ as u64;
     let pseudo_flops = nbands * natoms * nproj * sphere_pts * 4; // dot + axpy
+    let pseudo_tables = natoms * nproj * sphere_pts * 8; // projector tables, geometry-only
     let pseudo_bytes = nbands * natoms * sphere_pts * (C64_BYTES + 4) // ψ gather + index
-        + natoms * nproj * sphere_pts * 8; // projector tables (read once per band loop blocking)
+        + pseudo_tables.div_ceil(members); // tables read once per fused batch
     stages.push(KernelDescriptor {
         kind: KernelKind::PseudoUpdate,
         name: "nonlocal pseudopotential update".into(),
@@ -199,13 +229,19 @@ pub fn build_task_graph(system: &SiliconSystem, iterations: usize) -> TaskGraph 
 
     // --- Forward FFTs: one 3-D transform per pair. ---
     let grid = system.grid();
-    let fft_one = ndft_numerics::Fft3Plan::new(grid).cost();
+    let plan = ndft_numerics::Fft3Plan::new(grid);
+    let fft_one = plan.cost();
+    // Plan/twiddle tables stay resident across a fused plan-reuse sweep;
+    // solo members re-read them per grid (cf. `Fft3Plan::fused_cost`).
+    let fft_read = fft_one.bytes_read.min(6 * nr * C64_BYTES);
+    let fft_read_fused =
+        fft_read.saturating_sub(plan.shared_table_bytes() * (members - 1) / members);
     stages.push(KernelDescriptor {
         kind: KernelKind::Fft,
         name: "forward FFT of P".into(),
         cost: KernelCost {
             flops: fft_one.flops * npair,
-            bytes_read: fft_one.bytes_read.min(6 * nr * C64_BYTES) * npair,
+            bytes_read: fft_read_fused * npair,
             bytes_written: fft_one.bytes_written.min(6 * nr * C64_BYTES) * npair,
         },
         stream_fraction: 0.5, // x-lines stream; y/z passes stride
@@ -346,6 +382,64 @@ mod tests {
         let one = build_task_graph(&SiliconSystem::small(), 1).total_cost();
         let three = build_task_graph(&SiliconSystem::small(), 3).total_cost();
         assert_eq!(three.flops, 3 * one.flops);
+    }
+
+    #[test]
+    fn fused_graph_of_one_is_the_plain_graph() {
+        for atoms in [8usize, 64] {
+            let sys = SiliconSystem::new(atoms).unwrap();
+            assert_eq!(
+                build_task_graph_fused(&sys, 3, 1),
+                build_task_graph(&sys, 3)
+            );
+            assert_eq!(
+                build_task_graph_fused(&sys, 3, 0), // clamped
+                build_task_graph(&sys, 3)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_graph_amortizes_shared_reads_only() {
+        let sys = SiliconSystem::new(8).unwrap();
+        let solo = build_task_graph(&sys, 1);
+        let mut last_read = u64::MAX;
+        for members in [2usize, 4, 16] {
+            let fused = build_task_graph_fused(&sys, 1, members);
+            let fc = fused.total_cost();
+            let sc = solo.total_cost();
+            // FLOPs and writes are never amortized; reads strictly shrink
+            // (the projector tables dominate at small atom counts) and
+            // keep shrinking as the batch grows.
+            assert_eq!(fc.flops, sc.flops);
+            assert_eq!(fc.bytes_written, sc.bytes_written);
+            assert!(fc.bytes_read < sc.bytes_read, "members {members}");
+            assert!(fc.bytes_read < last_read, "members {members}");
+            last_read = fc.bytes_read;
+            // Per-member stages: only pseudo and FFT reads may differ.
+            for (f, s) in fused.stages.iter().zip(&solo.stages) {
+                assert_eq!(f.name, s.name);
+                match f.kind {
+                    KernelKind::PseudoUpdate | KernelKind::Fft => {
+                        assert!(f.cost.bytes_read <= s.cost.bytes_read)
+                    }
+                    _ => assert_eq!(f.cost, s.cost, "{}", f.name),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_pseudo_reads_never_drop_below_the_gather_floor() {
+        // Even at absurd batch sizes the per-member ψ gather traffic
+        // remains; only the table share vanishes.
+        let sys = SiliconSystem::new(8).unwrap();
+        let huge = build_task_graph_fused(&sys, 1, 1 << 20);
+        let pseudo = &huge.stages_of(KernelKind::PseudoUpdate)[0];
+        let nbands = (sys.valence_window() + sys.conduction_window()) as u64;
+        let gather =
+            nbands * sys.atoms() as u64 * crate::pseudo::SPHERE_PTS as u64 * (C64_BYTES + 4);
+        assert!(pseudo.cost.bytes_read >= gather);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! separable: one 1-D FFT along each axis. Data is stored row-major with
 //! `x` fastest: `index = (z * ny + y) * nx + x`.
 
-use crate::counters::KernelCost;
+use crate::counters::{KernelCost, C64_BYTES};
 use crate::fft::FftPlan;
 use crate::Complex64;
 
@@ -170,6 +170,41 @@ impl Fft3Plan {
         }
     }
 
+    /// Transforms `count = data.len() / dims.len()` stacked grids forward,
+    /// reusing this plan (and its twiddle tables) for every grid.
+    ///
+    /// Each grid is transformed by the exact same [`forward`](Self::forward)
+    /// code path, so every output grid is **bit-identical** to a solo call —
+    /// plan reuse changes which bytes stay cache-resident, never the
+    /// arithmetic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a positive multiple of `dims().len()`.
+    pub fn forward_batch(&self, data: &mut [Complex64]) {
+        self.batch(data, false);
+    }
+
+    /// Inverse counterpart of [`forward_batch`](Self::forward_batch).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a positive multiple of `dims().len()`.
+    pub fn inverse_batch(&self, data: &mut [Complex64]) {
+        self.batch(data, true);
+    }
+
+    fn batch(&self, data: &mut [Complex64], inverse: bool) {
+        let len = self.dims.len();
+        assert!(
+            !data.is_empty() && data.len().is_multiple_of(len),
+            "batched 3-D FFT buffer must hold a positive whole number of grids"
+        );
+        for grid in data.chunks_exact_mut(len) {
+            self.transform(grid, inverse);
+        }
+    }
+
     /// Analytic cost of one 3-D transform: `ny·nz` x-lines plus `nx·nz`
     /// y-lines plus `nx·ny` z-lines.
     pub fn cost(&self) -> KernelCost {
@@ -177,6 +212,30 @@ impl Fft3Plan {
         self.plan_x.cost() * (ny * nz) as u64
             + self.plan_y.cost() * (nx * nz) as u64
             + self.plan_z.cost() * (nx * ny) as u64
+    }
+
+    /// Bytes of per-axis twiddle/plan tables a transform reads — the operand
+    /// shared across grids when [`forward_batch`](Self::forward_batch)
+    /// executes `count` grids on one plan.
+    pub fn shared_table_bytes(&self) -> u64 {
+        let GridDims { nx, ny, nz } = self.dims;
+        C64_BYTES * (nx + ny + nz) as u64
+    }
+
+    /// Analytic cost of transforming `count` grids on one plan: FLOPs and
+    /// writes are exactly `count ×` one transform, while the plan's twiddle
+    /// tables ([`shared_table_bytes`](Self::shared_table_bytes)) are charged
+    /// once for the whole batch. Equals `count × cost()` minus the saved
+    /// table re-reads, and [`cost`](Self::cost) exactly at `count = 1`.
+    pub fn fused_cost(&self, count: usize) -> KernelCost {
+        let k = count.max(1) as u64;
+        let one = self.cost();
+        let saved = self.shared_table_bytes().min(one.bytes_read) * (k - 1);
+        KernelCost {
+            flops: one.flops * k,
+            bytes_read: one.bytes_read * k - saved,
+            bytes_written: one.bytes_written * k,
+        }
     }
 }
 
@@ -321,5 +380,53 @@ mod tests {
         let plan = Fft3Plan::new(GridDims::cubic(4));
         let mut buf = vec![Complex64::ZERO; 63];
         plan.forward(&mut buf);
+    }
+
+    #[test]
+    fn batch_round_trip_matches_solo() {
+        let dims = GridDims::new(4, 3, 2);
+        let plan = Fft3Plan::new(dims);
+        let grids = 3;
+        let mut stacked = random_field(dims.len() * grids, 42);
+        let solo: Vec<Vec<Complex64>> = stacked
+            .chunks_exact(dims.len())
+            .map(|g| {
+                let mut one = g.to_vec();
+                plan.forward(&mut one);
+                one
+            })
+            .collect();
+        plan.forward_batch(&mut stacked);
+        for (g, expect) in stacked.chunks_exact(dims.len()).zip(&solo) {
+            for (a, b) in g.iter().zip(expect) {
+                assert_eq!(a.re.to_bits(), b.re.to_bits());
+                assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_cost_amortizes_tables_only() {
+        let plan = Fft3Plan::new(GridDims::new(8, 4, 4));
+        let one = plan.cost();
+        assert_eq!(plan.fused_cost(1), one);
+        for k in [2u64, 7, 16] {
+            let fused = plan.fused_cost(k as usize);
+            let solo = one * k;
+            assert_eq!(fused.flops, solo.flops);
+            assert_eq!(fused.bytes_written, solo.bytes_written);
+            assert_eq!(
+                solo.bytes_read - fused.bytes_read,
+                (k - 1) * plan.shared_table_bytes()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of grids")]
+    fn ragged_batch_panics() {
+        let plan = Fft3Plan::new(GridDims::cubic(4));
+        let mut buf = vec![Complex64::ZERO; 100];
+        plan.forward_batch(&mut buf);
     }
 }

@@ -5,7 +5,9 @@
 //! architecture-specific microkernels. Naive reference implementations are
 //! kept for testing.
 
-use crate::counters::{gemm_cost_c64, gemm_cost_f64, KernelCost};
+use crate::counters::{
+    gemm_cost_c64, gemm_cost_c64_batched, gemm_cost_f64, gemm_cost_f64_batched, KernelCost,
+};
 use crate::matrix::{CMat, Mat};
 
 /// Cache-blocking tile edge (elements). 64×64 `f64` tiles are 32 KiB — the
@@ -93,6 +95,98 @@ pub fn gemm_c64(a: &CMat, b: &CMat) -> CMat {
     c
 }
 
+/// Batched multi-RHS real GEMM: one shared left matrix against `K` right
+/// matrices, `C_k = A · B_k`.
+///
+/// The member loop sits *inside* the `(ii, kk)` block loops so each `A` panel
+/// is streamed from memory once per block step and reused across all `K`
+/// members — the fused-traffic pattern [`gemm_cost_f64_batched`] models. Per
+/// member, the `(ii, kk, jj, i, p, j)` visit order is exactly that of
+/// [`gemm_f64`], so every output is **bit-identical** to the corresponding
+/// solo call (including NaN payload and denormal bits).
+///
+/// # Panics
+///
+/// Panics if any `b.rows() != a.cols()`.
+pub fn gemm_f64_batched(a: &Mat, bs: &[Mat]) -> Vec<Mat> {
+    let (m, k) = (a.rows(), a.cols());
+    for b in bs {
+        assert_eq!(k, b.rows(), "GEMM inner dimension mismatch");
+    }
+    let mut out: Vec<Mat> = bs.iter().map(|b| Mat::zeros(m, b.cols())).collect();
+    let asl = a.as_slice();
+    for ii in (0..m).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(m);
+        for kk in (0..k).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(k);
+            for (b, c) in bs.iter().zip(out.iter_mut()) {
+                let n = b.cols();
+                let bsl = b.as_slice();
+                let cs = c.as_mut_slice();
+                for jj in (0..n).step_by(BLOCK) {
+                    let j_end = (jj + BLOCK).min(n);
+                    for i in ii..i_end {
+                        for p in kk..k_end {
+                            let aip = asl[i * k + p];
+                            if aip == 0.0 {
+                                continue;
+                            }
+                            let brow = &bsl[p * n + jj..p * n + j_end];
+                            let crow = &mut cs[i * n + jj..i * n + j_end];
+                            for (cv, bv) in crow.iter_mut().zip(brow) {
+                                *cv += aip * *bv;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Batched multi-RHS complex GEMM: `C_k = A · B_k` with one shared `A`.
+///
+/// Same blocking and bit-exactness contract as [`gemm_f64_batched`]; the
+/// per-element accumulation order matches [`gemm_c64`] exactly.
+///
+/// # Panics
+///
+/// Panics if any `b.rows() != a.cols()`.
+pub fn gemm_c64_batched(a: &CMat, bs: &[CMat]) -> Vec<CMat> {
+    let (m, k) = (a.rows(), a.cols());
+    for b in bs {
+        assert_eq!(k, b.rows(), "GEMM inner dimension mismatch");
+    }
+    let mut out: Vec<CMat> = bs.iter().map(|b| CMat::zeros(m, b.cols())).collect();
+    let asl = a.as_slice();
+    for ii in (0..m).step_by(BLOCK) {
+        let i_end = (ii + BLOCK).min(m);
+        for kk in (0..k).step_by(BLOCK) {
+            let k_end = (kk + BLOCK).min(k);
+            for (b, c) in bs.iter().zip(out.iter_mut()) {
+                let n = b.cols();
+                let bsl = b.as_slice();
+                let cs = c.as_mut_slice();
+                for jj in (0..n).step_by(BLOCK) {
+                    let j_end = (jj + BLOCK).min(n);
+                    for i in ii..i_end {
+                        for p in kk..k_end {
+                            let aip = asl[i * k + p];
+                            let brow = &bsl[p * n + jj..p * n + j_end];
+                            let crow = &mut cs[i * n + jj..i * n + j_end];
+                            for (cv, bv) in crow.iter_mut().zip(brow) {
+                                *cv = aip.mul_add(*bv, *cv);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 /// Computes `C = A† · B` (adjoint of A times B) without materializing `A†`.
 ///
 /// This is the contraction shape LR-TDDFT uses to assemble the response
@@ -148,6 +242,18 @@ pub fn gemm_f64_cost(a: &Mat, b: &Mat) -> KernelCost {
 /// Analytic cost of [`gemm_c64`] for the given shapes.
 pub fn gemm_c64_cost(a: &CMat, b: &CMat) -> KernelCost {
     gemm_cost_c64(a.rows(), b.cols(), a.cols())
+}
+
+/// Analytic cost of [`gemm_f64_batched`] for a uniform-shape batch.
+pub fn gemm_f64_batched_cost(a: &Mat, bs: &[Mat]) -> KernelCost {
+    let n = bs.first().map_or(0, Mat::cols);
+    gemm_cost_f64_batched(a.rows(), n, a.cols(), bs.len())
+}
+
+/// Analytic cost of [`gemm_c64_batched`] for a uniform-shape batch.
+pub fn gemm_c64_batched_cost(a: &CMat, bs: &[CMat]) -> KernelCost {
+    let n = bs.first().map_or(0, CMat::cols);
+    gemm_cost_c64_batched(a.rows(), n, a.cols(), bs.len())
 }
 
 #[cfg(test)]

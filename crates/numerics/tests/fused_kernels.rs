@@ -1,0 +1,213 @@
+//! Differential proptests pinning fused ≡ sequential at the kernel level.
+//!
+//! The fused-execution contract (ISSUE 10) is that batching only changes
+//! *which bytes stay resident* — never the arithmetic. These tests compare
+//! batched multi-RHS GEMM/FFT outputs against K sequential kernel calls
+//! **bit for bit** (including NaN payload and denormal bits, which any
+//! reassociation would scramble), and check the fused `KernelCost`
+//! variants are ≤ the sum of per-call costs with equality at K=1.
+
+use ndft_numerics::{
+    gemm_c64, gemm_c64_batched, gemm_c64_batched_cost, gemm_c64_cost, gemm_cost_c64_batched,
+    gemm_cost_f64, gemm_cost_f64_batched, gemm_f64, gemm_f64_batched, gemm_f64_batched_cost, CMat,
+    Complex64, Fft3Plan, GridDims, Mat,
+};
+use proptest::prelude::*;
+
+/// Deterministic f64 stream that occasionally emits "hostile" payloads:
+/// NaNs with distinct payload bits, denormals, signed zeros and huge
+/// magnitudes. Bit-exact differential testing must survive all of them.
+fn hostile_f64(s: &mut u64) -> f64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    match *s % 16 {
+        0 => f64::from_bits(0x7FF8_0000_0000_0000 | (*s & 0xFFFF)), // NaN, varying payload
+        1 => f64::from_bits(*s & 0x000F_FFFF_FFFF_FFFF),            // denormal
+        2 => -0.0,
+        3 => 0.0,
+        4 => 1e300,
+        _ => (*s as f64 / u64::MAX as f64) * 2.0 - 1.0,
+    }
+}
+
+fn hostile_mat(r: usize, c: usize, seed: u64) -> Mat {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(11);
+    Mat::from_fn(r, c, |_, _| hostile_f64(&mut s))
+}
+
+fn hostile_cmat(r: usize, c: usize, seed: u64) -> CMat {
+    let mut s = seed.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(7);
+    CMat::from_fn(r, c, |_, _| {
+        let re = hostile_f64(&mut s);
+        Complex64::new(re, hostile_f64(&mut s))
+    })
+}
+
+fn bits_eq_f64(a: &Mat, b: &Mat) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn bits_eq_c64(a: &CMat, b: &CMat) -> bool {
+    a.rows() == b.rows()
+        && a.cols() == b.cols()
+        && a.as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .all(|(x, y)| x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits())
+}
+
+fn cost_leq(fused: ndft_numerics::KernelCost, solo_sum: ndft_numerics::KernelCost) -> bool {
+    fused.flops <= solo_sum.flops
+        && fused.bytes_read <= solo_sum.bytes_read
+        && fused.bytes_written <= solo_sum.bytes_written
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn batched_gemm_f64_bit_identical_to_sequential(
+        m in 1usize..80, k in 1usize..80, n in 1usize..40,
+        members in 1usize..6, seed in 0u64..1000,
+    ) {
+        let a = hostile_mat(m, k, seed);
+        let bs: Vec<Mat> = (0..members)
+            .map(|i| hostile_mat(k, n, seed + 100 + i as u64))
+            .collect();
+        let fused = gemm_f64_batched(&a, &bs);
+        prop_assert_eq!(fused.len(), members);
+        for (b, c) in bs.iter().zip(&fused) {
+            prop_assert!(bits_eq_f64(c, &gemm_f64(&a, b)));
+        }
+    }
+
+    #[test]
+    fn batched_gemm_c64_bit_identical_to_sequential(
+        m in 1usize..70, k in 1usize..70, n in 1usize..30,
+        members in 1usize..6, seed in 0u64..1000,
+    ) {
+        let a = hostile_cmat(m, k, seed);
+        let bs: Vec<CMat> = (0..members)
+            .map(|i| hostile_cmat(k, n, seed + 200 + i as u64))
+            .collect();
+        let fused = gemm_c64_batched(&a, &bs);
+        for (b, c) in bs.iter().zip(&fused) {
+            prop_assert!(bits_eq_c64(c, &gemm_c64(&a, b)));
+        }
+    }
+
+    #[test]
+    fn batched_fft3_bit_identical_to_sequential(
+        nx in 1usize..9, ny in 1usize..9, nz in 1usize..9,
+        members in 1usize..5, seed in 0u64..1000,
+    ) {
+        let dims = GridDims::new(nx, ny, nz);
+        let plan = Fft3Plan::new(dims);
+        let mut s = seed.wrapping_mul(0x1234_5678_9ABC_DEF1).wrapping_add(3);
+        let stacked: Vec<Complex64> = (0..members * dims.len())
+            .map(|_| {
+                let re = hostile_f64(&mut s);
+                // Keep magnitudes finite for FFT (NaN/Inf would poison whole
+                // lines identically in both paths, which proves nothing).
+                let re = if re.is_finite() { re } else { 0.5 };
+                let im = hostile_f64(&mut s);
+                let im = if im.is_finite() { im } else { -0.25 };
+                Complex64::new(re, im)
+            })
+            .collect();
+
+        let mut forward = stacked.clone();
+        plan.forward_batch(&mut forward);
+        let mut inverse = stacked.clone();
+        plan.inverse_batch(&mut inverse);
+
+        for g in 0..members {
+            let span = g * dims.len()..(g + 1) * dims.len();
+            let mut solo_f = stacked[span.clone()].to_vec();
+            plan.forward(&mut solo_f);
+            let mut solo_i = stacked[span.clone()].to_vec();
+            plan.inverse(&mut solo_i);
+            for (a, b) in forward[span.clone()].iter().zip(&solo_f) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+            for (a, b) in inverse[span.clone()].iter().zip(&solo_i) {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn fused_costs_never_exceed_sequential_sum(
+        m in 1usize..100, k in 1usize..100, n in 1usize..100,
+        members in 1usize..20,
+    ) {
+        let f = gemm_cost_f64_batched(m, n, k, members);
+        let solo = gemm_cost_f64(m, n, k) * members as u64;
+        prop_assert!(cost_leq(f, solo));
+        prop_assert_eq!(f.flops, solo.flops);
+
+        let c = gemm_cost_c64_batched(m, n, k, members);
+        let csolo = ndft_numerics::gemm_cost_c64(m, n, k) * members as u64;
+        prop_assert!(cost_leq(c, csolo));
+
+        if members == 1 {
+            prop_assert_eq!(f, gemm_cost_f64(m, n, k));
+            prop_assert_eq!(c, ndft_numerics::gemm_cost_c64(m, n, k));
+        }
+    }
+
+    #[test]
+    fn fused_fft_cost_leq_sequential_sum(
+        nx in 1usize..16, ny in 1usize..16, nz in 1usize..16,
+        members in 1usize..20,
+    ) {
+        let plan = Fft3Plan::new(GridDims::new(nx, ny, nz));
+        let fused = plan.fused_cost(members);
+        let solo = plan.cost() * members as u64;
+        prop_assert!(cost_leq(fused, solo));
+        prop_assert_eq!(fused.flops, solo.flops);
+        prop_assert_eq!(fused.bytes_written, solo.bytes_written);
+        if members == 1 {
+            prop_assert_eq!(fused, plan.cost());
+        }
+    }
+
+    #[test]
+    fn batched_cost_helpers_match_counter_formulas(
+        m in 1usize..40, k in 1usize..40, n in 1usize..40, members in 1usize..8,
+    ) {
+        let a = Mat::zeros(m, k);
+        let bs: Vec<Mat> = (0..members).map(|_| Mat::zeros(k, n)).collect();
+        prop_assert_eq!(
+            gemm_f64_batched_cost(&a, &bs),
+            gemm_cost_f64_batched(m, n, k, members)
+        );
+        let ca = CMat::zeros(m, k);
+        let cbs: Vec<CMat> = (0..members).map(|_| CMat::zeros(k, n)).collect();
+        prop_assert_eq!(
+            gemm_c64_batched_cost(&ca, &cbs),
+            gemm_cost_c64_batched(m, n, k, members)
+        );
+        if members == 1 {
+            prop_assert_eq!(gemm_c64_batched_cost(&ca, &cbs), gemm_c64_cost(&ca, &cbs[0]));
+        }
+    }
+}
+
+/// Zero-member batches are legal and cost a single shared-operand read in
+/// the model but produce no outputs from the kernel.
+#[test]
+fn empty_batch_returns_no_outputs() {
+    let a = hostile_mat(5, 4, 1);
+    assert!(gemm_f64_batched(&a, &[]).is_empty());
+    let ca = hostile_cmat(5, 4, 2);
+    assert!(gemm_c64_batched(&ca, &[]).is_empty());
+}

@@ -63,6 +63,41 @@ impl CostModel {
         self.dt(bytes) + self.context_switch
     }
 
+    /// The data-transfer term for a *fused* boundary: `k` members' tensors
+    /// of `bytes` each cross in one coalesced transfer, paying the wire
+    /// latency once. `fused_dt(b, 1) == dt(b)` exactly, and
+    /// `fused_dt(b, k) ≤ k · dt(b)` — fusion amortizes latency, never
+    /// payload bytes.
+    pub fn fused_dt(&self, bytes: u64, members: usize) -> f64 {
+        let k = members.max(1) as f64;
+        self.transfer_latency + k * bytes as f64 / self.transfer_bandwidth
+    }
+
+    /// Full cost of one fused boundary: one coalesced transfer plus one
+    /// context switch for the whole batch (instead of `k` of each).
+    /// Equals [`CostModel::boundary`] at `members = 1`.
+    pub fn fused_boundary(&self, bytes: u64, members: usize) -> f64 {
+        self.fused_dt(bytes, members) + self.context_switch
+    }
+
+    /// The per-member view of this model under `k`-way fusion: latency and
+    /// context-switch constants are divided by `k` (each member pays its
+    /// share of the once-per-batch costs) while bandwidth is untouched
+    /// (payload bytes are never amortized). For any `bytes`,
+    /// `amortized(k).boundary(bytes) == fused_boundary(bytes, k) / k`
+    /// exactly, and `amortized(1)` is the identity.
+    ///
+    /// Planners consume this view (see [`crate::FusedTimer`]) so existing
+    /// per-member DP machinery prices fused batches without new code paths.
+    pub fn amortized(&self, members: usize) -> CostModel {
+        let k = members.max(1) as f64;
+        CostModel {
+            transfer_bandwidth: self.transfer_bandwidth,
+            transfer_latency: self.transfer_latency / k,
+            context_switch: self.context_switch / k,
+        }
+    }
+
     /// Eq. 1 evaluated over a whole placement: the sum of boundary costs
     /// for every adjacent pair placed on different units.
     ///
@@ -219,6 +254,42 @@ mod tests {
         assert!((one - m.boundary(2000)).abs() < 1e-15);
         let all = m.scheduling_overhead(&bytes, &[true, true, true]);
         assert!(all > one);
+    }
+
+    #[test]
+    fn fused_dt_amortizes_latency_only() {
+        let m = CostModel::paper_default();
+        for bytes in [0u64, 1 << 10, 1 << 30] {
+            assert_eq!(m.fused_dt(bytes, 1), m.dt(bytes));
+            assert_eq!(m.fused_boundary(bytes, 1), m.boundary(bytes));
+            for k in [2usize, 8, 64] {
+                let fused = m.fused_dt(bytes, k);
+                let solo = k as f64 * m.dt(bytes);
+                assert!(fused <= solo + 1e-18);
+                // Exactly (k-1) latencies saved (up to cancellation noise
+                // relative to the magnitudes being subtracted).
+                let saved = solo - fused;
+                let expect = (k - 1) as f64 * m.transfer_latency;
+                assert!((saved - expect).abs() < 1e-12 * solo.max(1e-18));
+            }
+        }
+    }
+
+    #[test]
+    fn amortized_model_is_the_per_member_view() {
+        let m = CostModel::paper_default();
+        assert_eq!(m.amortized(1), m);
+        assert_eq!(m.amortized(0), m); // clamped to 1
+        for k in [2usize, 5, 16] {
+            let per = m.amortized(k);
+            assert_eq!(per.transfer_bandwidth, m.transfer_bandwidth);
+            for bytes in [0u64, 4096, 1 << 24] {
+                let lhs = per.boundary(bytes);
+                let rhs = m.fused_boundary(bytes, k) / k as f64;
+                assert!((lhs - rhs).abs() < 1e-15 * rhs.max(1e-30));
+                assert!(lhs <= m.boundary(bytes));
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //! * [`planner`] — cost-aware placement: optimal chain DP (NDFT's
 //!   mechanism), exhaustive validation, greedy and pinned baselines.
 //!   Every planner has a `*_loaded` variant that biases the decision by
-//!   a [`TargetLoad`] so concurrent batches spread across targets.
+//!   a [`TargetLoad`] so concurrent batches spread across targets, and
+//!   [`plan_fused`] prices boundaries at their `k`-way fused share so
+//!   placement can prefer larger NDP batches when amortization wins.
 //! * [`granularity`] — the function-vs-basic-block-vs-instruction
 //!   offload-granularity study behind the paper's design choice.
 //!
@@ -42,8 +44,9 @@ pub use dynamic::{simulate_online, DynamicOptions, DynamicReport};
 pub use granularity::{granularity_study, split_stages, Granularity, GranularityReport};
 pub use overlap::{analyze_overlap, OverlapAnalysis};
 pub use planner::{
-    plan_chain, plan_chain_loaded, plan_exhaustive, plan_exhaustive_loaded, plan_greedy,
-    plan_greedy_loaded, plan_pinned, LoadBiasedTimer, Plan, StageTimer,
+    plan_chain, plan_chain_loaded, plan_exhaustive, plan_exhaustive_loaded, plan_fused,
+    plan_fused_loaded, plan_greedy, plan_greedy_loaded, plan_pinned, FusedTimer, LoadBiasedTimer,
+    Plan, StageTimer,
 };
 pub use roofline::{fig4_points, Boundedness, Roofline, RooflinePoint};
 pub use sca::{Analysis, StaticCodeAnalyzer, Target, TargetModel};

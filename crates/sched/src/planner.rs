@@ -49,6 +49,20 @@
 //! wrappers passing [`TargetLoad::NONE`]. Pinned placements
 //! ([`plan_pinned`]) take no load parameter — a pinned placement is the
 //! same under any load, only its completion time differs.
+//!
+//! ## Fusion-aware planning ([`plan_fused`])
+//!
+//! When a serving layer fuses `k` same-class jobs into one batch, every
+//! placement boundary is paid **once per batch** instead of once per
+//! member: the coalesced transfer pays one wire latency and one context
+//! switch for all `k` tensors ([`CostModel::fused_boundary`]). The
+//! [`FusedTimer`] adapter swaps the cost model for its per-member
+//! amortized view ([`CostModel::amortized`]) while leaving stage times
+//! untouched, and [`plan_fused`] / [`plan_fused_loaded`] run the same
+//! chain DP under it — so placement can prefer larger NDP spans when
+//! amortization beats the boundary tax. `plan_fused(s, t, 1)` is
+//! exactly `plan_chain(s, t)`, and the fused optimum's total time is
+//! non-increasing in `k` (boundaries only get cheaper).
 
 use crate::cost::{CostModel, TargetLoad};
 use crate::sca::{StaticCodeAnalyzer, Target};
@@ -168,6 +182,59 @@ impl StageTimer for LoadBiasedTimer<'_> {
     fn cost_model(&self) -> &CostModel {
         self.inner.cost_model()
     }
+}
+
+/// [`StageTimer`] adapter pricing boundaries at their `k`-way-fused
+/// per-member share: stage times pass through unchanged, the cost model
+/// is replaced by [`CostModel::amortized`]`(members)`. See the
+/// [module docs](self) on fusion-aware planning.
+pub struct FusedTimer<'a> {
+    inner: &'a dyn StageTimer,
+    amortized: CostModel,
+}
+
+impl<'a> FusedTimer<'a> {
+    /// Wraps `inner` for a fused batch of `members` jobs (`members` is
+    /// clamped to at least 1; at 1 the adapter is an exact identity).
+    pub fn new(inner: &'a dyn StageTimer, members: usize) -> Self {
+        FusedTimer {
+            amortized: inner.cost_model().amortized(members),
+            inner,
+        }
+    }
+}
+
+impl StageTimer for FusedTimer<'_> {
+    fn stage_time(&self, stage: &KernelDescriptor, target: Target) -> f64 {
+        self.inner.stage_time(stage, target)
+    }
+    fn cost_model(&self) -> &CostModel {
+        &self.amortized
+    }
+}
+
+/// Optimal per-member placement for a chain executed as a `members`-way
+/// fused batch: the chain DP under [`FusedTimer`], so every boundary is
+/// charged its amortized share of one coalesced batch transfer. Reported
+/// costs are the **per-member** view (multiply by `members` for whole-batch
+/// totals). `plan_fused(stages, timer, 1)` equals [`plan_chain`] exactly.
+pub fn plan_fused(stages: &[KernelDescriptor], timer: &dyn StageTimer, members: usize) -> Plan {
+    plan_fused_loaded(stages, timer, TargetLoad::NONE, members)
+}
+
+/// [`plan_fused`] under a cross-job [`TargetLoad`]. The load bias follows
+/// the [`plan_chain_loaded`] convention (decide dilated, report unbiased);
+/// the fusion amortization is *kept* in the reported costs — unlike load
+/// dilation it is a real property of the placement, not a tie-breaking
+/// bias.
+pub fn plan_fused_loaded(
+    stages: &[KernelDescriptor],
+    timer: &dyn StageTimer,
+    load: TargetLoad,
+    members: usize,
+) -> Plan {
+    let fused = FusedTimer::new(timer, members);
+    plan_chain_loaded(stages, &fused, load)
 }
 
 /// Optimal placement for a chain of stages via dynamic programming over
@@ -553,6 +620,81 @@ mod tests {
         assert!((biased.stage_time(&s[0], Target::Cpu) - 2.0 * raw_cpu).abs() < 1e-12 * raw_cpu);
         assert!((biased.stage_time(&s[0], Target::Ndp) - 4.0 * raw_ndp).abs() < 1e-12 * raw_ndp);
         assert_eq!(biased.cost_model(), t.cost_model());
+    }
+
+    #[test]
+    fn fused_plan_of_one_is_the_plain_plan() {
+        for atoms in [16usize, 256] {
+            let s = stages(atoms);
+            let t = sca();
+            assert_eq!(plan_fused(&s, &t, 1), plan_chain(&s, &t));
+            assert_eq!(plan_fused(&s, &t, 0), plan_chain(&s, &t)); // clamped
+            let load = TargetLoad::new(0.0, 3.0, 1.0);
+            assert_eq!(
+                plan_fused_loaded(&s, &t, load, 1),
+                plan_chain_loaded(&s, &t, load)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_total_time_is_nonincreasing_in_members() {
+        let s = stages(256);
+        let t = sca();
+        let mut last = f64::INFINITY;
+        for k in [1usize, 2, 4, 8, 32] {
+            let total = plan_fused(&s, &t, k).total_time();
+            assert!(
+                total <= last + 1e-12 * last.abs().max(1e-12),
+                "k={k}: {total} > {last}"
+            );
+            last = total;
+        }
+    }
+
+    #[test]
+    fn fused_dp_matches_fused_exhaustive() {
+        let s = stages(64);
+        let t = sca();
+        for k in [2usize, 8] {
+            let fused = FusedTimer::new(&t, k);
+            let dp = plan_fused(&s, &t, k);
+            let ex = plan_exhaustive(&s, &fused);
+            assert!(
+                (dp.total_time() - ex.total_time()).abs() <= 1e-9 * ex.total_time().max(1e-12),
+                "k={k}: dp {} vs exhaustive {}",
+                dp.total_time(),
+                ex.total_time()
+            );
+        }
+    }
+
+    #[test]
+    fn fused_timer_amortizes_boundaries_not_stage_times() {
+        let s = stages(64);
+        let t = sca();
+        let fused = FusedTimer::new(&t, 8);
+        assert_eq!(
+            fused.stage_time(&s[0], Target::Ndp),
+            t.stage_time(&s[0], Target::Ndp)
+        );
+        assert!(fused.cost_model().boundary(4096) < t.cost_model().boundary(4096));
+        assert_eq!(
+            fused.cost_model().transfer_bandwidth,
+            t.cost_model().transfer_bandwidth
+        );
+    }
+
+    #[test]
+    fn heavy_fusion_never_adds_crossing_cost_per_member() {
+        // With boundaries nearly free, the fused plan's per-member overhead
+        // must shrink toward zero while compute stays optimal.
+        let s = stages(1024);
+        let t = sca();
+        let solo = plan_chain(&s, &t);
+        let fused = plan_fused(&s, &t, 1024);
+        assert!(fused.sched_overhead <= solo.sched_overhead + 1e-15);
+        assert!(fused.total_time() <= solo.total_time() + 1e-15);
     }
 
     #[test]

@@ -4,8 +4,8 @@
 
 use ndft_dft::{build_task_graph, KernelDescriptor, SiliconSystem};
 use ndft_sched::{
-    plan_chain, plan_exhaustive, plan_greedy, plan_pinned, CostModel, StageTimer,
-    StaticCodeAnalyzer, Target,
+    plan_chain, plan_exhaustive, plan_fused, plan_greedy, plan_pinned, split_stages, CostModel,
+    FusedTimer, Granularity, StageTimer, StaticCodeAnalyzer, Target,
 };
 
 fn stages(atoms: usize) -> Vec<KernelDescriptor> {
@@ -99,6 +99,60 @@ fn chain_dp_matches_exhaustive_on_short_chains() {
             assert!(
                 (dp.total_time() - ex.total_time()).abs() <= 1e-12 * ex.total_time().max(1e-12),
                 "len {len}: dp {} vs exhaustive {}",
+                dp.total_time(),
+                ex.total_time()
+            );
+        }
+    }
+}
+
+#[test]
+fn chain_dp_matches_exhaustive_on_split_stage_chains() {
+    // Calibration refresh (ROADMAP): the DP's exhaustive validation must
+    // also cover the finer-grained chains `granularity::split_stages`
+    // produces, whose segments have scaled-down costs and therefore very
+    // different boundary/compute ratios than whole kernels. A basic-block
+    // split of the full chain far exceeds the 24-stage exhaustive guard,
+    // so agreement is checked on every short window of the split chain
+    // (windows cover all segment-boundary and kernel-boundary seams).
+    let sca = StaticCodeAnalyzer::paper_default();
+    for atoms in [16usize, 64] {
+        let split = split_stages(&stages(atoms), Granularity::BasicBlock);
+        assert!(
+            split.len() > 24,
+            "split chain must exceed the brute-force cap"
+        );
+        for len in [2usize, 3, 4] {
+            for window in split.windows(len).step_by(5) {
+                let dp = plan_chain(window, &sca);
+                let ex = plan_exhaustive(window, &sca);
+                assert!(
+                    (dp.total_time() - ex.total_time()).abs() <= 1e-12 * ex.total_time().max(1e-12),
+                    "Si_{atoms} len {len}: dp {} vs exhaustive {}",
+                    dp.total_time(),
+                    ex.total_time()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fused_dp_matches_fused_exhaustive_on_split_stage_chains() {
+    // The same coverage holds for fused plans: plan_fused is the chain DP
+    // under FusedTimer, so exhaustive search under the same adapter must
+    // agree on split-stage windows too — exhaustive coverage stays
+    // meaningful for fused planning.
+    let sca = StaticCodeAnalyzer::paper_default();
+    let split = split_stages(&stages(64), Granularity::BasicBlock);
+    for members in [2usize, 8] {
+        let fused = FusedTimer::new(&sca, members);
+        for window in split.windows(4).step_by(9) {
+            let dp = plan_fused(window, &sca, members);
+            let ex = plan_exhaustive(window, &fused);
+            assert!(
+                (dp.total_time() - ex.total_time()).abs() <= 1e-12 * ex.total_time().max(1e-12),
+                "members {members}: dp {} vs exhaustive {}",
                 dp.total_time(),
                 ex.total_time()
             );

@@ -134,6 +134,48 @@ mod tests {
     }
 
     #[test]
+    fn members_keep_submission_order_within_each_class() {
+        // The fused execution path leans on this: the first member of a
+        // batch builds the shared operand and becomes the trace leader,
+        // so grouping must never reorder members within a class — under
+        // any interleaving, not just the friendly ones.
+        let interleavings: [&[usize]; 3] = [
+            &[0, 1, 0, 1, 0, 1],    // alternating
+            &[0, 0, 0, 1, 1, 1],    // runs
+            &[1, 0, 0, 1, 0, 1, 0], // ragged
+        ];
+        for pattern in interleavings {
+            let mut next_seed = [0u64; 2];
+            let jobs: Vec<DftJob> = pattern
+                .iter()
+                .map(|&class| {
+                    let seed = next_seed[class];
+                    next_seed[class] += 1;
+                    md(if class == 0 { 64 } else { 128 }, seed)
+                })
+                .collect();
+            let batches = form_batches(jobs, DftJob::workload_class);
+            assert_eq!(batches.len(), 2);
+            for batch in &batches {
+                let seeds: Vec<u64> = batch
+                    .entries
+                    .iter()
+                    .map(|j| match j {
+                        DftJob::MdSegment { seed, .. } => *seed,
+                        other => panic!("unexpected job {other}"),
+                    })
+                    .collect();
+                let expected: Vec<u64> = (0..seeds.len() as u64).collect();
+                assert_eq!(
+                    seeds, expected,
+                    "class {:?} members out of submission order for {pattern:?}",
+                    batch.class
+                );
+            }
+        }
+    }
+
+    #[test]
     fn empty_input_forms_no_batches() {
         let batches = form_batches(Vec::<DftJob>::new(), DftJob::workload_class);
         assert!(batches.is_empty());

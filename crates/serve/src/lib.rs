@@ -22,6 +22,20 @@
 //!   by [`WorkloadClass`] (same kind/size/iterations ⇒ same task-graph
 //!   shape), so one planner consultation covers the whole batch; stolen
 //!   runs are key-coherent and batch the same way ([`BatchOrigin`]).
+//! * **Fused cross-job batch execution** — a same-class batch of ≥ 2
+//!   members executes through a shared-operand path
+//!   ([`ServeConfig::fused_execution`], default on): one Kohn–Sham
+//!   Hamiltonian serves every ground-state member, one neighbour scan
+//!   every MD member, and the batch is placed under the amortized
+//!   per-member view ([`plan_placement_fused`], built on
+//!   `ndft_sched::plan_fused` and the fused task graph), where shared
+//!   operand DRAM traffic and boundary transfer latency are charged
+//!   once per batch instead of once per job. Per-job results stay
+//!   **bit-identical** to solo execution — fusion shares only setup.
+//!   [`ServeReport`] carries the `fused_jobs` / `fused_batches` /
+//!   `fused_amortized_s` trio, and traced engines get one `FusedExec`
+//!   span per fused batch. `fused_execution: false` reproduces the
+//!   per-job engine exactly.
 //! * **Planner-driven placement** — each batch consults the `ndft_sched`
 //!   planners ([`PlacementPolicy`]) over the measured CPU-NDP machine
 //!   ([`ndft_core::MeasuredTimer`]) to pick CPU-vs-NDP placement per
@@ -159,8 +173,9 @@ pub use job::{
 pub use metrics::{ExecutionSample, Metrics, ServeReport};
 pub use persist::{Dec, DiskTier, Enc, PersistValue};
 pub use placement::{
-    measured_timer, plan_placement, plan_placement_loaded, plan_placement_loaded_with,
-    plan_placement_with, PlacementDecision, PlacementPolicy,
+    measured_timer, plan_placement, plan_placement_fused, plan_placement_fused_loaded,
+    plan_placement_loaded, plan_placement_loaded_with, plan_placement_with, PlacementDecision,
+    PlacementPolicy,
 };
 pub use progress::{JobStage, ProgressEvent, ProgressStream};
 pub use queue::{BoundedQueue, ShardedQueue, StolenRun, SubmitError};
@@ -175,4 +190,7 @@ pub use trace::{
     chrome_trace_json, federated_chrome_trace_json, TraceCollector, TraceEvent, TraceEventKind,
     TraceId,
 };
-pub use worker::{execute_job, execute_payload, JobOutcome};
+pub use worker::{
+    execute_job, execute_job_fused, execute_payload, execute_payload_fused, FusedContext,
+    JobOutcome,
+};

@@ -25,6 +25,7 @@ struct Accum {
     modeled_cpu_pinned_s: f64,
     cpu_contention_s: f64,
     ndp_contention_s: f64,
+    fused_amortized_s: f64,
 }
 
 impl Accum {
@@ -75,6 +76,8 @@ pub struct Metrics {
     workflow_released: AtomicU64,
     orphaned: AtomicU64,
     warm_injected: AtomicU64,
+    fused_jobs: AtomicU64,
+    fused_batches: AtomicU64,
     shard_dispatched: Vec<AtomicU64>,
     worker_dispatched: Vec<AtomicU64>,
     accum: Mutex<Accum>,
@@ -107,6 +110,8 @@ impl Metrics {
             workflow_released: AtomicU64::new(0),
             orphaned: AtomicU64::new(0),
             warm_injected: AtomicU64::new(0),
+            fused_jobs: AtomicU64::new(0),
+            fused_batches: AtomicU64::new(0),
             shard_dispatched: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             worker_dispatched: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             accum: Mutex::new(Accum::default()),
@@ -262,6 +267,17 @@ impl Metrics {
         self.warm_injected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one batch executed through the fused cross-job path:
+    /// `jobs` members shared one operand setup and `amortized_s` is the
+    /// modeled seconds the fusion shaved off relative to planning and
+    /// executing each member solo (Σ over members of solo-modeled minus
+    /// fused-modeled time, clamped at zero).
+    pub fn on_fused(&self, jobs: u64, amortized_s: f64) {
+        self.fused_batches.fetch_add(1, Ordering::Relaxed);
+        self.fused_jobs.fetch_add(jobs, Ordering::Relaxed);
+        self.accum.lock().unwrap().fused_amortized_s += amortized_s.max(0.0);
+    }
+
     /// Lifetime total of jobs dispatched out of all shards. Monotonic,
     /// so [`crate::DftService::report`] uses it as the seqlock
     /// stability witness: equal before/after a snapshot ⇒ no dispatch
@@ -346,6 +362,9 @@ impl Metrics {
             workflow_released: self.workflow_released.load(Ordering::Relaxed),
             orphaned: self.orphaned.load(Ordering::Relaxed),
             warm_injected: self.warm_injected.load(Ordering::Relaxed),
+            fused_jobs: self.fused_jobs.load(Ordering::Relaxed),
+            fused_batches: self.fused_batches.load(Ordering::Relaxed),
+            fused_amortized_s: a.fused_amortized_s,
             mean_latency_s: if a.latency_count == 0 {
                 0.0
             } else {
@@ -397,6 +416,17 @@ pub struct ServeReport {
     /// Executed jobs that consumed a warm input injected from a
     /// workflow parent.
     pub warm_injected: u64,
+    /// Jobs executed through the fused cross-job batch path (members of
+    /// a same-class batch that shared one operand setup). Per-job
+    /// results are bit-identical to solo execution; only setup and
+    /// modeled transfer cost are shared.
+    pub fused_jobs: u64,
+    /// Batches routed through the fused path (≥ 2 queued members with
+    /// fusion enabled) that executed at least one member.
+    pub fused_batches: u64,
+    /// Σ modeled seconds fusion amortized away, relative to planning
+    /// and executing every fused member solo.
+    pub fused_amortized_s: f64,
     /// Submissions refused by admission control (modeled deadline
     /// overrun or tenant quota breach). Never queued, never counted
     /// as submitted.
@@ -613,6 +643,9 @@ impl ServeReport {
         self.workflows += other.workflows;
         self.workflow_released += other.workflow_released;
         self.warm_injected += other.warm_injected;
+        self.fused_jobs += other.fused_jobs;
+        self.fused_batches += other.fused_batches;
+        self.fused_amortized_s += other.fused_amortized_s;
         self.admission_denied += other.admission_denied;
         self.served_from_cache += other.served_from_cache;
         self.batches += other.batches;
@@ -739,6 +772,13 @@ impl fmt::Display for ServeReport {
             "  batching    batches {:>5}  planner calls {:>5}  plans reused {:>5}",
             self.batches, self.planner_calls, self.plans_reused
         )?;
+        if self.fused_batches > 0 {
+            writeln!(
+                f,
+                "  fusion      fused batches {:>5}  fused jobs {:>6}  amortized {:>9.3}s",
+                self.fused_batches, self.fused_jobs, self.fused_amortized_s
+            )?;
+        }
         writeln!(
             f,
             "  streaming   tickets outstanding {:>6}  progress events dropped {:>6}  trace events dropped {:>6}",
@@ -1029,6 +1069,29 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("workflows"));
         assert!(text.contains("orphaned"));
+    }
+
+    #[test]
+    fn fused_accounting_sums_jobs_batches_and_amortized_seconds() {
+        let m = Metrics::new(1, 1);
+        m.on_fused(4, 0.25);
+        m.on_fused(2, 0.5);
+        m.on_fused(3, -1.0); // negative savings clamp to zero
+        let r = m.report(CacheStats::default(), vec![0], 0, Vec::new(), Vec::new(), 0);
+        assert_eq!(r.fused_batches, 3);
+        assert_eq!(r.fused_jobs, 9);
+        assert!((r.fused_amortized_s - 0.75).abs() < 1e-12);
+        let text = r.to_string();
+        assert!(text.contains("fused batches"));
+        let mut merged = r.clone();
+        merged.absorb(&r);
+        assert_eq!(merged.fused_jobs, 18);
+        assert!((merged.fused_amortized_s - 1.5).abs() < 1e-12);
+        // Engines that never fused keep the row out of the rendering.
+        let quiet = Metrics::new(1, 1)
+            .report(CacheStats::default(), vec![0], 0, Vec::new(), Vec::new(), 0)
+            .to_string();
+        assert!(!quiet.contains("fused batches"));
     }
 
     #[test]

@@ -21,8 +21,8 @@ use crate::cluster::ClusterSnapshot;
 use ndft_core::{calib, CpuNdpMachine, MeasuredTimer, ModelConstants};
 use ndft_dft::TaskGraph;
 use ndft_sched::{
-    plan_chain_loaded, plan_exhaustive_loaded, plan_greedy_loaded, plan_pinned, Plan, StageTimer,
-    Target, TargetLoad,
+    plan_chain_loaded, plan_exhaustive_loaded, plan_greedy_loaded, plan_pinned, FusedTimer, Plan,
+    StageTimer, Target, TargetLoad,
 };
 use serde::{Deserialize, Serialize};
 
@@ -155,6 +155,37 @@ pub fn plan_placement_loaded(
 ) -> PlacementDecision {
     let timer = measured_timer();
     plan_placement_loaded_with(graph, policy, &timer, cluster)
+}
+
+/// Fusion-aware planner consultation for a `members`-way fused batch:
+/// like [`plan_placement`] but boundaries are priced at their per-member
+/// amortized share ([`ndft_sched::FusedTimer`]), so placement can prefer
+/// wider NDP spans when the batch foots the crossing bill together. Pair
+/// with a fused task graph (`ndft_dft::build_task_graph_fused`) so the
+/// stage *times* also reflect the shared-operand traffic. Reported times
+/// are per member. At `members = 1` this equals [`plan_placement`]
+/// exactly. Thin wrapper over [`plan_placement_fused_loaded`] with an
+/// idle cluster.
+pub fn plan_placement_fused(
+    graph: &TaskGraph,
+    policy: PlacementPolicy,
+    members: usize,
+) -> PlacementDecision {
+    plan_placement_fused_loaded(graph, policy, &ClusterSnapshot::idle(), members)
+}
+
+/// Utilization-aware variant of [`plan_placement_fused`]: the fused
+/// boundary pricing and the cross-job load bias compose (fusion is a
+/// property of the batch, load a property of the cluster).
+pub fn plan_placement_fused_loaded(
+    graph: &TaskGraph,
+    policy: PlacementPolicy,
+    cluster: &ClusterSnapshot,
+    members: usize,
+) -> PlacementDecision {
+    let timer = measured_timer();
+    let fused = FusedTimer::new(&timer, members);
+    plan_placement_loaded_with(graph, policy, &fused, cluster)
 }
 
 /// [`plan_placement_loaded`] against an explicit timer.
@@ -333,6 +364,50 @@ mod tests {
             let d = plan_placement_loaded(&g, policy, &heavy);
             assert!(!d.shifted, "{policy:?} shifted under load");
             assert_eq!(d.plan.placement, plan_placement(&g, policy).plan.placement);
+        }
+    }
+
+    #[test]
+    fn fused_placement_of_one_is_the_plain_placement() {
+        let g = graph(64);
+        for policy in [
+            PlacementPolicy::CostAware,
+            PlacementPolicy::Greedy,
+            PlacementPolicy::CpuPinned,
+        ] {
+            assert_eq!(
+                plan_placement_fused(&g, policy, 1),
+                plan_placement(&g, policy),
+                "{policy:?}"
+            );
+        }
+        let busy = snapshot(0.5, 2.0);
+        assert_eq!(
+            plan_placement_fused_loaded(&g, PlacementPolicy::CostAware, &busy, 1),
+            plan_placement_loaded(&g, PlacementPolicy::CostAware, &busy)
+        );
+    }
+
+    #[test]
+    fn fused_placement_amortization_never_hurts() {
+        use ndft_dft::build_task_graph_fused;
+        let sys = SiliconSystem::new(64).unwrap();
+        let solo = plan_placement(&build_task_graph(&sys, 1), PlacementPolicy::CostAware);
+        let mut last = solo.modeled_time();
+        for members in [2usize, 4, 16] {
+            let fg = build_task_graph_fused(&sys, 1, members);
+            let fused = plan_placement_fused(&fg, PlacementPolicy::CostAware, members);
+            // Cheaper boundaries + amortized shared reads: per-member
+            // modeled time is non-increasing in the batch width.
+            assert!(
+                fused.modeled_time() <= last + 1e-12 * last.max(1e-12),
+                "members {members}: {} > {last}",
+                fused.modeled_time()
+            );
+            last = fused.modeled_time();
+            // The planner guarantee survives fusion.
+            assert!(fused.modeled_time() <= fused.cpu_pinned_time + 1e-12);
+            assert!(fused.modeled_time() <= fused.ndp_pinned_time + 1e-12);
         }
     }
 

@@ -86,6 +86,14 @@ pub struct ServeConfig {
     /// [`SubmitError::QuotaExceeded`] instead of queueing. `None`
     /// (the default) disables per-tenant accounting.
     pub tenant_quota: Option<u64>,
+    /// Fused cross-job batch execution: when `true` (the default) a
+    /// worker runs a same-class batch of ≥ 2 executable members through
+    /// the shared-operand path — one Hamiltonian / bond-list setup and
+    /// a fusion-aware plan serve every member, with per-job results
+    /// bit-identical to solo execution. `false` reproduces the per-job
+    /// engine exactly (the A/B knob the `serve_study` fused-exec sweep
+    /// flips).
+    pub fused_execution: bool,
 }
 
 impl Default for ServeConfig {
@@ -104,6 +112,7 @@ impl Default for ServeConfig {
             trace_capacity: 65_536,
             qos: true,
             tenant_quota: None,
+            fused_execution: true,
         }
     }
 }

@@ -119,6 +119,14 @@ pub enum TraceEventKind {
     /// dequeued it, so it was dropped unexecuted (instant; the lane
     /// still ends with a `TicketFulfill`).
     DeadlineDrop,
+    /// A same-class batch ran through the fused execution path: one
+    /// shared-operand setup served every member's kernels (span,
+    /// emitted once per fused batch on the leader's lane, covering the
+    /// whole member loop).
+    FusedExec {
+        /// Jobs that executed through the shared operand.
+        members: usize,
+    },
     /// A workflow node's dependency wait, from workflow submission to
     /// DAG release into the submit path (span, emitted at release on
     /// the released job's trace lane — the workflow id it carries is
@@ -156,6 +164,7 @@ impl TraceEventKind {
             TraceEventKind::QueueWait => "queue-wait",
             TraceEventKind::Cancelled => "cancelled",
             TraceEventKind::DeadlineDrop => "deadline-drop",
+            TraceEventKind::FusedExec { .. } => "fused-exec",
             TraceEventKind::DagWait { .. } => "dag-wait",
             TraceEventKind::DagOrphan { .. } => "dag-orphan",
         }
@@ -511,6 +520,9 @@ fn render_event(out: &mut String, e: &TraceEvent, pid: usize) {
             TraceEventKind::DagWait { workflow, node }
             | TraceEventKind::DagOrphan { workflow, node } => {
                 args.push_str(&format!(", \"workflow\": {workflow}, \"node\": {node}"));
+            }
+            TraceEventKind::FusedExec { members } => {
+                args.push_str(&format!(", \"members\": {members}"));
             }
             TraceEventKind::PlannerConsult
             | TraceEventKind::ReservationHold

@@ -35,7 +35,10 @@ use crate::cluster::Reservation;
 use crate::fingerprint::Fingerprint;
 use crate::job::{DftJob, JobError, JobPayload, Priority, WorkloadClass};
 use crate::metrics::ExecutionSample;
-use crate::placement::{plan_placement, plan_placement_loaded, PlacementDecision};
+use crate::placement::{
+    plan_placement, plan_placement_fused, plan_placement_fused_loaded, plan_placement_loaded,
+    PlacementDecision,
+};
 use crate::progress::JobStage;
 use crate::service::EngineShared;
 use crate::telemetry::{PlacementTarget, Stage};
@@ -44,8 +47,9 @@ use crate::ticket::JobTicket;
 use crate::trace::{TraceEvent, TraceEventKind, TraceId};
 use ndft_core::{run_ndft_with, NdftOptions, RunReport};
 use ndft_dft::{
-    band_structure, run_casida, run_lr_tddft, run_md, run_scf, run_scf_selfconsistent_seeded,
-    si_path, GroundState,
+    band_structure, bond_list, build_task_graph_fused, run_casida, run_lr_tddft, run_md,
+    run_md_prepared, run_scf, run_scf_in, run_scf_selfconsistent_seeded, si_path, GroundState,
+    KsHamiltonian, SiliconSystem,
 };
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -349,6 +353,172 @@ pub fn execute_job_seeded(
     })
 }
 
+/// The heavy setup one fused batch member builds and every later member
+/// reuses. Sharing covers only operand *construction* — each member's
+/// kernels still run their own arithmetic start to finish — which is
+/// what keeps fused payloads bit-identical to solo execution.
+enum FusedOperand {
+    /// One Kohn–Sham Hamiltonian serving every ground-state member. Its
+    /// construction (dominated by the pseudopotential projector tables)
+    /// depends only on the geometry and the potential shape — pinned
+    /// here by bit pattern, so a member with a different shape falls
+    /// back to its own solo setup instead of a wrong shared one.
+    ScfHamiltonian {
+        // Boxed: the Hamiltonian is ~300 bytes of tables and would
+        // otherwise dominate every variant of this enum.
+        h: Box<KsHamiltonian>,
+        depth_bits: u64,
+        sigma_bits: u64,
+    },
+    /// One O(n²) neighbour scan serving every MD member.
+    MdBonds(Vec<(usize, usize)>),
+    /// Kinds with nothing shareable beyond the system: band paths and
+    /// spectra rebuild everything per run anyway, and self-consistent
+    /// SCF *mutates* its Hamiltonian, so sharing one would change
+    /// results.
+    None,
+}
+
+/// Per-batch shared state of the fused cross-job execution path: the
+/// batch's system built once, plus the kind-specific shared operand
+/// (one Kohn–Sham Hamiltonian for ground states, one bond list for MD).
+/// Built lazily by the worker at the first member that actually
+/// executes (a batch fully served from cache pays nothing).
+pub struct FusedContext {
+    system: SiliconSystem,
+    operand: FusedOperand,
+}
+
+impl FusedContext {
+    /// Builds the shared system and operand for a batch of `job`'s
+    /// workload class.
+    ///
+    /// # Errors
+    ///
+    /// [`JobError::InvalidSystem`] when the job's system is invalid.
+    pub fn build(job: &DftJob) -> Result<FusedContext, JobError> {
+        job.validate()?;
+        let system = job.system().expect("validated above");
+        let operand = match job {
+            DftJob::GroundState { .. } => {
+                let opts = job.scf_options().expect("ground-state job");
+                FusedOperand::ScfHamiltonian {
+                    h: Box::new(KsHamiltonian::new(&system, &opts)),
+                    depth_bits: opts.potential_depth_ev.to_bits(),
+                    sigma_bits: opts.potential_sigma.to_bits(),
+                }
+            }
+            DftJob::MdSegment { .. } => FusedOperand::MdBonds(bond_list(&system)),
+            _ => FusedOperand::None,
+        };
+        Ok(FusedContext { system, operand })
+    }
+}
+
+/// [`execute_payload_seeded`] through a batch's [`FusedContext`]: the
+/// shared system and operand replace the per-job setup, and the
+/// member's own kernels run unchanged — the payload is bit-identical
+/// to a solo execution of the same job. A member whose options don't
+/// match the shared operand (impossible within one workload class, but
+/// cheap to defend) runs its solo setup instead.
+///
+/// # Errors
+///
+/// As [`execute_payload`].
+pub fn execute_payload_fused(
+    job: &DftJob,
+    warm: Option<&JobOutcome>,
+    ctx: &FusedContext,
+) -> Result<(JobPayload, Duration), JobError> {
+    job.validate()?;
+    let system = &ctx.system;
+    let start = Instant::now();
+    let payload = match job {
+        DftJob::GroundState { .. } => {
+            let opts = job.scf_options().expect("ground-state job");
+            let gs = match &ctx.operand {
+                FusedOperand::ScfHamiltonian {
+                    h,
+                    depth_bits,
+                    sigma_bits,
+                } if opts.potential_depth_ev.to_bits() == *depth_bits
+                    && opts.potential_sigma.to_bits() == *sigma_bits =>
+                {
+                    run_scf_in(system, &opts, h)
+                }
+                _ => run_scf(system, &opts),
+            }
+            .map_err(|e| JobError::Numerics(format!("{e:?}")))?;
+            JobPayload::GroundState(gs)
+        }
+        DftJob::MdSegment { .. } => {
+            let opts = job.md_options().expect("md job");
+            let traj = match &ctx.operand {
+                FusedOperand::MdBonds(bonds) => run_md_prepared(system, &opts, bonds),
+                _ => run_md(system, &opts),
+            };
+            JobPayload::Md(traj)
+        }
+        DftJob::Spectrum {
+            full_casida: false, ..
+        } => {
+            JobPayload::Tda(run_lr_tddft(system).map_err(|e| JobError::Numerics(format!("{e:?}")))?)
+        }
+        DftJob::Spectrum {
+            full_casida: true, ..
+        } => JobPayload::Casida(
+            run_casida(system).map_err(|e| JobError::Numerics(format!("{e:?}")))?,
+        ),
+        DftJob::BandStructure {
+            segments,
+            n_bands,
+            scissor_ev,
+            ..
+        } => {
+            let path = si_path(*segments);
+            JobPayload::Bands(band_structure(&path, *n_bands, *scissor_ev))
+        }
+        DftJob::ScfSelfConsistent {
+            occupied,
+            cycles,
+            alpha,
+            ..
+        } => {
+            let opts = job.scf_options().expect("self-consistent job");
+            let initial = warm_seed_for(job, warm).cloned();
+            let sc =
+                run_scf_selfconsistent_seeded(system, &opts, *occupied, *cycles, *alpha, initial)
+                    .map_err(|e| JobError::Numerics(format!("{e:?}")))?;
+            JobPayload::SelfConsistent(sc)
+        }
+    };
+    Ok((payload, start.elapsed()))
+}
+
+/// [`execute_job_seeded`] through a batch's [`FusedContext`] (see
+/// [`execute_payload_fused`]).
+///
+/// # Errors
+///
+/// Propagates [`execute_payload`] failures.
+pub fn execute_job_fused(
+    job: &DftJob,
+    placement: &PlacementDecision,
+    modeled: &RunReport,
+    warm: Option<&JobOutcome>,
+    ctx: &FusedContext,
+) -> Result<JobOutcome, JobError> {
+    let (payload, wall_numeric) = execute_payload_fused(job, warm, ctx)?;
+    Ok(JobOutcome {
+        job: job.clone(),
+        fingerprint: job.fingerprint(),
+        payload,
+        placement: placement.clone(),
+        modeled: modeled.clone(),
+        wall_numeric,
+    })
+}
+
 impl JobOutcome {
     /// The metrics contribution of this outcome.
     pub(crate) fn sample(&self) -> ExecutionSample {
@@ -528,6 +698,14 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
     let mut leader: Option<(TraceId, Fingerprint)> = None;
     let batch_class = batch.class;
     let mut executions = 0u64;
+    // Fused cross-job execution engages only for real batches (≥ 2
+    // members) with the knob on — a singleton gains nothing from
+    // amortization and would pay a second planning pass for it. The
+    // context is built lazily at the first member that executes, and
+    // the fused/solo modeled-time gap feeds `fused_amortized_s`.
+    let fuse = shared.config.fused_execution && batch_jobs >= 2;
+    let mut fused_ctx: Option<FusedContext> = None;
+    let mut fused_saving_s = 0.0f64;
 
     // Identical fingerprints inside the batch execute once; later entries
     // share the Arc'd outcome, as do cross-batch repeats via the cache.
@@ -610,15 +788,43 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             if planned.is_none() {
                 let plan_start = Instant::now();
-                let decision = if shared.config.load_aware {
-                    // Consult the global utilization view: targets that
-                    // concurrent batches have reserved look slower, so
-                    // simultaneous batches spread instead of stacking.
-                    plan_placement_loaded(&graph, shared.config.policy, &shared.cluster.snapshot())
-                } else {
-                    plan_placement(&graph, shared.config.policy)
+                // Consult the global utilization view (when load-aware):
+                // targets that concurrent batches have reserved look
+                // slower, so simultaneous batches spread instead of
+                // stacking.
+                let snapshot = shared.config.load_aware.then(|| shared.cluster.snapshot());
+                let solo = match &snapshot {
+                    Some(snap) => plan_placement_loaded(&graph, shared.config.policy, snap),
+                    None => plan_placement(&graph, shared.config.policy),
                 };
-                let modeled = run_ndft_with(&graph, NdftOptions::default());
+                let (decision, modeled) = if fuse {
+                    // Plan the amortized per-member view: the fused task
+                    // graph charges shared operand traffic once across
+                    // the batch, and the fusion-aware planner spreads
+                    // boundary/transfer costs over the members — so
+                    // placement can prefer larger NDP batches when the
+                    // amortization beats the queue delay the solo plan
+                    // saw.
+                    let fused_graph =
+                        build_task_graph_fused(&graph.system, graph.iterations, batch_jobs);
+                    let fused = match &snapshot {
+                        Some(snap) => plan_placement_fused_loaded(
+                            &fused_graph,
+                            shared.config.policy,
+                            snap,
+                            batch_jobs,
+                        ),
+                        None => {
+                            plan_placement_fused(&fused_graph, shared.config.policy, batch_jobs)
+                        }
+                    };
+                    fused_saving_s = (solo.modeled_time() - fused.modeled_time()).max(0.0);
+                    let modeled = run_ndft_with(&fused_graph, NdftOptions::default());
+                    (fused, modeled)
+                } else {
+                    let modeled = run_ndft_with(&graph, NdftOptions::default());
+                    (solo, modeled)
+                };
                 // Metrics, telemetry, and reservation only after every
                 // fallible step above: if planning or the modeled run
                 // panics, the next member's retry must not find a
@@ -675,7 +881,13 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
             if warm_seed_for(&pending.job, warm).is_some() {
                 shared.metrics.on_warm_inject();
             }
-            execute_job_seeded(&pending.job, placement, modeled, warm)
+            if fuse && fused_ctx.is_none() {
+                fused_ctx = Some(FusedContext::build(&pending.job)?);
+            }
+            match fused_ctx.as_ref() {
+                Some(ctx) => execute_job_fused(&pending.job, placement, modeled, warm, ctx),
+                None => execute_job_seeded(&pending.job, placement, modeled, warm),
+            }
         }));
         match result {
             Ok(Ok(outcome)) => {
@@ -771,6 +983,31 @@ fn process_batch(shared: &EngineShared, batch: Batch<PendingJob>, shard: usize, 
                 let msg = panic_message(panic.as_ref());
                 pending.fail(JobError::Numerics(format!("job panicked: {msg}")));
             }
+        }
+    }
+    // A fused batch that executed anything settles its books once: the
+    // member count and the modeled seconds the amortization shaved off
+    // (per-member solo-vs-fused gap × executed members), plus one
+    // FusedExec span on the leader's lane covering the member loop.
+    if fuse && executions > 0 {
+        shared
+            .metrics
+            .on_fused(executions, executions as f64 * fused_saving_s);
+        if telemetry.traced() {
+            let (leader_trace, leader_fingerprint) =
+                leader.expect("an execution implies a planning member");
+            telemetry.publish(TraceEvent {
+                seq: 0,
+                trace: leader_trace,
+                fingerprint: leader_fingerprint,
+                class: batch_class,
+                worker: Some(worker),
+                start_ns: telemetry.ns_at(batch_start),
+                dur_ns: batch_start.elapsed().as_nanos() as u64,
+                kind: TraceEventKind::FusedExec {
+                    members: executions as usize,
+                },
+            });
         }
     }
     // Record the reservation's full hold (grant → release) before
@@ -893,6 +1130,61 @@ mod tests {
             alpha: 0.5,
         };
         assert!(warm_seed_for(&mismatched, Some(&parent_outcome)).is_none());
+    }
+
+    #[test]
+    fn fused_execution_is_bit_identical_to_solo() {
+        // Ground-state batch: one shared Hamiltonian, varying band
+        // counts (the same spread a same-class flood produces).
+        let gs_jobs: Vec<DftJob> = (3..6)
+            .map(|bands| DftJob::GroundState {
+                atoms: 8,
+                bands,
+                max_iterations: 3,
+            })
+            .collect();
+        let ctx = FusedContext::build(&gs_jobs[0]).unwrap();
+        for job in &gs_jobs {
+            let (fused, _) = execute_payload_fused(job, None, &ctx).unwrap();
+            let (solo, _) = execute_payload(job).unwrap();
+            assert_eq!(fused, solo, "{job}");
+        }
+        // MD batch: one shared bond list, varying seeds.
+        let md_jobs: Vec<DftJob> = (0..3)
+            .map(|seed| DftJob::MdSegment {
+                atoms: 64,
+                steps: 4,
+                temperature_k: 300.0,
+                seed,
+            })
+            .collect();
+        let ctx = FusedContext::build(&md_jobs[0]).unwrap();
+        for job in &md_jobs {
+            let (fused, _) = execute_payload_fused(job, None, &ctx).unwrap();
+            let (solo, _) = execute_payload(job).unwrap();
+            assert_eq!(fused, solo, "{job}");
+        }
+        // Kinds with no shareable operand still run — through the
+        // shared system, with identical results.
+        for job in [
+            DftJob::Spectrum {
+                atoms: 16,
+                full_casida: false,
+            },
+            DftJob::ScfSelfConsistent {
+                atoms: 16,
+                bands: 4,
+                max_iterations: 3,
+                occupied: 4,
+                cycles: 2,
+                alpha: 0.5,
+            },
+        ] {
+            let ctx = FusedContext::build(&job).unwrap();
+            let (fused, _) = execute_payload_fused(&job, None, &ctx).unwrap();
+            let (solo, _) = execute_payload(&job).unwrap();
+            assert_eq!(fused, solo, "{job}");
+        }
     }
 
     #[test]

@@ -802,13 +802,18 @@ proptest! {
     }
 }
 
-/// The batch-scoped reservation-hold span is annotated on the planning
-/// member's lane *after* its ticket fulfills, so per-job chain checks
-/// exclude it.
+/// The batch-scoped reservation-hold and fused-execution spans are
+/// annotated on the planning member's lane *after* its ticket fulfills,
+/// so per-job chain checks exclude them.
 fn job_chain(events: &[&TraceEvent]) -> Vec<TraceEvent> {
     events
         .iter()
-        .filter(|e| !matches!(e.kind, TraceEventKind::ReservationHold))
+        .filter(|e| {
+            !matches!(
+                e.kind,
+                TraceEventKind::ReservationHold | TraceEventKind::FusedExec { .. }
+            )
+        })
         .map(|e| **e)
         .collect()
 }
@@ -1188,5 +1193,99 @@ proptest! {
         prop_assert_eq!(report.workflows, flood as u64);
         prop_assert_eq!(report.tickets_outstanding, 0);
         prop_assert!(report.conservation_holds(), "conservation: {report}");
+    }
+}
+
+/// One job drawn from a compact code for the fused-execution
+/// differential: a mix of fusable kinds (ground states sharing a
+/// Hamiltonian, MD segments sharing a bond list) and kinds with no
+/// shareable operand, with repeats so the dedup/cache paths engage too.
+fn fused_mix_job(code: u64) -> DftJob {
+    let variant = code / 4;
+    match code % 4 {
+        0 => DftJob::GroundState {
+            atoms: 8,
+            bands: 2 + (variant % 4) as usize,
+            max_iterations: 3,
+        },
+        1 => DftJob::MdSegment {
+            atoms: 64,
+            steps: 3,
+            temperature_k: 300.0,
+            seed: variant % 4,
+        },
+        2 => DftJob::BandStructure {
+            atoms: 8,
+            segments: 2,
+            n_bands: 4 + (variant % 3) as usize,
+            scissor_ev: 0.7,
+        },
+        _ => DftJob::ScfSelfConsistent {
+            atoms: 16,
+            bands: 4,
+            max_iterations: 2,
+            occupied: 4,
+            cycles: 2,
+            alpha: 0.5,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Fused cross-job execution is invisible in results: for any job
+    /// mix, the engine with `fused_execution` on and the engine with it
+    /// off produce identical fingerprint → payload maps, and both close
+    /// the conservation invariant with identical terminal counters —
+    /// fusion shares setup, never arithmetic.
+    #[test]
+    fn fused_execution_preserves_payloads_and_conservation(
+        codes in prop::collection::vec(0u64..16, 2..10),
+        workers in 1usize..3,
+    ) {
+        let run = |fused: bool| {
+            let svc = DftService::start(ServeConfig {
+                workers,
+                shards: 2,
+                queue_capacity: 256,
+                fused_execution: fused,
+                ..ServeConfig::default()
+            });
+            let tickets: Vec<_> = codes
+                .iter()
+                .map(|&c| svc.submit_blocking(fused_mix_job(c)).unwrap())
+                .collect();
+            let mut payloads = std::collections::HashMap::new();
+            for t in &tickets {
+                let outcome = t.wait().expect("every job completes");
+                payloads.insert(outcome.fingerprint, outcome.payload.clone());
+            }
+            (payloads, svc.shutdown())
+        };
+        let (fused_payloads, fused_report) = run(true);
+        let (solo_payloads, solo_report) = run(false);
+
+        prop_assert_eq!(fused_payloads.len(), solo_payloads.len());
+        for (fp, fused_payload) in &fused_payloads {
+            let solo_payload = solo_payloads
+                .get(fp)
+                .expect("both engines saw the same fingerprints");
+            prop_assert_eq!(fused_payload, solo_payload, "payload diverged for {}", fp);
+        }
+
+        prop_assert!(fused_report.conservation_holds(), "fused: {fused_report}");
+        prop_assert!(solo_report.conservation_holds(), "solo: {solo_report}");
+        prop_assert_eq!(fused_report.submitted, solo_report.submitted);
+        prop_assert_eq!(fused_report.completed, solo_report.completed);
+        prop_assert_eq!(fused_report.failed, solo_report.failed);
+        prop_assert_eq!(fused_report.cancelled, solo_report.cancelled);
+        prop_assert_eq!(fused_report.deadline_dropped, solo_report.deadline_dropped);
+        prop_assert_eq!(fused_report.orphaned, solo_report.orphaned);
+        // The knob really is the only difference: the off engine never
+        // fuses anything.
+        prop_assert_eq!(solo_report.fused_batches, 0);
+        prop_assert_eq!(solo_report.fused_jobs, 0);
+        prop_assert_eq!(solo_report.fused_amortized_s, 0.0);
     }
 }
